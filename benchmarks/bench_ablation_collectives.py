@@ -1,0 +1,71 @@
+"""Ablation — broadcast algorithm vs network port model.
+
+The substrate supports two port models: the paper's contention-free
+switched network (distinct pairs transfer in parallel) and the classic
+single-port model (a sender's interface is occupied per transfer).  The
+right broadcast algorithm flips between them — flat fan-out is optimal on
+the switch, the binomial tree under single-port — which is exactly why
+heterogeneity-aware MPI implementations select collective algorithms per
+network.  This bench measures all three algorithms under both models.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, Machine
+from repro.mpi import run_mpi
+from repro.util.tables import Table
+
+P = 8
+NBYTES = 6_250_000  # 0.5 s per hop over 100 Mbit
+
+
+def network(single_port):
+    return Cluster([Machine(f"n{i:02d}", 100.0) for i in range(P)],
+                   single_port=single_port)
+
+
+def _time_bcast(single_port, algorithm):
+    def app(env):
+        env.comm_world.bcast(b"" if env.rank == 0 else None, root=0,
+                             nbytes=NBYTES, algorithm=algorithm)
+        env.comm_world.barrier()
+        return env.wtime()
+
+    return max(run_mpi(app, network(single_port)).results)
+
+
+def _sweep():
+    rows = []
+    for single_port in (False, True):
+        for algorithm in ("flat", "binomial", "chain"):
+            rows.append((
+                "single-port" if single_port else "switched",
+                algorithm,
+                _time_bcast(single_port, algorithm),
+            ))
+    return rows
+
+
+def test_ablation_collectives(benchmark, report):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    t = Table("port model", "algorithm", "bcast time (s)",
+              title=f"Ablation — 6.25 MB broadcast to {P} ranks")
+    for port, algorithm, seconds in rows:
+        t.add(port, algorithm, seconds)
+    report.emit(t.render())
+
+    times = {(port, alg): s for port, alg, s in rows}
+    # On the switch: flat is one hop and wins; the chain is the worst.
+    assert times[("switched", "flat")] < times[("switched", "binomial")]
+    assert times[("switched", "binomial")] < times[("switched", "chain")]
+    # Under single-port: the tree wins, flat serialises at the root.
+    assert times[("single-port", "binomial")] < times[("single-port", "flat")]
+    # The crossover itself: the best algorithm differs between models.
+    best_switched = min(("flat", "binomial", "chain"),
+                        key=lambda a: times[("switched", a)])
+    best_single = min(("flat", "binomial", "chain"),
+                      key=lambda a: times[("single-port", a)])
+    assert best_switched != best_single
+    report.emit(f"best on switched network: {best_switched}; "
+                f"best under single-port: {best_single}")

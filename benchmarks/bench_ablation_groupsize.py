@@ -1,0 +1,102 @@
+"""Ablation — automatic group sizing (extension, HeteroMPI direction).
+
+The paper fixes the process count and optimises placement; the natural
+extension (realised in the authors' later HeteroMPI work) also chooses
+*how many* processes to use.  The interesting regime is an Amdahl-style
+workload: perfectly divisible work plus a serial tail at the root
+(combining one partial result per member).  With no serial part, more
+machines always help; as the per-member combine cost grows, the tuned
+group shrinks.  This bench sweeps the combine cost and verifies the tuned
+size against always-using-all-9, and every prediction against a faithful
+execution.
+"""
+
+import pytest
+
+from repro.cluster import paper_network
+from repro.core import run_hmpi
+from repro.core.autotune import auto_create, tune_group_size
+from repro.perfmodel import CallableModel
+from repro.util.tables import Table
+
+TOTAL_WORK = 900.0
+PARTIAL_BYTES = 64 * 1024
+COMBINE_COSTS = [0.0, 3.0, 10.0, 30.0]  # benchmark units per member at root
+
+
+def family_for(combine_cost):
+    def family(p):
+        def node_volume(i):
+            base = TOTAL_WORK / p
+            return base + (combine_cost * (p - 1) if i == 0 else 0.0)
+
+        return CallableModel(
+            p,
+            node_volume=node_volume,
+            link_volume=lambda s, d: float(PARTIAL_BYTES) if d == 0 else 0.0,
+            name=f"amdahl-{p}",
+        )
+
+    return family
+
+
+def _run(combine_cost):
+    def app(hmpi):
+        family = family_for(combine_cost)
+        if hmpi.is_host():
+            sweep = tune_group_size(hmpi, family, range(1, 10))
+            info = (sweep.best_p, sweep.best_time, sweep.predictions.get(9))
+        else:
+            info = None
+        best_p, best_time, all9 = hmpi.comm_world.bcast(info, root=0)
+
+        gid, chosen = auto_create(hmpi, family, range(1, 10))
+        measured = None
+        if gid.is_member:
+            comm = gid.comm
+            conc = gid.my_concurrency
+            comm.barrier()
+            t0 = comm.wtime()
+            # the modelled pattern: partials to the root, root combines
+            if comm.rank != 0:
+                comm.send(b"", 0, tag=0, nbytes=PARTIAL_BYTES)
+            hmpi.compute(TOTAL_WORK / chosen, conc)
+            if comm.rank == 0:
+                for s in range(1, comm.size):
+                    comm.recv(s, tag=0)
+                hmpi.compute(combine_cost * (chosen - 1), conc)
+            comm.barrier()
+            measured = comm.wtime() - t0
+            hmpi.group_free(gid)
+        return best_p, best_time, all9, measured
+
+    res = run_hmpi(app, paper_network())
+    best_p, best_time, all9, _ = res.results[0]
+    measured = max(m for *_, m in res.results if m is not None)
+    return best_p, best_time, all9, measured
+
+
+def _sweep():
+    return [(c, *_run(c)) for c in COMBINE_COSTS]
+
+
+def test_ablation_groupsize(benchmark, report):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    t = Table("combine cost/member", "tuned p", "predicted (s)",
+              "measured (s)", "always-9 predicted (s)",
+              title="Ablation — automatic group sizing "
+                    "(divisible work + serial combine at the root)")
+    for c, p, pred, all9, measured in rows:
+        t.add(c, p, pred, measured, all9)
+    report.emit(t.render())
+
+    chosen = [p for _, p, _, _, _ in rows]
+    # A growing serial fraction shrinks the optimal group (monotone trend).
+    assert all(a >= b for a, b in zip(chosen, chosen[1:]))
+    assert chosen[0] > chosen[-1]
+    for c, p, pred, all9, measured in rows:
+        # The tuned size never predicts worse than always-using-all-9...
+        assert pred <= all9 + 1e-9
+        # ...and the prediction is honest.
+        assert measured == pytest.approx(pred, rel=0.05)

@@ -1,0 +1,69 @@
+"""Ablation — process-selection algorithms.
+
+DESIGN.md calls out the mapper as a design choice the paper delegates to
+the mpC runtime [7].  This bench compares the three implemented strategies
+(and the exhaustive oracle) on the paper network for an EM3D instance:
+solution quality (predicted execution time of the chosen group) and the
+wall-clock cost of the selection itself.
+"""
+
+import time
+
+import pytest
+
+from repro.apps.em3d import bind_em3d_model, generate_problem
+from repro.cluster import paper_network
+from repro.core import (
+    DefaultMapper,
+    ExhaustiveMapper,
+    GreedyMapper,
+    NetworkModel,
+    RefineMapper,
+)
+from repro.util.tables import Table
+
+P = 7
+K = 100
+
+
+def _compare():
+    problem = generate_problem(p=P, total_nodes=21_000, seed=5,
+                               boundary_fraction=0.3)
+    model = bind_em3d_model(problem, K)
+    cluster = paper_network()
+    netmodel = NetworkModel(cluster, list(range(cluster.size)))
+    candidates = list(range(cluster.size))
+    fixed = {model.parent_index(): 0}
+
+    mappers = [
+        ("greedy", GreedyMapper()),
+        ("refine(greedy)", RefineMapper(seed=GreedyMapper())),
+        ("default", DefaultMapper()),
+        ("exhaustive", ExhaustiveMapper()),
+    ]
+    rows = []
+    for name, mapper in mappers:
+        t0 = time.perf_counter()
+        mapping = mapper.select(model, netmodel, candidates, fixed)
+        wall = time.perf_counter() - t0
+        rows.append((name, mapping.time, wall * 1000, mapping.processes))
+    return rows
+
+
+def test_ablation_mapper(benchmark, report):
+    rows = benchmark.pedantic(_compare, rounds=1, iterations=1)
+
+    t = Table("mapper", "predicted time (s)", "selection cost (ms)",
+              title=f"Ablation — mapping algorithms (EM3D, p={P}, paper network)")
+    for name, pred, wall, _ in rows:
+        t.add(name, pred, wall)
+    report.emit(t.render())
+
+    by_name = {name: pred for name, pred, _, _ in rows}
+    oracle = by_name["exhaustive"]
+    # Quality ladder: refinement never hurts the greedy seed; the default
+    # lands within 10% of the oracle; nothing beats the oracle.
+    assert by_name["refine(greedy)"] <= by_name["greedy"] + 1e-12
+    assert by_name["default"] <= oracle * 1.10
+    for name, pred, _, _ in rows:
+        assert pred >= oracle - 1e-9

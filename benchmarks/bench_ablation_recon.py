@@ -1,0 +1,60 @@
+"""Ablation — does HMPI_Recon matter on multi-user machines?
+
+The paper motivates Recon with "the actual speeds of processors can
+dynamically change dependent on the external computations".  We load the
+nominally fastest workstations with external jobs and run the same EM3D
+instance three ways: MPI baseline, HMPI trusting nominal speeds (recon
+off), and HMPI with a Recon refresh before group creation.
+"""
+
+import pytest
+
+from repro.apps.em3d import generate_problem, run_em3d_hmpi, run_em3d_mpi
+from repro.cluster import ConstantLoad, paper_network
+from repro.util.tables import Table
+
+NITER = 6
+K = 100
+
+
+def loaded_paper_network():
+    """ws06 (176) nearly saturated, ws07 (106) half-loaded by other users."""
+    cluster = paper_network()
+    cluster.machine("ws06").load = ConstantLoad(0.10)   # ~17.6 effective
+    cluster.machine("ws07").load = ConstantLoad(0.50)   # ~53 effective
+    return cluster
+
+
+def _compare():
+    problem = generate_problem(p=9, total_nodes=18_000, seed=8)
+    mpi = run_em3d_mpi(loaded_paper_network(), problem, niter=NITER, k=K)
+    blind = run_em3d_hmpi(loaded_paper_network(), problem, niter=NITER, k=K,
+                          recon=False, procs_per_machine=2)
+    informed = run_em3d_hmpi(loaded_paper_network(), problem, niter=NITER,
+                             k=K, recon=True, procs_per_machine=2)
+    assert mpi.checksum == blind.checksum == informed.checksum
+    return mpi, blind, informed
+
+
+def test_ablation_recon(benchmark, report):
+    mpi, blind, informed = benchmark.pedantic(_compare, rounds=1, iterations=1)
+
+    t = Table("variant", "time (s)", "vs MPI",
+              title="Ablation — HMPI_Recon under external load "
+                    "(ws06 at 10%, ws07 at 50%)")
+    t.add("MPI baseline", mpi.algorithm_time, 1.0)
+    t.add("HMPI, nominal speeds", blind.algorithm_time,
+          mpi.algorithm_time / blind.algorithm_time)
+    t.add("HMPI + Recon", informed.algorithm_time,
+          mpi.algorithm_time / informed.algorithm_time)
+    report.emit(t.render())
+
+    # Trusting nominal speeds overloads the busy "fast" machines; the
+    # refreshed estimates beat both it and the baseline.
+    assert informed.algorithm_time < blind.algorithm_time
+    assert informed.algorithm_time < mpi.algorithm_time
+    # And the prediction is only accurate when the model was refreshed.
+    assert informed.predicted_time == pytest.approx(
+        informed.algorithm_time, rel=0.1
+    )
+    assert blind.predicted_time < blind.algorithm_time * 0.8  # wishful

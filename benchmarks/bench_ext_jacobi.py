@@ -1,0 +1,48 @@
+"""Extension — heterogeneous Jacobi iteration, HMPI vs MPI.
+
+Not a paper figure: the same HMPI machinery applied to a third algorithm
+shape (1-D nearest-neighbour chain; reference [6] of the paper concerns
+exactly this class of linear-algebra workloads on heterogeneous networks).
+Sweeps the grid size on the paper network and reports the same
+MPI-vs-HMPI comparison as Figures 9/11.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi import jacobi_reference, run_jacobi_hmpi, run_jacobi_mpi
+from repro.cluster import paper_network
+from repro.util.tables import Table
+
+SIZES = [60, 120, 180]
+P = 6
+NITER = 8
+SEED = 3
+
+
+def _sweep():
+    rows = []
+    for n in SIZES:
+        ref = jacobi_reference(n, NITER, SEED)
+        mpi = run_jacobi_mpi(paper_network(), n=n, p=P, niter=NITER, seed=SEED)
+        hmpi = run_jacobi_hmpi(paper_network(), n=n, p=P, niter=NITER, seed=SEED)
+        assert np.array_equal(mpi.grid, ref)
+        assert np.array_equal(hmpi.grid, ref)
+        rows.append((n, mpi.algorithm_time, hmpi.algorithm_time,
+                     hmpi.predicted_time))
+    return rows
+
+
+def test_ext_jacobi(benchmark, report):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    t = Table("grid N", "t_MPI (s)", "t_HMPI (s)", "speedup", "Timeof pred",
+              title=f"Extension — Jacobi iteration on the paper network "
+                    f"(p={P}, {NITER} sweeps)")
+    for n, t_mpi, t_hmpi, pred in rows:
+        t.add(n, t_mpi, t_hmpi, t_mpi / t_hmpi, pred)
+    report.emit(t.render())
+
+    for n, t_mpi, t_hmpi, pred in rows:
+        assert t_hmpi < t_mpi
+        assert pred == pytest.approx(t_hmpi, rel=0.1)

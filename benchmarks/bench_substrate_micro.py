@@ -1,0 +1,83 @@
+"""Substrate microbenchmarks — the simulator's own latency/bandwidth curves.
+
+Not a paper figure: these characterise the virtual-time substrate the way
+mpptest/NetPIPE characterise a real MPI installation, and pin its numbers
+to the configured Hockney parameters.  If the substrate drifts from its
+own cost model, every reproduced figure becomes untrustworthy — so this
+bench asserts the agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import TCP_100MBIT, homogeneous_network
+from repro.mpi import run_mpi
+from repro.util.tables import Table
+
+SIZES = [0, 1 << 10, 1 << 14, 1 << 17, 1 << 20, 1 << 23]
+
+
+def _pingpong_curve():
+    rows = []
+    for nbytes in SIZES:
+        def app(env, n=nbytes):
+            c = env.comm_world
+            if env.rank == 0:
+                t0 = env.wtime()
+                c.send(b"", 1, tag=0, nbytes=n)
+                c.recv(1, tag=0)
+                return (env.wtime() - t0) / 2
+            c.recv(0, tag=0)
+            c.send(b"", 0, tag=0, nbytes=n)
+            return None
+
+        res = run_mpi(app, homogeneous_network(2))
+        measured = res.results[0]
+        theory = TCP_100MBIT.transfer_time(nbytes)
+        rows.append((nbytes, measured * 1e3, theory * 1e3))
+    return rows
+
+
+def _collective_scaling():
+    rows = []
+    nbytes = 1 << 20
+    for p in (2, 4, 8, 16):
+        def app(env, n=nbytes):
+            c = env.comm_world
+            c.barrier()
+            t0 = env.wtime()
+            c.bcast(b"" if env.rank == 0 else None, root=0, nbytes=n)
+            c.barrier()
+            return env.wtime() - t0
+
+        res = run_mpi(app, homogeneous_network(p))
+        rows.append((p, max(res.results) * 1e3))
+    return rows
+
+
+def test_micro_pingpong(benchmark, report):
+    rows = benchmark.pedantic(_pingpong_curve, rounds=1, iterations=1)
+    t = Table("message bytes", "one-way time (ms)", "Hockney theory (ms)",
+              title="Substrate microbenchmark — point-to-point curve "
+                    "(100 Mbit TCP)")
+    for nbytes, measured, theory in rows:
+        t.add(nbytes, measured, theory)
+    report.emit(t.render())
+    for nbytes, measured, theory in rows:
+        assert measured == pytest.approx(theory, rel=1e-9)
+
+
+def test_micro_bcast_scaling(benchmark, report):
+    rows = benchmark.pedantic(_collective_scaling, rounds=1, iterations=1)
+    t = Table("processes", "bcast time (ms)",
+              title="Substrate microbenchmark — 1 MiB binomial broadcast")
+    for p, ms in rows:
+        t.add(p, ms)
+    report.emit(t.render())
+    # Binomial tree: time grows with ceil(log2 p) hops of ~84 ms each
+    # (the barrier adds latency-scale noise only).
+    times = [ms for _, ms in rows]
+    hop = TCP_100MBIT.transfer_time(1 << 20) * 1e3
+    expected_hops = [1, 2, 3, 4]
+    for ms, hops in zip(times, expected_hops):
+        assert ms == pytest.approx(hops * hop, rel=0.05)

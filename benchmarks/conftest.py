@@ -1,0 +1,42 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one figure (or ablation) of the paper: it runs
+the sweep once inside pytest-benchmark (wall-time of the simulation is the
+benchmarked quantity; the *virtual* times are the scientific output), then
+reports the series through the ``report`` fixture, which prints it and
+persists it under ``benchmarks/results/`` so EXPERIMENTS.md can quote it.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see tables live.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class Reporter:
+    def __init__(self, name: str):
+        self.name = name
+        self.chunks: list[str] = []
+
+    def emit(self, text: str) -> None:
+        """Print a block and queue it for the results file."""
+        print(f"\n{text}")
+        self.chunks.append(text)
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.txt"
+        path.write_text("\n\n".join(self.chunks) + "\n")
+
+
+@pytest.fixture
+def report(request):
+    reporter = Reporter(request.node.name)
+    yield reporter
+    if reporter.chunks:
+        reporter.flush()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Runtime algorithm selection with HMPI_Timeof.
+
+The paper: "This function allows the application programmers to write such
+a parallel application that can follow different parallel algorithms to
+solve the same problem, making choice at runtime depending on the
+particular executing network and its actual performance."
+
+Here a reduction can run either as a star (everyone sends to the root, root
+combines everything) or as a balanced binary tree (combines spread over the
+group).  Which wins depends on the network: with a fast root and slow links
+the tree's extra hops lose; with a slow root the star's serialized combine
+loses.  The program models both, asks HMPI_Timeof, and runs the winner.
+
+Run:  python examples/adaptive_algorithm_choice.py
+"""
+
+from repro.cluster import uniform_network
+from repro.core import run_hmpi
+from repro.perfmodel import CallableModel
+
+P = 7                    # group size
+ITEM_BYTES = 4 << 20     # 4 MiB partial results
+COMBINE_UNITS = 30.0     # work to combine one partial result
+
+
+def star_model():
+    """All partials to the root; root performs p-1 combines serially."""
+
+    def scheme(v):
+        for src in range(1, P):
+            v.transfer(100.0, src, 0)
+        v.compute(100.0, 0)
+
+    return CallableModel(
+        nproc=P,
+        node_volume=lambda i: COMBINE_UNITS * (P - 1) if i == 0 else 0.0,
+        link_volume=lambda s, d: float(ITEM_BYTES) if d == 0 and s != 0 else 0.0,
+        scheme=scheme,
+        name="star-reduce",
+    )
+
+
+def tree_model():
+    """Binomial combine: lg(p) rounds, work spread over the group."""
+    rounds = []
+    mask = 1
+    while mask < P:
+        level = []
+        for i in range(P):
+            if i & mask == 0 and i | mask < P and i % (mask * 2) == 0:
+                level.append((i | mask, i))  # child -> parent
+        rounds.append(level)
+        mask *= 2
+
+    def scheme(v):
+        for level in rounds:
+            for src, dst in level:
+                v.transfer(100.0, src, dst)
+            for _, dst in level:
+                v.compute(100.0 / sum(1 for lv in rounds for s, d in lv if d == dst), dst)
+
+    combines = {d: 0 for d in range(P)}
+    for level in rounds:
+        for _, d in level:
+            combines[d] += 1
+
+    def node_volume(i):
+        return COMBINE_UNITS * combines[i]
+
+    def link_volume(s, d):
+        return float(ITEM_BYTES) if any((s, d) in lv for lv in rounds) else 0.0
+
+    return CallableModel(P, node_volume, link_volume, scheme=scheme,
+                         name="tree-reduce")
+
+
+def app(hmpi):
+    star, tree = star_model(), tree_model()
+    if hmpi.is_host():
+        t_star = hmpi.timeof(star)
+        t_tree = hmpi.timeof(tree)
+        choice = ("star", t_star) if t_star <= t_tree else ("tree", t_tree)
+        decision = (choice[0], t_star, t_tree)
+    else:
+        decision = None
+    name, t_star, t_tree = hmpi.comm_world.bcast(decision, root=0)
+
+    model = star_model() if name == "star" else tree_model()
+    gid = hmpi.group_create(model)
+    if gid.is_member:
+        gid.comm.barrier()
+        hmpi.group_free(gid)
+    return (name, t_star, t_tree)
+
+
+def main():
+    scenarios = {
+        # Fast host: the star's serial combine is cheap on the 800-speed root.
+        "fast root":  [800.0] + [60.0] * 8,
+        # Slow host: spreading combines over the tree wins.
+        "slow root":  [40.0] + [300.0] * 8,
+    }
+    for label, speeds in scenarios.items():
+        res = run_hmpi(app, uniform_network(speeds))
+        name, t_star, t_tree = res.results[0]
+        print(f"{label:10s}: Timeof(star) = {t_star:7.4f}s, "
+              f"Timeof(tree) = {t_tree:7.4f}s  ->  chose {name.upper()}")
+
+
+if __name__ == "__main__":
+    main()

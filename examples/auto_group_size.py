@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Automatic group sizing + execution Gantt charts.
+
+Extension beyond the paper (in the direction of the authors' later
+HeteroMPI work): the runtime chooses not only *which* machines execute an
+algorithm but *how many*, by sweeping candidate group sizes with the
+Timeof machinery.  An Amdahl-style workload (divisible work + a serial
+combine at the root) makes the trade-off visible, and the built-in tracer
+renders what actually happened on each machine.
+
+Run:  python examples/auto_group_size.py
+"""
+
+from repro.cluster import paper_network
+from repro.core import run_hmpi
+from repro.core.autotune import auto_create, tune_group_size
+from repro.mpi import Tracer
+from repro.perfmodel import CallableModel
+from repro.util.gantt import render_gantt
+
+TOTAL_WORK = 900.0
+COMBINE_COST = 20.0       # root work per member's partial result
+PARTIAL_BYTES = 64 * 1024
+
+
+def family(p):
+    def node_volume(i):
+        base = TOTAL_WORK / p
+        return base + (COMBINE_COST * (p - 1) if i == 0 else 0.0)
+
+    return CallableModel(
+        p,
+        node_volume=node_volume,
+        link_volume=lambda s, d: float(PARTIAL_BYTES) if d == 0 else 0.0,
+        name=f"amdahl-{p}",
+    )
+
+
+def app(hmpi):
+    if hmpi.is_host():
+        sweep = tune_group_size(hmpi, family, range(1, 10))
+        predictions = dict(sorted(sweep.predictions.items()))
+    else:
+        predictions = None
+
+    gid, best_p = auto_create(hmpi, family, range(1, 10))
+    if gid.is_member:
+        comm = gid.comm
+        comm.barrier()
+        if comm.rank != 0:
+            comm.send(b"partial", 0, tag=0, nbytes=PARTIAL_BYTES)
+        hmpi.compute(TOTAL_WORK / best_p, gid.my_concurrency)
+        if comm.rank == 0:
+            for src in range(1, comm.size):
+                comm.recv(src, tag=0)
+            hmpi.compute(COMBINE_COST * (best_p - 1), gid.my_concurrency)
+        comm.barrier()
+        hmpi.group_free(gid)
+    return predictions, best_p, gid.world_ranks
+
+
+def main():
+    tracer = Tracer()
+    result = run_hmpi(app, paper_network(), tracer=tracer)
+    predictions, best_p, ranks = result.results[0]
+
+    print("predicted time by group size:")
+    for p, t in predictions.items():
+        marker = "  <-- chosen" if p == best_p else ""
+        print(f"  p = {p}: {t:8.4f} s{marker}")
+    print(f"\nauto_create built a {best_p}-process group on world ranks {ranks}")
+    print("\nexecution Gantt (virtual time):")
+    print(render_gantt(tracer, width=64))
+
+
+if __name__ == "__main__":
+    main()

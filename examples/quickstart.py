@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Quickstart: describe an algorithm's performance model, let HMPI pick the
+best group of processes, and compare against a naive MPI group.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import paper_network
+from repro.core import run_hmpi
+from repro.mpi import run_mpi
+from repro.perfmodel import compile_model
+
+# ----------------------------------------------------------------------
+# 1. The algorithm: p independent workers with very uneven workloads that
+#    exchange small boundary messages with their ring neighbours.
+#    This is the paper's model-definition language (Figure 4 style).
+# ----------------------------------------------------------------------
+MODEL_SOURCE = """
+algorithm RingWork(int p, int v[p], int msg) {
+  coord I=p;
+  node {I>=0: bench*(v[I]);};
+  link (L=p) {
+    L == (I+1)%p || I == (L+1)%p : length*(msg) [L]->[I];
+  };
+  parent[0];
+  scheme {
+    int owner, remote;
+    par (owner = 0; owner < p; owner++)
+      par (remote = 0; remote < p; remote++)
+        if (remote == (owner+1)%p || owner == (remote+1)%p)
+          100%%[remote]->[owner];
+    par (owner = 0; owner < p; owner++) 100%%[owner];
+  };
+}
+"""
+
+VOLUMES = [120.0, 480.0, 240.0, 60.0]  # benchmark units per worker
+MSG_BYTES = 64 * 1024
+
+
+def ring_step(comm, compute, volumes, msg_bytes):
+    """One round of the actual algorithm: exchange with neighbours, work."""
+    me, p = comm.rank, comm.size
+    left, right = (me - 1) % p, (me + 1) % p
+    comm.send(b"x", left, tag=0, nbytes=msg_bytes)
+    comm.send(b"x", right, tag=0, nbytes=msg_bytes)
+    comm.recv(left, tag=0)
+    comm.recv(right, tag=0)
+    compute(volumes[me])
+
+
+def hmpi_main(hmpi):
+    """The HMPI program: recon -> model -> optimal group -> run."""
+    hmpi.recon()  # refresh speed estimates with the unit benchmark
+    model = compile_model(MODEL_SOURCE).bind(len(VOLUMES), VOLUMES, MSG_BYTES)
+    predicted = hmpi.timeof(model) if hmpi.is_host() else None
+
+    gid = hmpi.group_create(model)
+    elapsed = None
+    if gid.is_member:
+        comm = gid.comm
+        comm.barrier()
+        t0 = comm.wtime()
+        ring_step(comm, hmpi.compute, VOLUMES, MSG_BYTES)
+        comm.barrier()
+        elapsed = comm.wtime() - t0
+        hmpi.group_free(gid)
+    return predicted, elapsed, gid.world_ranks
+
+
+def mpi_main(env):
+    """The naive MPI version: the first p processes in rank order."""
+    p = len(VOLUMES)
+    comm = env.comm_world.split(0 if env.rank < p else 1, key=env.rank)
+    elapsed = None
+    if env.rank < p:
+        comm.barrier()
+        t0 = comm.wtime()
+        ring_step(comm, env.compute, VOLUMES, MSG_BYTES)
+        comm.barrier()
+        elapsed = comm.wtime() - t0
+    return elapsed
+
+
+def main():
+    cluster = paper_network()
+    print(f"cluster: {cluster}")
+    print(f"workloads (benchmark units): {VOLUMES}\n")
+
+    mpi_result = run_mpi(mpi_main, paper_network())
+    t_mpi = max(t for t in mpi_result.results if t is not None)
+    print(f"naive MPI group (ranks 0..{len(VOLUMES)-1}):  {t_mpi:.4f} virtual s")
+
+    hmpi_result = run_hmpi(hmpi_main, cluster)
+    predicted, _, ranks = hmpi_result.results[0]
+    t_hmpi = max(t for _, t, _ in hmpi_result.results if t is not None)
+    print(f"HMPI-selected group {ranks}:    {t_hmpi:.4f} virtual s")
+    print(f"HMPI_Timeof predicted:            {predicted:.4f} virtual s")
+    print(f"\nspeedup of HMPI over naive MPI:  {t_mpi / t_hmpi:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Dynamic self-scheduling vs HMPI's static model-driven balancing.
+
+HMPI balances *statically*: describe the algorithm, let the runtime size
+and place the work.  The classic alternative needs no model: keep a bag of
+tasks and let every machine come back for more (master-worker).  This
+example runs the same divisible workload both ways on the paper network
+and shows the trade-off — the pool self-balances without any model but
+pays a task-granularity floor, while HMPI hits the optimum when the model
+is exact.
+
+Run:  python examples/task_pool.py
+"""
+
+from repro.cluster import PAPER_SPEEDS, paper_network
+from repro.core import run_hmpi
+from repro.mpi import Task, run_mpi, run_task_pool
+from repro.perfmodel import CallableModel
+from repro.util.tables import Table
+
+TOTAL_WORK = 800.0
+NTASKS = 40
+
+
+def pool_run():
+    served = {}
+
+    def app(env):
+        tasks = [Task(TOTAL_WORK / NTASKS, payload=i, fn=None)
+                 for i in range(NTASKS)]
+        return run_task_pool(env, tasks)
+
+    res = run_mpi(app, paper_network())
+    for rank, count in enumerate(res.results[1:], start=1):
+        served[rank] = count
+    return res.makespan, served
+
+
+def hmpi_run():
+    def app(hmpi):
+        speeds = hmpi.state.netmodel.speeds()
+        host = hmpi.env.machine_index
+        order = [host] + sorted(
+            (i for i in range(len(speeds)) if i != host),
+            key=lambda i: -speeds[i],
+        )[:7]
+        total_speed = sum(speeds[m] for m in order)
+        shares = [TOTAL_WORK * speeds[m] / total_speed for m in order]
+        model = CallableModel(8, lambda i: shares[i], lambda s, d: 64.0)
+        gid = hmpi.group_create(model)
+        elapsed = None
+        if gid.is_member:
+            comm = gid.comm
+            comm.barrier()
+            t0 = comm.wtime()
+            hmpi.compute(shares[comm.rank], gid.my_concurrency)
+            comm.barrier()
+            elapsed = comm.wtime() - t0
+            hmpi.group_free(gid)
+        return elapsed
+
+    res = run_hmpi(app, paper_network())
+    return max(t for t in res.results if t is not None)
+
+
+def main():
+    t_pool, served = pool_run()
+    t_hmpi = hmpi_run()
+
+    print(f"{TOTAL_WORK:g} benchmark units in {NTASKS} equal tasks, "
+          f"8 workers on the paper network\n")
+    print("pool: tasks served per worker (dynamic self-scheduling):")
+    for rank, count in served.items():
+        print(f"  worker {rank} (ws{rank:02d}, speed "
+              f"{PAPER_SPEEDS[rank]:>3g}): {'#' * count} {count}")
+
+    t = Table("strategy", "makespan (virtual s)",
+              title="\nstatic model vs dynamic bag-of-tasks")
+    t.add("worker pool (no model needed)", t_pool)
+    t.add("HMPI static shares (exact model)", t_hmpi)
+    print(t.render())
+    print("\nthe pool starves the speed-9 machine automatically, but one "
+          "stray task\non it sets a granularity floor; HMPI's exact shares "
+          "avoid both that and\nthe per-task dispatch round trips.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment lacks the `wheel` package, so PEP 660 editable
+installs (`pip install -e .` with build isolation) fail; this shim lets the
+legacy `setup.py develop` path work: `pip install -e . --no-build-isolation`
+falls back to it automatically when PEP 517 editable support is missing.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

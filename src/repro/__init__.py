@@ -1,0 +1,69 @@
+"""HMPI — Heterogeneous MPI for networks of computers (IPPS 2003), reproduced.
+
+A complete Python reproduction of Lastovetsky & Reddy's HMPI: a
+message-passing library extension that lets the programmer describe the
+performance model of a parallel algorithm and have the runtime create the
+group of processes that executes it fastest on a heterogeneous network.
+
+Layers (bottom-up):
+
+- :mod:`repro.cluster` — the simulated heterogeneous network of computers
+  (machines with speeds and multi-user load, links with latency/bandwidth
+  and multiple protocols, fault injection);
+- :mod:`repro.mpi` — an MPI-like message-passing library executing each
+  rank as a thread over virtual time charged against the cluster;
+- :mod:`repro.perfmodel` — the performance-model definition language
+  (the mpC-derived DSL of the paper's Figures 4 and 7), its compiler, and
+  a Python-native model builder;
+- :mod:`repro.core` — HMPI proper: ``HMPI_Recon`` / ``HMPI_Timeof`` /
+  ``HMPI_Group_create`` and the process-selection algorithms;
+- :mod:`repro.apps` — the paper's two applications, EM3D and
+  heterogeneous parallel matrix multiplication, each in MPI-baseline and
+  HMPI form.
+
+Quickstart::
+
+    from repro.cluster import paper_network
+    from repro.core import run_hmpi
+    from repro.perfmodel import CallableModel
+
+    def app(hmpi):
+        hmpi.recon()
+        model = CallableModel(nproc=3,
+                              node_volume=lambda i: [300, 200, 100][i],
+                              link_volume=lambda s, d: 8192.0)
+        gid = hmpi.group_create(model)
+        if gid.is_member:
+            hmpi.compute([300, 200, 100][gid.rank])
+            gid.comm.barrier()
+            hmpi.group_free(gid)
+
+    result = run_hmpi(app, paper_network())
+"""
+
+from . import apps, cluster, core, mpi, perfmodel, util
+from .cluster import Cluster, Machine, paper_network
+from .core import HMPI, run_hmpi
+from .mpi import run_mpi
+from .perfmodel import CallableModel, PerformanceModel, compile_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "cluster",
+    "mpi",
+    "perfmodel",
+    "core",
+    "apps",
+    "util",
+    "Cluster",
+    "Machine",
+    "paper_network",
+    "HMPI",
+    "run_hmpi",
+    "run_mpi",
+    "compile_model",
+    "PerformanceModel",
+    "CallableModel",
+    "__version__",
+]

@@ -1,0 +1,1 @@
+"""The paper's applications: EM3D (irregular) and matrix multiplication (regular)."""

@@ -1,0 +1,23 @@
+"""EM3D: the paper's irregular application (Section 3)."""
+
+from .model import EM3D_MODEL_SOURCE, bind_em3d_model, em3d_model
+from .parallel import EM3DRunResult, em3d_algorithm, run_em3d_hmpi, run_em3d_mpi
+from .problem import EM3DProblem, SubBody, generate_problem
+from .serial import em3d_step_local, make_recon_benchmark, serial_em3d, update_field
+
+__all__ = [
+    "EM3DProblem",
+    "SubBody",
+    "generate_problem",
+    "update_field",
+    "em3d_step_local",
+    "serial_em3d",
+    "make_recon_benchmark",
+    "EM3D_MODEL_SOURCE",
+    "em3d_model",
+    "bind_em3d_model",
+    "em3d_algorithm",
+    "run_em3d_mpi",
+    "run_em3d_hmpi",
+    "EM3DRunResult",
+]

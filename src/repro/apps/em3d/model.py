@@ -1,0 +1,55 @@
+"""The EM3D performance model — verbatim from the paper's Figure 4.
+
+The model has four parameters: ``p`` abstract processors, the benchmark
+granularity ``k`` (nodes computed by one benchmark unit), the per-sub-body
+node counts ``d`` and the pairwise boundary-value counts ``dep``.  Node
+volume of processor I is ``d[I]/k`` benchmark units; the link from L to I
+carries ``dep[I][L] * sizeof(double)`` bytes; the scheme is one iteration:
+all boundary transfers in parallel, then all updates in parallel.
+"""
+
+from __future__ import annotations
+
+from ...perfmodel import PerformanceModel, compile_model
+from .problem import EM3DProblem
+
+__all__ = ["EM3D_MODEL_SOURCE", "em3d_model", "bind_em3d_model"]
+
+#: Figure 4 of the paper, verbatim (modulo whitespace).
+EM3D_MODEL_SOURCE = """
+algorithm Em3d(int p, int k, int d[p], int dep[p][p]) {
+  coord I=p;
+  node {I>=0: bench*(d[I]/k);};
+  link (L=p) {
+    I>=0 && I!=L && (dep[I][L] > 0) :
+      length*(dep[I][L]*sizeof(double)) [L]->[I];
+  };
+  parent[0];
+  scheme {
+    int current, owner, remote;
+    par (owner = 0; owner < p; owner++)
+        par (remote = 0; remote < p; remote++)
+             if ((owner != remote) && (dep[owner][remote] > 0))
+                100%%[remote]->[owner];
+    par (current = 0; current < p; current++) 100%%[current];
+  };
+}
+"""
+
+_cached: PerformanceModel | None = None
+
+
+def em3d_model() -> PerformanceModel:
+    """The compiled ``Em3d`` model (compiled once, cached)."""
+    global _cached
+    if _cached is None:
+        _cached = compile_model(EM3D_MODEL_SOURCE)
+    return _cached
+
+
+def bind_em3d_model(problem: EM3DProblem, k: int):
+    """Bind the model to a problem instance (the paper's
+    ``HMPI_Pack_model_parameters`` step)."""
+    return em3d_model().bind(
+        problem.p, k, problem.d.tolist(), problem.dep.tolist()
+    )

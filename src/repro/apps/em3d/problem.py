@@ -1,0 +1,196 @@
+"""EM3D problem instances: sub-bodies, nodes, and boundary dependencies.
+
+The application (paper Section 3, after [11, 12]) simulates interacting
+electric and magnetic fields on a three-dimensional object decomposed into
+``p`` sub-bodies.  Each sub-body holds E nodes and H nodes; dependencies
+form a bipartite graph, and the decomposition keeps most dependencies
+local so that only *boundary* values cross sub-bodies.
+
+An :class:`EM3DProblem` carries both the model-level quantities the HMPI
+performance model needs (``d`` — nodes per sub-body; ``dep`` — boundary
+values needed between each pair) and the concrete field data the parallel
+algorithm updates (so MPI and HMPI runs can be checked for numerical
+equality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...util.errors import ReproError
+from ...util.rng import make_rng
+
+__all__ = ["SubBody", "EM3DProblem", "generate_problem"]
+
+
+@dataclass
+class SubBody:
+    """Field data of one sub-body.
+
+    ``e_values``/``h_values`` are the nodal field values; the weight arrays
+    define each node's linear update from three neighbouring values (two
+    local, one drawn from the boundary pool), which is the shape of the
+    real EM3D inner loop at a scale the simulation can execute for real.
+    """
+
+    index: int
+    e_values: np.ndarray
+    h_values: np.ndarray
+    e_weights: np.ndarray  # (n_e, 3)
+    h_weights: np.ndarray  # (n_h, 3)
+
+    @property
+    def n_e(self) -> int:
+        return len(self.e_values)
+
+    @property
+    def n_h(self) -> int:
+        return len(self.h_values)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_e + self.n_h
+
+
+@dataclass
+class EM3DProblem:
+    """A complete EM3D instance.
+
+    Attributes
+    ----------
+    d:
+        nodes per sub-body (the model's ``d`` parameter).
+    dep_e:
+        ``dep_e[i][j]`` — H nodal values of sub-body j that sub-body i needs
+        to compute its E nodes.
+    dep_h:
+        ``dep_h[i][j]`` — E nodal values of sub-body j needed for H nodes.
+    dep:
+        total boundary values, ``dep_e + dep_h`` (the model's ``dep``).
+    bodies:
+        concrete field data per sub-body.
+    """
+
+    p: int
+    d: np.ndarray
+    dep_e: np.ndarray
+    dep_h: np.ndarray
+    bodies: list[SubBody] = field(default_factory=list)
+
+    @property
+    def dep(self) -> np.ndarray:
+        return self.dep_e + self.dep_h
+
+    @property
+    def total_nodes(self) -> int:
+        return int(self.d.sum())
+
+    def validate(self) -> None:
+        """Internal-consistency checks; raises on violation."""
+        if self.d.shape != (self.p,):
+            raise ReproError("d must have one entry per sub-body")
+        for name, mat in (("dep_e", self.dep_e), ("dep_h", self.dep_h)):
+            if mat.shape != (self.p, self.p):
+                raise ReproError(f"{name} must be {self.p}x{self.p}")
+            if np.diag(mat).any():
+                raise ReproError(f"{name} must have a zero diagonal")
+            if (mat < 0).any():
+                raise ReproError(f"{name} must be non-negative")
+        for i, body in enumerate(self.bodies):
+            if body.n_nodes != self.d[i]:
+                raise ReproError(
+                    f"sub-body {i} has {body.n_nodes} nodes, d says {self.d[i]}"
+                )
+            # A sub-body cannot export more H values than it has H nodes.
+            if self.dep_e[:, i].max(initial=0) > body.n_h:
+                raise ReproError(f"sub-body {i} exports more H values than it has")
+            if self.dep_h[:, i].max(initial=0) > body.n_e:
+                raise ReproError(f"sub-body {i} exports more E values than it has")
+
+
+def generate_problem(
+    p: int,
+    total_nodes: int,
+    seed: int = 0,
+    imbalance: float = 3.0,
+    boundary_fraction: float = 0.05,
+    extra_edges: int = 2,
+) -> EM3DProblem:
+    """Generate an irregular EM3D instance.
+
+    Sub-body sizes are drawn with a geometric spread of about
+    ``imbalance`` between the largest and smallest (the "inherent
+    coarse-grained structure" of an irregular problem).  The dependency
+    graph is a ring over sub-bodies plus ``extra_edges`` random chords;
+    each edge carries boundary traffic of roughly ``boundary_fraction``
+    times the geometric mean of the endpoint sizes — surface-to-volume
+    scaling of a spatial decomposition.
+
+    Deterministic given ``seed``.
+    """
+    if p < 1:
+        raise ReproError("need at least one sub-body")
+    if total_nodes < 4 * p:
+        raise ReproError(f"total_nodes too small for {p} sub-bodies")
+    rng = make_rng(seed)
+
+    # Sub-body sizes: log-uniform spread, normalised to total_nodes.
+    raw = np.exp(rng.uniform(0.0, np.log(max(imbalance, 1.0 + 1e-9)), size=p))
+    sizes = np.maximum(4, np.floor(raw / raw.sum() * total_nodes).astype(int))
+    # Largest-remainder style fixup to hit the exact total.
+    deficit = total_nodes - int(sizes.sum())
+    order = np.argsort(-raw)
+    i = 0
+    while deficit != 0:
+        step = 1 if deficit > 0 else -1
+        idx = order[i % p]
+        if sizes[idx] + step >= 4:
+            sizes[idx] += step
+            deficit -= step
+        i += 1
+
+    # Dependency edges: ring + chords.
+    edges: set[tuple[int, int]] = set()
+    if p > 1:
+        for i in range(p):
+            edges.add(tuple(sorted((i, (i + 1) % p))))
+        attempts = 0
+        while len(edges) < min(p + extra_edges, p * (p - 1) // 2) and attempts < 100:
+            a, b = rng.integers(0, p, size=2)
+            if a != b:
+                edges.add(tuple(sorted((int(a), int(b)))))
+            attempts += 1
+
+    dep_e = np.zeros((p, p), dtype=int)
+    dep_h = np.zeros((p, p), dtype=int)
+    for a, b in sorted(edges):
+        base = boundary_fraction * float(np.sqrt(sizes[a] * sizes[b]))
+        for i, j in ((a, b), (b, a)):
+            dep_e[i, j] = max(1, int(base * rng.uniform(0.7, 1.3)))
+            dep_h[i, j] = max(1, int(base * rng.uniform(0.7, 1.3)))
+
+    bodies: list[SubBody] = []
+    for i in range(p):
+        n = int(sizes[i])
+        n_e = n // 2
+        n_h = n - n_e
+        # Exports are capped by what the sub-body actually has.
+        dep_e[:, i] = np.minimum(dep_e[:, i], n_h)
+        dep_h[:, i] = np.minimum(dep_h[:, i], n_e)
+        bodies.append(
+            SubBody(
+                index=i,
+                e_values=rng.standard_normal(n_e),
+                h_values=rng.standard_normal(n_h),
+                e_weights=rng.uniform(0.1, 0.3, size=(n_e, 3)),
+                h_weights=rng.uniform(0.1, 0.3, size=(n_h, 3)),
+            )
+        )
+    np.fill_diagonal(dep_e, 0)
+    np.fill_diagonal(dep_h, 0)
+
+    problem = EM3DProblem(p=p, d=sizes, dep_e=dep_e, dep_h=dep_h, bodies=bodies)
+    problem.validate()
+    return problem

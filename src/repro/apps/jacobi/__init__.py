@@ -1,0 +1,31 @@
+"""Heterogeneous Jacobi iteration — a third application beyond the paper.
+
+The paper's reference [6] (Kalinov & Lastovetsky) is about heterogeneous
+distribution of computations for *linear algebra* problems; this package
+applies the HMPI machinery to the classic representative: a 2-D heat
+(Jacobi) iteration with a 1-D row-panel decomposition.  Panels are sized
+proportionally to processor speeds; neighbours exchange one halo row per
+iteration.  It exercises a different model shape than EM3D (nearest-
+neighbour chain instead of a general graph) and than MM (1-D instead of
+2-D decomposition).
+"""
+
+from .model import JACOBI_MODEL_SOURCE, bind_jacobi_model, jacobi_model
+from .solver import (
+    JacobiRunResult,
+    jacobi_reference,
+    partition_rows,
+    run_jacobi_hmpi,
+    run_jacobi_mpi,
+)
+
+__all__ = [
+    "JACOBI_MODEL_SOURCE",
+    "jacobi_model",
+    "bind_jacobi_model",
+    "partition_rows",
+    "jacobi_reference",
+    "run_jacobi_mpi",
+    "run_jacobi_hmpi",
+    "JacobiRunResult",
+]

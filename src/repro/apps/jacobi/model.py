@@ -1,0 +1,53 @@
+"""Performance model of the heterogeneous Jacobi iteration.
+
+One iteration over an ``N x N`` grid decomposed into ``p`` horizontal
+panels of ``rows[i]`` rows each:
+
+- processor i updates ``rows[i] * N`` points — with the benchmark unit
+  defined as the update of ``k`` grid points, its volume is
+  ``rows[i]*N/k``;
+- neighbouring processors exchange one halo row (``N`` doubles) in each
+  direction;
+- the scheme is one iteration: halo exchanges in parallel, then all
+  updates in parallel (the EM3D shape specialised to a chain).
+"""
+
+from __future__ import annotations
+
+from ...perfmodel import PerformanceModel, compile_model
+
+__all__ = ["JACOBI_MODEL_SOURCE", "jacobi_model", "bind_jacobi_model"]
+
+JACOBI_MODEL_SOURCE = """
+algorithm Jacobi(int p, int k, int N, int rows[p]) {
+  coord I=p;
+  node {I>=0: bench*((rows[I]*N)/k);};
+  link (L=p) {
+    L == I+1 || L == I-1 : length*(N*sizeof(double)) [L]->[I];
+  };
+  parent[0];
+  scheme {
+    int owner, remote, current;
+    par (owner = 0; owner < p; owner++)
+      par (remote = 0; remote < p; remote++)
+        if (remote == owner+1 || remote == owner-1)
+          100%%[remote]->[owner];
+    par (current = 0; current < p; current++) 100%%[current];
+  };
+}
+"""
+
+_cached: PerformanceModel | None = None
+
+
+def jacobi_model() -> PerformanceModel:
+    """The compiled ``Jacobi`` model (compiled once, cached)."""
+    global _cached
+    if _cached is None:
+        _cached = compile_model(JACOBI_MODEL_SOURCE)
+    return _cached
+
+
+def bind_jacobi_model(p: int, k: int, n: int, rows: list[int]):
+    """Bind to a panel decomposition."""
+    return jacobi_model().bind(p, k, n, rows)

@@ -1,0 +1,227 @@
+"""The Jacobi solver: serial reference, MPI baseline, HMPI version.
+
+A 2-D heat problem on an ``N x N`` grid with fixed boundary values;
+``niter`` Jacobi sweeps of the interior.  The parallel versions decompose
+the interior rows into ``p`` horizontal panels — uniformly for the MPI
+baseline, speed-proportionally for HMPI — and exchange one halo row with
+each neighbour per iteration.  The updates are genuinely computed (NumPy),
+and the assembled result grid must be identical for every decomposition,
+which the tests assert against the serial reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...cluster.network import Cluster
+from ...core.mapper import Mapper
+from ...core.runtime import HMPI, run_hmpi
+from ...mpi.communicator import Comm
+from ...mpi.launcher import MPIEnv, run_mpi
+from ...util.errors import ReproError
+from ..matmul.distribution import proportional_partition
+from .model import bind_jacobi_model
+
+__all__ = [
+    "partition_rows",
+    "jacobi_reference",
+    "jacobi_panel_sweep",
+    "run_jacobi_mpi",
+    "run_jacobi_hmpi",
+    "JacobiRunResult",
+]
+
+
+def initial_grid(n: int, seed: int = 0) -> np.ndarray:
+    """Deterministic N x N starting grid with hot boundaries."""
+    rng = np.random.default_rng(seed)
+    grid = rng.uniform(0.0, 0.1, size=(n, n))
+    grid[0, :] = 1.0
+    grid[-1, :] = 1.0
+    grid[:, 0] = -1.0
+    grid[:, -1] = -1.0
+    return grid
+
+
+def jacobi_reference(n: int, niter: int, seed: int = 0) -> np.ndarray:
+    """Serial ground truth."""
+    grid = initial_grid(n, seed)
+    for _ in range(niter):
+        interior = 0.25 * (grid[:-2, 1:-1] + grid[2:, 1:-1]
+                           + grid[1:-1, :-2] + grid[1:-1, 2:])
+        new = grid.copy()
+        new[1:-1, 1:-1] = interior
+        grid = new
+    return grid
+
+
+def partition_rows(n: int, weights) -> list[int]:
+    """Split the ``n - 2`` interior rows proportionally to ``weights``."""
+    if n < 3:
+        raise ReproError("grid too small for an interior")
+    return [int(x) for x in proportional_partition(n - 2, np.asarray(weights, dtype=float))]
+
+
+def jacobi_panel_sweep(
+    compute,
+    comm: Comm,
+    n: int,
+    rows: list[int],
+    niter: int,
+    k: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """Run the panel algorithm on one member; returns the member's final
+    panel (interior rows only)."""
+    p = comm.size
+    if len(rows) != p:
+        raise ReproError(f"rows has {len(rows)} entries for {p} ranks")
+    if sum(rows) != n - 2:
+        raise ReproError("rows must cover exactly the interior")
+    me = comm.rank
+    start = 1 + sum(rows[:me])          # first interior row owned
+    my_rows = rows[me]
+
+    full = initial_grid(n, seed)
+    # panel with one halo row above and below
+    panel = full[start - 1:start + my_rows + 1].copy()
+
+    for it in range(niter):
+        # halo exchange with neighbours (boundary rows are fixed walls)
+        if me > 0:
+            comm.send(panel[1].copy(), me - 1, tag=it)
+        if me < p - 1:
+            comm.send(panel[-2].copy(), me + 1, tag=it)
+        if me > 0:
+            panel[0] = comm.recv(me - 1, tag=it)
+        if me < p - 1:
+            panel[-1] = comm.recv(me + 1, tag=it)
+        interior = 0.25 * (panel[:-2, 1:-1] + panel[2:, 1:-1]
+                           + panel[1:-1, :-2] + panel[1:-1, 2:])
+        panel[1:-1, 1:-1] = interior
+        compute(my_rows * n / k)
+
+    return panel[1:-1]
+
+
+@dataclass
+class JacobiRunResult:
+    algorithm_time: float
+    makespan: float
+    grid: np.ndarray                    # assembled final grid
+    rows: list[int]
+    group_world_ranks: tuple[int, ...]
+    predicted_time: float | None = None
+
+
+def _timed_region(comm, compute, n, rows, niter, k, seed):
+    comm.barrier()
+    t0 = comm.wtime()
+    panel = jacobi_panel_sweep(compute, comm, n, rows, niter, k, seed)
+    comm.barrier()
+    elapsed = comm.wtime() - t0
+    panels = comm.gather(panel, root=0)
+    grid = None
+    if comm.rank == 0:
+        grid = initial_grid(n, seed)
+        row = 1
+        for block in panels:
+            grid[row:row + len(block), :] = block
+            row += len(block)
+    return grid, elapsed
+
+
+def run_jacobi_mpi(
+    cluster: Cluster,
+    n: int,
+    p: int,
+    niter: int,
+    k: int = 100,
+    seed: int = 0,
+    timeout: float | None = 120.0,
+) -> JacobiRunResult:
+    """Uniform row panels on the first ``p`` world processes."""
+    if p > cluster.size:
+        raise ReproError(f"need {p} machines, cluster has {cluster.size}")
+    rows = partition_rows(n, [1.0] * p)
+
+    def app(env: MPIEnv):
+        executing = 1 if env.rank < p else 0
+        comm = env.comm_world.split(executing, key=env.rank)
+        if not executing:
+            return None
+        grid, elapsed = _timed_region(comm, env.compute, n, rows, niter, k, seed)
+        ranks = comm.group.world_ranks
+        comm.free()
+        return (grid, elapsed, ranks)
+
+    result = run_mpi(app, cluster, timeout=timeout)
+    grid, elapsed, ranks = result.results[0]
+    return JacobiRunResult(
+        algorithm_time=elapsed, makespan=result.makespan, grid=grid,
+        rows=rows, group_world_ranks=tuple(ranks),
+    )
+
+
+def run_jacobi_hmpi(
+    cluster: Cluster,
+    n: int,
+    p: int,
+    niter: int,
+    k: int = 100,
+    seed: int = 0,
+    mapper: Mapper | None = None,
+    recon: bool = True,
+    timeout: float | None = 120.0,
+) -> JacobiRunResult:
+    """Speed-proportional panels on an HMPI-selected group.
+
+    The host reads the (recon-refreshed) speed estimates, sizes the panels
+    for an intended speed-sorted arrangement with itself first (the model
+    pins ``parent[0]`` to the host), and creates the group for the Jacobi
+    model; the selection matches panel volumes to machine speeds.
+    """
+    if p > cluster.size:
+        raise ReproError(f"need {p} machines, cluster has {cluster.size}")
+
+    def app(hmpi: HMPI):
+        if recon:
+            hmpi.recon()
+        if hmpi.is_host():
+            speeds = hmpi.state.netmodel.speeds().tolist()
+            host_speed = speeds[hmpi.env.machine_index]
+            others = sorted(
+                (s for i, s in enumerate(speeds) if i != hmpi.env.machine_index),
+                reverse=True,
+            )
+            arrangement = [host_speed] + others[:p - 1]
+            rows = partition_rows(n, arrangement)
+        else:
+            rows = None
+        rows = hmpi.comm_world.bcast(rows, root=0)
+        bound = bind_jacobi_model(p, k, n, rows)
+        predicted = hmpi.timeof(bound, iterations=niter) if hmpi.is_host() else None
+
+        gid = hmpi.group_create(bound, mapper=mapper)
+        out = None
+        if gid.is_member:
+            comm = gid.comm
+            conc = gid.my_concurrency
+
+            def member_compute(volume, _c=conc):
+                return hmpi.compute(volume, _c)
+
+            grid, elapsed = _timed_region(comm, member_compute, n, rows,
+                                          niter, k, seed)
+            out = (grid, elapsed, gid.world_ranks, predicted, rows)
+            hmpi.group_free(gid)
+        return out
+
+    result = run_hmpi(app, cluster, mapper=mapper, timeout=timeout)
+    grid, elapsed, ranks, predicted, rows = result.results[0]
+    return JacobiRunResult(
+        algorithm_time=elapsed, makespan=result.makespan, grid=grid,
+        rows=rows, group_world_ranks=tuple(ranks), predicted_time=predicted,
+    )

@@ -1,0 +1,136 @@
+"""The ParallelAxB performance model — the paper's Figure 7.
+
+Six parameters: grid size ``m``, block size ``r``, matrix size ``n`` (in
+r×r blocks), generalized block size ``l``, column widths ``w`` and the
+pairwise heights tensor ``h``.  The unit of computation (``bench``) is one
+r×r matrix multiplication; the scheme describes all ``n`` steps of the
+algorithm: the pivot row of B broadcast vertically, the pivot column of A
+broadcast horizontally, then every processor updating its C blocks.
+
+Two deliberate corrections of apparent typos in the printed figure, both
+justified by the paper's own prose (Section 4):
+
+1. The first link rule (matrix B, vertical) uses ``w[J]`` — the text says
+   "the total number of r×r blocks of matrix B assigned to processor P_IJ
+   is given by w[J]*h[I][J][I][J]*(n/l)*(n/l)"; the figure prints ``w[I]``.
+2. The B rule describes traffic within a processor *column* (``[I,J] ->
+   [K,J]``, condition ``I != K``), the A rule across columns — matching
+   the algorithm's broadcast directions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...perfmodel import PerformanceModel, compile_model
+from .distribution import BlockDistribution
+
+__all__ = ["MM_MODEL_SOURCE", "make_get_processor", "matmul_model", "bind_matmul_model"]
+
+#: Figure 7 of the paper (with the two documented typo fixes).
+MM_MODEL_SOURCE = """
+typedef struct {int I; int J;} Processor;
+
+algorithm ParallelAxB(int m, int r, int n, int l, int w[m],
+                      int h[m][m][m][m])
+{
+  coord I=m, J=m;
+  node {I>=0 && J>=0: bench*(w[J]*(h[I][J][I][J])*(n/l)*(n/l)*n);};
+  link (K=m, L=m)
+  {
+    I>=0 && J>=0 && I!=K :
+      length*(w[J]*(h[I][J][I][J])*(n/l)*(n/l)*(r*r)*sizeof(double))
+              [I, J] -> [K, J];
+    I>=0 && J>=0 && J!=L && ((h[I][J][K][L]) > 0) :
+      length*(w[J]*(h[I][J][K][L])*(n/l)*(n/l)*(r*r)*sizeof(double))
+              [I, J] -> [K, L];
+  };
+  parent[0,0];
+  scheme
+  {
+    int k;
+    Processor Root, Receiver, Current;
+    for(k = 0; k < n; k++)
+    {
+      int Acolumn = k%l, Arow;
+      int Brow = k%l, Bcolumn;
+      par(Arow = 0; Arow < l; )
+      {
+        GetProcessor(Arow, Acolumn, m, h, w, &Root);
+        par(Receiver.I = 0; Receiver.I < m; Receiver.I++)
+          par(Receiver.J = 0; Receiver.J < m; Receiver.J++)
+            if((Root.I != Receiver.I || Root.J != Receiver.J) &&
+               Root.J != Receiver.J)
+              if((h[Root.I][Root.J][Receiver.I][Receiver.J]) > 0)
+                (100/(w[Root.J]*(n/l)))%%
+                       [Root.I, Root.J] -> [Receiver.I, Receiver.J];
+        Arow += h[Root.I][Root.J][Root.I][Root.J];
+      }
+      par(Bcolumn = 0; Bcolumn < l; )
+      {
+        GetProcessor(Brow, Bcolumn, m, h, w, &Root);
+        par(Receiver.I = 0; Receiver.I < m; Receiver.I++)
+          if(Root.I != Receiver.I)
+            (100/((h[Root.I][Root.J][Root.I][Root.J])*(n/l))) %%
+                  [Root.I, Root.J] -> [Receiver.I, Root.J];
+        Bcolumn += w[Root.J];
+      }
+      par(Current.I = 0; Current.I < m; Current.I++)
+        par(Current.J = 0; Current.J < m; Current.J++)
+          (100/n) %% [Current.I, Current.J];
+    }
+  };
+};
+"""
+
+
+def make_get_processor():
+    """The scheme's external ``GetProcessor(row, col, m, h, w, &Root)``.
+
+    Returns, in ``Root``, the grid coordinates of the processor storing the
+    r×r block at in-generalized-block coordinates (row, col): locate the
+    vertical slice by cumulative widths, then the row slice by cumulative
+    own-heights (``h[i][J][i][J]``) within that column.
+    """
+
+    def GetProcessor(row, col, m, h, w, root) -> None:
+        acc = 0
+        J = int(m) - 1
+        for j in range(int(m)):
+            width = int(w[j])
+            if col < acc + width:
+                J = j
+                break
+            acc += width
+        acc = 0
+        I = int(m) - 1
+        for i in range(int(m)):
+            height = int(h[i][J][i][J])
+            if row < acc + height:
+                I = i
+                break
+            acc += height
+        root.set("I", I)
+        root.set("J", J)
+
+    return GetProcessor
+
+
+_cached: PerformanceModel | None = None
+
+
+def matmul_model() -> PerformanceModel:
+    """The compiled ``ParallelAxB`` model (compiled once, cached)."""
+    global _cached
+    if _cached is None:
+        _cached = compile_model(
+            MM_MODEL_SOURCE, externals={"GetProcessor": make_get_processor()}
+        )
+    return _cached
+
+
+def bind_matmul_model(dist: BlockDistribution, r: int):
+    """Bind the model to a concrete distribution and block size."""
+    return matmul_model().bind(
+        dist.m, r, dist.n, dist.l, list(dist.w), dist.h4()
+    )

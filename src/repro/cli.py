@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``fig09`` / ``fig10`` / ``fig11``
+    Regenerate a paper figure's series and print the table (smaller
+    default sweeps than the pytest benchmarks; flags adjust sizes).
+``compile FILE``
+    Compile a PMDL model file, run the consistency linter, and print the
+    canonical source (the model the runtime actually uses).
+``cluster``
+    Print a preset cluster configuration as JSON (edit it, feed it back to
+    experiments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .apps.em3d import generate_problem, run_em3d_hmpi, run_em3d_mpi
+from .apps.matmul import candidate_block_sizes, run_matmul_hmpi, run_matmul_mpi
+from .cluster import multiprotocol_network, paper_network
+from .cluster.serialize import cluster_to_json
+from .core import GreedyMapper
+from .util.tables import Table
+
+__all__ = ["main"]
+
+
+def _cmd_fig09(args: argparse.Namespace) -> int:
+    table = Table("total nodes", "t_MPI (s)", "t_HMPI (s)", "speedup",
+                  title="Figure 9 — EM3D, HMPI vs MPI (virtual seconds)")
+    for total in args.sizes:
+        problem = generate_problem(p=9, total_nodes=total, seed=args.seed)
+        mpi = run_em3d_mpi(paper_network(), problem, niter=args.niter, k=100)
+        hmpi = run_em3d_hmpi(paper_network(), problem, niter=args.niter,
+                             k=100, procs_per_machine=args.slots)
+        table.add(total, mpi.algorithm_time, hmpi.algorithm_time,
+                  mpi.algorithm_time / hmpi.algorithm_time)
+    print(table.render())
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    mpi = run_matmul_mpi(paper_network(), n=args.n, r=8, m=3, seed=args.seed)
+    table = Table("l", "t_MPI (s)", "t_HMPI (s)",
+                  title=f"Figure 10 — MM time vs generalized block size "
+                        f"(n={args.n}, r=8)")
+    for l in candidate_block_sizes(args.n, 3):
+        hmpi = run_matmul_hmpi(paper_network(), n=args.n, r=8, m=3, l=l,
+                               seed=args.seed, mapper=GreedyMapper())
+        table.add(l, mpi.algorithm_time, hmpi.algorithm_time)
+    print(table.render())
+    return 0
+
+
+def _cmd_fig11(args: argparse.Namespace) -> int:
+    table = Table("n (blocks)", "t_MPI (s)", "t_HMPI (s)", "speedup",
+                  title="Figure 11 — MM, HMPI vs MPI (r = l = 9)")
+    for n in args.sizes:
+        mpi = run_matmul_mpi(paper_network(), n=n, r=9, m=3, seed=args.seed)
+        hmpi = run_matmul_hmpi(paper_network(), n=n, r=9, m=3, l=9,
+                               seed=args.seed, mapper=GreedyMapper())
+        table.add(n, mpi.algorithm_time, hmpi.algorithm_time,
+                  mpi.algorithm_time / hmpi.algorithm_time)
+    print(table.render())
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .perfmodel import compile_source, parse
+    from .perfmodel.printer import format_unit
+
+    source = open(args.file).read()
+    # Externals unknown at compile time: declare every called name as a stub
+    # so the semantic checker focuses on structure.
+    import re
+
+    called = set(re.findall(r"\b([A-Za-z_]\w*)\s*\(", source))
+    keywords = {"algorithm", "coord", "node", "link", "parent", "scheme",
+                "sizeof", "par", "for", "if", "while", "bench", "length"}
+    externals = {name: (lambda *a: None) for name in called - keywords}
+    models = compile_source(source, externals=externals)
+    print(f"compiled {len(models)} algorithm(s): {', '.join(models)}")
+    print()
+    print(format_unit(parse(source)))
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    presets = {
+        "paper": paper_network,
+        "multiprotocol": multiprotocol_network,
+    }
+    print(cluster_to_json(presets[args.preset]()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HMPI reproduction (Lastovetsky & Reddy, IPPS 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p09 = sub.add_parser("fig09", help="EM3D, HMPI vs MPI")
+    p09.add_argument("--sizes", type=int, nargs="+",
+                     default=[9_000, 18_000, 27_000])
+    p09.add_argument("--niter", type=int, default=8)
+    p09.add_argument("--seed", type=int, default=42)
+    p09.add_argument("--slots", type=int, default=2,
+                     help="HMPI process slots per machine")
+    p09.set_defaults(fn=_cmd_fig09)
+
+    p10 = sub.add_parser("fig10", help="MM time vs generalized block size")
+    p10.add_argument("--n", type=int, default=24)
+    p10.add_argument("--seed", type=int, default=10)
+    p10.set_defaults(fn=_cmd_fig10)
+
+    p11 = sub.add_parser("fig11", help="MM, HMPI vs MPI")
+    p11.add_argument("--sizes", type=int, nargs="+", default=[9, 18, 27])
+    p11.add_argument("--seed", type=int, default=11)
+    p11.set_defaults(fn=_cmd_fig11)
+
+    pc = sub.add_parser("compile", help="compile + lint a PMDL model file")
+    pc.add_argument("file")
+    pc.set_defaults(fn=_cmd_compile)
+
+    pk = sub.add_parser("cluster", help="dump a preset cluster as JSON")
+    pk.add_argument("--preset", choices=["paper", "multiprotocol"],
+                    default="paper")
+    pk.set_defaults(fn=_cmd_cluster)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""The simulated heterogeneous network of computers (HNOC).
+
+This package is the substrate substituting for the paper's physical testbed:
+machines with heterogeneous speeds and multi-user load, links with
+heterogeneous latency/bandwidth and multiple protocols, and fault injection.
+"""
+
+from .faults import FaultSchedule, inject_faults, random_fault_schedule
+from .link import FAST_INTERCONNECT, SHARED_MEMORY, TCP_100MBIT, Link, Protocol
+from .load import (
+    NO_LOAD,
+    ConstantLoad,
+    LoadModel,
+    RandomWalkLoad,
+    SquareWaveLoad,
+    StepLoad,
+)
+from .machine import Machine
+from .network import Cluster
+from .serialize import (
+    cluster_from_dict,
+    cluster_from_json,
+    cluster_to_dict,
+    cluster_to_json,
+)
+from .presets import (
+    PAPER_SPEEDS,
+    homogeneous_network,
+    multiprotocol_network,
+    paper_network,
+    random_network,
+    uniform_network,
+)
+
+__all__ = [
+    "Machine",
+    "Cluster",
+    "Link",
+    "Protocol",
+    "TCP_100MBIT",
+    "SHARED_MEMORY",
+    "FAST_INTERCONNECT",
+    "LoadModel",
+    "ConstantLoad",
+    "StepLoad",
+    "SquareWaveLoad",
+    "RandomWalkLoad",
+    "NO_LOAD",
+    "FaultSchedule",
+    "inject_faults",
+    "random_fault_schedule",
+    "PAPER_SPEEDS",
+    "cluster_to_dict",
+    "cluster_from_dict",
+    "cluster_to_json",
+    "cluster_from_json",
+    "paper_network",
+    "homogeneous_network",
+    "uniform_network",
+    "random_network",
+    "multiprotocol_network",
+]

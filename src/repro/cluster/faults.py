@@ -1,0 +1,90 @@
+"""Fault-injection schedules.
+
+The paper names resource failures as the second HNOC challenge and points at
+FT-MPI; its conclusion envisions a library combining HMPI's heterogeneity
+support with fault tolerance.  This module provides the ingredient the
+simulator needs: a declarative schedule of machine deaths that can be applied
+to a cluster, plus helpers to build common scenarios.
+
+A failed machine makes every rank placed on it raise
+:class:`~repro.util.errors.MachineFailure` the next time it computes or
+communicates past the failure time; the HMPI runtime's recovery hooks (see
+:mod:`repro.core.runtime`) can then rebuild a group without the dead machine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..util.errors import ClusterError
+from ..util.rng import make_rng
+from .network import Cluster
+
+__all__ = ["FaultSchedule", "inject_faults", "random_fault_schedule"]
+
+
+class FaultSchedule:
+    """Mapping from machine name to the virtual time it fails."""
+
+    def __init__(self, failures: Mapping[str, float] | None = None):
+        self._failures: dict[str, float] = {}
+        if failures:
+            for name, t in failures.items():
+                self.add(name, t)
+
+    def add(self, machine: str, fail_at: float) -> None:
+        """Schedule ``machine`` to die at virtual time ``fail_at``."""
+        if fail_at < 0:
+            raise ClusterError(f"fail_at must be >= 0, got {fail_at}")
+        self._failures[machine] = fail_at
+
+    def fail_time(self, machine: str) -> float | None:
+        """The scheduled failure time of ``machine``, or None."""
+        return self._failures.get(machine)
+
+    def __len__(self) -> int:
+        return len(self._failures)
+
+    def items(self):
+        return self._failures.items()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}@{v:g}" for k, v in sorted(self._failures.items()))
+        return f"FaultSchedule({inner})"
+
+
+def inject_faults(cluster: Cluster, schedule: FaultSchedule) -> Cluster:
+    """Apply ``schedule`` to ``cluster`` in place and return it.
+
+    Machines named in the schedule get their ``fail_at`` set; others are
+    untouched.  Unknown machine names raise, to catch typos in experiment
+    configuration early.
+    """
+    for name, t in schedule.items():
+        cluster.machine(name).fail_at = t
+    return cluster
+
+
+def random_fault_schedule(
+    cluster: Cluster,
+    n_failures: int,
+    horizon: float,
+    seed: int = 0,
+    spare: frozenset[str] = frozenset(),
+) -> FaultSchedule:
+    """Draw ``n_failures`` distinct machines to fail before ``horizon``.
+
+    Machines in ``spare`` (e.g. the host machine) are never chosen.
+    Deterministic given ``seed``.
+    """
+    candidates = [m.name for m in cluster.machines if m.name not in spare]
+    if n_failures > len(candidates):
+        raise ClusterError(
+            f"cannot fail {n_failures} machines; only {len(candidates)} candidates"
+        )
+    rng = make_rng(seed)
+    chosen = rng.choice(len(candidates), size=n_failures, replace=False)
+    schedule = FaultSchedule()
+    for idx in sorted(int(i) for i in chosen):
+        schedule.add(candidates[idx], float(rng.uniform(0.0, horizon)))
+    return schedule

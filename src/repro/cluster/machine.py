@@ -1,0 +1,116 @@
+"""A heterogeneous workstation: base speed, external load, failure time.
+
+Speed is expressed in **benchmark units per second** — the same relative
+unit the paper uses ("the speeds of the workstations demonstrated on the
+core computation of this algorithm are 46, 46, ... 176, 106, and 9").  The
+absolute scale is arbitrary; only ratios matter for HMPI's decisions.
+
+Compute-time integration handles piecewise-constant external load exactly:
+a machine executing ``volume`` benchmark units starting at virtual time
+``t0`` finishes at the time where the integral of
+``base_speed * share(t) / nprocs`` reaches ``volume``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..util.errors import ClusterError, MachineFailure
+from ..util.validate import check_positive
+from .load import NO_LOAD, LoadModel
+
+__all__ = ["Machine"]
+
+
+@dataclass
+class Machine:
+    """One computer of the heterogeneous network.
+
+    Parameters
+    ----------
+    name:
+        Unique machine identifier (host name).
+    speed:
+        Base speed in benchmark units per second, with the machine idle.
+    load:
+        External-load model; defaults to a dedicated machine (share 1.0).
+    fail_at:
+        Optional virtual time at which the machine dies (fault injection).
+    os:
+        Cosmetic tag matching the paper's mixed Solaris/Linux network.
+    """
+
+    name: str
+    speed: float
+    load: LoadModel = field(default=NO_LOAD)
+    fail_at: float | None = None
+    os: str = "linux"
+
+    def __post_init__(self) -> None:
+        check_positive(self.speed, f"speed of machine {self.name!r}", ClusterError)
+        if self.fail_at is not None and self.fail_at < 0:
+            raise ClusterError(f"fail_at of machine {self.name!r} must be >= 0")
+
+    # ------------------------------------------------------------------
+    # speed queries
+    # ------------------------------------------------------------------
+    def effective_speed(self, t: float, nprocs: int = 1) -> float:
+        """Instantaneous speed available to one of ``nprocs`` co-located ranks."""
+        if nprocs < 1:
+            raise ClusterError("nprocs must be >= 1")
+        return self.speed * self.load.share_at(t) / nprocs
+
+    def alive_at(self, t: float) -> bool:
+        """Whether the machine has not yet failed at virtual time ``t``."""
+        return self.fail_at is None or t < self.fail_at
+
+    def check_alive(self, t: float) -> None:
+        """Raise :class:`MachineFailure` if the machine is dead at ``t``."""
+        if not self.alive_at(t):
+            raise MachineFailure(self.name, t)
+
+    # ------------------------------------------------------------------
+    # compute-time integration
+    # ------------------------------------------------------------------
+    def compute_finish_time(self, start: float, volume: float, nprocs: int = 1) -> float:
+        """Virtual time at which ``volume`` benchmark units complete.
+
+        Integrates the piecewise-constant effective speed from ``start``
+        until the accumulated work reaches ``volume``.  Raises
+        :class:`MachineFailure` if the machine dies before completion.
+        """
+        if volume < 0:
+            raise ClusterError(f"compute volume must be >= 0, got {volume}")
+        if volume == 0:
+            self.check_alive(start)
+            return start
+        self.check_alive(start)
+        t = start
+        remaining = volume
+        while True:
+            rate = self.effective_speed(t, nprocs)
+            seg_end = self.load.next_change_after(t)
+            if self.fail_at is not None:
+                seg_end = min(seg_end, self.fail_at)
+            if rate <= 0:
+                raise ClusterError(
+                    f"machine {self.name!r} has non-positive effective speed at t={t}"
+                )
+            needed = remaining / rate
+            if math.isinf(seg_end) or t + needed <= seg_end:
+                finish = t + needed
+                if self.fail_at is not None and finish > self.fail_at:
+                    raise MachineFailure(self.name, self.fail_at)
+                return finish
+            remaining -= rate * (seg_end - t)
+            t = seg_end
+            if self.fail_at is not None and t >= self.fail_at:
+                raise MachineFailure(self.name, self.fail_at)
+
+    def compute_duration(self, start: float, volume: float, nprocs: int = 1) -> float:
+        """Convenience: ``compute_finish_time(start, volume) - start``."""
+        return self.compute_finish_time(start, volume, nprocs) - start
+
+    def __repr__(self) -> str:
+        return f"Machine({self.name!r}, speed={self.speed}, os={self.os!r})"

@@ -1,0 +1,113 @@
+"""Ready-made clusters, including the paper's testbed.
+
+The experiments in Section 5 of the paper ran on "a small heterogeneous
+local network of 9 different Solaris and Linux workstations" whose measured
+speeds on the applications' core computations were::
+
+    46, 46, 46, 46, 46, 46, 176, 106, 9
+
+connected by 100 Mbit switched Ethernet.  (The matrix-multiplication
+paragraph lists only eight numbers — 46 x 6, 106, 9 — which is an apparent
+typo since the same 9-machine network is described; we reuse the full
+9-speed set for both applications and note the discrepancy in
+EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..util.rng import make_rng
+from .link import FAST_INTERCONNECT, SHARED_MEMORY, TCP_100MBIT, Link, Protocol
+from .machine import Machine
+from .network import Cluster
+
+__all__ = [
+    "PAPER_SPEEDS",
+    "paper_network",
+    "homogeneous_network",
+    "uniform_network",
+    "random_network",
+    "multiprotocol_network",
+]
+
+#: Measured speeds of the paper's nine workstations (benchmark units / sec).
+PAPER_SPEEDS: tuple[float, ...] = (46, 46, 46, 46, 46, 46, 176, 106, 9)
+
+#: OS mix matching "Solaris and Linux workstations" (cosmetic only).
+_PAPER_OS: tuple[str, ...] = (
+    "solaris", "solaris", "linux", "linux", "solaris",
+    "linux", "linux", "solaris", "linux",
+)
+
+
+def paper_network(speeds: Sequence[float] = PAPER_SPEEDS) -> Cluster:
+    """The paper's 9-workstation 100 Mbit switched-Ethernet network.
+
+    Every inter-machine pair shares identical TCP links; ranks co-located on
+    one machine use shared memory, mirroring the MPICH behaviour the paper
+    cites as the one standard exception to single-protocol MPI.
+    """
+    machines = [
+        Machine(name=f"ws{i:02d}", speed=s, os=_PAPER_OS[i % len(_PAPER_OS)])
+        for i, s in enumerate(speeds)
+    ]
+    return Cluster(machines, default_protocols=(TCP_100MBIT,))
+
+
+def homogeneous_network(n: int, speed: float = 100.0) -> Cluster:
+    """``n`` identical machines — the control case where HMPI ≡ MPI."""
+    machines = [Machine(name=f"node{i:02d}", speed=speed) for i in range(n)]
+    return Cluster(machines, default_protocols=(TCP_100MBIT,))
+
+
+def uniform_network(speeds: Sequence[float], name_prefix: str = "m") -> Cluster:
+    """Machines with the given speeds and uniform default TCP links."""
+    machines = [Machine(name=f"{name_prefix}{i:02d}", speed=s) for i, s in enumerate(speeds)]
+    return Cluster(machines, default_protocols=(TCP_100MBIT,))
+
+
+def random_network(
+    n: int,
+    seed: int = 0,
+    speed_range: tuple[float, float] = (10.0, 200.0),
+    latency_range: tuple[float, float] = (5e-5, 5e-4),
+    bandwidth_range: tuple[float, float] = (5e6, 5e7),
+) -> Cluster:
+    """A fully random HNOC: heterogeneous speeds *and* heterogeneous links.
+
+    Used by property-based tests and robustness sweeps; deterministic given
+    ``seed``.  Links are symmetric per unordered pair.
+    """
+    rng = make_rng(seed)
+    machines = [
+        Machine(name=f"rnd{i:02d}", speed=float(rng.uniform(*speed_range)))
+        for i in range(n)
+    ]
+    cluster = Cluster(machines, default_protocols=(TCP_100MBIT,))
+    for i in range(n):
+        for j in range(i + 1, n):
+            proto = Protocol(
+                name=f"tcp-{i}-{j}",
+                latency=float(rng.uniform(*latency_range)),
+                bandwidth=float(rng.uniform(*bandwidth_range)),
+            )
+            cluster.set_link(i, j, Link.single(proto), symmetric=True)
+    return cluster
+
+
+def multiprotocol_network(
+    speeds: Sequence[float] = PAPER_SPEEDS,
+    fast_pairs: Sequence[tuple[int, int]] = ((6, 7), (0, 1), (2, 3)),
+) -> Cluster:
+    """Paper network plus a faster interconnect on selected pairs.
+
+    Models the multi-protocol challenge: the named pairs can talk over both
+    TCP and a fast transport, and the library picks the faster per message.
+    Pinning all links to ``"tcp-100mbit"`` recovers the single-protocol
+    baseline (see ``bench_ablation_protocol``).
+    """
+    cluster = paper_network(speeds)
+    for i, j in fast_pairs:
+        cluster.set_link(i, j, Link([TCP_100MBIT, FAST_INTERCONNECT]), symmetric=True)
+    return cluster

@@ -1,0 +1,149 @@
+"""Cluster configuration serialization (dict / JSON).
+
+Experiment configurations should live in version-controlled files, not in
+code.  This module round-trips a :class:`Cluster` — machines with speeds
+and load models, explicit links with protocol sets and pinning, fault
+times — through plain dictionaries, and therefore through JSON.
+
+>>> blob = cluster_to_dict(paper_network())
+>>> restored = cluster_from_dict(blob)
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..util.errors import ClusterError
+from .link import Link, Protocol
+from .load import NO_LOAD, ConstantLoad, LoadModel, RandomWalkLoad, SquareWaveLoad, StepLoad
+from .machine import Machine
+from .network import Cluster
+
+__all__ = [
+    "cluster_to_dict",
+    "cluster_from_dict",
+    "cluster_to_json",
+    "cluster_from_json",
+]
+
+
+# ----------------------------------------------------------------------
+# load models
+# ----------------------------------------------------------------------
+
+def _load_to_dict(load: LoadModel) -> dict[str, Any]:
+    if isinstance(load, ConstantLoad):
+        return {"kind": "constant", "share": load.share}
+    if isinstance(load, StepLoad):
+        return {
+            "kind": "step",
+            "steps": [[t, s] for t, s in zip(load._times, load._shares)],
+            "initial": load._initial,
+        }
+    if isinstance(load, SquareWaveLoad):
+        return {"kind": "square", "period": load.period, "high": load.high,
+                "low": load.low, "phase": load.phase}
+    if isinstance(load, RandomWalkLoad):
+        raise ClusterError(
+            "RandomWalkLoad carries generator state and cannot be "
+            "serialized; reconstruct it from its seed instead"
+        )
+    raise ClusterError(f"cannot serialize load model {type(load).__name__}")
+
+
+def _load_from_dict(blob: dict[str, Any]) -> LoadModel:
+    kind = blob.get("kind")
+    if kind == "constant":
+        return ConstantLoad(blob["share"])
+    if kind == "step":
+        return StepLoad([(t, s) for t, s in blob["steps"]],
+                        initial=blob.get("initial", 1.0))
+    if kind == "square":
+        return SquareWaveLoad(period=blob["period"], high=blob["high"],
+                              low=blob["low"], phase=blob.get("phase", 0.0))
+    raise ClusterError(f"unknown load model kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# links
+# ----------------------------------------------------------------------
+
+def _protocol_to_dict(p: Protocol) -> dict[str, Any]:
+    return {"name": p.name, "latency": p.latency, "bandwidth": p.bandwidth}
+
+
+def _link_to_dict(link: Link) -> dict[str, Any]:
+    return {
+        "protocols": [_protocol_to_dict(p) for p in link.protocols],
+        "pinned": link.pinned,
+    }
+
+
+def _link_from_dict(blob: dict[str, Any]) -> Link:
+    protocols = [Protocol(**p) for p in blob["protocols"]]
+    return Link(protocols, pinned=blob.get("pinned"))
+
+
+# ----------------------------------------------------------------------
+# clusters
+# ----------------------------------------------------------------------
+
+def cluster_to_dict(cluster: Cluster) -> dict[str, Any]:
+    """Serialize a cluster to a JSON-compatible dictionary."""
+    machines = []
+    for m in cluster.machines:
+        entry: dict[str, Any] = {"name": m.name, "speed": m.speed, "os": m.os}
+        if m.load is not NO_LOAD:
+            entry["load"] = _load_to_dict(m.load)
+        if m.fail_at is not None:
+            entry["fail_at"] = m.fail_at
+        machines.append(entry)
+    return {
+        "single_port": cluster.single_port,
+        "machines": machines,
+        "default_protocols": [
+            _protocol_to_dict(p) for p in cluster._default_protocols
+        ],
+        "loopback": _link_to_dict(cluster.loopback),
+        "links": [
+            {"src": i, "dst": j, **_link_to_dict(link)}
+            for i, j, link in cluster.all_links()
+        ],
+    }
+
+
+def cluster_from_dict(blob: dict[str, Any]) -> Cluster:
+    """Rebuild a cluster from :func:`cluster_to_dict` output."""
+    machines = []
+    for entry in blob["machines"]:
+        machines.append(Machine(
+            name=entry["name"],
+            speed=entry["speed"],
+            os=entry.get("os", "linux"),
+            load=_load_from_dict(entry["load"]) if "load" in entry else NO_LOAD,
+            fail_at=entry.get("fail_at"),
+        ))
+    kwargs: dict[str, Any] = {}
+    protos = tuple(Protocol(**p) for p in blob.get("default_protocols", []))
+    if protos:
+        kwargs["default_protocols"] = protos
+    if "loopback" in blob:
+        kwargs["loopback"] = _link_from_dict(blob["loopback"])
+    kwargs["single_port"] = bool(blob.get("single_port", False))
+    cluster = Cluster(machines, **kwargs)
+    for entry in blob.get("links", []):
+        cluster.set_link(entry["src"], entry["dst"],
+                         _link_from_dict({k: entry[k] for k in ("protocols", "pinned")}),
+                         symmetric=False)
+    return cluster
+
+
+def cluster_to_json(cluster: Cluster, indent: int = 2) -> str:
+    """JSON text of a cluster configuration."""
+    return json.dumps(cluster_to_dict(cluster), indent=indent)
+
+
+def cluster_from_json(text: str) -> Cluster:
+    """Cluster from :func:`cluster_to_json` text."""
+    return cluster_from_dict(json.loads(text))

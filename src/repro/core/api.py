@@ -1,0 +1,133 @@
+"""Flat C-style API mirroring the paper's function names.
+
+For readers following the paper's listings (Figures 5 and 8), these
+wrappers expose the exact ``HMPI_*`` spelling over the object API of
+:mod:`repro.core.runtime`.  Each takes the per-rank :class:`HMPI`
+environment as its first argument (the role the implicit process context
+plays in the C binding).
+
+>>> def main(hmpi):                                 # doctest: +SKIP
+...     if HMPI_Is_member(hmpi, HMPI_COMM_WORLD_GROUP):
+...         HMPI_Recon(hmpi, my_benchmark)
+...     if HMPI_Is_host(hmpi) or HMPI_Is_free(hmpi):
+...         gid = HMPI_Group_create(hmpi, model)
+...     if HMPI_Is_member(hmpi, gid):
+...         comm = HMPI_Get_comm(hmpi, gid)
+...         ...
+...         HMPI_Group_free(hmpi, gid)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from ..perfmodel.model import AbstractBoundModel, PerformanceModel
+from ..util.errors import HMPIStateError
+from .group import HMPIGroup
+from .mapper import Mapper
+from .runtime import HMPI
+
+__all__ = [
+    "HMPI_COMM_WORLD_GROUP",
+    "HMPI_Recon",
+    "HMPI_Timeof",
+    "HMPI_Group_create",
+    "HMPI_Group_free",
+    "HMPI_Group_rank",
+    "HMPI_Group_size",
+    "HMPI_Get_comm",
+    "HMPI_Is_host",
+    "HMPI_Is_free",
+    "HMPI_Is_member",
+    "HMPI_Wtime",
+]
+
+#: Sentinel for membership tests against the predefined world group
+#: (every process is a member of HMPI_COMM_WORLD's group).
+HMPI_COMM_WORLD_GROUP = object()
+
+
+def _bind_if_needed(
+    model: PerformanceModel | AbstractBoundModel,
+    model_parameters: tuple | None,
+) -> AbstractBoundModel:
+    if isinstance(model, PerformanceModel):
+        return model.bind(*(model_parameters or ()))
+    if model_parameters:
+        raise HMPIStateError(
+            "model_parameters given with an already-bound model"
+        )
+    return model
+
+
+def HMPI_Recon(
+    hmpi: HMPI,
+    benchmark: Callable | None = None,
+    volume: float = 1.0,
+) -> float:
+    """Refresh processor-speed estimates (collective over the world)."""
+    return hmpi.recon(benchmark, volume)
+
+
+def HMPI_Timeof(
+    hmpi: HMPI,
+    perf_model: PerformanceModel | AbstractBoundModel,
+    model_parameters: tuple | None = None,
+    iterations: float = 1.0,
+) -> float:
+    """Predict execution time without running (local operation)."""
+    return hmpi.timeof(_bind_if_needed(perf_model, model_parameters), iterations=iterations)
+
+
+def HMPI_Group_create(
+    hmpi: HMPI,
+    perf_model: PerformanceModel | AbstractBoundModel,
+    model_parameters: tuple | None = None,
+    mapper: Mapper | None = None,
+) -> HMPIGroup:
+    """Create the group that executes the algorithm fastest (collective
+    over the host and all free processes)."""
+    return hmpi.group_create(_bind_if_needed(perf_model, model_parameters), mapper)
+
+
+def HMPI_Group_free(hmpi: HMPI, gid: HMPIGroup) -> None:
+    """Destroy a group (collective over its members)."""
+    hmpi.group_free(gid)
+
+
+def HMPI_Group_rank(hmpi: HMPI, gid: HMPIGroup) -> int:
+    """Rank of the calling process within the group."""
+    return gid.rank
+
+
+def HMPI_Group_size(hmpi: HMPI, gid: HMPIGroup) -> int:
+    """Number of processes in the group."""
+    return gid.size
+
+
+def HMPI_Get_comm(hmpi: HMPI, gid: HMPIGroup):
+    """The MPI communicator over the group's processes (local)."""
+    return gid.comm
+
+
+def HMPI_Is_host(hmpi: HMPI) -> bool:
+    """Whether the calling process is the host."""
+    return hmpi.is_host()
+
+
+def HMPI_Is_free(hmpi: HMPI) -> bool:
+    """Whether the calling process belongs to no HMPI group."""
+    return hmpi.is_free()
+
+
+def HMPI_Is_member(hmpi: HMPI, gid: HMPIGroup | Any) -> bool:
+    """Membership test; accepts HMPI_COMM_WORLD_GROUP."""
+    if gid is HMPI_COMM_WORLD_GROUP:
+        return True
+    return hmpi.is_member(gid)
+
+
+def HMPI_Wtime(hmpi: HMPI) -> float:
+    """Current virtual time of the calling process."""
+    return hmpi.wtime()

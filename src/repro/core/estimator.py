@@ -1,0 +1,301 @@
+"""Execution-time prediction — the machinery behind ``HMPI_Timeof``.
+
+Replays a performance model's ``scheme`` against **resource clocks**:
+
+- per abstract processor, a **CPU clock** (computation and send calls) and
+  a **data-ready clock** (latest arrival it must wait for);
+- one clock per directed abstract-processor pair (its link timeline).
+
+Action semantics (matching the virtual-time execution engine's cost model
+by construction):
+
+- ``e %% [i]``: the compute starts at ``max(cpu(i), ready(i))`` — after
+  the processor's own prior work *and* after the data it received — and
+  advances both clocks by ``(e/100) * node_volume(i) / effective_speed(i)``;
+- ``e %% [i] -> [j]``: the transfer departs at ``max(cpu(i),
+  link_busy(i, j))``, takes the link's Hockney time for
+  ``(e/100) * link_volume(i, j)`` bytes, occupies the pair's link until
+  arrival, charges the sender one latency of CPU time, and lower-bounds
+  j's data-ready clock by the arrival.
+
+Sends deliberately do **not** wait on the sender's data-ready clock: like
+the execution engine's programs (send your boundary data, then receive,
+then compute), a processor forwards the data it owns without waiting for
+what it is about to receive.  Dependencies between rounds flow through the
+computes, which merge the two clocks.
+
+Under this model ``par`` composition is implicit: actions touching disjoint
+resources never serialise, while a sequential ``for`` over steps chains
+naturally because each step's computes advance the CPU clocks that the
+next step's transfers depart from.
+
+Effective speed divides a machine's estimated speed among the abstract
+processors mapped to it (speed sharing for co-located processes).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..perfmodel.model import AbstractBoundModel, LinearActionVisitor
+from ..util.errors import HMPIError
+from .netmodel import NetworkModel
+
+__all__ = [
+    "TimelineVisitor",
+    "estimate_time",
+    "estimate_breakdown",
+    "record_trace",
+    "replay_trace",
+]
+
+
+class TimelineVisitor(LinearActionVisitor):
+    """Resource-clock accumulator for one scheme replay.
+
+    Parameters
+    ----------
+    node_volumes, link_volumes:
+        The model's total per-processor benchmark units and pairwise bytes.
+    speeds:
+        Effective benchmark-units-per-second of each abstract processor
+        (speed sharing already applied).
+    netmodel:
+        Link-cost oracle.
+    machines:
+        machine index of each abstract processor (the candidate mapping).
+    """
+
+    def __init__(
+        self,
+        node_volumes: np.ndarray,
+        link_volumes: np.ndarray,
+        speeds: Sequence[float],
+        netmodel: NetworkModel,
+        machines: Sequence[int],
+    ):
+        n = len(node_volumes)
+        self.node_volumes = node_volumes
+        self.link_volumes = link_volumes
+        self.speeds = list(speeds)
+        self.netmodel = netmodel
+        self.machines = list(machines)
+        self.cpu = [0.0] * n     # own work + send-call overheads
+        self.ready = [0.0] * n   # latest arrival the processor waits on
+        self.link_busy: dict[tuple[int, int], float] = {}
+        self.compute_seconds = [0.0] * n
+        self.transfer_bytes = 0.0
+        self.actions = 0
+
+    def compute(self, percent: float, proc: int) -> None:
+        volume = (percent / 100.0) * float(self.node_volumes[proc])
+        if volume < 0:
+            raise HMPIError(f"negative compute volume on processor {proc}")
+        duration = volume / self.speeds[proc]
+        start = max(self.cpu[proc], self.ready[proc])
+        finish = start + duration
+        self.cpu[proc] = finish
+        self.ready[proc] = finish
+        self.compute_seconds[proc] += duration
+        self.actions += 1
+
+    def transfer(self, percent: float, src: int, dst: int) -> None:
+        nbytes = (percent / 100.0) * float(self.link_volumes[src, dst])
+        if nbytes < 0:
+            raise HMPIError(f"negative transfer volume {src}->{dst}")
+        self.actions += 1
+        if nbytes == 0.0 or src == dst:
+            return
+        ms, md = self.machines[src], self.machines[dst]
+        depart = self.cpu[src]
+        start = max(depart, self.link_busy.get((src, dst), 0.0))
+        arrival = start + self.netmodel.transfer_time(ms, md, nbytes)
+        self.link_busy[(src, dst)] = arrival
+        if self.netmodel.cluster.single_port:
+            # Single-port model: the sender is occupied until the transfer
+            # completes (mirrors the engine's flag).
+            self.cpu[src] = arrival
+        else:
+            # CPU-side cost of issuing the send only: the CPU does not
+            # wait for the link to drain.
+            self.cpu[src] = depart + self.netmodel.latency(ms, md)
+        if arrival > self.ready[dst]:
+            self.ready[dst] = arrival
+        self.transfer_bytes += nbytes
+
+    @property
+    def clock(self) -> list[float]:
+        """Per-processor finish time (the later of cpu and data-ready)."""
+        return [max(c, r) for c, r in zip(self.cpu, self.ready)]
+
+    @property
+    def makespan(self) -> float:
+        return max(self.clock) if self.cpu else 0.0
+
+
+def _effective_speeds(
+    netmodel: NetworkModel, machines: Sequence[int]
+) -> list[float]:
+    """Per-abstract-processor speed with co-location sharing applied."""
+    counts = Counter(machines)
+    return [
+        netmodel.speed_of_machine(m) / counts[m]
+        for m in machines
+    ]
+
+
+class _TraceRecorder(LinearActionVisitor):
+    """Records the scheme's action stream once for cheap replay.
+
+    The interaction order declared by a ``scheme`` does not depend on the
+    mapping (it is a property of the algorithm), so a single interpreted
+    walk can be replayed against many candidate mappings — this is what
+    makes the mappers' local search affordable for schemes with tens of
+    thousands of actions.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        # (is_transfer, fraction, a, b): compute -> (False, pct/100, proc, 0)
+        self.events: list[tuple[bool, float, int, int]] = []
+
+    def compute(self, percent: float, proc: int) -> None:
+        self.events.append((False, percent / 100.0, proc, 0))
+
+    def transfer(self, percent: float, src: int, dst: int) -> None:
+        self.events.append((True, percent / 100.0, src, dst))
+
+
+def record_trace(model: AbstractBoundModel) -> list[tuple[bool, float, int, int]]:
+    """The model's scheme as a flat action list (cached on the model)."""
+    cached = getattr(model, "_repro_trace", None)
+    if cached is None:
+        recorder = _TraceRecorder()
+        model.walk_scheme(recorder)
+        cached = recorder.events
+        try:
+            model._repro_trace = cached  # type: ignore[attr-defined]
+        except AttributeError:  # models with __slots__ just skip the cache
+            pass
+    return cached
+
+
+def replay_trace(
+    trace: Sequence[tuple[bool, float, int, int]],
+    node_volumes: np.ndarray,
+    link_volumes: np.ndarray,
+    speeds: Sequence[float],
+    netmodel: NetworkModel,
+    machines: Sequence[int],
+) -> float:
+    """Resource-clock replay of a recorded trace; returns the makespan.
+
+    Semantically identical to :class:`TimelineVisitor` but with pair costs
+    precomputed: single-protocol links collapse to an inline
+    ``latency + bytes/bandwidth``, multi-protocol links fall back to
+    per-message protocol selection.
+    """
+    n = len(node_volumes)
+    single_port = netmodel.cluster.single_port
+    cpu = [0.0] * n
+    ready = [0.0] * n
+    link_busy: dict[tuple[int, int], float] = {}
+    # Precompute per-pair cost parameters for pairs that appear.
+    pair_cost: dict[tuple[int, int], tuple[float, float] | None] = {}
+    inv_speed = [1.0 / s for s in speeds]
+    nv = node_volumes
+    lv = link_volumes
+    for is_transfer, fraction, a, b in trace:
+        if not is_transfer:
+            start = cpu[a] if cpu[a] >= ready[a] else ready[a]
+            finish = start + fraction * nv[a] * inv_speed[a]
+            cpu[a] = finish
+            ready[a] = finish
+            continue
+        nbytes = fraction * lv[a, b]
+        if nbytes <= 0.0 or a == b:
+            continue
+        key = (a, b)
+        cost = pair_cost.get(key, -1)
+        if cost == -1:
+            link = netmodel.cluster.link(machines[a], machines[b])
+            if len(link.protocols) == 1 or link.pinned is not None:
+                proto = link.protocol_for(1)
+                cost = (proto.latency, proto.bandwidth)
+            else:
+                cost = None
+            pair_cost[key] = cost
+        depart = cpu[a]
+        start = depart
+        busy = link_busy.get(key, 0.0)
+        if busy > start:
+            start = busy
+        if cost is not None:
+            lat, bw = cost
+            arrival = start + lat + nbytes / bw
+        else:
+            link = netmodel.cluster.link(machines[a], machines[b])
+            lat = link.effective_latency(int(nbytes))
+            arrival = start + link.transfer_time(int(round(nbytes)))
+        link_busy[key] = arrival
+        cpu[a] = arrival if single_port else depart + lat
+        if arrival > ready[b]:
+            ready[b] = arrival
+    return max(max(c, r) for c, r in zip(cpu, ready)) if cpu else 0.0
+
+
+def estimate_time(
+    model: AbstractBoundModel,
+    netmodel: NetworkModel,
+    machines: Sequence[int],
+) -> float:
+    """Predicted execution time of one scheme run under a candidate mapping.
+
+    ``machines[i]`` is the machine index abstract processor ``i`` would run
+    on.  This is the function ``HMPI_Timeof`` evaluates (with the mapping
+    the runtime would actually choose) and the objective the mappers
+    minimise.  The scheme is interpreted once per model and replayed from
+    its cached trace thereafter.
+    """
+    if len(machines) != model.nproc:
+        raise HMPIError(
+            f"mapping length {len(machines)} != model nproc {model.nproc}"
+        )
+    return replay_trace(
+        record_trace(model),
+        model.node_volumes(),
+        model.link_volumes(),
+        _effective_speeds(netmodel, machines),
+        netmodel,
+        machines,
+    )
+
+
+def estimate_breakdown(
+    model: AbstractBoundModel,
+    netmodel: NetworkModel,
+    machines: Sequence[int],
+) -> dict:
+    """Like :func:`estimate_time` but returns diagnostic detail.
+
+    Used by benchmarks and tests to inspect where predicted time goes.
+    """
+    visitor = TimelineVisitor(
+        node_volumes=model.node_volumes(),
+        link_volumes=model.link_volumes(),
+        speeds=_effective_speeds(netmodel, machines),
+        netmodel=netmodel,
+        machines=machines,
+    )
+    model.walk_scheme(visitor)
+    return {
+        "makespan": visitor.makespan,
+        "clocks": list(visitor.clock),
+        "compute_seconds": list(visitor.compute_seconds),
+        "transfer_bytes": visitor.transfer_bytes,
+        "actions": visitor.actions,
+    }

@@ -1,0 +1,122 @@
+"""HMPI group handles.
+
+An :class:`HMPIGroup` is the per-rank result of ``HMPI_Group_create``: the
+selected mapping of abstract processors to world processes, plus — for
+members only — the MPI communicator over the selected processes
+(``HMPI_Get_comm``).  Group rank ``i`` *is* abstract processor ``i`` of the
+performance model (row-major over the model's coordinate space), so the
+application's data distribution lines up with the model's volumes by
+construction.
+"""
+
+from __future__ import annotations
+
+from ..mpi.communicator import Comm
+from ..util.errors import HMPIStateError
+from .mapper import Mapping
+
+__all__ = ["HMPIGroup"]
+
+
+class HMPIGroup:
+    """Per-rank handle to a created HMPI group.
+
+    Attributes
+    ----------
+    gid:
+        Runtime-wide creation id (the paper's opaque ``HMPI_Group``).
+    mapping:
+        The selected assignment: ``mapping.processes[i]`` is the world rank
+        executing abstract processor ``i``; ``mapping.time`` is the
+        predicted execution time that won the selection.
+    parent_world_rank:
+        The process shared with pre-existing groups ("the connecting link,
+        through which results of computations are passed").
+    """
+
+    def __init__(
+        self,
+        gid: int,
+        mapping: Mapping,
+        comm: Comm | None,
+        parent_world_rank: int,
+        my_world_rank: int,
+    ):
+        self.gid = gid
+        self.mapping = mapping
+        self._comm = comm
+        self.parent_world_rank = parent_world_rank
+        self._my_world_rank = my_world_rank
+        self._freed = False
+
+    # ------------------------------------------------------------------
+    # accessors (paper: HMPI_Group_rank / HMPI_Group_size / HMPI_Get_comm)
+    # ------------------------------------------------------------------
+    @property
+    def is_member(self) -> bool:
+        """Whether the calling process belongs to the group."""
+        return self._comm is not None
+
+    @property
+    def size(self) -> int:
+        """Number of processes in the group (HMPI_Group_size)."""
+        return len(self.mapping.processes)
+
+    @property
+    def rank(self) -> int:
+        """Group rank (= abstract processor index) of the calling process
+        (HMPI_Group_rank); raises for non-members."""
+        self._check()
+        assert self._comm is not None
+        return self._comm.rank
+
+    @property
+    def comm(self) -> Comm:
+        """The MPI communicator over the group (HMPI_Get_comm).
+
+        "Application programmers can use this communicator to call the
+        standard MPI communication routines during the execution of the
+        parallel algorithm."
+        """
+        self._check()
+        assert self._comm is not None
+        return self._comm
+
+    @property
+    def world_ranks(self) -> tuple[int, ...]:
+        """World rank of each group rank, in group-rank order."""
+        return self.mapping.processes
+
+    def concurrency_of(self, group_rank: int) -> int:
+        """How many group members share the machine of ``group_rank``.
+
+        This is the speed-sharing divisor the selection estimate assumed;
+        members pass it to ``compute`` so execution matches the prediction
+        (idle non-member ranks parked on the machine consume no CPU).
+        """
+        machine = self.mapping.machines[group_rank]
+        return sum(1 for m in self.mapping.machines if m == machine)
+
+    @property
+    def my_concurrency(self) -> int:
+        """Co-located member count for the calling process."""
+        return self.concurrency_of(self.rank)
+
+    def _check(self) -> None:
+        if self._freed:
+            raise HMPIStateError("operation on a freed HMPI group")
+        if self._comm is None:
+            raise HMPIStateError(
+                f"process (world rank {self._my_world_rank}) is not a member "
+                f"of HMPI group {self.gid}"
+            )
+
+    def _mark_freed(self) -> None:
+        self._freed = True
+        if self._comm is not None:
+            self._comm.free()
+
+    def __repr__(self) -> str:
+        member = "member" if self.is_member else "non-member"
+        return (f"HMPIGroup(gid={self.gid}, size={self.size}, {member}, "
+                f"predicted={self.mapping.time:.6f}s)")

@@ -1,0 +1,115 @@
+"""Link calibration by ping-pong probing.
+
+``HMPI_Recon`` refreshes the *processor-speed* half of the network model;
+this module does the same for the *communication* half: a classic
+ping-pong microbenchmark (in the spirit of mpptest/NetPIPE) measures the
+round-trip time of messages of two sizes between a pair of ranks and fits
+the Hockney parameters::
+
+    t(n) = latency + n / bandwidth
+
+Within the simulation this recovers the configured link parameters almost
+exactly (the send-side CPU latency is part of the model), which the tests
+assert — and it gives downstream users the realistic workflow: build the
+network model from measurements, not from configuration files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mpi.communicator import Comm
+from ..util.errors import HMPIError
+
+__all__ = ["LinkEstimate", "ping_pong", "probe_links"]
+
+_PROBE_TAG = 900_000  # user-space tag band for probe traffic
+
+
+@dataclass(frozen=True)
+class LinkEstimate:
+    """Fitted Hockney parameters of one directed machine pair."""
+
+    latency: float      # seconds
+    bandwidth: float    # bytes/second
+
+    def transfer_time(self, nbytes: int) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+
+def ping_pong(
+    comm: Comm,
+    peer: int,
+    nbytes: int,
+    repeats: int = 3,
+    tag: int = _PROBE_TAG,
+) -> float:
+    """One-way time for ``nbytes`` to ``peer``, averaged over round trips.
+
+    Both ranks of the pair must call with each other as ``peer``; the rank
+    with the smaller id drives the measurement and returns the estimate,
+    the other returns its echo count (the protocol is symmetric in
+    messages, so clocks stay aligned).
+    """
+    if peer == comm.rank:
+        raise HMPIError("cannot ping-pong with self")
+    driver = comm.rank < peer
+    total = 0.0
+    for i in range(repeats):
+        if driver:
+            t0 = comm.wtime()
+            comm.send(b"", peer, tag=tag + i, nbytes=nbytes)
+            comm.recv(peer, tag=tag + i)
+            total += (comm.wtime() - t0) / 2.0
+        else:
+            comm.recv(peer, tag=tag + i)
+            comm.send(b"", peer, tag=tag + i, nbytes=nbytes)
+    return total / repeats if driver else float(repeats)
+
+
+def fit_hockney(t_small: float, n_small: int, t_large: float, n_large: int) -> LinkEstimate:
+    """Two-point fit of latency/bandwidth."""
+    if n_large <= n_small:
+        raise HMPIError("need two distinct probe sizes")
+    if t_large <= t_small:
+        # Degenerate (e.g. loopback faster than clock resolution): treat the
+        # whole time as latency with effectively infinite bandwidth.
+        return LinkEstimate(latency=max(t_small, 0.0), bandwidth=1e18)
+    bandwidth = (n_large - n_small) / (t_large - t_small)
+    latency = t_small - n_small / bandwidth
+    return LinkEstimate(latency=max(latency, 0.0), bandwidth=bandwidth)
+
+
+def probe_links(
+    env,
+    small: int = 1024,
+    large: int = 1 << 20,
+    repeats: int = 3,
+) -> dict[tuple[int, int], LinkEstimate]:
+    """Measure every pair involving this rank's neighbours — collective.
+
+    All world ranks call; pairs are probed one at a time in a fixed global
+    order (rank i with rank j for i < j), every other rank idles through a
+    barrier per pair so clocks stay aligned.  Returns, on every rank, the
+    estimates for all ordered pairs (symmetric fit).
+    """
+    comm = env.comm_world
+    size = comm.size
+    estimates: dict[tuple[int, int], LinkEstimate] = {}
+    for i in range(size):
+        for j in range(i + 1, size):
+            if comm.rank == i:
+                t_small = ping_pong(comm, j, small, repeats)
+                t_large = ping_pong(comm, j, large, repeats)
+                fit = fit_hockney(t_small, small, t_large, large)
+            elif comm.rank == j:
+                ping_pong(comm, i, small, repeats)
+                ping_pong(comm, i, large, repeats)
+                fit = None
+            else:
+                fit = None
+            fit = comm.bcast(fit, root=i)
+            estimates[(i, j)] = fit
+            estimates[(j, i)] = fit
+            comm.barrier()
+    return estimates

@@ -1,0 +1,298 @@
+"""Process-selection algorithms — the heart of ``HMPI_Group_create``.
+
+Given a bound performance model, the network model, and the set of
+available world processes (the parent plus all free processes), a mapper
+chooses which process runs each abstract processor so that the *predicted*
+execution time (:func:`repro.core.estimator.estimate_time`) is minimal.
+The paper defers these algorithms to the mpC runtime [7]; we provide:
+
+- :class:`ExhaustiveMapper` — optimal by enumeration, with optional
+  machine-speed symmetry reduction; the oracle used in tests.
+- :class:`GreedyMapper` — LPT-style: largest computation volumes onto the
+  machines that finish them soonest, with speed sharing.  Fast,
+  communication-blind.
+- :class:`RefineMapper` — hill-climbing over swaps/moves evaluated with the
+  full estimator (communication-aware), seeded by another mapper.
+- :class:`DefaultMapper` — greedy seed + refinement; what the HMPI runtime
+  uses unless told otherwise.
+
+A mapping may pin abstract processors to specific processes via ``fixed`` —
+the runtime pins the model's ``parent`` to the calling host so that "every
+newly created group has exactly one process shared with already existing
+groups".
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from collections import Counter
+from collections.abc import Mapping as MappingABC
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..perfmodel.model import AbstractBoundModel
+from ..util.errors import MappingError
+from .estimator import estimate_time
+from .netmodel import NetworkModel
+
+__all__ = [
+    "Mapping",
+    "Mapper",
+    "ExhaustiveMapper",
+    "GreedyMapper",
+    "RefineMapper",
+    "DefaultMapper",
+]
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A complete assignment of abstract processors to world processes."""
+
+    processes: tuple[int, ...]  # world rank per abstract processor
+    machines: tuple[int, ...]   # machine index per abstract processor
+    time: float                 # predicted execution time of one scheme run
+
+    def __post_init__(self) -> None:
+        if len(self.processes) != len(self.machines):
+            raise MappingError("processes and machines must have equal length")
+
+
+def _build_mapping(
+    processes: Sequence[int],
+    model: AbstractBoundModel,
+    netmodel: NetworkModel,
+) -> Mapping:
+    machines = tuple(netmodel.machine_of(p) for p in processes)
+    t = estimate_time(model, netmodel, machines)
+    return Mapping(tuple(processes), machines, t)
+
+
+def _check_inputs(
+    model: AbstractBoundModel,
+    candidates: Sequence[int],
+    fixed: MappingABC[int, int],
+) -> None:
+    n = model.nproc
+    if len(set(candidates)) != len(candidates):
+        raise MappingError(f"duplicate candidate processes: {candidates}")
+    if len(candidates) < n:
+        raise MappingError(
+            f"algorithm needs {n} processes but only {len(candidates)} are available"
+        )
+    for idx, proc in fixed.items():
+        if not 0 <= idx < n:
+            raise MappingError(f"fixed abstract processor {idx} out of range")
+        if proc not in candidates:
+            raise MappingError(
+                f"fixed process {proc} (abstract {idx}) is not a candidate"
+            )
+    if len(set(fixed.values())) != len(fixed):
+        raise MappingError("two abstract processors fixed to the same process")
+
+
+class Mapper(ABC):
+    """Strategy interface for process selection."""
+
+    @abstractmethod
+    def select(
+        self,
+        model: AbstractBoundModel,
+        netmodel: NetworkModel,
+        candidates: Sequence[int],
+        fixed: MappingABC[int, int] | None = None,
+    ) -> Mapping:
+        """Choose a process per abstract processor minimising predicted time."""
+
+
+class ExhaustiveMapper(Mapper):
+    """Optimal selection by enumeration.
+
+    Enumerates injective assignments of the non-fixed abstract processors
+    to the remaining candidates.  With ``reduce_symmetry`` (default on),
+    candidate processes whose machines have identical speed estimates are
+    treated as interchangeable, which collapses the paper's 9-machine
+    search from 9! to a few hundred evaluations — exact whenever links are
+    uniform (as on the paper's switched Ethernet); set it to False for
+    clusters with heterogeneous links.
+
+    ``max_evaluations`` guards against combinatorial blow-up.
+    """
+
+    def __init__(self, reduce_symmetry: bool = True, max_evaluations: int = 200_000):
+        self.reduce_symmetry = reduce_symmetry
+        self.max_evaluations = max_evaluations
+
+    def select(
+        self,
+        model: AbstractBoundModel,
+        netmodel: NetworkModel,
+        candidates: Sequence[int],
+        fixed: MappingABC[int, int] | None = None,
+    ) -> Mapping:
+        fixed = dict(fixed or {})
+        _check_inputs(model, candidates, fixed)
+        n = model.nproc
+        free_slots = [i for i in range(n) if i not in fixed]
+        pool = [c for c in candidates if c not in set(fixed.values())]
+
+        best: Mapping | None = None
+        evaluations = 0
+        seen_signatures: set[tuple] = set()
+        for combo in itertools.permutations(pool, len(free_slots)):
+            assignment = [0] * n
+            for idx, proc in fixed.items():
+                assignment[idx] = proc
+            for slot, proc in zip(free_slots, combo):
+                assignment[slot] = proc
+            if self.reduce_symmetry:
+                signature = tuple(
+                    (netmodel.speed_of_machine(netmodel.machine_of(p)),)
+                    for p in assignment
+                )
+                if signature in seen_signatures:
+                    continue
+                seen_signatures.add(signature)
+            evaluations += 1
+            if evaluations > self.max_evaluations:
+                raise MappingError(
+                    f"exhaustive search exceeded {self.max_evaluations} "
+                    "evaluations; use GreedyMapper/DefaultMapper"
+                )
+            mapping = _build_mapping(assignment, model, netmodel)
+            if best is None or mapping.time < best.time:
+                best = mapping
+        assert best is not None
+        return best
+
+
+class GreedyMapper(Mapper):
+    """LPT-style compute-balancing heuristic (communication-blind).
+
+    Sorts abstract processors by computation volume (largest first) and
+    assigns each to the candidate process whose machine would finish its
+    accumulated volume soonest, honouring speed sharing between co-located
+    assignments.  Runs in O(n · |candidates|).
+    """
+
+    def select(
+        self,
+        model: AbstractBoundModel,
+        netmodel: NetworkModel,
+        candidates: Sequence[int],
+        fixed: MappingABC[int, int] | None = None,
+    ) -> Mapping:
+        fixed = dict(fixed or {})
+        _check_inputs(model, candidates, fixed)
+        n = model.nproc
+        volumes = model.node_volumes()
+        assignment: list[int | None] = [None] * n
+        machine_load: Counter[int] = Counter()  # accumulated volume per machine
+        used: set[int] = set()
+
+        for idx, proc in fixed.items():
+            assignment[idx] = proc
+            machine_load[netmodel.machine_of(proc)] += volumes[idx]
+            used.add(proc)
+
+        order = sorted(
+            (i for i in range(n) if i not in fixed),
+            key=lambda i: -volumes[i],
+        )
+        for i in order:
+            best_proc = None
+            best_finish = None
+            for proc in candidates:
+                if proc in used:
+                    continue
+                m = netmodel.machine_of(proc)
+                finish = (machine_load[m] + volumes[i]) / netmodel.speed_of_machine(m)
+                if best_finish is None or finish < best_finish:
+                    best_finish = finish
+                    best_proc = proc
+            assert best_proc is not None  # _check_inputs guarantees capacity
+            assignment[i] = best_proc
+            machine_load[netmodel.machine_of(best_proc)] += volumes[i]
+            used.add(best_proc)
+
+        return _build_mapping([p for p in assignment if p is not None], model, netmodel)
+
+
+class RefineMapper(Mapper):
+    """Hill climbing with the full (communication-aware) estimator.
+
+    Starts from ``seed``'s mapping and repeatedly applies the best
+    improving move among (a) swapping the processes of two abstract
+    processors and (b) moving one abstract processor to an unused
+    candidate, until a local optimum or ``max_rounds``.
+    """
+
+    def __init__(self, seed: Mapper | None = None, max_rounds: int = 20):
+        self.seed = seed or GreedyMapper()
+        self.max_rounds = max_rounds
+
+    def select(
+        self,
+        model: AbstractBoundModel,
+        netmodel: NetworkModel,
+        candidates: Sequence[int],
+        fixed: MappingABC[int, int] | None = None,
+    ) -> Mapping:
+        fixed = dict(fixed or {})
+        current = self.seed.select(model, netmodel, candidates, fixed)
+        n = model.nproc
+        pinned = set(fixed.keys())
+
+        for _ in range(self.max_rounds):
+            best_next: Mapping | None = None
+            assignment = list(current.processes)
+            unused = [c for c in candidates if c not in set(assignment)]
+            # swap moves
+            for i in range(n):
+                if i in pinned:
+                    continue
+                for j in range(i + 1, n):
+                    if j in pinned:
+                        continue
+                    if assignment[i] == assignment[j]:
+                        continue
+                    trial = list(assignment)
+                    trial[i], trial[j] = trial[j], trial[i]
+                    mapping = _build_mapping(trial, model, netmodel)
+                    if mapping.time < current.time and (
+                        best_next is None or mapping.time < best_next.time
+                    ):
+                        best_next = mapping
+            # move-to-unused moves
+            for i in range(n):
+                if i in pinned:
+                    continue
+                for proc in unused:
+                    trial = list(assignment)
+                    trial[i] = proc
+                    mapping = _build_mapping(trial, model, netmodel)
+                    if mapping.time < current.time and (
+                        best_next is None or mapping.time < best_next.time
+                    ):
+                        best_next = mapping
+            if best_next is None:
+                break
+            current = best_next
+        return current
+
+
+class DefaultMapper(Mapper):
+    """The runtime default: greedy seed, then communication-aware refinement."""
+
+    def __init__(self, max_rounds: int = 20):
+        self._impl = RefineMapper(seed=GreedyMapper(), max_rounds=max_rounds)
+
+    def select(
+        self,
+        model: AbstractBoundModel,
+        netmodel: NetworkModel,
+        candidates: Sequence[int],
+        fixed: MappingABC[int, int] | None = None,
+    ) -> Mapping:
+        return self._impl.select(model, netmodel, candidates, fixed)

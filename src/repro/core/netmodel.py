@@ -1,0 +1,136 @@
+"""The HMPI runtime's model of the executing network of computers.
+
+The paper bases process selection on two inputs: the performance model of
+the algorithm, and "the model of the executing network of computers, which
+reflects the state of this network just before the execution of the
+parallel algorithm".  This module is the latter: per-machine **estimated
+speeds** (benchmark units per second, refreshed by ``HMPI_Recon``) plus the
+communication-cost view of every machine pair (delegated to the cluster's
+links, whose Hockney parameters the estimator shares with the execution
+engine).
+
+The estimated speed can diverge from the machine's true current speed —
+that gap is exactly what ``HMPI_Recon`` exists to close, and what the recon
+ablation benchmark measures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..cluster.network import Cluster
+from ..util.errors import HMPIError
+
+__all__ = ["NetworkModel"]
+
+
+class NetworkModel:
+    """Estimated speeds + link costs for a set of placed processes.
+
+    Parameters
+    ----------
+    cluster:
+        The executing network.
+    placement:
+        machine index of every world process (the HMPI "communication
+        universe"), as launched.
+    initial_speeds:
+        Optional starting speed estimates per machine; defaults to each
+        machine's nominal base speed (what an administrator would quote),
+        which may be wrong under external load until a Recon refresh.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        placement: Sequence[int],
+        initial_speeds: Sequence[float] | None = None,
+    ):
+        self.cluster = cluster
+        self.placement = list(placement)
+        if initial_speeds is None:
+            speeds = [m.speed for m in cluster.machines]
+        else:
+            speeds = list(initial_speeds)
+            if len(speeds) != cluster.size:
+                raise HMPIError(
+                    f"initial_speeds must have one entry per machine "
+                    f"({cluster.size}), got {len(speeds)}"
+                )
+        if any(s <= 0 for s in speeds):
+            raise HMPIError("speed estimates must be positive")
+        self._speeds = np.asarray(speeds, dtype=float)
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    @property
+    def nprocs(self) -> int:
+        """Number of world processes."""
+        return len(self.placement)
+
+    def machine_of(self, world_rank: int) -> int:
+        """Machine index a world process runs on."""
+        return self.placement[world_rank]
+
+    # ------------------------------------------------------------------
+    # speeds
+    # ------------------------------------------------------------------
+    def speed_of_machine(self, machine_index: int) -> float:
+        """Current speed estimate of a machine (benchmark units/sec)."""
+        return float(self._speeds[machine_index])
+
+    def speeds(self) -> np.ndarray:
+        """Copy of all machine speed estimates."""
+        return self._speeds.copy()
+
+    def update_speed(self, machine_index: int, speed: float) -> None:
+        """Install a refreshed estimate (called by ``HMPI_Recon``)."""
+        if speed <= 0:
+            raise HMPIError(f"speed estimate must be positive, got {speed}")
+        self._speeds[machine_index] = speed
+
+    def update_speeds_from_benchmark(
+        self, world_times: Sequence[float], volume: float
+    ) -> None:
+        """Refresh every machine's estimate from per-process benchmark times.
+
+        ``world_times[r]`` is the virtual time process ``r`` took to execute
+        ``volume`` benchmark units.  When several processes share a machine
+        the slowest defines the estimate (conservative, and what co-running
+        benchmark executions actually observe).
+        """
+        if len(world_times) != self.nprocs:
+            raise HMPIError(
+                f"expected one time per process ({self.nprocs}), "
+                f"got {len(world_times)}"
+            )
+        per_machine: dict[int, float] = {}
+        counts: dict[int, int] = {}
+        for rank, elapsed in enumerate(world_times):
+            if elapsed <= 0:
+                raise HMPIError(f"benchmark elapsed time of process {rank} must be > 0")
+            m = self.placement[rank]
+            per_machine[m] = max(per_machine.get(m, 0.0), elapsed)
+            counts[m] = counts.get(m, 0) + 1
+        for m, elapsed in per_machine.items():
+            # Co-located benchmark runs shared the machine; scale back up to
+            # the full-machine speed.
+            self.update_speed(m, counts[m] * volume / elapsed)
+
+    # ------------------------------------------------------------------
+    # communication costs
+    # ------------------------------------------------------------------
+    def transfer_time(self, machine_src: int, machine_dst: int, nbytes: float) -> float:
+        """Predicted seconds to move ``nbytes`` between two machines."""
+        return self.cluster.link(machine_src, machine_dst).transfer_time(int(round(nbytes)))
+
+    def latency(self, machine_src: int, machine_dst: int) -> float:
+        """Per-message CPU/network latency for the pair."""
+        return self.cluster.link(machine_src, machine_dst).effective_latency()
+
+    def __repr__(self) -> str:
+        speeds = ", ".join(f"{s:g}" for s in self._speeds)
+        return f"NetworkModel(speeds=[{speeds}], nprocs={self.nprocs})"

@@ -1,0 +1,313 @@
+"""The HMPI runtime system.
+
+One :class:`HMPIRuntimeState` is shared by all ranks of a run (the
+algorithm-independent part of the runtime); each rank holds an
+:class:`HMPI` environment (created by :func:`run_hmpi`) exposing the
+paper's principal operations as methods:
+
+===============================  =====================================
+paper                            here
+===============================  =====================================
+``HMPI_Init / HMPI_Finalize``    ``run_hmpi`` brackets the app
+``HMPI_COMM_WORLD``              ``hmpi.comm_world``
+``HMPI_Is_host/Is_free/...``     ``hmpi.is_host()/is_free()/is_member``
+``HMPI_Recon``                   ``hmpi.recon``
+``HMPI_Timeof``                  ``hmpi.timeof``
+``HMPI_Group_create``            ``hmpi.group_create``
+``HMPI_Group_free``              ``hmpi.group_free``
+``HMPI_Get_comm``                ``group.comm``
+===============================  =====================================
+
+(The flat C-style names are also provided, see :mod:`repro.core.api`.)
+
+Group creation is collective over the parent (host) and all free
+processes.  The host runs the selection algorithm against the network
+model and distributes the chosen mapping point-to-point, so processes that
+are busy in other groups are never touched — matching the paper's rule
+that ``HMPI_Group_create`` "must be called by the parent and all the
+processes, which are not members of any HMPI group".
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from ..cluster.network import Cluster
+from ..mpi.communicator import Comm
+from ..mpi.group import Group
+from ..mpi.launcher import MPIEnv, MPIRunResult, default_placement, run_mpi
+from ..perfmodel.model import AbstractBoundModel
+from ..util.errors import HMPIStateError
+from .group import HMPIGroup
+from .mapper import DefaultMapper, Mapper, Mapping
+from .netmodel import NetworkModel
+
+__all__ = ["HMPI", "HMPIRuntimeState", "run_hmpi", "HOST_RANK"]
+
+#: World rank of the host process (the paper's dedicated host-processor).
+HOST_RANK = 0
+
+# Internal world-context tags (distinct from both user tags >= 0 and
+# collective tags <= -1_000_000 by living in their own negative band).
+_TAG_GROUP_CREATE = -2_000_000
+
+
+class HMPIRuntimeState:
+    """Shared, lock-protected state of one HMPI run."""
+
+    def __init__(self, netmodel: NetworkModel, mapper: Mapper):
+        self.netmodel = netmodel
+        self.mapper = mapper
+        self.lock = threading.RLock()
+        # Free = not a member of any HMPI group.  The host is permanently
+        # the parent of the world group, so it is never "free" but always
+        # participates in creation.
+        self.free: set[int] = set(range(netmodel.nprocs)) - {HOST_RANK}
+        self.creation_counter = 0
+        self.dead: set[int] = set()  # world ranks on failed machines
+        # Real-time rendezvous counters for group_free (gid -> arrivals).
+        self.free_rendezvous: dict[int, int] = {}
+        self.free_cond = threading.Condition(self.lock)
+
+    def participants(self) -> list[int]:
+        """Host plus free processes, excluding known-dead ranks."""
+        with self.lock:
+            alive_free = sorted(self.free - self.dead)
+        return [HOST_RANK] + alive_free
+
+
+class HMPI:
+    """Per-rank HMPI environment (wraps the rank's MPI environment)."""
+
+    def __init__(self, env: MPIEnv, state: HMPIRuntimeState):
+        self.env = env
+        self.state = state
+        self.comm_world = env.comm_world  # the paper's HMPI_COMM_WORLD
+
+    # ------------------------------------------------------------------
+    # identity predicates
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """World rank within HMPI_COMM_WORLD."""
+        return self.env.rank
+
+    @property
+    def size(self) -> int:
+        return self.env.size
+
+    def is_host(self) -> bool:
+        """HMPI_Is_host: whether this is the dedicated host process."""
+        return self.rank == HOST_RANK
+
+    def is_free(self) -> bool:
+        """HMPI_Is_free: not a member of any HMPI group."""
+        with self.state.lock:
+            return self.rank in self.state.free
+
+    def is_member(self, group: HMPIGroup) -> bool:
+        """HMPI_Is_member for a created group handle."""
+        return group.is_member
+
+    # ------------------------------------------------------------------
+    # computation / timing passthroughs
+    # ------------------------------------------------------------------
+    def compute(self, volume: float, concurrency: int | None = None) -> float:
+        """Charge ``volume`` benchmark units of modelled computation.
+
+        Pass ``concurrency=group.my_concurrency`` inside a group's
+        algorithm so speed sharing matches what the selection assumed.
+        """
+        return self.env.compute(volume, concurrency)
+
+    def wtime(self) -> float:
+        return self.env.wtime()
+
+    # ------------------------------------------------------------------
+    # HMPI_Recon
+    # ------------------------------------------------------------------
+    def recon(
+        self,
+        benchmark: Callable[[MPIEnv], Any] | None = None,
+        volume: float = 1.0,
+    ) -> float:
+        """Refresh the runtime's processor-speed estimates.
+
+        Collective over HMPI_COMM_WORLD.  Every process executes the
+        benchmark function (default: ``volume`` benchmark units of pure
+        computation), the elapsed virtual times are allgathered, and the
+        network model's speed estimates are replaced by what the benchmark
+        actually observed — capturing external load, exactly as the paper
+        prescribes for multi-user machines.
+
+        Returns this process's own measured speed (benchmark units/sec).
+        """
+        t0 = self.env.wtime()
+        if benchmark is None:
+            self.env.compute(volume)
+        else:
+            benchmark(self.env)
+        elapsed = self.env.wtime() - t0
+        times = self.comm_world.allgather(elapsed)
+        with self.state.lock:
+            self.state.netmodel.update_speeds_from_benchmark(times, volume)
+        return volume / elapsed
+
+    # ------------------------------------------------------------------
+    # HMPI_Timeof
+    # ------------------------------------------------------------------
+    def timeof(
+        self,
+        model: AbstractBoundModel,
+        mapper: Mapper | None = None,
+        iterations: float = 1.0,
+    ) -> float:
+        """Predict the execution time of ``model`` without running it.
+
+        Local operation: runs the selection algorithm against the current
+        network model and returns the predicted time of the best group,
+        scaled by ``iterations`` (the model describes one scheme run; the
+        paper's models describe one iteration/step sequence).
+        """
+        mapping = self._select(model, mapper)
+        return mapping.time * iterations
+
+    def _select(self, model: AbstractBoundModel, mapper: Mapper | None) -> Mapping:
+        with self.state.lock:
+            netmodel = self.state.netmodel
+            use_mapper = mapper or self.state.mapper
+            candidates = self.state.participants()
+        fixed = {model.parent_index(): HOST_RANK}
+        return use_mapper.select(model, netmodel, candidates, fixed)
+
+    # ------------------------------------------------------------------
+    # HMPI_Group_create / HMPI_Group_free
+    # ------------------------------------------------------------------
+    def group_create(
+        self,
+        model: AbstractBoundModel,
+        mapper: Mapper | None = None,
+    ) -> HMPIGroup:
+        """Create the group predicted to execute ``model`` fastest.
+
+        Collective over the host and all free processes.  The host solves
+        the selection problem and distributes the mapping; members obtain a
+        communicator whose rank order equals the model's abstract-processor
+        order.
+        """
+        world = self.comm_world
+        if self.is_host():
+            with self.state.lock:
+                counter = self.state.creation_counter
+                self.state.creation_counter += 1
+                others = [r for r in self.state.participants() if r != HOST_RANK]
+            mapping = self._select(model, mapper)
+            payload = (counter, mapping.processes, mapping.machines, mapping.time)
+            for r in others:
+                world._send_internal(payload, r, _TAG_GROUP_CREATE)
+        else:
+            if not self.is_free():
+                raise HMPIStateError(
+                    f"HMPI_Group_create called by busy non-host process "
+                    f"(world rank {self.rank})"
+                )
+            # The payload carries the creation counter; a constant tag is
+            # safe because messages between a fixed pair never overtake
+            # each other, so consecutive creations match in order.
+            payload, _ = world._recv_internal(HOST_RANK, _TAG_GROUP_CREATE)
+            counter, processes, machines, time = payload
+            mapping = Mapping(tuple(processes), tuple(machines), time)
+            with self.state.lock:
+                self.state.creation_counter = max(
+                    self.state.creation_counter, counter + 1
+                )
+
+        # Build the member communicator deterministically.
+        comm = None
+        if self.rank in mapping.processes:
+            ctx = world._engine.allocate_context(("hmpi-group", counter))
+            comm = Comm(world._engine, Group(mapping.processes), ctx, self.rank)
+            with self.state.lock:
+                self.state.free.discard(self.rank)
+        group = HMPIGroup(
+            gid=counter,
+            mapping=mapping,
+            comm=comm,
+            parent_world_rank=HOST_RANK,
+            my_world_rank=self.rank,
+        )
+        return group
+
+    def group_free(self, group: HMPIGroup) -> None:
+        """Free the group (collective over its members).
+
+        Members synchronise on the group communicator (virtual time), mark
+        themselves free, and then rendezvous in real time so that when any
+        member — in particular the host, which is a member of every group
+        via the pinned parent — returns, the whole membership change is
+        visible to a subsequent ``group_create``.
+        """
+        if group.is_member:
+            size = group.size
+            gid = group.gid
+            group.comm.barrier()
+            state = self.state
+            with state.free_cond:
+                if self.rank != HOST_RANK:
+                    state.free.add(self.rank)
+                state.free_rendezvous[gid] = state.free_rendezvous.get(gid, 0) + 1
+                if state.free_rendezvous[gid] >= size:
+                    state.free_cond.notify_all()
+                else:
+                    while state.free_rendezvous.get(gid, 0) < size:
+                        state.free_cond.wait()
+        group._mark_freed()
+
+    # ------------------------------------------------------------------
+    # fault handling hooks (FT direction named in the paper's conclusion)
+    # ------------------------------------------------------------------
+    def mark_dead(self, world_rank: int) -> None:
+        """Exclude a rank (on a failed machine) from future selections."""
+        with self.state.lock:
+            self.state.dead.add(world_rank)
+            self.state.free.discard(world_rank)
+
+    def get_comm(self, group: HMPIGroup):
+        """HMPI_Get_comm: the MPI communicator behind a group handle."""
+        return group.comm
+
+
+def run_hmpi(
+    app: Callable[..., Any],
+    cluster: Cluster,
+    placement: Sequence[int] | None = None,
+    nprocs: int | None = None,
+    args: tuple = (),
+    kwargs: dict | None = None,
+    mapper: Mapper | None = None,
+    initial_speeds: Sequence[float] | None = None,
+    timeout: float | None = 120.0,
+    tracer: Any = None,
+) -> MPIRunResult:
+    """Run ``app(hmpi, *args, **kwargs)`` SPMD with the HMPI runtime.
+
+    This brackets the application with ``HMPI_Init``/``HMPI_Finalize``: it
+    builds the shared runtime state (network model seeded with nominal
+    machine speeds unless ``initial_speeds`` is given) and hands every rank
+    an :class:`HMPI` environment.  ``tracer`` is forwarded to the engine
+    (see :class:`repro.mpi.tracing.Tracer`).
+    """
+    if placement is None:
+        placement = default_placement(cluster, nprocs)
+    netmodel = NetworkModel(cluster, placement, initial_speeds)
+    state = HMPIRuntimeState(netmodel, mapper or DefaultMapper())
+
+    def wrapped(env: MPIEnv, *a: Any, **kw: Any) -> Any:
+        return app(HMPI(env, state), *a, **kw)
+
+    return run_mpi(
+        wrapped, cluster, placement=placement,
+        args=args, kwargs=kwargs, timeout=timeout, tracer=tracer,
+    )

@@ -1,0 +1,93 @@
+"""Simulated MPI over virtual time — the substrate the paper assumes.
+
+Provides groups with the full MPI-1 algebra, communicators with
+point-to-point and collective operations, nonblocking requests, and an
+SPMD launcher running each rank as a thread with a logical clock charged
+against a :class:`~repro.cluster.Cluster`.
+"""
+
+from . import ops
+from .collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    exscan,
+    gather,
+    reduce,
+    reduce_scatter_block,
+    scan,
+    scatter,
+)
+from .communicator import Comm
+from .datatypes import BYTE, CHAR, DOUBLE, FLOAT, INT, LONG, Datatype, sizeof
+from .engine import Engine, WORLD_CONTEXT
+from .group import GROUP_EMPTY, IDENT, SIMILAR, UNEQUAL, Group
+from .launcher import MPIEnv, MPIRunResult, default_placement, run_mpi
+from .pool import Task, WorkerPool, run_task_pool
+from .ops import BAND, BOR, LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, Op
+from .request import RecvRequest, Request, SendRequest, testall, waitall
+from .status import ANY_SOURCE, ANY_TAG, PROC_NULL, UNDEFINED, Status
+from .tracing import TraceEvent, Tracer
+
+__all__ = [
+    "Comm",
+    "Group",
+    "GROUP_EMPTY",
+    "IDENT",
+    "SIMILAR",
+    "UNEQUAL",
+    "Engine",
+    "WORLD_CONTEXT",
+    "MPIEnv",
+    "MPIRunResult",
+    "run_mpi",
+    "default_placement",
+    "Status",
+    "Tracer",
+    "TraceEvent",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "PROC_NULL",
+    "UNDEFINED",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "waitall",
+    "testall",
+    "Datatype",
+    "DOUBLE",
+    "FLOAT",
+    "INT",
+    "LONG",
+    "BYTE",
+    "CHAR",
+    "sizeof",
+    "Op",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "MAXLOC",
+    "MINLOC",
+    "ops",
+    "Task",
+    "WorkerPool",
+    "run_task_pool",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+    "scan",
+    "exscan",
+    "reduce_scatter_block",
+]

@@ -1,0 +1,198 @@
+"""Cartesian process topologies (MPI_Cart_* analogues).
+
+The matrix-multiplication application arranges processes on an ``m x m``
+grid; MPI expresses such arrangements through Cartesian communicators.
+This module provides the standard operations over the substrate:
+``cart_create`` (with optional periodicity per dimension), coordinate/rank
+conversion, ``cart_shift`` displacement queries, and ``cart_sub`` to slice
+the grid into row/column sub-communicators.
+
+Rank order is row-major over the dimensions, matching both MPI's default
+and the HMPI convention that group rank == abstract processor index.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..util.errors import MPICommError
+from .communicator import Comm
+from .status import PROC_NULL, UNDEFINED
+
+__all__ = ["CartComm", "cart_create", "dims_create"]
+
+
+def dims_create(nnodes: int, ndims: int) -> list[int]:
+    """MPI_Dims_create: factor ``nnodes`` into ``ndims`` balanced extents.
+
+    Returns extents in non-increasing order whose product is ``nnodes``.
+    """
+    if nnodes < 1 or ndims < 1:
+        raise MPICommError("nnodes and ndims must be >= 1")
+    dims = [1] * ndims
+    remaining = nnodes
+    # Repeatedly peel the largest factor onto the currently smallest dim.
+    factors: list[int] = []
+    n = remaining
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for factor in sorted(factors, reverse=True):
+        dims.sort()
+        dims[0] *= factor
+    dims.sort(reverse=True)
+    return dims
+
+
+class CartComm(Comm):
+    """A communicator with Cartesian topology information attached."""
+
+    def __init__(self, base: Comm, dims: Sequence[int], periods: Sequence[bool]):
+        super().__init__(base._engine, base._group, base._context, base._world_rank)
+        self._dims = tuple(int(d) for d in dims)
+        self._periods = tuple(bool(p) for p in periods)
+        # Adopt the base communicator's counters so collective tags keep
+        # advancing consistently (the base handle should not be used after
+        # topology attachment).
+        self._coll_counter = base._coll_counter
+        self._creation_counter = base._creation_counter
+
+    # ------------------------------------------------------------------
+    # topology accessors
+    # ------------------------------------------------------------------
+    @property
+    def dims(self) -> tuple[int, ...]:
+        return self._dims
+
+    @property
+    def periods(self) -> tuple[bool, ...]:
+        return self._periods
+
+    @property
+    def ndims(self) -> int:
+        return len(self._dims)
+
+    def coords_of(self, rank: int) -> tuple[int, ...]:
+        """MPI_Cart_coords: grid coordinates of a communicator rank."""
+        if not 0 <= rank < self.size:
+            raise MPICommError(f"rank {rank} out of range")
+        coords = []
+        for extent in reversed(self._dims):
+            coords.append(rank % extent)
+            rank //= extent
+        return tuple(reversed(coords))
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """MPI_Cart_rank: communicator rank of grid coordinates.
+
+        Periodic dimensions wrap out-of-range coordinates; non-periodic
+        out-of-range coordinates raise.
+        """
+        if len(coords) != self.ndims:
+            raise MPICommError(
+                f"expected {self.ndims} coordinates, got {len(coords)}"
+            )
+        rank = 0
+        for c, extent, periodic in zip(coords, self._dims, self._periods):
+            if periodic:
+                c %= extent
+            elif not 0 <= c < extent:
+                raise MPICommError(
+                    f"coordinate {c} out of range for non-periodic extent {extent}"
+                )
+            rank = rank * extent + c
+        return rank
+
+    @property
+    def coords(self) -> tuple[int, ...]:
+        """This process's own grid coordinates."""
+        return self.coords_of(self.rank)
+
+    # ------------------------------------------------------------------
+    # neighbourhood
+    # ------------------------------------------------------------------
+    def shift(self, dimension: int, displacement: int) -> tuple[int, int]:
+        """MPI_Cart_shift: ``(source, dest)`` ranks for a displacement.
+
+        Non-periodic edges yield PROC_NULL, so the result can be fed
+        directly to ``sendrecv``.
+        """
+        if not 0 <= dimension < self.ndims:
+            raise MPICommError(f"dimension {dimension} out of range")
+        me = list(self.coords)
+
+        def resolve(offset: int) -> int:
+            target = me.copy()
+            target[dimension] += offset
+            extent = self._dims[dimension]
+            if self._periods[dimension]:
+                target[dimension] %= extent
+            elif not 0 <= target[dimension] < extent:
+                return PROC_NULL
+            return self.rank_of(target)
+
+        return resolve(-displacement), resolve(displacement)
+
+    def sub(self, remain_dims: Sequence[bool]) -> "CartComm":
+        """MPI_Cart_sub: slice the grid, keeping the flagged dimensions.
+
+        Collective.  Processes sharing the coordinates of the *dropped*
+        dimensions end up in the same sub-communicator.
+        """
+        if len(remain_dims) != self.ndims:
+            raise MPICommError(
+                f"remain_dims must have {self.ndims} entries"
+            )
+        me = self.coords
+        color = 0
+        for c, extent, keep in zip(me, self._dims, remain_dims):
+            if not keep:
+                color = color * extent + c
+        key = 0
+        for c, extent, keep in zip(me, self._dims, remain_dims):
+            if keep:
+                key = key * extent + c
+        base = self.split(color, key)
+        assert base is not None
+        sub_dims = [d for d, keep in zip(self._dims, remain_dims) if keep]
+        sub_periods = [p for p, keep in zip(self._periods, remain_dims) if keep]
+        if not sub_dims:
+            sub_dims, sub_periods = [1], [False]
+        return CartComm(base, sub_dims, sub_periods)
+
+
+def cart_create(
+    comm: Comm,
+    dims: Sequence[int],
+    periods: Sequence[bool] | None = None,
+    reorder: bool = False,
+) -> CartComm | None:
+    """MPI_Cart_create: attach a Cartesian topology (collective).
+
+    Processes beyond ``prod(dims)`` receive None (as MPI returns
+    MPI_COMM_NULL).  ``reorder`` is accepted for signature fidelity; the
+    substrate never renumbers (HMPI's selection already placed ranks).
+    """
+    total = 1
+    for d in dims:
+        if d < 1:
+            raise MPICommError(f"dimension extents must be >= 1, got {d}")
+        total *= d
+    if total > comm.size:
+        raise MPICommError(
+            f"grid of {total} processes exceeds communicator size {comm.size}"
+        )
+    if periods is None:
+        periods = [False] * len(dims)
+    if len(periods) != len(dims):
+        raise MPICommError("periods must match dims in length")
+    inside = comm.rank < total
+    base = comm.split(0 if inside else UNDEFINED, key=comm.rank)
+    if base is None:
+        return None
+    return CartComm(base, dims, periods)

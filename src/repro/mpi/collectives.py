@@ -1,0 +1,279 @@
+"""Collective-communication algorithms over the point-to-point layer.
+
+Every collective is built from the substrate's sends/receives, so virtual
+time accrues exactly as the underlying message pattern dictates — a
+broadcast over a binomial tree on a heterogeneous network really does cost
+the critical path through the tree's links.
+
+Algorithms (the classic choices, all deterministic):
+
+============  ==================================================
+barrier       dissemination (ceil(log2 p) rounds)
+bcast         binomial tree rooted at ``root``
+reduce        mirrored binomial tree (combine on the way up)
+allreduce     reduce to rank 0 + binomial bcast
+gather(v)     linear into ``root`` (rank order)
+scatter(v)    linear from ``root``
+allgather     ring (p-1 steps)
+alltoall      rotation schedule (p-1 steps, pairwise balanced)
+scan          linear chain (inclusive prefix)
+exscan        linear chain (exclusive prefix)
+============  ==================================================
+
+Each invocation draws a fresh internal tag from its communicator so that
+back-to-back collectives can never cross-match even under unusual
+interleavings.  All ranks of a communicator must call the same collectives
+in the same order (the MPI rule), which keeps those tag sequences aligned.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..util.errors import MPICommError
+from .ops import Op
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .communicator import Comm
+
+__all__ = [
+    "barrier", "bcast", "reduce", "allreduce", "gather", "scatter",
+    "allgather", "alltoall", "scan", "exscan", "reduce_scatter_block",
+]
+
+
+def _check_root(comm: "Comm", root: int) -> None:
+    if not 0 <= root < comm.size:
+        raise MPICommError(f"root {root} out of range for communicator size {comm.size}")
+
+
+def barrier(comm: "Comm") -> None:
+    """Dissemination barrier: after return, every rank's clock is >= the
+    virtual time at which the last rank entered (up to message latencies)."""
+    tag = comm._next_coll_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    k = 1
+    while k < size:
+        dst = (rank + k) % size
+        src = (rank - k) % size
+        comm._send_internal(None, dst, tag, nbytes=1)
+        comm._recv_internal(src, tag)
+        k *= 2
+
+
+def bcast(comm: "Comm", obj: Any, root: int = 0, nbytes: int | None = None,
+          algorithm: str = "binomial") -> Any:
+    """Broadcast; returns the root's object on every rank.
+
+    ``algorithm`` selects the message pattern — the right choice depends
+    on the network's port model:
+
+    - ``"binomial"`` (default): log2(p) rounds; the classic compromise.
+    - ``"flat"``: the root sends to everyone directly.  Optimal on a
+      contention-free switched network (distinct pairs transfer in
+      parallel), poor under the single-port model (the root serialises
+      p-1 transfers).
+    - ``"chain"``: rank-order pipeline; p-1 sequential hops.  The
+      fewest sends per node, useful under single-port when combined with
+      segmentation; here mostly a teaching baseline.
+    """
+    if algorithm == "flat":
+        return _bcast_flat(comm, obj, root, nbytes)
+    if algorithm == "chain":
+        return _bcast_chain(comm, obj, root, nbytes)
+    if algorithm != "binomial":
+        raise MPICommError(f"unknown bcast algorithm {algorithm!r}")
+    _check_root(comm, root)
+    tag = comm._next_coll_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return obj
+    vrank = (rank - root) % size  # virtual rank: root becomes 0
+    # Receive phase: every non-root receives exactly once, from the peer
+    # that differs in its lowest set bit.
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = (rank - mask) % size
+            obj, _ = comm._recv_internal(parent, tag)
+            break
+        mask <<= 1
+    # Send phase: forward to peers at decreasing distances.
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            comm._send_internal(obj, (rank + mask) % size, tag, nbytes=nbytes)
+        mask >>= 1
+    return obj
+
+
+def _bcast_flat(comm: "Comm", obj: Any, root: int, nbytes: int | None) -> Any:
+    """Root sends to every other rank directly."""
+    _check_root(comm, root)
+    tag = comm._next_coll_tag()
+    if comm.size == 1:
+        return obj
+    if comm.rank == root:
+        for r in range(comm.size):
+            if r != root:
+                comm._send_internal(obj, r, tag, nbytes=nbytes)
+        return obj
+    value, _ = comm._recv_internal(root, tag)
+    return value
+
+
+def _bcast_chain(comm: "Comm", obj: Any, root: int, nbytes: int | None) -> Any:
+    """Pipeline along virtual rank order rooted at ``root``."""
+    _check_root(comm, root)
+    tag = comm._next_coll_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return obj
+    vrank = (rank - root) % size
+    if vrank != 0:
+        obj, _ = comm._recv_internal((rank - 1) % size, tag)
+    if vrank != size - 1:
+        comm._send_internal(obj, (rank + 1) % size, tag, nbytes=nbytes)
+    return obj
+
+
+def reduce(comm: "Comm", obj: Any, op: Op, root: int = 0) -> Any:
+    """Binomial-tree reduction toward ``root``; returns the result at root,
+    None elsewhere."""
+    _check_root(comm, root)
+    tag = comm._next_coll_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return obj
+    vrank = (rank - root) % size
+    acc = obj
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank & ~mask) + root) % size
+            comm._send_internal(acc, parent, tag)
+            break
+        child_v = vrank | mask
+        if child_v < size:
+            child_val, _ = comm._recv_internal((child_v + root) % size, tag)
+            acc = op(acc, child_val)
+        mask <<= 1
+    return acc if rank == root else None
+
+
+def allreduce(comm: "Comm", obj: Any, op: Op) -> Any:
+    """Reduce to rank 0, then broadcast the result to everyone."""
+    partial = reduce(comm, obj, op, root=0)
+    return bcast(comm, partial, root=0)
+
+
+def gather(comm: "Comm", obj: Any, root: int = 0) -> list[Any] | None:
+    """Linear gather; root returns the list indexed by rank, others None."""
+    _check_root(comm, root)
+    tag = comm._next_coll_tag()
+    if comm.rank == root:
+        out: list[Any] = [None] * comm.size
+        out[root] = obj
+        for r in range(comm.size):
+            if r != root:
+                out[r], _ = comm._recv_internal(r, tag)
+        return out
+    comm._send_internal(obj, root, tag)
+    return None
+
+
+def scatter(comm: "Comm", objs: list[Any] | None, root: int = 0) -> Any:
+    """Linear scatter; rank r receives ``objs[r]`` from root."""
+    _check_root(comm, root)
+    tag = comm._next_coll_tag()
+    if comm.rank == root:
+        if objs is None or len(objs) != comm.size:
+            raise MPICommError(
+                f"scatter at root needs a list of length {comm.size}"
+            )
+        for r in range(comm.size):
+            if r != root:
+                comm._send_internal(objs[r], r, tag)
+        return objs[root]
+    value, _ = comm._recv_internal(root, tag)
+    return value
+
+
+def allgather(comm: "Comm", obj: Any) -> list[Any]:
+    """Ring allgather: p-1 steps, each forwarding the newest block."""
+    tag = comm._next_coll_tag()
+    size, rank = comm.size, comm.rank
+    out: list[Any] = [None] * size
+    out[rank] = obj
+    if size == 1:
+        return out
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    carry_index = rank
+    for _ in range(size - 1):
+        comm._send_internal((carry_index, out[carry_index]), right, tag)
+        (recv_index, value), _ = comm._recv_internal(left, tag)
+        out[recv_index] = value
+        carry_index = recv_index
+    return out
+
+
+def alltoall(comm: "Comm", objs: list[Any]) -> list[Any]:
+    """Rotation-schedule personalized all-to-all.
+
+    At step k each rank sends to ``(rank+k) % p`` and receives from
+    ``(rank-k) % p``, which pairs every rank with every other exactly once
+    and keeps the pattern contention-balanced.
+    """
+    size, rank = comm.size, comm.rank
+    if objs is None or len(objs) != size:
+        raise MPICommError(f"alltoall needs a list of length {size}")
+    tag = comm._next_coll_tag()
+    out: list[Any] = [None] * size
+    out[rank] = objs[rank]
+    for k in range(1, size):
+        dst = (rank + k) % size
+        src = (rank - k) % size
+        comm._send_internal(objs[dst], dst, tag)
+        out[src], _ = comm._recv_internal(src, tag)
+    return out
+
+
+def scan(comm: "Comm", obj: Any, op: Op) -> Any:
+    """Inclusive prefix reduction along the rank order (linear chain)."""
+    tag = comm._next_coll_tag()
+    acc = obj
+    if comm.rank > 0:
+        prev, _ = comm._recv_internal(comm.rank - 1, tag)
+        acc = op(prev, acc)
+    if comm.rank < comm.size - 1:
+        comm._send_internal(acc, comm.rank + 1, tag)
+    return acc
+
+
+def exscan(comm: "Comm", obj: Any, op: Op) -> Any:
+    """Exclusive prefix reduction; rank 0 receives None (MPI leaves it
+    undefined there)."""
+    tag = comm._next_coll_tag()
+    prev: Any = None
+    if comm.rank > 0:
+        prev, _ = comm._recv_internal(comm.rank - 1, tag)
+    if comm.rank < comm.size - 1:
+        here = obj if prev is None else op(prev, obj)
+        comm._send_internal(here, comm.rank + 1, tag)
+    return prev
+
+
+def reduce_scatter_block(comm: "Comm", objs: list[Any], op: Op) -> Any:
+    """Reduce ``objs`` elementwise across ranks, rank r keeping element r.
+
+    Implemented as reduce-to-0 of the whole list followed by a scatter —
+    simple and adequate for the message volumes our applications use.
+    """
+    size = comm.size
+    if objs is None or len(objs) != size:
+        raise MPICommError(f"reduce_scatter_block needs a list of length {size}")
+    combined = reduce(comm, objs, Op(op.name, lambda a, b, _op=op: [_op(x, y) for x, y in zip(a, b)]), root=0)
+    return scatter(comm, combined, root=0)

@@ -1,0 +1,486 @@
+"""Virtual-time SPMD execution engine.
+
+Each MPI rank runs as a real Python thread carrying a **logical clock** in
+seconds of virtual time.  The engine charges:
+
+- ``compute(volume)`` — the machine's load-integrated time for ``volume``
+  benchmark units (speed shared between co-located ranks);
+- a send — CPU overhead of one protocol latency to the sender; the message
+  is stamped with ``arrival = departure + latency + nbytes/bandwidth`` on
+  the fastest (or pinned) protocol of the machine-pair link;
+- a receive — the receiver's clock becomes ``max(clock, arrival)``.
+
+Messages between the same ordered rank pair never overtake each other in
+virtual time (per-pair arrival monotonisation), matching MPI's
+non-overtaking guarantee.  Links are contention-free across distinct pairs,
+matching the paper's switched Ethernet "enabling parallel communications".
+
+Blocking receives block the *thread*, so algorithm-level blocking structure
+is mirrored exactly and no global clock synchronisation is needed.  A
+deterministic deadlock detector fires when every live rank is blocked: with
+eager sends nothing can ever unblock them.  Machine failures (fault
+injection) surface as :class:`MachineFailure` in the affected ranks and as
+:class:`DeadlockError` (carrying the failure list) in ranks left waiting on
+the dead ones.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from ..cluster.network import Cluster
+from ..util.errors import DeadlockError, MachineFailure, MPIError
+from .datatypes import decode_payload, encode_payload
+from .status import ANY_SOURCE, ANY_TAG, Status
+
+__all__ = ["Message", "PostedRecv", "ProcessState", "Engine", "WORLD_CONTEXT",
+           "ACK_CONTEXT"]
+
+#: Context id of the world communicator.
+WORLD_CONTEXT = 0
+#: Internal context carrying synchronous-send acknowledgements; never used
+#: by communicators, so ack traffic cannot match user receives.
+ACK_CONTEXT = -1
+
+
+class Message:
+    """An in-flight or queued point-to-point message (world-rank addressed)."""
+
+    __slots__ = ("context", "src", "dst", "tag", "payload", "nbytes",
+                 "arrival", "ack_seq")
+
+    def __init__(self, context: int, src: int, dst: int, tag: int,
+                 payload: Any, nbytes: int, arrival: float,
+                 ack_seq: int | None = None):
+        self.context = context
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+        self.arrival = arrival
+        self.ack_seq = ack_seq
+
+    def matches(self, context: int, src: int, tag: int) -> bool:
+        return (
+            self.context == context
+            and (src == ANY_SOURCE or self.src == src)
+            and (tag == ANY_TAG or self.tag == tag)
+        )
+
+    def __repr__(self) -> str:
+        return (f"Message(ctx={self.context}, {self.src}->{self.dst}, "
+                f"tag={self.tag}, {self.nbytes}B, arrival={self.arrival:.6f})")
+
+
+class PostedRecv:
+    """A posted receive awaiting (or holding) its matched message."""
+
+    __slots__ = ("context", "src", "tag", "message", "done")
+
+    def __init__(self, context: int, src: int, tag: int):
+        self.context = context
+        self.src = src
+        self.tag = tag
+        self.message: Message | None = None
+        self.done = False
+
+    def accepts(self, msg: Message) -> bool:
+        return msg.matches(self.context, self.src, self.tag)
+
+
+class ProcessState:
+    """Bookkeeping for one rank: clock, queues, thread, outcome."""
+
+    __slots__ = (
+        "rank", "machine_index", "clock", "cond", "unexpected", "posted",
+        "last_arrival", "finished", "failed", "result", "exception", "thread",
+        "waiting",
+    )
+
+    def __init__(self, rank: int, machine_index: int, lock: threading.RLock):
+        self.rank = rank
+        self.machine_index = machine_index
+        self.clock = 0.0
+        self.cond = threading.Condition(lock)
+        self.unexpected: deque[Message] = deque()
+        self.posted: deque[PostedRecv] = deque()
+        self.last_arrival: dict[int, float] = {}
+        self.finished = False
+        self.failed = False
+        self.result: Any = None
+        self.exception: BaseException | None = None
+        self.thread: threading.Thread | None = None
+        # ("recv", PostedRecv) or ("probe", (context, src, tag)) while the
+        # rank's thread is inside a blocking wait; None otherwise.
+        self.waiting: tuple | None = None
+
+
+class Engine:
+    """Shared state of one SPMD run: processes, routing, contexts, clocks.
+
+    Parameters
+    ----------
+    cluster:
+        The HNOC the ranks execute on.
+    placement:
+        ``placement[world_rank]`` is the machine index the rank runs on.
+        Several ranks may share a machine; they then share its speed.
+    """
+
+    def __init__(self, cluster: Cluster, placement: Sequence[int],
+                 tracer: "object | None" = None):
+        if not placement:
+            raise MPIError("placement must map at least one rank")
+        for m in placement:
+            if not 0 <= m < cluster.size:
+                raise MPIError(f"placement references unknown machine index {m}")
+        self.cluster = cluster
+        self.tracer = tracer
+        self.placement = list(placement)
+        self.nprocs = len(placement)
+        self.lock = threading.RLock()
+        self.procs = [ProcessState(r, placement[r], self.lock) for r in range(self.nprocs)]
+        self.machine_counts = [0] * cluster.size
+        for m in placement:
+            self.machine_counts[m] += 1
+        self._started = False
+        self.deadlocked = False
+        self.failures: list[MachineFailure] = []
+        self._context_registry: dict[tuple, int] = {}
+        self._next_context = WORLD_CONTEXT + 1
+        self._sync_seq = 0
+
+    # ------------------------------------------------------------------
+    # context allocation (deterministic across ranks)
+    # ------------------------------------------------------------------
+    def allocate_context(self, key: tuple) -> int:
+        """Context id for a communicator-creation event.
+
+        All ranks participating in the same logical creation present the
+        same ``key`` (derived from parent context, a per-comm creation
+        counter, and color/group); the first caller allocates a fresh id
+        and the rest look it up, so every rank agrees without extra
+        messages.
+        """
+        with self.lock:
+            ctx = self._context_registry.get(key)
+            if ctx is None:
+                ctx = self._next_context
+                self._next_context += 1
+                self._context_registry[key] = ctx
+            return ctx
+
+    # ------------------------------------------------------------------
+    # virtual-time primitives
+    # ------------------------------------------------------------------
+    def compute(self, world_rank: int, volume: float,
+                concurrency: int | None = None) -> float:
+        """Advance the rank's clock by ``volume`` benchmark units of work.
+
+        Returns the new clock.  Speed is the machine's base speed times its
+        current load share, divided by ``concurrency`` — the number of
+        ranks actively computing on the machine.  The default assumes every
+        placed rank is active (true for SPMD phases like Recon); callers
+        that know better (a group whose non-members are idle, waiting for
+        the next group creation) pass the co-located member count, which is
+        what HMPI's estimator assumes too.
+        """
+        proc = self.procs[world_rank]
+        machine = self.cluster.machine(proc.machine_index)
+        nshare = self.machine_counts[proc.machine_index] if concurrency is None else concurrency
+        if nshare < 1:
+            raise MPIError(f"concurrency must be >= 1, got {nshare}")
+        start = proc.clock
+        proc.clock = machine.compute_finish_time(start, volume, nshare)
+        if self.tracer is not None:
+            from .tracing import TraceEvent
+
+            self.tracer.record(TraceEvent(
+                rank=world_rank, kind="compute", t0=start, t1=proc.clock,
+                volume=volume,
+            ))
+        return proc.clock
+
+    def vtime(self, world_rank: int) -> float:
+        """Current virtual time of the rank (MPI_Wtime analogue)."""
+        return self.procs[world_rank].clock
+
+    def advance_clock(self, world_rank: int, seconds: float) -> float:
+        """Advance the rank's clock by raw seconds (fixed-cost activities)."""
+        if seconds < 0:
+            raise MPIError(f"cannot advance clock by {seconds}")
+        proc = self.procs[world_rank]
+        proc.clock += seconds
+        return proc.clock
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def post_send(self, src: int, dst: int, context: int, tag: int,
+                  obj: Any, nbytes: int | None = None,
+                  sync: bool = False) -> None:
+        """Eager send: snapshot the payload, stamp arrival, deliver.
+
+        With ``sync=True`` (MPI_Ssend semantics) the call additionally
+        blocks until the receiver has matched and charged the message: the
+        receiver returns a zero-byte acknowledgement whose arrival
+        lower-bounds the sender's clock, so the rendezvous shows up in
+        virtual time.
+        """
+        if not 0 <= dst < self.nprocs:
+            raise MPIError(f"destination rank {dst} out of range")
+        sproc = self.procs[src]
+        smach = self.cluster.machine(sproc.machine_index)
+        smach.check_alive(sproc.clock)
+        payload, size = encode_payload(obj, nbytes)
+        dmach_idx = self.placement[dst]
+        link = self.cluster.link(sproc.machine_index, dmach_idx)
+        proto = link.protocol_for(size)
+        # Messages between one ordered rank pair serialise on their link:
+        # a transfer starts when both the sender has issued it and the
+        # previous transfer to the same destination has fully arrived.
+        # This also gives MPI's non-overtaking guarantee for free, and it
+        # is exactly the estimator's per-pair link-busy rule.
+        depart = sproc.clock
+        start = max(depart, sproc.last_arrival.get(dst, 0.0))
+        arrival = start + proto.transfer_time(size)
+        sproc.last_arrival[dst] = arrival
+        if self.cluster.single_port:
+            # The sender's interface is occupied until the transfer ends.
+            sproc.clock = arrival
+        else:
+            # CPU-side cost of the send call only.
+            sproc.clock = depart + proto.latency
+        if self.tracer is not None:
+            from .tracing import TraceEvent
+
+            self.tracer.record(TraceEvent(
+                rank=src, kind="send", t0=depart, t1=sproc.clock,
+                peer=dst, nbytes=size, tag=tag,
+            ))
+        ack_seq = None
+        ack_pr = None
+        if sync:
+            with self.lock:
+                ack_seq = self._sync_seq
+                self._sync_seq += 1
+            # Post the ack receive before delivering the payload so the
+            # acknowledgement can never be lost to a race.
+            ack_pr = self.post_recv(src, ACK_CONTEXT, dst, ack_seq)
+        msg = Message(context, src, dst, tag, payload, size, arrival,
+                      ack_seq=ack_seq)
+        with self.lock:
+            self._deliver(msg)
+        if ack_pr is not None:
+            # Rendezvous: the sender's clock advances to the ack's arrival.
+            self.wait_recv(src, ack_pr)
+
+    def _deliver(self, msg: Message) -> None:
+        """Match against posted receives or queue as unexpected (lock held)."""
+        dproc = self.procs[msg.dst]
+        for pr in dproc.posted:
+            if pr.accepts(msg):
+                dproc.posted.remove(pr)
+                pr.message = msg
+                pr.done = True
+                dproc.cond.notify_all()
+                return
+        dproc.unexpected.append(msg)
+        dproc.cond.notify_all()  # wake iprobe/probe waiters
+
+    def post_recv(self, dst: int, context: int, src: int, tag: int) -> PostedRecv:
+        """Post a receive; matches an unexpected message immediately if any.
+
+        Among queued matches the one with the smallest virtual arrival is
+        taken.  For a fixed source this equals queue order (per-sender
+        arrivals are monotone), and for wildcard receives it makes the
+        match follow *virtual* time rather than the accident of real-time
+        thread scheduling — a master self-scheduling over ANY_SOURCE then
+        services the worker that (virtually) finished first.
+        """
+        pr = PostedRecv(context, src, tag)
+        with self.lock:
+            best = None
+            for msg in self.procs[dst].unexpected:
+                if pr.accepts(msg) and (best is None or msg.arrival < best.arrival):
+                    best = msg
+            if best is not None:
+                self.procs[dst].unexpected.remove(best)
+                pr.message = best
+                pr.done = True
+                return pr
+            self.procs[dst].posted.append(pr)
+        return pr
+
+    def wait_recv(self, dst: int, pr: PostedRecv) -> tuple[Any, Status]:
+        """Block until ``pr`` completes; charge arrival time; decode payload."""
+        proc = self.procs[dst]
+        with self.lock:
+            proc.waiting = ("recv", pr)
+            try:
+                while not pr.done:
+                    self._check_deadlock()
+                    if self.deadlocked:
+                        raise self._deadlock_error()
+                    proc.cond.wait()
+            finally:
+                proc.waiting = None
+            msg = pr.message
+        assert msg is not None
+        wait_from = proc.clock
+        if msg.arrival > proc.clock:
+            proc.clock = msg.arrival
+        machine = self.cluster.machine(proc.machine_index)
+        machine.check_alive(proc.clock)
+        if msg.ack_seq is not None:
+            # Synchronous send: acknowledge so the sender's rendezvous
+            # completes; the ack costs one link latency back.
+            back = self.cluster.link(proc.machine_index,
+                                     self.placement[msg.src])
+            ack = Message(ACK_CONTEXT, dst, msg.src, msg.ack_seq,
+                          payload=encode_payload(None)[0], nbytes=0,
+                          arrival=proc.clock + back.effective_latency())
+            with self.lock:
+                self._deliver(ack)
+        if self.tracer is not None:
+            from .tracing import TraceEvent
+
+            self.tracer.record(TraceEvent(
+                rank=dst, kind="recv", t0=wait_from, t1=proc.clock,
+                peer=msg.src, nbytes=msg.nbytes, tag=msg.tag,
+            ))
+        status = Status(source=msg.src, tag=msg.tag, nbytes=msg.nbytes,
+                        arrival_vtime=msg.arrival)
+        return decode_payload(msg.payload), status
+
+    def probe(self, dst: int, context: int, src: int, tag: int, block: bool) -> Status | None:
+        """MPI_(I)probe: peek at the first matching unexpected message."""
+        proc = self.procs[dst]
+        with self.lock:
+            try:
+                while True:
+                    for msg in proc.unexpected:
+                        if msg.matches(context, src, tag):
+                            if msg.arrival > proc.clock:
+                                proc.clock = msg.arrival
+                            return Status(source=msg.src, tag=msg.tag,
+                                          nbytes=msg.nbytes, arrival_vtime=msg.arrival)
+                    if not block:
+                        return None
+                    proc.waiting = ("probe", (context, src, tag))
+                    self._check_deadlock()
+                    if self.deadlocked:
+                        raise self._deadlock_error()
+                    proc.cond.wait()
+            finally:
+                proc.waiting = None
+
+    # ------------------------------------------------------------------
+    # deadlock / failure accounting
+    # ------------------------------------------------------------------
+    def _condition_satisfied(self, proc: ProcessState) -> bool:
+        """Whether a waiting rank's wake-up condition already holds (lock held)."""
+        assert proc.waiting is not None
+        kind, spec = proc.waiting
+        if kind == "recv":
+            return spec.done
+        context, src, tag = spec
+        return any(m.matches(context, src, tag) for m in proc.unexpected)
+
+    def _check_deadlock(self) -> None:
+        """Declare deadlock iff no unfinished rank can ever progress.
+
+        Called (with the lock held) whenever a rank is about to block and
+        whenever a rank finishes.  Sends are eager, so if every unfinished
+        rank is waiting on an unsatisfied condition, no future delivery can
+        occur and the run is stuck.
+        """
+        if not self._started:
+            return
+        any_unfinished = False
+        for p in self.procs:
+            if p.finished:
+                continue
+            any_unfinished = True
+            if p.waiting is None or self._condition_satisfied(p):
+                return
+        if any_unfinished:
+            self._declare_deadlock()
+
+    def _declare_deadlock(self) -> None:
+        self.deadlocked = True
+        for p in self.procs:
+            p.cond.notify_all()
+
+    def _deadlock_error(self) -> DeadlockError:
+        if self.failures:
+            dead = ", ".join(f"{f.machine}@{f.vtime:.4f}" for f in self.failures)
+            return DeadlockError(
+                f"no rank can make progress; failed machines: {dead}"
+            )
+        return DeadlockError("all live ranks are blocked in receive: deadlock")
+
+    # ------------------------------------------------------------------
+    # SPMD run driver
+    # ------------------------------------------------------------------
+    def run(self, target: Callable[[int], Any], timeout: float | None = 120.0) -> None:
+        """Run ``target(world_rank)`` on a thread per rank and join all.
+
+        Exceptions are captured per rank; :class:`MachineFailure` is
+        recorded in :attr:`failures` (fault injection is an expected
+        outcome), any other exception re-raises after the join from the
+        lowest failing rank.
+        """
+
+        def runner(rank: int) -> None:
+            proc = self.procs[rank]
+            try:
+                proc.result = target(rank)
+            except MachineFailure as mf:
+                proc.failed = True
+                proc.exception = mf
+                with self.lock:
+                    self.failures.append(mf)
+            except BaseException as exc:  # noqa: BLE001 — reported after join
+                proc.failed = True
+                proc.exception = exc
+                with self.lock:
+                    # A rank crash (bug or injected) can leave peers waiting
+                    # forever; wake them so the run terminates promptly.
+                    if not isinstance(exc, DeadlockError):
+                        self._declare_deadlock()
+            finally:
+                with self.lock:
+                    proc.finished = True
+                    self._check_deadlock()
+
+        with self.lock:
+            self._started = True
+        for proc in self.procs:
+            proc.thread = threading.Thread(
+                target=runner, args=(proc.rank,), daemon=True,
+                name=f"mpi-rank-{proc.rank}",
+            )
+        for proc in self.procs:
+            proc.thread.start()
+        for proc in self.procs:
+            proc.thread.join(timeout)
+            if proc.thread.is_alive():
+                self._declare_deadlock()
+                raise DeadlockError(
+                    f"rank {proc.rank} did not finish within {timeout}s of real time"
+                )
+        # Re-raise the first program bug.  MachineFailure is an expected
+        # fault-injection outcome, and a DeadlockError is secondary damage
+        # when a failure exists (survivors stuck waiting on a dead rank).
+        for proc in self.procs:
+            exc = proc.exception
+            if exc is None or isinstance(exc, MachineFailure):
+                continue
+            if isinstance(exc, DeadlockError) and self.failures:
+                continue
+            raise exc

@@ -1,0 +1,156 @@
+"""MPI process groups with the full set-like and range constructor algebra.
+
+HMPI deliberately provides *no* analog of these constructors (its only group
+constructor is ``HMPI_Group_create``), but the paper points out that
+programmers can still perform them by obtaining the MPI group behind
+``HMPI_Get_comm``.  The substrate therefore implements the complete MPI-1
+group interface so that escape hatch actually works.
+
+A group is an immutable ordered sequence of **world ranks** without
+duplicates.  Set-like operations follow the MPI standard's ordering rules:
+``union`` keeps all of the first group followed by the elements of the
+second not in the first; ``intersection`` and ``difference`` keep the order
+of the first group.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..util.errors import MPIGroupError
+from .status import UNDEFINED
+
+__all__ = ["Group", "GROUP_EMPTY", "IDENT", "SIMILAR", "UNEQUAL"]
+
+# Group comparison results (MPI_IDENT / MPI_SIMILAR / MPI_UNEQUAL).
+IDENT = 0
+SIMILAR = 1
+UNEQUAL = 2
+
+
+class Group:
+    """Immutable ordered set of world ranks."""
+
+    __slots__ = ("_ranks", "_position")
+
+    def __init__(self, ranks: Iterable[int] = ()):
+        ranks = tuple(int(r) for r in ranks)
+        if len(set(ranks)) != len(ranks):
+            raise MPIGroupError(f"duplicate ranks in group: {ranks}")
+        if any(r < 0 for r in ranks):
+            raise MPIGroupError(f"negative rank in group: {ranks}")
+        self._ranks = ranks
+        self._position = {r: i for i, r in enumerate(ranks)}
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of processes in the group (MPI_Group_size)."""
+        return len(self._ranks)
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def __iter__(self):
+        return iter(self._ranks)
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self._position
+
+    @property
+    def world_ranks(self) -> tuple[int, ...]:
+        """The members as world ranks, in group-rank order."""
+        return self._ranks
+
+    def rank_of(self, world_rank: int) -> int:
+        """Group rank of a world rank, or UNDEFINED (MPI_Group_rank)."""
+        return self._position.get(world_rank, UNDEFINED)
+
+    def world_rank(self, group_rank: int) -> int:
+        """World rank of a group rank."""
+        try:
+            return self._ranks[group_rank]
+        except IndexError:
+            raise MPIGroupError(
+                f"group rank {group_rank} out of range for size {self.size}"
+            ) from None
+
+    def translate_ranks(self, ranks: Sequence[int], other: "Group") -> list[int]:
+        """MPI_Group_translate_ranks: my group ranks -> other's group ranks."""
+        out = []
+        for r in ranks:
+            wr = self.world_rank(r)
+            out.append(other.rank_of(wr))
+        return out
+
+    def compare(self, other: "Group") -> int:
+        """MPI_Group_compare: IDENT, SIMILAR (same members, order differs), or UNEQUAL."""
+        if self._ranks == other._ranks:
+            return IDENT
+        if set(self._ranks) == set(other._ranks):
+            return SIMILAR
+        return UNEQUAL
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and self._ranks == other._ranks
+
+    def __hash__(self) -> int:
+        return hash(self._ranks)
+
+    # ------------------------------------------------------------------
+    # set-like constructors
+    # ------------------------------------------------------------------
+    def union(self, other: "Group") -> "Group":
+        """All of self, then members of other not already present."""
+        extra = [r for r in other._ranks if r not in self._position]
+        return Group(self._ranks + tuple(extra))
+
+    def intersection(self, other: "Group") -> "Group":
+        """Members of self that are also in other, in self's order."""
+        return Group(r for r in self._ranks if r in other._position)
+
+    def difference(self, other: "Group") -> "Group":
+        """Members of self not in other, in self's order."""
+        return Group(r for r in self._ranks if r not in other._position)
+
+    # ------------------------------------------------------------------
+    # inclusion/exclusion constructors
+    # ------------------------------------------------------------------
+    def incl(self, group_ranks: Sequence[int]) -> "Group":
+        """New group of the listed group ranks, in the listed order."""
+        return Group(self.world_rank(r) for r in group_ranks)
+
+    def excl(self, group_ranks: Sequence[int]) -> "Group":
+        """New group without the listed group ranks, original order kept."""
+        drop = set(group_ranks)
+        for r in drop:
+            self.world_rank(r)  # validate
+        return Group(wr for i, wr in enumerate(self._ranks) if i not in drop)
+
+    @staticmethod
+    def _expand_ranges(ranges: Sequence[tuple[int, int, int]]) -> list[int]:
+        out: list[int] = []
+        for first, last, stride in ranges:
+            if stride == 0:
+                raise MPIGroupError("range stride must be nonzero")
+            if stride > 0:
+                out.extend(range(first, last + 1, stride))
+            else:
+                out.extend(range(first, last - 1, stride))
+        return out
+
+    def range_incl(self, ranges: Sequence[tuple[int, int, int]]) -> "Group":
+        """MPI_Group_range_incl: include ``(first, last, stride)`` triplets."""
+        return self.incl(self._expand_ranges(ranges))
+
+    def range_excl(self, ranges: Sequence[tuple[int, int, int]]) -> "Group":
+        """MPI_Group_range_excl: exclude ``(first, last, stride)`` triplets."""
+        return self.excl(self._expand_ranges(ranges))
+
+    def __repr__(self) -> str:
+        return f"Group{self._ranks}"
+
+
+GROUP_EMPTY = Group(())

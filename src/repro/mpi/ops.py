@@ -1,0 +1,51 @@
+"""Reduction operations for collectives (MPI_Op analogue).
+
+Operations work elementwise on NumPy arrays and directly on scalars; MAXLOC
+and MINLOC operate on ``(value, index)`` pairs as in MPI.  All provided ops
+are associative and commutative, so any reduction tree order is valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["Op", "SUM", "PROD", "MAX", "MIN", "LAND", "LOR", "BAND", "BOR", "MAXLOC", "MINLOC"]
+
+
+@dataclass(frozen=True)
+class Op:
+    """A named, associative, commutative binary reduction."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+
+def _maxloc(a: tuple, b: tuple) -> tuple:
+    # (value, index): larger value wins; ties broken by smaller index.
+    if a[0] > b[0] or (a[0] == b[0] and a[1] <= b[1]):
+        return a
+    return b
+
+
+def _minloc(a: tuple, b: tuple) -> tuple:
+    if a[0] < b[0] or (a[0] == b[0] and a[1] <= b[1]):
+        return a
+    return b
+
+
+SUM = Op("MPI_SUM", lambda a, b: a + b)
+PROD = Op("MPI_PROD", lambda a, b: a * b)
+MAX = Op("MPI_MAX", lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else max(a, b))
+MIN = Op("MPI_MIN", lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else min(a, b))
+LAND = Op("MPI_LAND", lambda a, b: np.logical_and(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else bool(a) and bool(b))
+LOR = Op("MPI_LOR", lambda a, b: np.logical_or(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else bool(a) or bool(b))
+BAND = Op("MPI_BAND", lambda a, b: a & b)
+BOR = Op("MPI_BOR", lambda a, b: a | b)
+MAXLOC = Op("MPI_MAXLOC", _maxloc)
+MINLOC = Op("MPI_MINLOC", _minloc)

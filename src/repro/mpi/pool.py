@@ -1,0 +1,150 @@
+"""Master-worker task pool over the substrate (mpi4py.futures style).
+
+Dynamic load balancing is the other classic answer to heterogeneity: keep
+the work in a bag and let fast machines come back for more.  A
+:class:`WorkerPool` runs the master on rank 0 of its communicator and a
+worker loop everywhere else; ``map`` hands out tasks one at a time to
+whichever worker returns first (wildcard receive), so machine speeds are
+balanced automatically without a performance model.
+
+This gives the repository a measured counterpoint to HMPI's *static*
+model-driven balancing — see ``tests/integration/test_pool_vs_hmpi.py``:
+dynamic balancing approaches the same makespan on divisible bags of equal
+tasks but pays per-task latency, while HMPI needs the model but no
+round trips.
+
+Task *cost* is modelled explicitly: each task carries the benchmark-unit
+volume the worker charges (plus optional payload bytes), because the pool
+runs inside the virtual-time simulation like everything else.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from ..util.errors import MPIError
+from .communicator import Comm
+from .status import ANY_SOURCE, Status
+
+__all__ = ["Task", "WorkerPool", "run_task_pool"]
+
+_TAG_TASK = 101
+_TAG_RESULT = 102
+
+
+
+class Task:
+    """One unit of bag-of-tasks work.
+
+    ``volume`` is charged to the executing worker's machine; ``payload``
+    travels with the task (its real/declared size hits the link);
+    ``fn(payload)`` computes the (picklable) result.
+    """
+
+    __slots__ = ("volume", "payload", "fn", "nbytes")
+
+    def __init__(self, volume: float, payload: Any = None,
+                 fn: Callable[[Any], Any] | None = None,
+                 nbytes: int | None = None):
+        if volume < 0:
+            raise MPIError("task volume must be >= 0")
+        self.volume = volume
+        self.payload = payload
+        self.fn = fn
+        self.nbytes = nbytes
+
+
+class WorkerPool:
+    """The per-rank handle: master dispatches, workers loop."""
+
+    def __init__(self, comm: Comm, compute: Callable[[float], float]):
+        if comm.size < 2:
+            raise MPIError("a worker pool needs at least one worker")
+        self.comm = comm
+        self.compute = compute
+
+    @property
+    def is_master(self) -> bool:
+        return self.comm.rank == 0
+
+    # ------------------------------------------------------------------
+    # master side
+    # ------------------------------------------------------------------
+    def map(self, tasks: Sequence[Task]) -> list[Any]:
+        """Dispatch every task; returns results in task order (master only).
+
+        Greedy self-scheduling: each worker gets one task, then a fresh
+        task whenever it returns a result, until the bag is empty; workers
+        are then stopped.
+        """
+        if not self.is_master:
+            raise MPIError("map() may only be called on the master rank")
+        comm = self.comm
+        nworkers = comm.size - 1
+        results: list[Any] = [None] * len(tasks)
+        next_task = 0
+        in_flight = 0
+
+        def dispatch(worker: int) -> bool:
+            nonlocal next_task, in_flight
+            if next_task >= len(tasks):
+                return False
+            task = tasks[next_task]
+            comm.send((next_task, task.volume, task.payload, task.fn),
+                      worker, tag=_TAG_TASK, nbytes=task.nbytes)
+            next_task += 1
+            in_flight += 1
+            return True
+
+        for worker in range(1, min(nworkers, len(tasks)) + 1):
+            dispatch(worker)
+        while in_flight > 0:
+            # Simulation-fidelity aid: give worker threads a real-time
+            # window to enqueue their results, so the wildcard receive's
+            # minimum-virtual-arrival matching services the worker that
+            # *virtually* finished first rather than whichever thread the
+            # OS happened to schedule.  (Real MPI self-scheduling has the
+            # same nondeterminism; this only sharpens the simulation.)
+            time.sleep(0.0003)
+            status = Status()
+            index, value = comm.recv(ANY_SOURCE, _TAG_RESULT, status=status)
+            results[index] = value
+            in_flight -= 1
+            dispatch(status.source)
+        # A None sentinel on the task tag stops each worker; per-pair FIFO
+        # guarantees it arrives after any task sent to that worker.
+        for worker in range(1, nworkers + 1):
+            comm.send(None, worker, tag=_TAG_TASK)
+        return results
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def worker_loop(self) -> int:
+        """Serve tasks until the stop sentinel; returns the number executed."""
+        if self.is_master:
+            raise MPIError("worker_loop() may only run on worker ranks")
+        comm = self.comm
+        served = 0
+        while True:
+            envelope = comm.recv(0, _TAG_TASK)
+            if envelope is None:
+                return served
+            index, volume, payload, fn = envelope
+            self.compute(volume)
+            result = fn(payload) if fn is not None else payload
+            comm.send((index, result), 0, tag=_TAG_RESULT)
+            served += 1
+
+
+def run_task_pool(env, tasks: Sequence[Task]) -> list[Any] | int:
+    """Convenience SPMD entry: master maps, workers loop.
+
+    Returns the result list on rank 0 and the served-task count elsewhere.
+    """
+    pool = WorkerPool(env.comm_world, env.compute)
+    if pool.is_master:
+        return pool.map(list(tasks))
+    return pool.worker_loop()

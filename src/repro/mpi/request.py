@@ -1,0 +1,99 @@
+"""Nonblocking-operation request objects (MPI_Request analogue).
+
+Sends are eager in this substrate, so a send request is born complete.
+Receive requests wrap an engine-level posted receive and complete when a
+matching message is matched; ``wait`` charges the arrival time to the
+receiving rank's clock, exactly like a blocking receive would.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
+
+from ..util.errors import MPIError
+from .status import Status
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .communicator import Comm
+    from .engine import PostedRecv
+
+__all__ = ["Request", "SendRequest", "RecvRequest", "waitall", "testall"]
+
+
+class Request:
+    """Abstract handle for an in-flight nonblocking operation."""
+
+    def test(self) -> tuple[bool, Any, Status | None]:
+        """Non-blocking completion check: ``(done, value, status)``."""
+        raise NotImplementedError
+
+    def wait(self) -> tuple[Any, Status | None]:
+        """Block until complete; return ``(value, status)``."""
+        raise NotImplementedError
+
+    @property
+    def completed(self) -> bool:
+        done, _, _ = self.test()
+        return done
+
+
+class SendRequest(Request):
+    """An eager send: complete on creation, wait/test are immediate."""
+
+    __slots__ = ()
+
+    def test(self) -> tuple[bool, Any, Status | None]:
+        return True, None, None
+
+    def wait(self) -> tuple[Any, Status | None]:
+        return None, None
+
+
+class RecvRequest(Request):
+    """A posted receive awaiting its match."""
+
+    __slots__ = ("_comm", "_posted", "_value", "_status", "_consumed")
+
+    def __init__(self, comm: "Comm", posted: "PostedRecv"):
+        self._comm = comm
+        self._posted = posted
+        self._value: Any = None
+        self._status: Status | None = None
+        self._consumed = False
+
+    def _finish(self) -> None:
+        if not self._consumed:
+            value, status = self._comm._engine.wait_recv(self._comm._world_rank, self._posted)
+            self._value = value
+            self._status = self._comm._localize_status(status)
+            self._consumed = True
+
+    def test(self) -> tuple[bool, Any, Status | None]:
+        if self._consumed:
+            return True, self._value, self._status
+        if self._posted.done:
+            self._finish()
+            return True, self._value, self._status
+        return False, None, None
+
+    def wait(self) -> tuple[Any, Status | None]:
+        self._finish()
+        return self._value, self._status
+
+
+def waitall(requests: Sequence[Request]) -> list[tuple[Any, Status | None]]:
+    """Wait on every request, in order; returns their (value, status) pairs.
+
+    Receives complete independently (each charges its own arrival), so
+    sequential waiting is semantically identical to MPI_Waitall here.
+    """
+    return [req.wait() for req in requests]
+
+
+def testall(requests: Sequence[Request]) -> bool:
+    """True when every request has completed (without blocking)."""
+    if not requests:
+        return True
+    results = [req.test()[0] for req in requests]
+    return all(results)

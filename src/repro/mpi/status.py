@@ -1,0 +1,38 @@
+"""Status objects and matching wildcards."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Status", "ANY_SOURCE", "ANY_TAG", "UNDEFINED", "PROC_NULL"]
+
+#: Wildcard source for receive matching (MPI_ANY_SOURCE).
+ANY_SOURCE = -1
+#: Wildcard tag for receive matching (MPI_ANY_TAG).
+ANY_TAG = -1
+#: MPI_UNDEFINED — returned by rank queries for non-members, and usable as
+#: the color of ranks excluded by Comm.split.
+UNDEFINED = -32766
+#: MPI_PROC_NULL — send/recv to it is a no-op completing immediately.
+PROC_NULL = -2
+
+
+@dataclass
+class Status:
+    """Completion information of a receive.
+
+    Attributes mirror MPI_Status: the matched ``source`` and ``tag`` (the
+    actual values, never wildcards), the message size in bytes, and the
+    virtual time the message arrived at the receiver's machine.
+    """
+
+    source: int = UNDEFINED
+    tag: int = UNDEFINED
+    nbytes: int = 0
+    arrival_vtime: float = 0.0
+
+    def get_count(self, elem_size: int = 1) -> int:
+        """Number of elements of ``elem_size`` bytes in the message."""
+        if elem_size <= 0:
+            raise ValueError("elem_size must be > 0")
+        return self.nbytes // elem_size

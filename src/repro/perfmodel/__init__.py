@@ -1,0 +1,47 @@
+"""The performance-model definition language (PMDL) and its compiler.
+
+This package reproduces the paper's "small and dedicated model definition
+language" (derived from mpC's network types) and the compiler that turns a
+model description into the set of functions used by the HMPI runtime.
+"""
+
+from .builder import CallableModel, MatrixModel
+from .compiler import compile_model, compile_source
+from .lint import LintReport, lint_model
+from .interp import ActionVisitor, Environment, Interpreter, Ref, StructValue
+from .lexer import tokenize
+from .model import (
+    AbstractBoundModel,
+    BoundModel,
+    LinearActionVisitor,
+    PerformanceModel,
+    default_scheme_walk,
+)
+from .parser import parse, parse_expression
+from .printer import format_algorithm, format_expression, format_struct, format_unit
+
+__all__ = [
+    "compile_model",
+    "lint_model",
+    "LintReport",
+    "format_algorithm",
+    "format_expression",
+    "format_struct",
+    "format_unit",
+    "compile_source",
+    "parse",
+    "parse_expression",
+    "tokenize",
+    "PerformanceModel",
+    "BoundModel",
+    "AbstractBoundModel",
+    "LinearActionVisitor",
+    "default_scheme_walk",
+    "CallableModel",
+    "MatrixModel",
+    "ActionVisitor",
+    "Interpreter",
+    "Environment",
+    "StructValue",
+    "Ref",
+]

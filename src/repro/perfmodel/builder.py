@@ -1,0 +1,150 @@
+"""Python-native performance models (no DSL required).
+
+Downstream users who prefer plain Python over the mpC-derived language can
+describe the same four features with callables.  A
+:class:`CallableModel` implements the same
+:class:`~repro.perfmodel.model.AbstractBoundModel` interface the HMPI
+runtime consumes, so both kinds of model are interchangeable everywhere
+(``HMPI_Timeof``, ``HMPI_Group_create``, benchmarks, tests).
+
+>>> model = CallableModel(
+...     nproc=4,
+...     node_volume=lambda i: 10.0 * (i + 1),
+...     link_volume=lambda s, d: 1024.0 if s != d else 0.0,
+... )
+>>> model.node_volumes()
+array([10., 20., 30., 40.])
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+
+from ..util.errors import PMDLSemanticError
+from .model import AbstractBoundModel, LinearActionVisitor, default_scheme_walk
+
+__all__ = ["CallableModel", "MatrixModel"]
+
+
+class CallableModel(AbstractBoundModel):
+    """A bound performance model described by Python callables.
+
+    Parameters
+    ----------
+    nproc:
+        Number of abstract processors.
+    node_volume:
+        ``f(i) -> float`` — computation volume of processor ``i`` in
+        benchmark units.
+    link_volume:
+        ``f(src, dst) -> float`` — total bytes from ``src`` to ``dst``.
+    scheme:
+        Optional ``f(visitor)`` replaying the interaction order through
+        ``visitor.compute(percent, proc)`` / ``visitor.transfer(percent,
+        src, dst)``.  Defaults to the canonical transfers-then-computes
+        round.
+    parent:
+        Linear index of the parent processor (default 0).
+    """
+
+    def __init__(
+        self,
+        nproc: int,
+        node_volume: Callable[[int], float],
+        link_volume: Callable[[int, int], float],
+        scheme: Callable[[LinearActionVisitor], None] | None = None,
+        parent: int = 0,
+        name: str = "callable-model",
+    ):
+        if nproc < 1:
+            raise PMDLSemanticError("nproc must be >= 1")
+        if not 0 <= parent < nproc:
+            raise PMDLSemanticError(f"parent {parent} out of range for nproc {nproc}")
+        self.name = name
+        self._nproc = nproc
+        self._node_volume = node_volume
+        self._link_volume = link_volume
+        self._scheme = scheme
+        self._parent = parent
+        self._node_cache: np.ndarray | None = None
+        self._link_cache: np.ndarray | None = None
+
+    @property
+    def nproc(self) -> int:
+        return self._nproc
+
+    def node_volumes(self) -> np.ndarray:
+        if self._node_cache is None:
+            out = np.array([float(self._node_volume(i)) for i in range(self._nproc)])
+            if (out < 0).any():
+                raise PMDLSemanticError("node volumes must be non-negative")
+            self._node_cache = out
+        return self._node_cache
+
+    def link_volumes(self) -> np.ndarray:
+        if self._link_cache is None:
+            n = self._nproc
+            out = np.zeros((n, n), dtype=float)
+            for s in range(n):
+                for d in range(n):
+                    if s != d:
+                        out[s, d] = float(self._link_volume(s, d))
+            if (out < 0).any():
+                raise PMDLSemanticError("link volumes must be non-negative")
+            self._link_cache = out
+        return self._link_cache
+
+    def parent_index(self) -> int:
+        return self._parent
+
+    def walk_scheme(self, visitor: LinearActionVisitor) -> None:
+        if self._scheme is None:
+            default_scheme_walk(self, visitor)
+        else:
+            self._scheme(visitor)
+
+    def __repr__(self) -> str:
+        return f"CallableModel({self.name!r}, nproc={self._nproc})"
+
+
+class MatrixModel(CallableModel):
+    """A bound model given directly as volume arrays.
+
+    Convenient in tests and property-based checks: ``node`` is the
+    per-processor benchmark-unit vector, ``links`` the pairwise byte
+    matrix.
+    """
+
+    def __init__(
+        self,
+        node: Any,
+        links: Any,
+        scheme: Callable[[LinearActionVisitor], None] | None = None,
+        parent: int = 0,
+        name: str = "matrix-model",
+    ):
+        node_arr = np.asarray(node, dtype=float)
+        link_arr = np.asarray(links, dtype=float)
+        if node_arr.ndim != 1:
+            raise PMDLSemanticError("node volumes must be a 1-D vector")
+        n = node_arr.shape[0]
+        if link_arr.shape != (n, n):
+            raise PMDLSemanticError(
+                f"link volumes must be {n}x{n}, got {link_arr.shape}"
+            )
+        super().__init__(
+            nproc=n,
+            node_volume=lambda i: float(node_arr[i]),
+            link_volume=lambda s, d: float(link_arr[s, d]),
+            scheme=scheme,
+            parent=parent,
+            name=name,
+        )
+        # Install caches eagerly; the arrays are the ground truth.
+        self._node_cache = node_arr.copy()
+        link_clean = link_arr.copy()
+        np.fill_diagonal(link_clean, 0.0)
+        self._link_cache = link_clean

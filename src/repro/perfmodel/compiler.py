@@ -1,0 +1,74 @@
+"""The PMDL compiler: source text → :class:`PerformanceModel` handles.
+
+This is the reproduction of the paper's model-definition compiler ("a
+compiler compiles the description of this performance model to generate a
+set of functions [that] make up an algorithm-specific part of the HMPI
+runtime system").  Pipeline: tokenize → parse → semantic check → wrap in a
+:class:`~repro.perfmodel.model.PerformanceModel` whose bound instances
+expose the generated volume/scheme functions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from ..util.errors import PMDLSemanticError
+from . import ast
+from .model import PerformanceModel
+from .parser import parse
+from .semantics import check_algorithm
+
+__all__ = ["compile_source", "compile_model"]
+
+
+def compile_source(
+    source: str,
+    externals: dict[str, Callable[..., Any]] | None = None,
+) -> dict[str, PerformanceModel]:
+    """Compile PMDL source, returning every algorithm it defines by name.
+
+    ``externals`` binds the Python implementations of functions the schemes
+    call (the paper's ``GetProcessor``); the semantic checker requires every
+    called name to be bound.
+    """
+    externals = dict(externals or {})
+    items = parse(source)
+    structs: dict[str, ast.StructDef] = {}
+    models: dict[str, PerformanceModel] = {}
+    for item in items:
+        if isinstance(item, ast.StructDef):
+            if item.name in structs:
+                raise PMDLSemanticError(f"duplicate struct definition {item.name!r}")
+            structs[item.name] = item
+        else:
+            if item.name in models:
+                raise PMDLSemanticError(f"duplicate algorithm definition {item.name!r}")
+            check_algorithm(item, structs, frozenset(externals))
+            models[item.name] = PerformanceModel(item, structs, externals)
+    if not models:
+        raise PMDLSemanticError("source defines no algorithm")
+    return models
+
+
+def compile_model(
+    source: str,
+    externals: dict[str, Callable[..., Any]] | None = None,
+    name: str | None = None,
+) -> PerformanceModel:
+    """Compile PMDL source expected to define one algorithm (or pick by name)."""
+    models = compile_source(source, externals)
+    if name is not None:
+        try:
+            return models[name]
+        except KeyError:
+            raise PMDLSemanticError(
+                f"source defines no algorithm named {name!r}; "
+                f"found {sorted(models)}"
+            ) from None
+    if len(models) != 1:
+        raise PMDLSemanticError(
+            f"source defines {len(models)} algorithms {sorted(models)}; "
+            "pass `name` to choose one"
+        )
+    return next(iter(models.values()))

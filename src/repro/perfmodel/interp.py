@@ -1,0 +1,423 @@
+"""Tree-walking evaluator for PMDL expressions and scheme statements.
+
+Semantics follow C where the paper's models rely on it:
+
+- ``/`` and ``%`` on two integers truncate toward zero (the models write
+  ``(n/l)`` expecting integer division);
+- comparisons yield 0/1 ints;
+- postfix ``++``/``--`` return the old value;
+- ``&x`` passes the *lvalue* to an external function — struct values are
+  mutable records passed directly, scalars are wrapped in a :class:`Ref`
+  the callee can ``set``.
+
+The two action statements are not evaluated for value: they are dispatched
+to an :class:`ActionVisitor`, which is how the HMPI estimator observes the
+algorithm's interaction structure without executing the real program.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from ..mpi.datatypes import sizeof
+from ..util.errors import PMDLRuntimeError
+from . import ast
+
+__all__ = ["StructValue", "Ref", "Environment", "ActionVisitor", "Interpreter"]
+
+
+class StructValue:
+    """A mutable record instance of a ``typedef struct`` type."""
+
+    __slots__ = ("type_name", "fields")
+
+    def __init__(self, type_name: str, field_names: Sequence[str]):
+        self.type_name = type_name
+        self.fields: dict[str, Any] = {name: 0 for name in field_names}
+
+    def get(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise PMDLRuntimeError(
+                f"struct {self.type_name!r} has no field {name!r}"
+            ) from None
+
+    def set(self, name: str, value: Any) -> None:
+        if name not in self.fields:
+            raise PMDLRuntimeError(
+                f"struct {self.type_name!r} has no field {name!r}"
+            )
+        self.fields[name] = value
+
+    def copy(self) -> "StructValue":
+        clone = StructValue(self.type_name, self.fields.keys())
+        clone.fields.update(self.fields)
+        return clone
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"{self.type_name}({inner})"
+
+
+class Ref:
+    """A settable reference to a scalar variable (``&x`` on a non-struct)."""
+
+    __slots__ = ("_get", "_set")
+
+    def __init__(self, getter: Callable[[], Any], setter: Callable[[Any], None]):
+        self._get = getter
+        self._set = setter
+
+    def get(self) -> Any:
+        return self._get()
+
+    def set(self, value: Any) -> None:
+        self._set(value)
+
+
+class Environment:
+    """Lexically scoped variable frames over a read-only parameter base."""
+
+    def __init__(self, base: dict[str, Any] | None = None):
+        self.frames: list[dict[str, Any]] = [dict(base or {})]
+
+    def push(self) -> None:
+        self.frames.append({})
+
+    def pop(self) -> None:
+        if len(self.frames) == 1:
+            raise PMDLRuntimeError("cannot pop the base environment frame")
+        self.frames.pop()
+
+    def declare(self, name: str, value: Any) -> None:
+        self.frames[-1][name] = value
+
+    def lookup(self, name: str) -> Any:
+        for frame in reversed(self.frames):
+            if name in frame:
+                return frame[name]
+        raise PMDLRuntimeError(f"undefined variable {name!r}")
+
+    def assign(self, name: str, value: Any) -> None:
+        for frame in reversed(self.frames):
+            if name in frame:
+                frame[name] = value
+                return
+        raise PMDLRuntimeError(f"assignment to undeclared variable {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(name in frame for frame in self.frames)
+
+
+class ActionVisitor:
+    """Receiver of scheme actions; subclassed by the HMPI estimator.
+
+    Coordinates arrive as raw tuples of coordinate values; translation to
+    linear processor indices is the caller's concern (see
+    :meth:`repro.perfmodel.model.BoundModel.walk_scheme`).
+    """
+
+    def compute(self, percent: float, coords: tuple[int, ...]) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def transfer(self, percent: float, src: tuple[int, ...], dst: tuple[int, ...]) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+def _c_div(a: Any, b: Any) -> Any:
+    """Division with exact-int preservation.
+
+    int/int returns an int when the division is exact and a float
+    otherwise.  This deliberately deviates from C's truncation: the paper's
+    models use ``(n/l)`` where exact divisibility is the intended case, and
+    percent expressions like ``(100/n)`` where C truncation would wreck the
+    estimate (100/54 == 1 in C).  Real division keeps both correct and the
+    estimator smooth across parameter sweeps.
+    """
+    if b == 0:
+        raise PMDLRuntimeError("division by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        q, r = divmod(a, b)
+        return q if r == 0 else a / b
+    return a / b
+
+
+def _c_mod(a: Any, b: Any) -> Any:
+    """C remainder: trunc-toward-zero quotient, so sign follows the dividend."""
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise PMDLRuntimeError("integer modulo by zero")
+        q = abs(a) // abs(b)
+        if (a >= 0) != (b >= 0):
+            q = -q
+        return a - q * b
+    raise PMDLRuntimeError("'%' requires integer operands")
+
+
+_BINOPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _c_div,
+    "%": _c_mod,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    ">": lambda a, b: int(a > b),
+    "<=": lambda a, b: int(a <= b),
+    ">=": lambda a, b: int(a >= b),
+}
+
+_MAX_LOOP_ITERATIONS = 10_000_000  # runaway-scheme safety net
+
+
+class Interpreter:
+    """Evaluates expressions and executes scheme statements.
+
+    Parameters
+    ----------
+    structs:
+        typedef'd struct definitions by name.
+    externals:
+        Python callables invokable from the model (e.g. ``GetProcessor``).
+    """
+
+    def __init__(
+        self,
+        structs: dict[str, ast.StructDef] | None = None,
+        externals: dict[str, Callable[..., Any]] | None = None,
+    ):
+        self.structs = structs or {}
+        self.externals = externals or {}
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def eval(self, expr: ast.Expr, env: Environment) -> Any:
+        method = getattr(self, f"_eval_{type(expr).__name__}", None)
+        if method is None:
+            raise PMDLRuntimeError(
+                f"cannot evaluate {type(expr).__name__} (line {expr.line})"
+            )
+        return method(expr, env)
+
+    def _eval_IntLit(self, e: ast.IntLit, env: Environment) -> int:
+        return e.value
+
+    def _eval_FloatLit(self, e: ast.FloatLit, env: Environment) -> float:
+        return e.value
+
+    def _eval_Name(self, e: ast.Name, env: Environment) -> Any:
+        return env.lookup(e.ident)
+
+    def _eval_Sizeof(self, e: ast.Sizeof, env: Environment) -> int:
+        return sizeof(e.type_name)
+
+    def _eval_Index(self, e: ast.Index, env: Environment) -> Any:
+        base = self.eval(e.base, env)
+        idx = self.eval(e.index, env)
+        try:
+            value = base[idx]
+        except (IndexError, KeyError, TypeError) as exc:
+            raise PMDLRuntimeError(
+                f"bad index {idx!r} (line {e.line}): {exc}"
+            ) from None
+        # NumPy scalar -> Python scalar, so downstream C-division sees ints.
+        if hasattr(value, "item") and getattr(value, "ndim", None) == 0:
+            return value.item()
+        return value
+
+    def _eval_Member(self, e: ast.Member, env: Environment) -> Any:
+        base = self.eval(e.base, env)
+        if not isinstance(base, StructValue):
+            raise PMDLRuntimeError(
+                f"member access on non-struct value (line {e.line})"
+            )
+        return base.get(e.name)
+
+    def _eval_Unary(self, e: ast.Unary, env: Environment) -> Any:
+        v = self.eval(e.operand, env)
+        if e.op == "-":
+            return -v
+        if e.op == "+":
+            return +v
+        if e.op == "!":
+            return int(not v)
+        raise PMDLRuntimeError(f"unknown unary operator {e.op!r}")
+
+    def _eval_Binary(self, e: ast.Binary, env: Environment) -> Any:
+        if e.op == "&&":
+            return int(bool(self.eval(e.left, env)) and bool(self.eval(e.right, env)))
+        if e.op == "||":
+            return int(bool(self.eval(e.left, env)) or bool(self.eval(e.right, env)))
+        fn = _BINOPS.get(e.op)
+        if fn is None:
+            raise PMDLRuntimeError(f"unknown binary operator {e.op!r}")
+        return fn(self.eval(e.left, env), self.eval(e.right, env))
+
+    def _eval_Conditional(self, e: ast.Conditional, env: Environment) -> Any:
+        return self.eval(e.then if self.eval(e.cond, env) else e.otherwise, env)
+
+    def _eval_Assign(self, e: ast.Assign, env: Environment) -> Any:
+        value = self.eval(e.value, env)
+        if e.op != "=":
+            current = self.eval(e.target, env)
+            value = _BINOPS[e.op[0]](current, value)
+        self._store(e.target, value, env)
+        return value
+
+    def _eval_IncDec(self, e: ast.IncDec, env: Environment) -> Any:
+        old = self.eval(e.target, env)
+        self._store(e.target, old + (1 if e.op == "++" else -1), env)
+        return old
+
+    def _eval_AddrOf(self, e: ast.AddrOf, env: Environment) -> Any:
+        target = e.operand
+        value = self.eval(target, env)
+        if isinstance(value, StructValue):
+            return value  # structs are mutable: the reference IS the value
+        return Ref(
+            getter=lambda: self.eval(target, env),
+            setter=lambda v: self._store(target, v, env),
+        )
+
+    def _eval_Call(self, e: ast.Call, env: Environment) -> Any:
+        fn = self.externals.get(e.name)
+        if fn is None:
+            raise PMDLRuntimeError(
+                f"call to unknown external function {e.name!r} (line {e.line})"
+            )
+        args = [self.eval(a, env) for a in e.args]
+        return fn(*args)
+
+    def _store(self, target: ast.Expr, value: Any, env: Environment) -> None:
+        if isinstance(target, ast.Name):
+            env.assign(target.ident, value)
+        elif isinstance(target, ast.Member):
+            base = self.eval(target.base, env)
+            if not isinstance(base, StructValue):
+                raise PMDLRuntimeError(
+                    f"member assignment on non-struct value (line {target.line})"
+                )
+            base.set(target.name, value)
+        elif isinstance(target, ast.Index):
+            base = self.eval(target.base, env)
+            idx = self.eval(target.index, env)
+            try:
+                base[idx] = value
+            except (IndexError, KeyError, TypeError) as exc:
+                raise PMDLRuntimeError(
+                    f"bad index assignment (line {target.line}): {exc}"
+                ) from None
+        else:
+            raise PMDLRuntimeError(
+                f"invalid assignment target {type(target).__name__} (line {target.line})"
+            )
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def exec_block(self, stmts: Sequence[ast.Stmt], env: Environment,
+                   visitor: ActionVisitor) -> None:
+        """Execute a statement list in a fresh scope."""
+        env.push()
+        try:
+            for stmt in stmts:
+                self.exec(stmt, env, visitor)
+        finally:
+            env.pop()
+
+    def exec(self, stmt: ast.Stmt, env: Environment, visitor: ActionVisitor) -> None:
+        method = getattr(self, f"_exec_{type(stmt).__name__}", None)
+        if method is None:
+            raise PMDLRuntimeError(
+                f"cannot execute {type(stmt).__name__} (line {stmt.line})"
+            )
+        method(stmt, env, visitor)
+
+    def _exec_EmptyStmt(self, s: ast.EmptyStmt, env: Environment, visitor: ActionVisitor) -> None:
+        pass
+
+    def _exec_ExprStmt(self, s: ast.ExprStmt, env: Environment, visitor: ActionVisitor) -> None:
+        self.eval(s.expr, env)
+
+    def _exec_Block(self, s: ast.Block, env: Environment, visitor: ActionVisitor) -> None:
+        self.exec_block(s.body, env, visitor)
+
+    def _exec_VarDecl(self, s: ast.VarDecl, env: Environment, visitor: ActionVisitor) -> None:
+        struct_def = self.structs.get(s.type_name)
+        for decl in s.declarators:
+            if struct_def is not None:
+                value: Any = StructValue(s.type_name, [f.name for f in struct_def.fields])
+                if decl.init is not None:
+                    raise PMDLRuntimeError(
+                        f"struct initialisers are not supported (line {s.line})"
+                    )
+            else:
+                value = self.eval(decl.init, env) if decl.init is not None else 0
+            env.declare(decl.name, value)
+
+    def _exec_If(self, s: ast.If, env: Environment, visitor: ActionVisitor) -> None:
+        if self.eval(s.cond, env):
+            self.exec(s.then, env, visitor)
+        elif s.otherwise is not None:
+            self.exec(s.otherwise, env, visitor)
+
+    def _run_loop(self, s: ast.For | ast.Par, env: Environment, visitor: ActionVisitor) -> None:
+        env.push()
+        try:
+            if isinstance(s.init, ast.VarDecl):
+                self._exec_VarDecl(s.init, env, visitor)
+            elif s.init is not None:
+                self.eval(s.init, env)
+            iterations = 0
+            while s.cond is None or self.eval(s.cond, env):
+                self.exec(s.body, env, visitor)
+                if s.update is not None:
+                    self.eval(s.update, env)
+                iterations += 1
+                if iterations > _MAX_LOOP_ITERATIONS:
+                    raise PMDLRuntimeError(
+                        f"loop exceeded {_MAX_LOOP_ITERATIONS} iterations (line {s.line})"
+                    )
+                if s.cond is None and s.update is None and iterations > 0:
+                    raise PMDLRuntimeError(
+                        f"loop with no condition and no update never terminates (line {s.line})"
+                    )
+        finally:
+            env.pop()
+
+    def _exec_For(self, s: ast.For, env: Environment, visitor: ActionVisitor) -> None:
+        self._run_loop(s, env, visitor)
+
+    def _exec_Par(self, s: ast.Par, env: Environment, visitor: ActionVisitor) -> None:
+        # Under the resource-clock timeline model (see repro.core.estimator)
+        # parallel composition is implicit: actions on disjoint resources
+        # never serialise, so `par` executes like `for` while retaining its
+        # documentary meaning.
+        self._run_loop(s, env, visitor)
+
+    def _exec_While(self, s: ast.While, env: Environment, visitor: ActionVisitor) -> None:
+        iterations = 0
+        while self.eval(s.cond, env):
+            self.exec(s.body, env, visitor)
+            iterations += 1
+            if iterations > _MAX_LOOP_ITERATIONS:
+                raise PMDLRuntimeError(
+                    f"while loop exceeded {_MAX_LOOP_ITERATIONS} iterations (line {s.line})"
+                )
+
+    def _exec_ComputeAction(self, s: ast.ComputeAction, env: Environment,
+                            visitor: ActionVisitor) -> None:
+        percent = self.eval(s.percent, env)
+        coords = tuple(int(self.eval(c, env)) for c in s.coords)
+        visitor.compute(float(percent), coords)
+
+    def _exec_TransferAction(self, s: ast.TransferAction, env: Environment,
+                             visitor: ActionVisitor) -> None:
+        percent = self.eval(s.percent, env)
+        src = tuple(int(self.eval(c, env)) for c in s.src)
+        dst = tuple(int(self.eval(c, env)) for c in s.dst)
+        visitor.transfer(float(percent), src, dst)

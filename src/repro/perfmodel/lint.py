@@ -1,0 +1,108 @@
+"""Performance-model consistency linter.
+
+A PMDL model makes two kinds of statements that can silently disagree: the
+*declarative* volumes (``node``/``link``) and the *operational* ``scheme``
+(which performs percentages of those volumes).  A well-formed model's
+scheme performs exactly 100% of every processor's computation and 100% of
+every pair's communication — both paper models do (verified in the test
+suite).  A model whose author got a percentage denominator wrong will
+still compile and estimate, just wrongly; this linter catches that.
+
+>>> report = lint_model(bound_model)
+>>> report.ok
+True
+>>> print(report)                                  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .model import AbstractBoundModel, LinearActionVisitor
+
+__all__ = ["LintReport", "lint_model"]
+
+_TOLERANCE = 1e-6
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting one bound model."""
+
+    issues: list[str] = field(default_factory=list)
+    compute_percent: dict[int, float] = field(default_factory=dict)
+    transfer_percent: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "model is consistent: scheme covers 100% of all volumes"
+        return "model inconsistencies:\n" + "\n".join(f"  - {i}" for i in self.issues)
+
+
+class _Accumulator(LinearActionVisitor):
+    def __init__(self) -> None:
+        self.compute_pct: dict[int, float] = {}
+        self.transfer_pct: dict[tuple[int, int], float] = {}
+        self.negative: list[str] = []
+
+    def compute(self, percent: float, proc: int) -> None:
+        if percent < 0:
+            self.negative.append(f"negative compute percent {percent} on {proc}")
+        self.compute_pct[proc] = self.compute_pct.get(proc, 0.0) + percent
+
+    def transfer(self, percent: float, src: int, dst: int) -> None:
+        if percent < 0:
+            self.negative.append(
+                f"negative transfer percent {percent} on {src}->{dst}"
+            )
+        key = (src, dst)
+        self.transfer_pct[key] = self.transfer_pct.get(key, 0.0) + percent
+
+
+def lint_model(model: AbstractBoundModel, tolerance: float = _TOLERANCE) -> LintReport:
+    """Check that the scheme covers exactly the declared volumes."""
+    acc = _Accumulator()
+    model.walk_scheme(acc)
+    report = LintReport(
+        compute_percent=dict(acc.compute_pct),
+        transfer_percent=dict(acc.transfer_pct),
+    )
+    report.issues.extend(acc.negative)
+
+    node = model.node_volumes()
+    links = model.link_volumes()
+    n = model.nproc
+
+    for proc in range(n):
+        pct = acc.compute_pct.get(proc, 0.0)
+        if node[proc] > 0 and abs(pct - 100.0) > tolerance * 100:
+            report.issues.append(
+                f"processor {proc}: scheme performs {pct:.4f}% of its "
+                f"computation (declared volume {node[proc]:g})"
+            )
+        elif node[proc] == 0 and pct > tolerance * 100:
+            report.issues.append(
+                f"processor {proc}: scheme computes {pct:.4f}% but the "
+                "node declaration gives it zero volume"
+            )
+
+    seen_pairs = set(acc.transfer_pct)
+    for src in range(n):
+        for dst in range(n):
+            declared = links[src, dst]
+            pct = acc.transfer_pct.get((src, dst), 0.0)
+            if declared > 0 and abs(pct - 100.0) > tolerance * 100:
+                report.issues.append(
+                    f"link {src}->{dst}: scheme transfers {pct:.4f}% of the "
+                    f"declared {declared:g} bytes"
+                )
+            elif declared == 0 and (src, dst) in seen_pairs and pct > 0:
+                report.issues.append(
+                    f"link {src}->{dst}: scheme transfers on a pair with "
+                    "zero declared volume"
+                )
+    return report

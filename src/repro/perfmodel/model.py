@@ -1,0 +1,350 @@
+"""Compiled performance models.
+
+A :class:`PerformanceModel` is what the PMDL compiler produces from an
+``algorithm`` definition — the "set of functions" the paper says make up
+the algorithm-specific part of the HMPI runtime.  Binding it to concrete
+parameter values yields a :class:`BoundModel` exposing exactly the four
+features the paper enumerates:
+
+1. the total number of abstract processors (``nproc``);
+2. the computation volume of each processor, in benchmark units
+   (``node_volumes``);
+3. the communication volume between each ordered pair, in bytes
+   (``link_volumes``);
+4. the interaction order (``walk_scheme`` replays the ``scheme`` against an
+   :class:`~repro.perfmodel.interp.ActionVisitor`).
+
+A Python-native alternative (no DSL) implementing the same
+:class:`AbstractBoundModel` interface lives in
+:mod:`repro.perfmodel.builder`; the HMPI estimator and mapper work against
+the interface only.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from ..util.errors import PMDLRuntimeError, PMDLSemanticError
+from . import ast
+from .interp import ActionVisitor, Environment, Interpreter
+
+__all__ = [
+    "AbstractBoundModel",
+    "BoundModel",
+    "PerformanceModel",
+    "LinearActionVisitor",
+    "default_scheme_walk",
+]
+
+
+class AbstractBoundModel(ABC):
+    """What the HMPI runtime needs from any performance model."""
+
+    @property
+    @abstractmethod
+    def nproc(self) -> int:
+        """Total number of abstract processors executing the algorithm."""
+
+    @abstractmethod
+    def node_volumes(self) -> np.ndarray:
+        """Per-processor computation volume in benchmark units, shape (nproc,)."""
+
+    @abstractmethod
+    def link_volumes(self) -> np.ndarray:
+        """Pairwise communication volume in bytes, shape (nproc, nproc);
+        entry [s, d] is the total sent from processor s to processor d."""
+
+    @abstractmethod
+    def parent_index(self) -> int:
+        """Linear index of the parent processor."""
+
+    @abstractmethod
+    def walk_scheme(self, visitor: "LinearActionVisitor") -> None:
+        """Replay the interaction order; falls back to a canonical
+        one-round pattern when no scheme is given."""
+
+
+class LinearActionVisitor:
+    """Visitor over *linear* processor indices (coords already resolved)."""
+
+    def compute(self, percent: float, proc: int) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def transfer(self, percent: float, src: int, dst: int) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class _CoordTranslator(ActionVisitor):
+    """Adapts coordinate-tuple actions to linear-index actions."""
+
+    def __init__(self, model: "BoundModel", inner: LinearActionVisitor):
+        self.model = model
+        self.inner = inner
+
+    def compute(self, percent: float, coords: tuple[int, ...]) -> None:
+        self.inner.compute(percent, self.model.linear_index(coords))
+
+    def transfer(self, percent: float, src: tuple[int, ...], dst: tuple[int, ...]) -> None:
+        self.inner.transfer(percent, self.model.linear_index(src),
+                            self.model.linear_index(dst))
+
+
+def default_scheme_walk(model: AbstractBoundModel, visitor: LinearActionVisitor) -> None:
+    """Canonical interaction for scheme-less models: all transfers in
+    parallel, then all computations in parallel (the EM3D pattern)."""
+    links = model.link_volumes()
+    srcs, dsts = np.nonzero(links)
+    for s, d in zip(srcs.tolist(), dsts.tolist()):
+        visitor.transfer(100.0, s, d)
+    for p in range(model.nproc):
+        visitor.compute(100.0, p)
+
+
+class BoundModel(AbstractBoundModel):
+    """A DSL performance model bound to concrete parameter values."""
+
+    def __init__(self, perf_model: "PerformanceModel", params: dict[str, Any]):
+        self._pm = perf_model
+        self.params = params
+        alg = perf_model.algorithm
+        base = dict(params)
+        interp = perf_model.interpreter
+        env = Environment(base)
+        self._extents: list[int] = []
+        for coord in alg.coords:
+            extent = interp.eval(coord.extent, env)
+            if not isinstance(extent, int) or extent <= 0:
+                raise PMDLRuntimeError(
+                    f"coordinate {coord.name!r} extent must be a positive int, "
+                    f"got {extent!r}"
+                )
+            self._extents.append(extent)
+        self._coord_names = [c.name for c in alg.coords]
+        self._node_volumes: np.ndarray | None = None
+        self._link_volumes: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def nproc(self) -> int:
+        n = 1
+        for e in self._extents:
+            n *= e
+        return n
+
+    @property
+    def extents(self) -> tuple[int, ...]:
+        return tuple(self._extents)
+
+    @property
+    def coord_names(self) -> tuple[str, ...]:
+        return tuple(self._coord_names)
+
+    def linear_index(self, coords: tuple[int, ...]) -> int:
+        """Row-major linear index of a coordinate tuple."""
+        if len(coords) != len(self._extents):
+            raise PMDLRuntimeError(
+                f"expected {len(self._extents)} coordinates, got {coords!r}"
+            )
+        idx = 0
+        for c, e in zip(coords, self._extents):
+            if not 0 <= c < e:
+                raise PMDLRuntimeError(
+                    f"coordinate {coords!r} out of range for extents {self._extents}"
+                )
+            idx = idx * e + c
+        return idx
+
+    def coords_of(self, index: int) -> tuple[int, ...]:
+        """Inverse of :meth:`linear_index`."""
+        if not 0 <= index < self.nproc:
+            raise PMDLRuntimeError(f"processor index {index} out of range")
+        coords = []
+        for e in reversed(self._extents):
+            coords.append(index % e)
+            index //= e
+        return tuple(reversed(coords))
+
+    def _coord_env(self, coords: tuple[int, ...]) -> Environment:
+        env = Environment(self.params)
+        for name, value in zip(self._coord_names, coords):
+            env.declare(name, value)
+        return env
+
+    # ------------------------------------------------------------------
+    # the four model features
+    # ------------------------------------------------------------------
+    def node_volumes(self) -> np.ndarray:
+        if self._node_volumes is None:
+            interp = self._pm.interpreter
+            out = np.zeros(self.nproc, dtype=float)
+            for coords in itertools.product(*(range(e) for e in self._extents)):
+                env = self._coord_env(coords)
+                for rule in self._pm.algorithm.node_rules:
+                    if interp.eval(rule.condition, env):
+                        out[self.linear_index(coords)] = float(
+                            interp.eval(rule.volume, env)
+                        )
+                        break
+            self._node_volumes = out
+        return self._node_volumes
+
+    def link_volumes(self) -> np.ndarray:
+        """Pairwise byte volumes.
+
+        Each link rule *asserts* the volume for the (source, destination)
+        pair it names: re-assertions from link-variable values the rule does
+        not use overwrite with the same value rather than accumulating.
+        Distinct rules (e.g. matrix A vs matrix B traffic) accumulate.
+        """
+        if self._link_volumes is None:
+            interp = self._pm.interpreter
+            alg = self._pm.algorithm
+            n = self.nproc
+            out = np.zeros((n, n), dtype=float)
+            env0 = Environment(self.params)
+            link_extents = [interp.eval(lv.extent, env0) for lv in alg.link_vars]
+            for ext, lv in zip(link_extents, alg.link_vars):
+                if not isinstance(ext, int) or ext <= 0:
+                    raise PMDLRuntimeError(
+                        f"link variable {lv.name!r} extent must be a positive int"
+                    )
+            for rule_idx, rule in enumerate(alg.link_rules):
+                asserted: dict[tuple[int, int], float] = {}
+                for coords in itertools.product(*(range(e) for e in self._extents)):
+                    env = self._coord_env(coords)
+                    for lv_values in itertools.product(*(range(e) for e in link_extents)):
+                        env.push()
+                        try:
+                            for lv, value in zip(alg.link_vars, lv_values):
+                                env.declare(lv.name, value)
+                            if not interp.eval(rule.condition, env):
+                                continue
+                            src = tuple(int(interp.eval(c, env)) for c in rule.src)
+                            dst = tuple(int(interp.eval(c, env)) for c in rule.dst)
+                            volume = float(interp.eval(rule.volume, env))
+                            key = (self.linear_index(src), self.linear_index(dst))
+                            asserted[key] = volume
+                        finally:
+                            env.pop()
+                for (s, d), volume in asserted.items():
+                    out[s, d] += volume
+            self._link_volumes = out
+        return self._link_volumes
+
+    def parent_index(self) -> int:
+        alg = self._pm.algorithm
+        if alg.parent is None:
+            return 0
+        interp = self._pm.interpreter
+        env = Environment(self.params)
+        coords = tuple(int(interp.eval(c, env)) for c in alg.parent.coords)
+        return self.linear_index(coords)
+
+    def walk_scheme(self, visitor: LinearActionVisitor) -> None:
+        alg = self._pm.algorithm
+        if alg.scheme is None:
+            default_scheme_walk(self, visitor)
+            return
+        interp = self._pm.interpreter
+        # Coordinate names are not in scope inside a scheme — it describes
+        # all processors at once; only the parameters are visible.
+        env = Environment(self.params)
+        translator = _CoordTranslator(self, visitor)
+        interp.exec_block(alg.scheme.body, env, translator)
+
+
+class PerformanceModel:
+    """A compiled ``algorithm`` definition plus its execution context.
+
+    Equivalent to the handle the paper passes around as
+    ``const HMPI_Model*`` — it encapsulates the generated functions.
+    """
+
+    def __init__(
+        self,
+        algorithm: ast.Algorithm,
+        structs: dict[str, ast.StructDef] | None = None,
+        externals: dict[str, Callable[..., Any]] | None = None,
+    ):
+        self.algorithm = algorithm
+        self.structs = dict(structs or {})
+        self.externals = dict(externals or {})
+        self.interpreter = Interpreter(self.structs, self.externals)
+
+    @property
+    def name(self) -> str:
+        return self.algorithm.name
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.algorithm.params)
+
+    def register_external(self, name: str, fn: Callable[..., Any]) -> None:
+        """Bind a Python callable invokable from the scheme (e.g. GetProcessor)."""
+        self.externals[name] = fn
+        self.interpreter.externals[name] = fn
+
+    def bind(self, *args: Any, **kwargs: Any) -> BoundModel:
+        """Bind parameter values (positionally, by name, or mixed).
+
+        Array parameters accept nested sequences or NumPy arrays; declared
+        dimensions are validated against the scalar parameters they
+        reference.
+        """
+        alg = self.algorithm
+        params: dict[str, Any] = {}
+        if len(args) > len(alg.params):
+            raise PMDLSemanticError(
+                f"{self.name} takes {len(alg.params)} parameters, got {len(args)}"
+            )
+        for p, value in zip(alg.params, args):
+            params[p.name] = value
+        for name, value in kwargs.items():
+            if name not in self.param_names:
+                raise PMDLSemanticError(f"{self.name} has no parameter {name!r}")
+            if name in params:
+                raise PMDLSemanticError(f"parameter {name!r} given twice")
+            params[name] = value
+        missing = [p.name for p in alg.params if p.name not in params]
+        if missing:
+            raise PMDLSemanticError(f"{self.name} missing parameters: {missing}")
+        self._validate(params)
+        return BoundModel(self, params)
+
+    def _validate(self, params: dict[str, Any]) -> None:
+        interp = self.interpreter
+        env = Environment(params)
+        for p in self.algorithm.params:
+            value = params[p.name]
+            if not p.dims:
+                if isinstance(value, (bool, float)) and p.type_name == "int":
+                    raise PMDLSemanticError(
+                        f"parameter {p.name!r} must be an int, got {value!r}"
+                    )
+                continue
+            arr = np.asarray(value)
+            if arr.ndim != len(p.dims):
+                raise PMDLSemanticError(
+                    f"parameter {p.name!r} must have {len(p.dims)} dimensions, "
+                    f"got {arr.ndim}"
+                )
+            for axis, dim_expr in enumerate(p.dims):
+                expected = interp.eval(dim_expr, env)
+                if arr.shape[axis] != expected:
+                    raise PMDLSemanticError(
+                        f"parameter {p.name!r} axis {axis} must have length "
+                        f"{expected}, got {arr.shape[axis]}"
+                    )
+            # Store as an ndarray so multi-dim indexing a[i][j] works and
+            # element reads come back as Python scalars via the interpreter.
+            params[p.name] = arr
+
+    def __repr__(self) -> str:
+        return f"PerformanceModel({self.name!r}, params={list(self.param_names)})"

@@ -1,0 +1,191 @@
+"""PMDL source regeneration (pretty-printer).
+
+Turns an AST back into compilable PMDL source.  Used for tooling (show the
+user the model the runtime actually compiled), debugging, and — most
+importantly — the round-trip property tests: ``parse(print(parse(src)))``
+must produce an equivalent AST for every model, which pins down both the
+parser and this printer.
+
+Output is canonical rather than byte-identical to the input: fixed
+indentation, fully parenthesised binary expressions (so precedence never
+needs re-deriving), one statement per line.
+"""
+
+from __future__ import annotations
+
+from ..util.errors import PMDLError
+from . import ast
+
+__all__ = ["format_algorithm", "format_struct", "format_expression", "format_unit"]
+
+_INDENT = "  "
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+
+def format_expression(e: ast.Expr) -> str:
+    if isinstance(e, ast.IntLit):
+        return str(e.value)
+    if isinstance(e, ast.FloatLit):
+        return repr(e.value)
+    if isinstance(e, ast.Name):
+        return e.ident
+    if isinstance(e, ast.Index):
+        return f"{format_expression(e.base)}[{format_expression(e.index)}]"
+    if isinstance(e, ast.Member):
+        return f"{format_expression(e.base)}.{e.name}"
+    if isinstance(e, ast.Unary):
+        return f"{e.op}({format_expression(e.operand)})"
+    if isinstance(e, ast.AddrOf):
+        return f"&{format_expression(e.operand)}"
+    if isinstance(e, ast.Binary):
+        return (f"({format_expression(e.left)} {e.op} "
+                f"{format_expression(e.right)})")
+    if isinstance(e, ast.Conditional):
+        return (f"({format_expression(e.cond)} ? {format_expression(e.then)}"
+                f" : {format_expression(e.otherwise)})")
+    if isinstance(e, ast.Assign):
+        return f"{format_expression(e.target)} {e.op} {format_expression(e.value)}"
+    if isinstance(e, ast.IncDec):
+        return f"{format_expression(e.target)}{e.op}"
+    if isinstance(e, ast.Call):
+        args = ", ".join(format_expression(a) for a in e.args)
+        return f"{e.name}({args})"
+    if isinstance(e, ast.Sizeof):
+        return f"sizeof({e.type_name})"
+    raise PMDLError(f"cannot print expression {type(e).__name__}")
+
+
+def _coords(coords: list[ast.Expr]) -> str:
+    return "[" + ", ".join(format_expression(c) for c in coords) + "]"
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+
+def _format_stmt(s: ast.Stmt, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(s, ast.EmptyStmt):
+        return [pad + ";"]
+    if isinstance(s, ast.ExprStmt):
+        return [pad + format_expression(s.expr) + ";"]
+    if isinstance(s, ast.VarDecl):
+        decls = ", ".join(
+            d.name if d.init is None
+            else f"{d.name} = {format_expression(d.init)}"
+            for d in s.declarators
+        )
+        return [f"{pad}{s.type_name} {decls};"]
+    if isinstance(s, ast.Block):
+        lines = [pad + "{"]
+        for inner in s.body:
+            lines.extend(_format_stmt(inner, depth + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(s, ast.If):
+        lines = [f"{pad}if ({format_expression(s.cond)})"]
+        lines.extend(_format_stmt(s.then, depth + 1))
+        if s.otherwise is not None:
+            lines.append(pad + "else")
+            lines.extend(_format_stmt(s.otherwise, depth + 1))
+        return lines
+    if isinstance(s, (ast.For, ast.Par)):
+        keyword = "par" if isinstance(s, ast.Par) else "for"
+        if isinstance(s.init, ast.VarDecl):
+            init = _format_stmt(s.init, 0)[0].rstrip(";")
+        elif s.init is not None:
+            init = format_expression(s.init)
+        else:
+            init = ""
+        cond = format_expression(s.cond) if s.cond is not None else ""
+        update = format_expression(s.update) if s.update is not None else ""
+        lines = [f"{pad}{keyword} ({init}; {cond}; {update})"]
+        lines.extend(_format_stmt(s.body, depth + 1))
+        return lines
+    if isinstance(s, ast.While):
+        lines = [f"{pad}while ({format_expression(s.cond)})"]
+        lines.extend(_format_stmt(s.body, depth + 1))
+        return lines
+    if isinstance(s, ast.ComputeAction):
+        return [f"{pad}({format_expression(s.percent)})%%{_coords(s.coords)};"]
+    if isinstance(s, ast.TransferAction):
+        return [f"{pad}({format_expression(s.percent)})%%"
+                f"{_coords(s.src)}->{_coords(s.dst)};"]
+    raise PMDLError(f"cannot print statement {type(s).__name__}")
+
+
+# ----------------------------------------------------------------------
+# top level
+# ----------------------------------------------------------------------
+
+def format_struct(s: ast.StructDef) -> str:
+    fields = " ".join(f"{f.type_name} {f.name};" for f in s.fields)
+    return f"typedef struct {{{fields}}} {s.name};"
+
+
+def format_algorithm(alg: ast.Algorithm) -> str:
+    """Canonical PMDL source of one algorithm definition."""
+    params = ", ".join(
+        p.type_name + " " + p.name
+        + "".join(f"[{format_expression(d)}]" for d in p.dims)
+        for p in alg.params
+    )
+    lines = [f"algorithm {alg.name}({params}) {{"]
+
+    coords = ", ".join(
+        f"{c.name}={format_expression(c.extent)}" for c in alg.coords
+    )
+    lines.append(f"{_INDENT}coord {coords};")
+
+    if alg.node_rules:
+        lines.append(_INDENT + "node {")
+        for rule in alg.node_rules:
+            lines.append(
+                f"{_INDENT * 2}{format_expression(rule.condition)} : "
+                f"bench*({format_expression(rule.volume)});"
+            )
+        lines.append(_INDENT + "};")
+
+    if alg.link_rules:
+        header = _INDENT + "link"
+        if alg.link_vars:
+            vars_ = ", ".join(
+                f"{v.name}={format_expression(v.extent)}" for v in alg.link_vars
+            )
+            header += f" ({vars_})"
+        lines.append(header + " {")
+        for rule in alg.link_rules:
+            lines.append(
+                f"{_INDENT * 2}{format_expression(rule.condition)} : "
+                f"length*({format_expression(rule.volume)}) "
+                f"{_coords(rule.src)}->{_coords(rule.dst)};"
+            )
+        lines.append(_INDENT + "};")
+
+    if alg.parent is not None:
+        lines.append(f"{_INDENT}parent{_coords(alg.parent.coords)};")
+
+    if alg.scheme is not None:
+        lines.append(_INDENT + "scheme {")
+        for stmt in alg.scheme.body:
+            lines.extend(_format_stmt(stmt, 2))
+        lines.append(_INDENT + "};")
+
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_unit(items: list) -> str:
+    """Canonical source of a whole parsed unit (structs + algorithms)."""
+    parts = []
+    for item in items:
+        if isinstance(item, ast.StructDef):
+            parts.append(format_struct(item))
+        elif isinstance(item, ast.Algorithm):
+            parts.append(format_algorithm(item))
+        else:
+            raise PMDLError(f"cannot print top-level {type(item).__name__}")
+    return "\n\n".join(parts)

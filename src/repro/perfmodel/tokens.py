@@ -1,0 +1,59 @@
+"""Token definitions for the performance-model definition language (PMDL).
+
+The PMDL is the mpC-derived language of the paper's Figures 4 and 7:
+C-like expressions and declarations plus the dedicated constructs
+``algorithm``, ``coord``, ``node``, ``link``, ``parent``, ``scheme``,
+``par``, ``bench``, ``length`` and the action operator ``%%``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+__all__ = ["TokenKind", "Token", "KEYWORDS", "PUNCTUATION"]
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    INT = auto()
+    FLOAT = auto()
+    KEYWORD = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+#: Reserved words.  ``bench`` and ``length`` are the paper's unit markers;
+#: ``par`` is the parallel algorithmic pattern; the C keywords cover the
+#: declaration/statement subset the example models use.
+KEYWORDS = frozenset({
+    "algorithm", "coord", "node", "link", "parent", "scheme",
+    "bench", "length", "par", "for", "if", "else", "while",
+    "int", "double", "float", "long", "char", "void",
+    "typedef", "struct", "sizeof", "return", "break", "continue",
+})
+
+#: Multi-character punctuation first (longest match wins in the lexer).
+PUNCTUATION = (
+    "%%", "->", "++", "--", "&&", "||", "==", "!=", "<=", ">=",
+    "+=", "-=", "*=", "/=",
+    "(", ")", "{", "}", "[", "]", ";", ",", ":", ".", "?",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == word
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == TokenKind.PUNCT and self.text == text
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

@@ -1,0 +1,62 @@
+"""Cross-cutting utilities: errors, validation, deterministic RNG, tables."""
+
+from .errors import (
+    ClusterError,
+    DeadlockError,
+    HMPIError,
+    HMPIStateError,
+    MachineFailure,
+    MappingError,
+    MPICommError,
+    MPIError,
+    MPIGroupError,
+    MPITruncationError,
+    PMDLError,
+    PMDLRuntimeError,
+    PMDLSemanticError,
+    PMDLSyntaxError,
+    ReproError,
+)
+from .gantt import render_gantt, utilization
+from .rng import DEFAULT_SEED, make_rng, spawn_rng
+from .tables import Table, format_series, format_table
+from .validate import (
+    check_length,
+    check_nonnegative,
+    check_positive,
+    check_rank,
+    check_square_matrix_of,
+    require,
+)
+
+__all__ = [
+    "ReproError",
+    "ClusterError",
+    "MPIError",
+    "MPICommError",
+    "MPIGroupError",
+    "MPITruncationError",
+    "DeadlockError",
+    "MachineFailure",
+    "PMDLError",
+    "PMDLSyntaxError",
+    "PMDLSemanticError",
+    "PMDLRuntimeError",
+    "HMPIError",
+    "HMPIStateError",
+    "MappingError",
+    "make_rng",
+    "spawn_rng",
+    "DEFAULT_SEED",
+    "Table",
+    "render_gantt",
+    "utilization",
+    "format_table",
+    "format_series",
+    "require",
+    "check_positive",
+    "check_nonnegative",
+    "check_rank",
+    "check_length",
+    "check_square_matrix_of",
+]

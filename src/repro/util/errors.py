@@ -1,0 +1,98 @@
+"""Exception hierarchy shared by every subsystem of the HMPI reproduction.
+
+The hierarchy mirrors the layering of the library: the cluster simulator,
+the MPI substrate, the performance-model language, and the HMPI runtime each
+raise their own subclass of :class:`ReproError`, so callers can catch at the
+granularity they need (``except MPIError`` for substrate problems, ``except
+ReproError`` for anything raised by this package).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ClusterError",
+    "MPIError",
+    "MPICommError",
+    "MPIGroupError",
+    "MPITruncationError",
+    "DeadlockError",
+    "MachineFailure",
+    "PMDLError",
+    "PMDLSyntaxError",
+    "PMDLSemanticError",
+    "PMDLRuntimeError",
+    "HMPIError",
+    "HMPIStateError",
+    "MappingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ClusterError(ReproError):
+    """Invalid cluster topology or machine/link configuration."""
+
+
+class MPIError(ReproError):
+    """Base class for errors raised by the simulated MPI substrate."""
+
+
+class MPICommError(MPIError):
+    """Invalid communicator usage (bad rank, freed comm, wrong context)."""
+
+
+class MPIGroupError(MPIError):
+    """Invalid group construction or accessor usage."""
+
+
+class MPITruncationError(MPIError):
+    """A receive buffer was too small for the matched message."""
+
+
+class DeadlockError(MPIError):
+    """The deadlock watchdog concluded no rank can make progress."""
+
+
+class MachineFailure(MPIError):
+    """Raised inside a rank whose machine failed (fault injection)."""
+
+    def __init__(self, machine: str, vtime: float):
+        super().__init__(f"machine {machine!r} failed at virtual time {vtime:.6f}")
+        self.machine = machine
+        self.vtime = vtime
+
+
+class PMDLError(ReproError):
+    """Base class for performance-model definition language errors."""
+
+
+class PMDLSyntaxError(PMDLError):
+    """Tokenizer/parser error, carrying source position information."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class PMDLSemanticError(PMDLError):
+    """Model is syntactically valid but semantically inconsistent."""
+
+
+class PMDLRuntimeError(PMDLError):
+    """Error while evaluating a compiled performance model."""
+
+
+class HMPIError(ReproError):
+    """Base class for HMPI runtime errors."""
+
+
+class HMPIStateError(HMPIError):
+    """An HMPI operation was called in the wrong runtime state."""
+
+
+class MappingError(HMPIError):
+    """No feasible mapping of abstract processors to machines exists."""

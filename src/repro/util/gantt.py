@@ -1,0 +1,63 @@
+"""Text Gantt charts from execution traces.
+
+Renders a :class:`repro.mpi.tracing.Tracer`'s events as one row of fixed
+width per rank: ``#`` for computation, ``s`` for send activity, ``.`` for
+waiting in a receive, space for idle.  Meant for terminals, docstrings and
+tests — a ten-second way to *see* why one group beats another.
+
+>>> print(render_gantt(tracer, width=60))          # doctest: +SKIP
+rank 0 |######s.....######                        | 12.3s
+rank 1 |..........########################        | 12.3s
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..mpi.tracing import Tracer
+
+__all__ = ["render_gantt", "utilization"]
+
+#: Priority of glyphs when activities overlap within one cell.
+_GLYPHS = {"compute": "#", "send": "s", "recv": "."}
+_PRIORITY = {"#": 3, "s": 2, ".": 1, " ": 0}
+
+
+def render_gantt(tracer: "Tracer", width: int = 72,
+                 t_end: float | None = None) -> str:
+    """Render the trace as one fixed-width text row per rank."""
+    if len(tracer) == 0:
+        return "(empty trace)"
+    t_end = tracer.makespan() if t_end is None else t_end
+    if t_end <= 0:
+        return "(trace has no duration)"
+    nranks = tracer.nranks()
+    scale = width / t_end
+
+    lines = []
+    for rank in range(nranks):
+        cells = [" "] * width
+        for e in tracer.of_rank(rank):
+            glyph = _GLYPHS.get(e.kind)
+            if glyph is None:
+                continue
+            c0 = min(width - 1, int(e.t0 * scale))
+            c1 = min(width - 1, int(e.t1 * scale))
+            if c1 < c0:
+                c0, c1 = c1, c0
+            for c in range(c0, c1 + 1):
+                if _PRIORITY[glyph] > _PRIORITY[cells[c]]:
+                    cells[c] = glyph
+        finish = max((e.t1 for e in tracer.of_rank(rank)), default=0.0)
+        lines.append(f"rank {rank:2d} |{''.join(cells)}| {finish:.3f}s")
+    legend = "        (# compute, s send, . recv-wait, blank idle)"
+    return "\n".join(lines + [legend])
+
+
+def utilization(tracer: "Tracer", rank: int, t_end: float | None = None) -> float:
+    """Fraction of the run this rank spent in modelled computation."""
+    t_end = tracer.makespan() if t_end is None else t_end
+    if t_end <= 0:
+        return 0.0
+    return tracer.total_compute_seconds(rank) / t_end

@@ -1,0 +1,30 @@
+"""Deterministic random-number helpers.
+
+Everything stochastic in the reproduction — workload generation, external
+load models, fault schedules — draws from a :class:`numpy.random.Generator`
+seeded explicitly, so every experiment in EXPERIMENTS.md is re-runnable
+bit-for-bit.  ``Date``/wall-clock seeding is deliberately unsupported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rng", "DEFAULT_SEED"]
+
+DEFAULT_SEED = 20030422  # IPPS 2003, Nice, France — April 22-26.
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a PCG64 generator seeded with ``seed`` (default fixed seed)."""
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+
+
+def spawn_rng(rng: np.random.Generator, key: int) -> np.random.Generator:
+    """Derive an independent child stream from ``rng`` identified by ``key``.
+
+    Used to give each machine / each workload component its own stream so
+    that adding one component does not perturb the draws of the others.
+    """
+    seed = int(rng.integers(0, 2**63 - 1)) ^ (key * 0x9E3779B97F4A7C15 % 2**63)
+    return np.random.default_rng(seed)

@@ -1,0 +1,151 @@
+"""The heterogeneous generalized-block distribution [6]."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul.distribution import (
+    BlockDistribution,
+    heights_tensor,
+    heterogeneous_distribution,
+    homogeneous_distribution,
+    partition_generalized_block,
+    proportional_partition,
+)
+from repro.util.errors import ReproError
+
+
+class TestProportionalPartition:
+    def test_sums_to_total(self):
+        parts = proportional_partition(10, np.array([1.0, 2.0, 3.0]))
+        assert parts.sum() == 10
+
+    def test_proportionality(self):
+        parts = proportional_partition(60, np.array([1.0, 2.0, 3.0]))
+        assert parts.tolist() == [10, 20, 30]
+
+    def test_minimum_respected(self):
+        parts = proportional_partition(5, np.array([1000.0, 1.0, 1.0]))
+        assert (parts >= 1).all()
+        assert parts.sum() == 5
+
+    def test_total_too_small(self):
+        with pytest.raises(ReproError):
+            proportional_partition(2, np.array([1.0, 1.0, 1.0]))
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ReproError):
+            proportional_partition(5, np.array([1.0, 0.0]))
+
+    def test_monotone_in_weights(self):
+        parts = proportional_partition(20, np.array([1.0, 5.0, 10.0]))
+        assert parts[0] <= parts[1] <= parts[2]
+
+
+class TestPartitionGeneralizedBlock:
+    def test_paper_two_stage_balancing(self):
+        speeds = np.array([[4.0, 1.0], [4.0, 1.0]])
+        w, heights = partition_generalized_block(10, speeds)
+        # columns sums 8 vs 2 -> widths 8 and 2
+        assert w.tolist() == [8, 2]
+        # within each column speeds equal -> heights 5/5
+        assert heights[:, 0].tolist() == [5, 5]
+
+    def test_heights_sum_to_l_per_column(self):
+        rng = np.random.default_rng(0)
+        speeds = rng.uniform(1, 100, (3, 3))
+        w, heights = partition_generalized_block(12, speeds)
+        assert w.sum() == 12
+        assert (heights.sum(axis=0) == 12).all()
+
+    def test_l_less_than_m_rejected(self):
+        with pytest.raises(ReproError):
+            partition_generalized_block(2, np.ones((3, 3)))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ReproError):
+            partition_generalized_block(5, np.ones((2, 3)))
+
+
+class TestHeightsTensor:
+    def test_own_height_on_diagonal(self):
+        heights = np.array([[2, 3], [4, 3]])
+        h4 = heights_tensor(heights)
+        for i in range(2):
+            for j in range(2):
+                assert h4[i, j, i, j] == heights[i, j]
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        speeds = rng.uniform(1, 10, (3, 3))
+        _, heights = partition_generalized_block(9, speeds)
+        h4 = heights_tensor(heights)
+        assert (h4 == h4.transpose(2, 3, 0, 1)).all()
+
+    def test_same_column_disjoint_rows(self):
+        heights = np.array([[2, 1], [4, 5]])
+        h4 = heights_tensor(heights)
+        # Different row slices in the same column never overlap.
+        assert h4[0, 0, 1, 0] == 0
+        assert h4[0, 1, 1, 1] == 0
+
+    def test_overlap_totals(self):
+        """Summing overlaps of R_IJ with all rectangles of another column
+        recovers R_IJ's own height (partition completeness)."""
+        rng = np.random.default_rng(2)
+        speeds = rng.uniform(1, 10, (3, 3))
+        _, heights = partition_generalized_block(12, speeds)
+        h4 = heights_tensor(heights)
+        for i in range(3):
+            for j in range(3):
+                for other in range(3):
+                    assert h4[i, j, :, other].sum() == heights[i, j]
+
+
+class TestBlockDistribution:
+    def test_homogeneous_is_block_cyclic(self):
+        dist = homogeneous_distribution(6, 2)
+        # owner of (i, j) = (i % 2, j % 2)
+        for i in range(6):
+            for j in range(6):
+                assert dist.owner(i, j) == (i % 2, j % 2)
+
+    def test_blocks_partition_matrix(self):
+        speeds = np.array([[4.0, 1.0], [2.0, 3.0]])
+        dist = heterogeneous_distribution(8, 4, speeds)
+        seen = set()
+        for g in range(4):
+            blocks = dist.blocks_of(g)
+            assert len(blocks) == dist.area(g)
+            for b in blocks:
+                assert b not in seen
+                seen.add(b)
+        assert len(seen) == 64
+
+    def test_owner_rank_consistent_with_blocks_of(self):
+        speeds = np.array([[4.0, 1.0], [2.0, 3.0]])
+        dist = heterogeneous_distribution(8, 4, speeds)
+        for g in range(4):
+            for (i, j) in dist.blocks_of(g):
+                assert dist.owner_rank(i, j) == g
+
+    def test_areas_track_speeds(self):
+        speeds = np.array([[10.0, 1.0], [10.0, 1.0]])
+        dist = heterogeneous_distribution(12, 12, speeds)
+        fast = dist.area(0)   # (0,0): speed 10
+        slow = dist.area(1)   # (0,1): speed 1
+        assert fast > 3 * slow
+
+    def test_n_not_multiple_of_l_rejected(self):
+        with pytest.raises(ReproError):
+            BlockDistribution(n=7, l=2, w=(1, 1), heights_matrix=((1, 1), (1, 1)))
+
+    def test_h4_matches_heights_tensor(self):
+        speeds = np.array([[4.0, 1.0], [2.0, 3.0]])
+        dist = heterogeneous_distribution(8, 4, speeds)
+        assert (dist.h4() == heights_tensor(dist.heights)).all()
+
+    def test_rows_and_cols_owned(self):
+        dist = homogeneous_distribution(4, 2)
+        assert dist.rows_owned_in_column(0, 0) == [0]
+        assert dist.rows_owned_in_column(1, 0) == [1]
+        assert dist.cols_owned(1) == [1]

@@ -1,0 +1,96 @@
+"""Parallel EM3D: MPI baseline vs HMPI — correctness and the paper's claim."""
+
+import pytest
+
+from repro.apps.em3d import generate_problem, run_em3d_hmpi, run_em3d_mpi
+from repro.cluster import homogeneous_network, paper_network
+from repro.util.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return generate_problem(p=6, total_nodes=6_000, seed=2)
+
+
+@pytest.fixture(scope="module")
+def paper9():
+    return generate_problem(p=9, total_nodes=9_000, seed=1)
+
+
+class TestCorrectness:
+    def test_mpi_and_hmpi_identical_numerics(self, problem):
+        """Placement must not affect the physics: bit-identical checksums."""
+        mpi = run_em3d_mpi(paper_network(), problem, niter=3, k=100)
+        hmpi = run_em3d_hmpi(paper_network(), problem, niter=3, k=100)
+        assert mpi.checksum == hmpi.checksum
+
+    def test_fewer_subbodies_than_machines(self, problem):
+        res = run_em3d_mpi(paper_network(), problem, niter=2, k=100)
+        assert len(res.group_world_ranks) == 6
+
+    def test_too_many_subbodies_rejected(self):
+        big = generate_problem(p=5, total_nodes=1_000, seed=0)
+        with pytest.raises(ReproError):
+            run_em3d_mpi(homogeneous_network(3), big, niter=1, k=10)
+        with pytest.raises(ReproError):
+            run_em3d_hmpi(homogeneous_network(3), big, niter=1, k=10)
+
+    def test_checksum_independent_of_niter_split(self, problem):
+        """Two runs of the same config agree (determinism)."""
+        a = run_em3d_hmpi(paper_network(), problem, niter=3, k=100)
+        b = run_em3d_hmpi(paper_network(), problem, niter=3, k=100)
+        assert a.checksum == b.checksum
+        assert a.algorithm_time == pytest.approx(b.algorithm_time)
+
+
+class TestPaperClaim:
+    def test_hmpi_faster_on_heterogeneous_network(self, paper9):
+        mpi = run_em3d_mpi(paper_network(), paper9, niter=4, k=100)
+        hmpi = run_em3d_hmpi(paper_network(), paper9, niter=4, k=100)
+        speedup = mpi.algorithm_time / hmpi.algorithm_time
+        # Paper Figure 9(b): ~1.5x.  Anything clearly above 1.2 passes.
+        assert speedup > 1.2
+
+    def test_group_keeps_parent_on_host(self, paper9):
+        hmpi = run_em3d_hmpi(paper_network(), paper9, niter=2, k=100)
+        assert hmpi.group_world_ranks[0] == 0
+
+    def test_prediction_close_to_measurement(self, paper9):
+        hmpi = run_em3d_hmpi(paper_network(), paper9, niter=4, k=100)
+        assert hmpi.predicted_time == pytest.approx(
+            hmpi.algorithm_time, rel=0.15
+        )
+
+    def test_no_gain_on_homogeneous_network(self, problem):
+        """Control: with identical machines HMPI cannot beat MPI by much."""
+        cluster_a = homogeneous_network(6, speed=50.0)
+        cluster_b = homogeneous_network(6, speed=50.0)
+        mpi = run_em3d_mpi(cluster_a, problem, niter=3, k=100)
+        hmpi = run_em3d_hmpi(cluster_b, problem, niter=3, k=100)
+        assert hmpi.algorithm_time == pytest.approx(mpi.algorithm_time, rel=0.05)
+
+
+class TestProcsPerMachine:
+    def test_two_slots_beat_one(self, paper9):
+        one = run_em3d_hmpi(paper_network(), paper9, niter=3, k=100,
+                            procs_per_machine=1)
+        two = run_em3d_hmpi(paper_network(), paper9, niter=3, k=100,
+                            procs_per_machine=2)
+        assert two.algorithm_time <= one.algorithm_time + 1e-9
+        assert two.checksum == one.checksum
+
+    def test_slow_machine_skipped_with_slack(self, paper9):
+        two = run_em3d_hmpi(paper_network(), paper9, niter=2, k=100,
+                            procs_per_machine=2)
+        # machine index 8 has speed 9; with 18 slots the mapper avoids it
+        assert 8 not in two.group_machines
+
+    def test_invalid_ppm(self, paper9):
+        with pytest.raises(ReproError):
+            run_em3d_hmpi(paper_network(), paper9, niter=1, k=100,
+                          procs_per_machine=0)
+
+    def test_prediction_holds_with_colocation(self, paper9):
+        two = run_em3d_hmpi(paper_network(), paper9, niter=3, k=100,
+                            procs_per_machine=2)
+        assert two.predicted_time == pytest.approx(two.algorithm_time, rel=0.15)

@@ -1,0 +1,113 @@
+"""Parallel matrix multiplication: numerics against NumPy ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul.algorithm import (
+    assemble_matrix,
+    matmul_algorithm,
+    matrix_block,
+    reference_product,
+)
+from repro.apps.matmul.distribution import (
+    heterogeneous_distribution,
+    homogeneous_distribution,
+)
+from repro.cluster import homogeneous_network
+from repro.mpi import run_mpi
+
+
+def gathered_product(dist, r, seed, cluster=None):
+    cluster = cluster or homogeneous_network(dist.m * dist.m)
+
+    def app(env):
+        return matmul_algorithm(env.compute, env.comm_world, dist, r, seed)
+
+    res = run_mpi(app, cluster, timeout=60)
+    n = dist.n
+    C = np.zeros((n * r, n * r))
+    for rank_blocks in res.results:
+        for (bi, bj), blk in rank_blocks.items():
+            C[bi * r:(bi + 1) * r, bj * r:(bj + 1) * r] = blk
+    return C
+
+
+class TestMatrixBlocks:
+    def test_deterministic(self):
+        a = matrix_block(1, 0, 2, 3, 4)
+        b = matrix_block(1, 0, 2, 3, 4)
+        assert (a == b).all()
+
+    def test_distinct_blocks_differ(self):
+        a = matrix_block(1, 0, 0, 0, 4)
+        b = matrix_block(1, 0, 0, 1, 4)
+        c = matrix_block(1, 1, 0, 0, 4)
+        assert not (a == b).all()
+        assert not (a == c).all()
+
+    def test_assemble_matches_blocks(self):
+        m = assemble_matrix(2, 0, 3, 2)
+        assert (m[2:4, 0:2] == matrix_block(2, 0, 1, 0, 2)).all()
+
+
+class TestHomogeneousAlgorithm:
+    @pytest.mark.parametrize("n,l,m,r", [(4, 2, 2, 3), (6, 2, 2, 2), (6, 3, 3, 2)])
+    def test_matches_numpy(self, n, l, m, r):
+        dist = homogeneous_distribution(n, m)
+        C = gathered_product(dist, r, seed=7)
+        assert np.allclose(C, reference_product(7, n, r))
+
+
+class TestHeterogeneousAlgorithm:
+    @pytest.mark.parametrize("l", [4, 8])
+    def test_matches_numpy_2x2(self, l):
+        speeds = np.array([[4.0, 1.0], [2.0, 3.0]])
+        dist = heterogeneous_distribution(8, l, speeds)
+        C = gathered_product(dist, r=3, seed=5)
+        assert np.allclose(C, reference_product(5, 8, 3))
+
+    def test_matches_numpy_3x3(self):
+        rng = np.random.default_rng(0)
+        speeds = rng.uniform(1, 10, (3, 3))
+        dist = heterogeneous_distribution(6, 6, speeds)
+        C = gathered_product(dist, r=2, seed=11, cluster=homogeneous_network(9))
+        assert np.allclose(C, reference_product(11, 6, 2))
+
+    def test_extreme_skew(self):
+        speeds = np.array([[100.0, 1.0], [1.0, 1.0]])
+        dist = heterogeneous_distribution(6, 6, speeds)
+        C = gathered_product(dist, r=2, seed=3)
+        assert np.allclose(C, reference_product(3, 6, 2))
+
+
+class TestVolumeAccounting:
+    def test_compute_units_equal_owned_blocks_times_steps(self):
+        """Each rank must charge exactly area * n benchmark units."""
+        dist = homogeneous_distribution(4, 2)
+        charged = {}
+
+        def app(env):
+            total = [0.0]
+
+            def counting_compute(v):
+                total[0] += v
+                return env.compute(v)
+
+            matmul_algorithm(counting_compute, env.comm_world, dist, 2, 0)
+            return total[0]
+
+        res = run_mpi(app, homogeneous_network(4), timeout=60)
+        for g, units in enumerate(res.results):
+            assert units == pytest.approx(dist.area(g) * dist.n)
+
+    def test_wrong_comm_size_rejected(self):
+        from repro.util.errors import ReproError
+
+        dist = homogeneous_distribution(4, 2)
+
+        def app(env):
+            with pytest.raises(ReproError):
+                matmul_algorithm(env.compute, env.comm_world, dist, 2, 0)
+            return True
+
+        run_mpi(app, homogeneous_network(3), timeout=30)

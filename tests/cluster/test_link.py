@@ -1,0 +1,83 @@
+"""Link and protocol cost model."""
+
+import pytest
+
+from repro.cluster.link import (
+    FAST_INTERCONNECT,
+    SHARED_MEMORY,
+    TCP_100MBIT,
+    Link,
+    Protocol,
+)
+from repro.util.errors import ClusterError
+
+
+class TestProtocol:
+    def test_hockney_model(self):
+        p = Protocol("t", latency=0.001, bandwidth=1e6)
+        assert p.transfer_time(0) == pytest.approx(0.001)
+        assert p.transfer_time(1_000_000) == pytest.approx(1.001)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ClusterError):
+            Protocol("t", latency=-1.0, bandwidth=1.0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ClusterError):
+            Protocol("t", latency=0.0, bandwidth=0.0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ClusterError):
+            TCP_100MBIT.transfer_time(-1)
+
+    def test_paper_ethernet_bandwidth(self):
+        # 100 Mbit/s = 12.5 MB/s
+        assert TCP_100MBIT.bandwidth == pytest.approx(12.5e6)
+
+
+class TestLink:
+    def test_needs_a_protocol(self):
+        with pytest.raises(ClusterError):
+            Link([])
+
+    def test_rejects_duplicate_protocol_names(self):
+        with pytest.raises(ClusterError):
+            Link([TCP_100MBIT, TCP_100MBIT])
+
+    def test_single_protocol(self):
+        link = Link.single(TCP_100MBIT)
+        assert link.transfer_time(1000) == pytest.approx(
+            TCP_100MBIT.transfer_time(1000)
+        )
+
+    def test_fastest_protocol_selected_per_size(self):
+        # Low-latency/low-bandwidth vs high-latency/high-bandwidth crossover.
+        slow_small = Protocol("bulk", latency=1.0, bandwidth=1e9)
+        fast_small = Protocol("light", latency=0.001, bandwidth=1e3)
+        link = Link([slow_small, fast_small])
+        assert link.protocol_for(1).name == "light"     # 0.002 < 1.0
+        assert link.protocol_for(10**10).name == "bulk"  # 11.0 vs 10^7
+
+    def test_pin_forces_protocol(self):
+        link = Link([TCP_100MBIT, FAST_INTERCONNECT])
+        assert link.protocol_for(10**6).name == "fast"
+        link.pin("tcp-100mbit")
+        assert link.protocol_for(10**6).name == "tcp-100mbit"
+        link.unpin()
+        assert link.protocol_for(10**6).name == "fast"
+
+    def test_pin_unknown_protocol(self):
+        with pytest.raises(ClusterError):
+            Link.single(TCP_100MBIT).pin("myrinet")
+
+    def test_pinned_at_construction(self):
+        link = Link([TCP_100MBIT, FAST_INTERCONNECT], pinned="tcp-100mbit")
+        assert link.pinned == "tcp-100mbit"
+
+    def test_shared_memory_much_faster_than_tcp(self):
+        assert SHARED_MEMORY.transfer_time(10**6) < TCP_100MBIT.transfer_time(10**6) / 10
+
+    def test_effective_parameters(self):
+        link = Link.single(TCP_100MBIT)
+        assert link.effective_latency() == TCP_100MBIT.latency
+        assert link.effective_bandwidth() == TCP_100MBIT.bandwidth

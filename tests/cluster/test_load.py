@@ -1,0 +1,117 @@
+"""External-load model behaviour."""
+
+import math
+
+import pytest
+
+from repro.cluster.load import (
+    NO_LOAD,
+    ConstantLoad,
+    RandomWalkLoad,
+    SquareWaveLoad,
+    StepLoad,
+)
+
+
+class TestConstantLoad:
+    def test_share_everywhere(self):
+        load = ConstantLoad(0.5)
+        assert load.share_at(0.0) == 0.5
+        assert load.share_at(1e9) == 0.5
+
+    def test_never_changes(self):
+        assert ConstantLoad(1.0).next_change_after(42.0) == math.inf
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_rejects_bad_share(self, bad):
+        with pytest.raises(ValueError):
+            ConstantLoad(bad)
+
+    def test_no_load_is_full_share(self):
+        assert NO_LOAD.share == 1.0
+
+    def test_mean_share(self):
+        assert ConstantLoad(0.25).mean_share(0.0, 10.0) == pytest.approx(0.25)
+
+
+class TestStepLoad:
+    def test_initial_before_first_step(self):
+        load = StepLoad([(10.0, 0.5)], initial=1.0)
+        assert load.share_at(5.0) == 1.0
+        assert load.share_at(10.0) == 0.5
+        assert load.share_at(100.0) == 0.5
+
+    def test_multiple_steps(self):
+        load = StepLoad([(1.0, 0.8), (2.0, 0.2), (3.0, 0.6)])
+        assert load.share_at(0.5) == 1.0
+        assert load.share_at(1.5) == 0.8
+        assert load.share_at(2.5) == 0.2
+        assert load.share_at(3.5) == 0.6
+
+    def test_next_change(self):
+        load = StepLoad([(1.0, 0.8), (2.0, 0.2)])
+        assert load.next_change_after(0.0) == 1.0
+        assert load.next_change_after(1.0) == 2.0
+        assert load.next_change_after(2.0) == math.inf
+
+    def test_requires_increasing_breakpoints(self):
+        with pytest.raises(ValueError):
+            StepLoad([(2.0, 0.5), (1.0, 0.6)])
+
+    def test_mean_share_exact(self):
+        load = StepLoad([(5.0, 0.5)], initial=1.0)
+        # [0, 10]: 5s at 1.0 + 5s at 0.5 -> 0.75
+        assert load.mean_share(0.0, 10.0) == pytest.approx(0.75)
+
+
+class TestSquareWaveLoad:
+    def test_alternation(self):
+        load = SquareWaveLoad(period=2.0, high=1.0, low=0.5)
+        assert load.share_at(0.1) == 1.0
+        assert load.share_at(1.1) == 0.5
+        assert load.share_at(2.1) == 1.0
+
+    def test_next_change_strictly_after(self):
+        load = SquareWaveLoad(period=2.0)
+        boundary = load.next_change_after(0.0)
+        assert boundary == pytest.approx(1.0)
+        assert load.next_change_after(boundary) > boundary
+
+    def test_phase_shift(self):
+        base = SquareWaveLoad(period=2.0, high=1.0, low=0.5)
+        shifted = SquareWaveLoad(period=2.0, high=1.0, low=0.5, phase=1.0)
+        assert base.share_at(0.1) != shifted.share_at(0.1)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            SquareWaveLoad(period=0.0)
+
+
+class TestRandomWalkLoad:
+    def test_deterministic_given_seed(self):
+        a = RandomWalkLoad(interval=1.0, seed=3)
+        b = RandomWalkLoad(interval=1.0, seed=3)
+        ts = [0.5, 1.5, 2.5, 7.5, 3.5]
+        assert [a.share_at(t) for t in ts] == [b.share_at(t) for t in ts]
+
+    def test_bounded(self):
+        load = RandomWalkLoad(interval=1.0, seed=11, step=0.5, floor=0.1)
+        for k in range(200):
+            s = load.share_at(k + 0.5)
+            assert 0.1 <= s <= 1.0
+
+    def test_piecewise_constant_within_interval(self):
+        load = RandomWalkLoad(interval=2.0, seed=4)
+        assert load.share_at(0.1) == load.share_at(1.9)
+
+    def test_next_change_is_interval_boundary(self):
+        load = RandomWalkLoad(interval=2.0, seed=4)
+        assert load.next_change_after(0.5) == pytest.approx(2.0)
+        assert load.next_change_after(2.0) == pytest.approx(4.0)
+
+    def test_out_of_order_queries_consistent(self):
+        load = RandomWalkLoad(interval=1.0, seed=9)
+        late = load.share_at(10.5)
+        early = load.share_at(2.5)
+        assert load.share_at(10.5) == late
+        assert load.share_at(2.5) == early

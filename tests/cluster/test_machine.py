@@ -1,0 +1,99 @@
+"""Machine speed/compute-time semantics."""
+
+import pytest
+
+from repro.cluster.load import ConstantLoad, StepLoad
+from repro.cluster.machine import Machine
+from repro.util.errors import ClusterError, MachineFailure
+
+
+class TestConstruction:
+    def test_defaults(self):
+        m = Machine("ws00", 46.0)
+        assert m.alive_at(1e9)
+        assert m.effective_speed(0.0) == 46.0
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ClusterError):
+            Machine("bad", 0.0)
+
+    def test_rejects_negative_fail_time(self):
+        with pytest.raises(ClusterError):
+            Machine("bad", 1.0, fail_at=-1.0)
+
+
+class TestEffectiveSpeed:
+    def test_load_scales_speed(self):
+        m = Machine("m", 100.0, load=ConstantLoad(0.5))
+        assert m.effective_speed(0.0) == 50.0
+
+    def test_sharing_divides_speed(self):
+        m = Machine("m", 100.0)
+        assert m.effective_speed(0.0, nprocs=4) == 25.0
+
+    def test_rejects_zero_procs(self):
+        with pytest.raises(ClusterError):
+            Machine("m", 100.0).effective_speed(0.0, nprocs=0)
+
+
+class TestComputeFinishTime:
+    def test_simple(self):
+        m = Machine("m", 100.0)
+        assert m.compute_finish_time(0.0, 50.0) == pytest.approx(0.5)
+
+    def test_starts_later(self):
+        m = Machine("m", 100.0)
+        assert m.compute_finish_time(2.0, 100.0) == pytest.approx(3.0)
+
+    def test_zero_volume_is_instant(self):
+        m = Machine("m", 100.0)
+        assert m.compute_finish_time(1.5, 0.0) == 1.5
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ClusterError):
+            Machine("m", 100.0).compute_finish_time(0.0, -1.0)
+
+    def test_integrates_step_load_exactly(self):
+        # speed 100; share 1.0 until t=1, then 0.5.
+        m = Machine("m", 100.0, load=StepLoad([(1.0, 0.5)]))
+        # 150 units: 100 in the first second, remaining 50 at 50/s -> 1s more.
+        assert m.compute_finish_time(0.0, 150.0) == pytest.approx(2.0)
+
+    def test_sharing_integrates(self):
+        m = Machine("m", 100.0)
+        assert m.compute_finish_time(0.0, 100.0, nprocs=2) == pytest.approx(2.0)
+
+    def test_duration_helper(self):
+        m = Machine("m", 50.0)
+        assert m.compute_duration(10.0, 25.0) == pytest.approx(0.5)
+
+
+class TestFailure:
+    def test_failure_during_compute(self):
+        m = Machine("m", 100.0, fail_at=0.5)
+        with pytest.raises(MachineFailure) as exc:
+            m.compute_finish_time(0.0, 100.0)  # would take 1s
+        assert exc.value.machine == "m"
+        assert exc.value.vtime == pytest.approx(0.5)
+
+    def test_compute_completing_before_failure(self):
+        m = Machine("m", 100.0, fail_at=2.0)
+        assert m.compute_finish_time(0.0, 100.0) == pytest.approx(1.0)
+
+    def test_check_alive_after_failure(self):
+        m = Machine("m", 100.0, fail_at=1.0)
+        m.check_alive(0.99)
+        with pytest.raises(MachineFailure):
+            m.check_alive(1.0)
+
+    def test_compute_starting_after_failure(self):
+        m = Machine("m", 100.0, fail_at=1.0)
+        with pytest.raises(MachineFailure):
+            m.compute_finish_time(1.5, 1.0)
+
+    def test_failure_with_step_load(self):
+        m = Machine("m", 100.0, load=StepLoad([(1.0, 0.1)]), fail_at=3.0)
+        # 100 units in first second; then 10/s — 300 more units would need
+        # 30s but the machine dies at t=3.
+        with pytest.raises(MachineFailure):
+            m.compute_finish_time(0.0, 400.0)

@@ -1,0 +1,112 @@
+"""Cluster topology behaviour."""
+
+import pytest
+
+from repro.cluster.link import FAST_INTERCONNECT, TCP_100MBIT, Link
+from repro.cluster.machine import Machine
+from repro.cluster.network import Cluster
+from repro.util.errors import ClusterError
+
+
+def make_cluster(n=3):
+    return Cluster([Machine(f"m{i}", 10.0 * (i + 1)) for i in range(n)])
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ClusterError):
+            Cluster([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ClusterError):
+            Cluster([Machine("a", 1.0), Machine("a", 2.0)])
+
+    def test_size(self):
+        assert make_cluster(4).size == 4
+        assert len(make_cluster(4)) == 4
+
+    def test_self_link_in_links_rejected(self):
+        with pytest.raises(ClusterError):
+            Cluster([Machine("a", 1.0)], links={(0, 0): Link.single(TCP_100MBIT)})
+
+    def test_out_of_range_link_rejected(self):
+        with pytest.raises(ClusterError):
+            Cluster([Machine("a", 1.0)], links={(0, 5): Link.single(TCP_100MBIT)})
+
+
+class TestAccessors:
+    def test_machine_by_index_and_name(self):
+        c = make_cluster()
+        assert c.machine(1).name == "m1"
+        assert c.machine("m2").speed == 30.0
+
+    def test_unknown_machine(self):
+        c = make_cluster()
+        with pytest.raises(ClusterError):
+            c.machine("nope")
+        with pytest.raises(ClusterError):
+            c.machine(99)
+
+    def test_index_of(self):
+        c = make_cluster()
+        assert c.index_of("m0") == 0
+        with pytest.raises(ClusterError):
+            c.index_of("zz")
+
+    def test_speeds(self):
+        assert make_cluster().speeds() == [10.0, 20.0, 30.0]
+
+
+class TestLinks:
+    def test_default_link_created_lazily_and_cached(self):
+        c = make_cluster()
+        link1 = c.link(0, 1)
+        link2 = c.link(0, 1)
+        assert link1 is link2
+
+    def test_loopback_for_self(self):
+        c = make_cluster()
+        assert c.link(1, 1) is c.loopback
+
+    def test_set_link_symmetric(self):
+        c = make_cluster()
+        fast = Link.single(FAST_INTERCONNECT)
+        c.set_link(0, 2, fast)
+        assert c.link(0, 2) is fast
+        assert c.link(2, 0) is fast
+
+    def test_set_link_asymmetric(self):
+        c = make_cluster()
+        fast = Link.single(FAST_INTERCONNECT)
+        c.set_link(0, 2, fast, symmetric=False)
+        assert c.link(0, 2) is fast
+        assert c.link(2, 0) is not fast
+
+    def test_set_self_link_rejected(self):
+        with pytest.raises(ClusterError):
+            make_cluster().set_link(1, 1, Link.single(TCP_100MBIT))
+
+    def test_transfer_time_delegates(self):
+        c = make_cluster()
+        assert c.transfer_time(0, 1, 12_500_000) == pytest.approx(
+            TCP_100MBIT.latency + 1.0
+        )
+
+    def test_all_links_iterates_configured(self):
+        c = make_cluster()
+        c.set_link(0, 1, Link.single(FAST_INTERCONNECT))
+        pairs = [(i, j) for i, j, _ in c.all_links()]
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+
+class TestProtocolPinning:
+    def test_pin_all_and_unpin_all(self):
+        c = Cluster(
+            [Machine("a", 1.0), Machine("b", 1.0)],
+            default_protocols=(TCP_100MBIT, FAST_INTERCONNECT),
+        )
+        assert c.link(0, 1).protocol_for(10**6).name == "fast"
+        c.pin_all("tcp-100mbit")
+        assert c.link(0, 1).protocol_for(10**6).name == "tcp-100mbit"
+        c.unpin_all()
+        assert c.link(0, 1).protocol_for(10**6).name == "fast"

@@ -1,0 +1,84 @@
+"""Preset cluster builders."""
+
+import pytest
+
+from repro.cluster.presets import (
+    PAPER_SPEEDS,
+    homogeneous_network,
+    multiprotocol_network,
+    paper_network,
+    random_network,
+    uniform_network,
+)
+
+
+class TestPaperNetwork:
+    def test_nine_machines_with_paper_speeds(self):
+        c = paper_network()
+        assert c.size == 9
+        assert tuple(c.speeds()) == PAPER_SPEEDS
+
+    def test_speed_values_from_section_5(self):
+        assert PAPER_SPEEDS == (46, 46, 46, 46, 46, 46, 176, 106, 9)
+
+    def test_uniform_tcp_links(self):
+        c = paper_network()
+        t01 = c.transfer_time(0, 1, 10**6)
+        t78 = c.transfer_time(7, 8, 10**6)
+        assert t01 == pytest.approx(t78)
+
+    def test_loopback_is_shared_memory(self):
+        c = paper_network()
+        assert c.link(3, 3).protocols[0].name == "shm"
+
+    def test_mixed_os_tags(self):
+        oses = {m.os for m in paper_network().machines}
+        assert oses == {"solaris", "linux"}
+
+
+class TestHomogeneousNetwork:
+    def test_identical_speeds(self):
+        c = homogeneous_network(5, speed=42.0)
+        assert c.speeds() == [42.0] * 5
+
+
+class TestUniformNetwork:
+    def test_given_speeds(self):
+        c = uniform_network([1.0, 2.0, 3.0])
+        assert c.speeds() == [1.0, 2.0, 3.0]
+
+
+class TestRandomNetwork:
+    def test_deterministic(self):
+        a = random_network(4, seed=9)
+        b = random_network(4, seed=9)
+        assert a.speeds() == b.speeds()
+        assert a.transfer_time(0, 1, 1000) == b.transfer_time(0, 1, 1000)
+
+    def test_heterogeneous_links(self):
+        c = random_network(4, seed=3)
+        times = {round(c.transfer_time(i, j, 10**6), 9)
+                 for i in range(4) for j in range(4) if i != j}
+        assert len(times) > 1
+
+    def test_speed_range_respected(self):
+        c = random_network(6, seed=1, speed_range=(5.0, 6.0))
+        assert all(5.0 <= s <= 6.0 for s in c.speeds())
+
+
+class TestMultiprotocolNetwork:
+    def test_fast_pairs_have_two_protocols(self):
+        c = multiprotocol_network(fast_pairs=((0, 1),))
+        assert len(c.link(0, 1).protocols) == 2
+        assert len(c.link(0, 2).protocols) == 1
+
+    def test_fast_pair_is_faster(self):
+        c = multiprotocol_network(fast_pairs=((0, 1),))
+        assert c.transfer_time(0, 1, 10**6) < c.transfer_time(0, 2, 10**6)
+
+    def test_pinning_recovers_tcp(self):
+        c = multiprotocol_network(fast_pairs=((0, 1),))
+        c.link(0, 1).pin("tcp-100mbit")
+        assert c.transfer_time(0, 1, 10**6) == pytest.approx(
+            c.transfer_time(0, 2, 10**6)
+        )

@@ -1,0 +1,122 @@
+"""Cluster configuration serialization round trips."""
+
+import pytest
+
+from repro.cluster import (
+    ConstantLoad,
+    FAST_INTERCONNECT,
+    Link,
+    RandomWalkLoad,
+    SquareWaveLoad,
+    StepLoad,
+    TCP_100MBIT,
+    multiprotocol_network,
+    paper_network,
+    uniform_network,
+)
+from repro.cluster.serialize import (
+    cluster_from_dict,
+    cluster_from_json,
+    cluster_to_dict,
+    cluster_to_json,
+)
+from repro.util.errors import ClusterError
+
+
+class TestRoundTrip:
+    def test_paper_network(self):
+        original = paper_network()
+        restored = cluster_from_dict(cluster_to_dict(original))
+        assert restored.speeds() == original.speeds()
+        assert [m.name for m in restored.machines] == [m.name for m in original.machines]
+        assert [m.os for m in restored.machines] == [m.os for m in original.machines]
+        assert restored.transfer_time(0, 1, 10**6) == pytest.approx(
+            original.transfer_time(0, 1, 10**6)
+        )
+
+    def test_json_round_trip(self):
+        original = multiprotocol_network()
+        restored = cluster_from_json(cluster_to_json(original))
+        assert restored.transfer_time(0, 1, 10**7) == pytest.approx(
+            original.transfer_time(0, 1, 10**7)
+        )
+        assert len(restored.link(0, 1).protocols) == 2
+
+    def test_loopback_preserved(self):
+        original = paper_network()
+        restored = cluster_from_dict(cluster_to_dict(original))
+        assert restored.link(2, 2).protocols[0].name == "shm"
+
+    def test_fail_at_preserved(self):
+        c = uniform_network([10.0, 20.0])
+        c.machines[1].fail_at = 3.5
+        restored = cluster_from_dict(cluster_to_dict(c))
+        assert restored.machine(1).fail_at == 3.5
+        assert restored.machine(0).fail_at is None
+
+    def test_pinned_link_preserved(self):
+        c = uniform_network([10.0, 20.0])
+        c.set_link(0, 1, Link([TCP_100MBIT, FAST_INTERCONNECT],
+                              pinned="tcp-100mbit"))
+        restored = cluster_from_dict(cluster_to_dict(c))
+        assert restored.link(0, 1).pinned == "tcp-100mbit"
+
+    def test_asymmetric_links_preserved(self):
+        c = uniform_network([10.0, 20.0])
+        c.set_link(0, 1, Link.single(FAST_INTERCONNECT), symmetric=False)
+        restored = cluster_from_dict(cluster_to_dict(c))
+        assert restored.transfer_time(0, 1, 10**7) < restored.transfer_time(1, 0, 10**7)
+
+
+class TestLoadModels:
+    def test_constant(self):
+        c = uniform_network([10.0])
+        c.machines[0].load = ConstantLoad(0.25)
+        restored = cluster_from_dict(cluster_to_dict(c))
+        assert restored.machine(0).load.share_at(0.0) == 0.25
+
+    def test_step(self):
+        c = uniform_network([10.0])
+        c.machines[0].load = StepLoad([(1.0, 0.5), (2.0, 0.75)], initial=0.9)
+        restored = cluster_from_dict(cluster_to_dict(c))
+        load = restored.machine(0).load
+        assert load.share_at(0.5) == 0.9
+        assert load.share_at(1.5) == 0.5
+        assert load.share_at(2.5) == 0.75
+
+    def test_square_wave(self):
+        c = uniform_network([10.0])
+        c.machines[0].load = SquareWaveLoad(period=4.0, high=1.0, low=0.3,
+                                            phase=0.5)
+        restored = cluster_from_dict(cluster_to_dict(c))
+        for t in (0.0, 1.0, 2.0, 3.7):
+            assert restored.machine(0).load.share_at(t) == \
+                c.machines[0].load.share_at(t)
+
+    def test_random_walk_refuses(self):
+        c = uniform_network([10.0])
+        c.machines[0].load = RandomWalkLoad(interval=1.0, seed=1)
+        with pytest.raises(ClusterError, match="seed"):
+            cluster_to_dict(c)
+
+
+class TestErrors:
+    def test_unknown_load_kind(self):
+        with pytest.raises(ClusterError):
+            cluster_from_dict({
+                "machines": [{"name": "a", "speed": 1.0,
+                              "load": {"kind": "martian"}}],
+            })
+
+
+class TestSinglePort:
+    def test_single_port_round_trip(self):
+        from repro.cluster import Cluster, Machine
+
+        c = Cluster([Machine("a", 1.0), Machine("b", 2.0)], single_port=True)
+        restored = cluster_from_dict(cluster_to_dict(c))
+        assert restored.single_port is True
+
+    def test_default_is_multi_port(self):
+        restored = cluster_from_dict(cluster_to_dict(paper_network()))
+        assert restored.single_port is False

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    Machine,
+    homogeneous_network,
+    paper_network,
+    uniform_network,
+)
+
+
+@pytest.fixture
+def paper_cluster() -> Cluster:
+    """The paper's 9-workstation testbed."""
+    return paper_network()
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """Four machines with a 4:1 speed spread — fast unit-test substrate."""
+    return uniform_network([100.0, 50.0, 25.0, 200.0])
+
+
+@pytest.fixture
+def homo4() -> Cluster:
+    """Four identical machines — the control case."""
+    return homogeneous_network(4, speed=100.0)
+
+
+@pytest.fixture
+def pair_cluster() -> Cluster:
+    """Two machines for minimal point-to-point scenarios."""
+    return uniform_network([100.0, 50.0])

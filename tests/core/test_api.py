@@ -1,0 +1,86 @@
+"""The paper's flat C-style API."""
+
+import pytest
+
+from repro.core.api import (
+    HMPI_COMM_WORLD_GROUP,
+    HMPI_Get_comm,
+    HMPI_Group_create,
+    HMPI_Group_free,
+    HMPI_Group_rank,
+    HMPI_Group_size,
+    HMPI_Is_free,
+    HMPI_Is_host,
+    HMPI_Is_member,
+    HMPI_Recon,
+    HMPI_Timeof,
+    HMPI_Wtime,
+)
+from repro.core.runtime import run_hmpi
+from repro.perfmodel import compile_model
+from repro.util.errors import HMPIStateError
+
+MODEL_SRC = """
+algorithm Work(int p, int d[p]) {
+  coord I=p;
+  node {I>=0: bench*(d[I]);};
+  parent[0];
+}
+"""
+
+
+class TestPaperStyleProgram:
+    def test_figure5_shape(self, paper_cluster):
+        """A program written exactly in the paper's Figure 5 style."""
+        model = compile_model(MODEL_SRC)
+
+        def main(hmpi):
+            out = {}
+            if HMPI_Is_member(hmpi, HMPI_COMM_WORLD_GROUP):
+                HMPI_Recon(hmpi, volume=1.0)
+            if HMPI_Is_host(hmpi) or HMPI_Is_free(hmpi):
+                gid = HMPI_Group_create(hmpi, model, (3, [120, 60, 30]))
+            if HMPI_Is_member(hmpi, gid):
+                comm = HMPI_Get_comm(hmpi, gid)
+                out["rank"] = HMPI_Group_rank(hmpi, gid)
+                out["size"] = HMPI_Group_size(hmpi, gid)
+                comm.barrier()
+                HMPI_Group_free(hmpi, gid)
+            out["t"] = HMPI_Wtime(hmpi)
+            return out
+
+        res = run_hmpi(main, paper_cluster)
+        members = [r for r in res.results if "rank" in r]
+        assert len(members) == 3
+        assert {m["rank"] for m in members} == {0, 1, 2}
+        assert all(m["size"] == 3 for m in members)
+
+    def test_timeof_with_parameters(self, paper_cluster):
+        model = compile_model(MODEL_SRC)
+
+        def main(hmpi):
+            if not HMPI_Is_host(hmpi):
+                return None
+            return HMPI_Timeof(hmpi, model, (3, [120, 60, 30]))
+
+        res = run_hmpi(main, paper_cluster)
+        assert res.results[0] > 0
+
+    def test_bound_model_with_parameters_rejected(self, paper_cluster):
+        model = compile_model(MODEL_SRC)
+        bound = model.bind(2, [10, 20])
+
+        def main(hmpi):
+            if hmpi.is_host():
+                with pytest.raises(HMPIStateError):
+                    HMPI_Timeof(hmpi, bound, (2, [10, 20]))
+            return True
+
+        run_hmpi(main, paper_cluster)
+
+    def test_world_group_membership_always_true(self, paper_cluster):
+        def main(hmpi):
+            return HMPI_Is_member(hmpi, HMPI_COMM_WORLD_GROUP)
+
+        res = run_hmpi(main, paper_cluster)
+        assert all(res.results)

@@ -1,0 +1,136 @@
+"""Automatic group-size selection (HeteroMPI direction)."""
+
+import pytest
+
+from repro.cluster import paper_network, uniform_network
+from repro.core import run_hmpi
+from repro.core.autotune import auto_create, tune_group_size
+from repro.perfmodel import CallableModel
+from repro.util.errors import MappingError
+
+TOTAL_WORK = 600.0
+
+
+def scalable_family(combine_cost):
+    """Divisible work plus an Amdahl-style serial part: processor 0
+    combines every other member's partial result at ``combine_cost``
+    benchmark units each, so larger groups pay a growing serial tail."""
+
+    def family(p):
+        def node_volume(i):
+            base = TOTAL_WORK / p
+            return base + (combine_cost * (p - 1) if i == 0 else 0.0)
+
+        return CallableModel(
+            p,
+            node_volume=node_volume,
+            link_volume=lambda s, d: 1024.0 if d == 0 else 0.0,
+            name=f"scalable-{p}",
+        )
+
+    return family
+
+
+class TestTuneGroupSize:
+    def test_no_serial_part_scales_out(self):
+        """With no serial combine, more (useful) processes never hurt —
+        the sweep should use many machines."""
+
+        def app(hmpi):
+            sweep = tune_group_size(hmpi, scalable_family(0.0), range(1, 10))
+            return sweep.best_p, sweep.predictions
+
+        res = run_hmpi(app, paper_network())
+        best_p, predictions = res.results[0]
+        assert best_p >= 7           # nearly all machines useful
+        assert predictions[best_p] <= predictions[1]
+
+    def test_serial_fraction_prefers_fewer(self):
+        def app(hmpi):
+            light = tune_group_size(hmpi, scalable_family(0.0), range(1, 10))
+            heavy = tune_group_size(hmpi, scalable_family(30.0), range(1, 10))
+            return light.best_p, heavy.best_p
+
+        res = run_hmpi(app, paper_network())
+        light_p, heavy_p = res.results[0]
+        assert heavy_p < light_p
+
+    def test_single_machine_limit(self):
+        cluster = uniform_network([100.0, 100.0])
+
+        def app(hmpi):
+            sweep = tune_group_size(hmpi, scalable_family(0.0), range(1, 10))
+            return sorted(sweep.predictions)
+
+        res = run_hmpi(app, cluster)
+        # candidates beyond the 2 available processes were skipped
+        assert res.results[0] == [1, 2]
+
+    def test_no_feasible_size(self):
+        cluster = uniform_network([100.0])
+
+        def app(hmpi):
+            with pytest.raises(MappingError):
+                tune_group_size(hmpi, scalable_family(0.0), [5, 9])
+            return True
+
+        res = run_hmpi(app, cluster)
+        assert res.results[0]
+
+    def test_bad_family_rejected(self):
+        def bad_family(p):
+            return CallableModel(p + 1, lambda i: 1.0, lambda s, d: 0.0)
+
+        def app(hmpi):
+            with pytest.raises(MappingError, match="nproc"):
+                tune_group_size(hmpi, bad_family, [2])
+            return True
+
+        res = run_hmpi(app, paper_network())
+        assert res.results[0]
+
+
+class TestAutoCreate:
+    def test_collective_creation_of_best_size(self):
+        def app(hmpi):
+            gid, best_p = auto_create(hmpi, scalable_family(10.0), range(1, 10))
+            member = gid.is_member
+            if member:
+                gid.comm.barrier()
+                hmpi.group_free(gid)
+            return best_p, gid.size, member
+
+        res = run_hmpi(app, paper_network())
+        best_ps = {r[0] for r in res.results}
+        assert len(best_ps) == 1           # everyone agrees
+        best_p = best_ps.pop()
+        assert all(r[1] == best_p for r in res.results)
+        assert sum(1 for r in res.results if r[2]) == best_p
+
+    def test_prediction_matches_execution(self):
+        """The tuned group executes in the predicted time when the program
+        performs exactly the modelled work."""
+
+        def app(hmpi):
+            family = scalable_family(0.0)
+            if hmpi.is_host():
+                sweep = tune_group_size(hmpi, family, range(1, 10))
+                predicted = sweep.best_time
+            else:
+                predicted = None
+            gid, best_p = auto_create(hmpi, family, range(1, 10))
+            measured = None
+            if gid.is_member:
+                comm = gid.comm
+                comm.barrier()
+                t0 = comm.wtime()
+                hmpi.compute(TOTAL_WORK / best_p, gid.my_concurrency)
+                comm.barrier()
+                measured = comm.wtime() - t0
+                hmpi.group_free(gid)
+            return predicted, measured
+
+        res = run_hmpi(app, paper_network())
+        predicted = res.results[0][0]
+        measured = max(m for _, m in res.results if m is not None)
+        assert measured == pytest.approx(predicted, rel=0.01)

@@ -1,0 +1,110 @@
+"""HMPIGroup handle behaviour (accessors, concurrency, freed state)."""
+
+import pytest
+
+from repro.cluster import paper_network, uniform_network
+from repro.core import run_hmpi
+from repro.perfmodel import CallableModel
+from repro.util.errors import HMPIStateError
+
+
+def model(volumes):
+    return CallableModel(len(volumes), lambda i: volumes[i], lambda s, d: 512.0)
+
+
+class TestAccessors:
+    def test_size_and_rank(self, paper_cluster):
+        def app(hmpi):
+            gid = hmpi.group_create(model([50.0, 40.0, 30.0]))
+            out = (gid.size, gid.rank if gid.is_member else None)
+            if gid.is_member:
+                hmpi.group_free(gid)
+            return out
+
+        res = run_hmpi(app, paper_cluster)
+        assert all(size == 3 for size, _ in res.results)
+        member_ranks = sorted(r for _, r in res.results if r is not None)
+        assert member_ranks == [0, 1, 2]
+
+    def test_parent_world_rank_is_host(self, paper_cluster):
+        def app(hmpi):
+            gid = hmpi.group_create(model([10.0, 10.0]))
+            if gid.is_member:
+                hmpi.group_free(gid)
+            return gid.parent_world_rank
+
+        res = run_hmpi(app, paper_cluster)
+        assert set(res.results) == {0}
+
+    def test_repr_mentions_membership(self, paper_cluster):
+        def app(hmpi):
+            gid = hmpi.group_create(model([10.0, 10.0]))
+            text = repr(gid)
+            if gid.is_member:
+                hmpi.group_free(gid)
+            return text
+
+        res = run_hmpi(app, paper_cluster)
+        assert "member" in res.results[0]
+        assert any("non-member" in r for r in res.results)
+
+
+class TestConcurrency:
+    def test_one_per_machine(self, paper_cluster):
+        def app(hmpi):
+            gid = hmpi.group_create(model([10.0, 10.0, 10.0]))
+            conc = gid.my_concurrency if gid.is_member else None
+            if gid.is_member:
+                hmpi.group_free(gid)
+            return conc
+
+        res = run_hmpi(app, paper_cluster)
+        assert all(c == 1 for c in res.results if c is not None)
+
+    def test_colocated_members_counted(self):
+        # 2 machines, 2 slots each; 3 abstract processors must co-locate.
+        cluster = uniform_network([100.0, 100.0])
+
+        def app(hmpi):
+            gid = hmpi.group_create(model([30.0, 30.0, 30.0]))
+            out = None
+            if gid.is_member:
+                out = (gid.rank, gid.my_concurrency,
+                       [gid.concurrency_of(g) for g in range(3)])
+                hmpi.group_free(gid)
+            return out
+
+        res = run_hmpi(app, cluster, placement=[0, 0, 1, 1])
+        infos = [r for r in res.results if r is not None]
+        assert len(infos) == 3
+        # one machine hosts two members, the other one
+        counts = sorted(infos[0][2])
+        assert counts == [1, 2, 2]
+        for rank, conc, all_conc in infos:
+            assert conc == all_conc[rank]
+
+
+class TestNonMemberAndFreed:
+    def test_non_member_rank_raises(self, paper_cluster):
+        def app(hmpi):
+            gid = hmpi.group_create(model([10.0]))
+            if gid.is_member:
+                hmpi.group_free(gid)
+                return "member"
+            with pytest.raises(HMPIStateError):
+                _ = gid.rank
+            return "checked"
+
+        res = run_hmpi(app, paper_cluster)
+        assert res.results.count("member") == 1
+
+    def test_world_ranks_visible_to_everyone(self, paper_cluster):
+        def app(hmpi):
+            gid = hmpi.group_create(model([10.0, 20.0]))
+            if gid.is_member:
+                hmpi.group_free(gid)
+            return gid.world_ranks
+
+        res = run_hmpi(app, paper_cluster)
+        assert len(set(res.results)) == 1
+        assert len(res.results[0]) == 2

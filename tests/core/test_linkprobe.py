@@ -1,0 +1,123 @@
+"""Link calibration by ping-pong probing."""
+
+import pytest
+
+from repro.cluster import (
+    FAST_INTERCONNECT,
+    TCP_100MBIT,
+    Link,
+    random_network,
+    uniform_network,
+)
+from repro.core.linkprobe import LinkEstimate, fit_hockney, ping_pong, probe_links
+from repro.mpi import run_mpi
+from repro.util.errors import HMPIError
+
+
+class TestFitHockney:
+    def test_exact_two_point_fit(self):
+        lat, bw = 1e-4, 1e7
+        t = lambda n: lat + n / bw
+        est = fit_hockney(t(1000), 1000, t(1_000_000), 1_000_000)
+        assert est.latency == pytest.approx(lat)
+        assert est.bandwidth == pytest.approx(bw)
+
+    def test_degenerate_times(self):
+        est = fit_hockney(0.5, 100, 0.5, 10_000)
+        assert est.latency == pytest.approx(0.5)
+        assert est.bandwidth > 1e12
+
+    def test_needs_distinct_sizes(self):
+        with pytest.raises(HMPIError):
+            fit_hockney(0.1, 100, 0.2, 100)
+
+    def test_transfer_time(self):
+        est = LinkEstimate(latency=0.001, bandwidth=1e6)
+        assert est.transfer_time(1_000_000) == pytest.approx(1.001)
+
+
+class TestPingPong:
+    def test_one_way_time(self):
+        cluster = uniform_network([100.0, 100.0])
+        nbytes = 1_250_000  # 0.1 s over TCP
+
+        def app(env):
+            return ping_pong(env.comm_world, 1 - env.rank, nbytes)
+
+        res = run_mpi(app, cluster)
+        # driver (rank 0) returns the one-way estimate
+        expected = TCP_100MBIT.transfer_time(nbytes)
+        assert res.results[0] == pytest.approx(expected, rel=0.02)
+
+    def test_self_probe_rejected(self):
+        cluster = uniform_network([100.0, 100.0])
+
+        def app(env):
+            with pytest.raises(HMPIError):
+                ping_pong(env.comm_world, env.rank, 100)
+            env.comm_world.barrier()
+            return True
+
+        run_mpi(app, cluster)
+
+
+class TestProbeLinks:
+    def test_recovers_configured_parameters(self):
+        cluster = uniform_network([50.0, 50.0, 50.0])
+
+        def app(env):
+            return probe_links(env)
+
+        res = run_mpi(app, cluster)
+        for estimates in res.results:
+            for pair, est in estimates.items():
+                assert est.latency == pytest.approx(TCP_100MBIT.latency, rel=0.1)
+                assert est.bandwidth == pytest.approx(TCP_100MBIT.bandwidth, rel=0.02)
+
+    def test_detects_heterogeneous_links(self):
+        cluster = uniform_network([50.0, 50.0, 50.0])
+        cluster.set_link(0, 1, Link.single(FAST_INTERCONNECT))
+
+        def app(env):
+            return probe_links(env)
+
+        res = run_mpi(app, cluster)
+        est = res.results[0]
+        assert est[(0, 1)].bandwidth == pytest.approx(
+            FAST_INTERCONNECT.bandwidth, rel=0.05
+        )
+        assert est[(0, 2)].bandwidth == pytest.approx(
+            TCP_100MBIT.bandwidth, rel=0.05
+        )
+
+    def test_all_ranks_share_estimates(self):
+        cluster = random_network(4, seed=6)
+
+        def app(env):
+            return probe_links(env, repeats=2)
+
+        res = run_mpi(app, cluster)
+        reference = res.results[0]
+        for other in res.results[1:]:
+            assert set(other) == set(reference)
+            for pair in reference:
+                assert other[pair].bandwidth == pytest.approx(
+                    reference[pair].bandwidth
+                )
+
+    def test_estimates_match_random_network_truth(self):
+        cluster = random_network(3, seed=11)
+
+        def app(env):
+            return probe_links(env)
+
+        res = run_mpi(app, cluster)
+        est = res.results[0]
+        for i in range(3):
+            for j in range(3):
+                if i == j:
+                    continue
+                true_time = cluster.transfer_time(i, j, 1 << 20)
+                assert est[(i, j)].transfer_time(1 << 20) == pytest.approx(
+                    true_time, rel=0.05
+                )

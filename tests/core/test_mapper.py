@@ -1,0 +1,186 @@
+"""Process-selection algorithms validated against the exhaustive oracle."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import paper_network, uniform_network
+from repro.core.estimator import estimate_time
+from repro.core.mapper import (
+    DefaultMapper,
+    ExhaustiveMapper,
+    GreedyMapper,
+    Mapping,
+    RefineMapper,
+)
+from repro.core.netmodel import NetworkModel
+from repro.perfmodel.builder import MatrixModel
+from repro.util.errors import MappingError
+
+
+def netmodel(speeds=(100.0, 50.0, 25.0, 200.0)):
+    cluster = uniform_network(list(speeds))
+    return NetworkModel(cluster, list(range(cluster.size)))
+
+
+def compute_model(volumes, comm_bytes=0.0):
+    n = len(volumes)
+    links = np.full((n, n), float(comm_bytes))
+    np.fill_diagonal(links, 0.0)
+    return MatrixModel(list(volumes), links)
+
+
+class TestMappingDataclass:
+    def test_length_consistency(self):
+        with pytest.raises(MappingError):
+            Mapping((0, 1), (0,), 1.0)
+
+
+class TestInputValidation:
+    def test_too_few_candidates(self):
+        nm = netmodel()
+        model = compute_model([1.0, 1.0, 1.0])
+        with pytest.raises(MappingError, match="needs 3"):
+            GreedyMapper().select(model, nm, [0, 1])
+
+    def test_duplicate_candidates(self):
+        nm = netmodel()
+        model = compute_model([1.0])
+        with pytest.raises(MappingError):
+            GreedyMapper().select(model, nm, [0, 0])
+
+    def test_fixed_out_of_range(self):
+        nm = netmodel()
+        model = compute_model([1.0])
+        with pytest.raises(MappingError):
+            GreedyMapper().select(model, nm, [0, 1], fixed={5: 0})
+
+    def test_fixed_not_candidate(self):
+        nm = netmodel()
+        model = compute_model([1.0])
+        with pytest.raises(MappingError):
+            GreedyMapper().select(model, nm, [0], fixed={0: 3})
+
+    def test_two_fixed_same_process(self):
+        nm = netmodel()
+        model = compute_model([1.0, 1.0])
+        with pytest.raises(MappingError):
+            GreedyMapper().select(model, nm, [0, 1], fixed={0: 1, 1: 1})
+
+
+class TestExhaustiveMapper:
+    def test_biggest_volume_on_fastest_machine(self):
+        nm = netmodel()
+        model = compute_model([100.0, 10.0])
+        m = ExhaustiveMapper().select(model, nm, [0, 1, 2, 3])
+        assert m.processes[0] == 3  # speed 200
+        assert m.time == pytest.approx(
+            estimate_time(model, nm, m.machines)
+        )
+
+    def test_respects_fixed(self):
+        nm = netmodel()
+        model = compute_model([100.0, 10.0])
+        m = ExhaustiveMapper().select(model, nm, [0, 1, 2, 3], fixed={0: 2})
+        assert m.processes[0] == 2
+        # The pinned 100-unit volume on the speed-25 machine dominates
+        # (4 s); the second processor may go anywhere else.
+        assert m.processes[1] != 2
+        assert m.time == pytest.approx(100.0 / 25.0, rel=1e-3)
+
+    def test_is_actually_optimal(self):
+        """Brute-force cross-check on a tiny instance."""
+        import itertools
+
+        nm = netmodel((30.0, 60.0, 90.0))
+        rng = np.random.default_rng(1)
+        model = MatrixModel(
+            rng.uniform(10, 50, size=3),
+            rng.uniform(0, 1e5, size=(3, 3)) * (1 - np.eye(3)),
+        )
+        best = min(
+            estimate_time(model, nm, list(perm))
+            for perm in itertools.permutations([0, 1, 2])
+        )
+        found = ExhaustiveMapper(reduce_symmetry=False).select(model, nm, [0, 1, 2])
+        assert found.time == pytest.approx(best)
+
+    def test_symmetry_reduction_same_answer(self):
+        nm = NetworkModel(paper_network(), list(range(9)))
+        model = compute_model([50.0, 30.0, 10.0])
+        full = ExhaustiveMapper(reduce_symmetry=False).select(model, nm, list(range(9)))
+        reduced = ExhaustiveMapper(reduce_symmetry=True).select(model, nm, list(range(9)))
+        assert reduced.time == pytest.approx(full.time)
+
+    def test_budget_guard(self):
+        nm = NetworkModel(paper_network(), list(range(9)))
+        model = compute_model([1.0] * 9)
+        with pytest.raises(MappingError, match="exceeded"):
+            ExhaustiveMapper(reduce_symmetry=False, max_evaluations=10).select(
+                model, nm, list(range(9))
+            )
+
+
+class TestGreedyMapper:
+    def test_lpt_balancing(self):
+        nm = netmodel((100.0, 100.0))
+        model = compute_model([60.0, 30.0, 30.0])
+        # 3 procs, 2 machines impossible -> need 3 candidates
+        nm3 = netmodel((100.0, 100.0, 100.0))
+        m = GreedyMapper().select(model, nm3, [0, 1, 2])
+        # all distinct machines; makespan = 0.6
+        assert sorted(m.processes) == [0, 1, 2]
+
+    def test_matches_oracle_compute_bound(self):
+        nm = netmodel()
+        model = compute_model([80.0, 40.0, 20.0, 10.0])
+        greedy = GreedyMapper().select(model, nm, [0, 1, 2, 3])
+        oracle = ExhaustiveMapper(reduce_symmetry=False).select(model, nm, [0, 1, 2, 3])
+        assert greedy.time == pytest.approx(oracle.time)
+
+    def test_respects_fixed(self):
+        nm = netmodel()
+        model = compute_model([80.0, 40.0])
+        m = GreedyMapper().select(model, nm, [0, 1, 2, 3], fixed={1: 0})
+        assert m.processes[1] == 0
+
+
+class TestRefineAndDefault:
+    def test_refine_never_worse_than_seed(self):
+        nm = NetworkModel(paper_network(), list(range(9)))
+        rng = np.random.default_rng(7)
+        n = 6
+        links = rng.uniform(0, 5e6, size=(n, n)) * (1 - np.eye(n))
+        model = MatrixModel(rng.uniform(20, 200, size=n), links)
+        seed = GreedyMapper().select(model, nm, list(range(9)))
+        refined = RefineMapper(seed=GreedyMapper()).select(model, nm, list(range(9)))
+        assert refined.time <= seed.time + 1e-12
+
+    def test_default_close_to_oracle_on_paper_network(self):
+        nm = NetworkModel(paper_network(), list(range(9)))
+        rng = np.random.default_rng(3)
+        n = 5
+        links = rng.uniform(0, 1e6, size=(n, n)) * (1 - np.eye(n))
+        model = MatrixModel(rng.uniform(20, 200, size=n), links)
+        default = DefaultMapper().select(model, nm, list(range(9)))
+        oracle = ExhaustiveMapper().select(model, nm, list(range(9)))
+        assert default.time <= oracle.time * 1.10  # within 10%
+
+    def test_refine_respects_pins(self):
+        nm = netmodel()
+        model = compute_model([100.0, 1.0])
+        m = DefaultMapper().select(model, nm, [0, 1, 2, 3], fixed={0: 1})
+        assert m.processes[0] == 1
+
+
+class TestColocation:
+    def test_more_processors_than_machines(self):
+        """With 4 abstract processors and candidates on 2 machines, the
+        mapper must produce a valid sharing assignment."""
+        cluster = uniform_network([100.0, 50.0])
+        nm = NetworkModel(cluster, [0, 0, 1, 1])  # 2 procs per machine
+        model = compute_model([30.0, 30.0, 30.0, 30.0])
+        m = GreedyMapper().select(model, nm, [0, 1, 2, 3])
+        assert len(set(m.processes)) == 4
+        # expected optimum: split volume 2:1 — machine 0 hosts more work.
+        time = estimate_time(model, nm, m.machines)
+        assert m.time == pytest.approx(time)

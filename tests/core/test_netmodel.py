@@ -1,0 +1,90 @@
+"""Network model (estimated speeds + link costs)."""
+
+import pytest
+
+from repro.cluster import paper_network, uniform_network
+from repro.core.netmodel import NetworkModel
+from repro.util.errors import HMPIError
+
+
+def make(cluster=None, placement=None, **kw):
+    cluster = cluster or uniform_network([100.0, 50.0])
+    placement = placement if placement is not None else list(range(cluster.size))
+    return NetworkModel(cluster, placement, **kw)
+
+
+class TestConstruction:
+    def test_defaults_to_nominal_speeds(self):
+        nm = make(paper_network())
+        assert nm.speeds().tolist() == [46, 46, 46, 46, 46, 46, 176, 106, 9]
+
+    def test_explicit_initial_speeds(self):
+        nm = make(initial_speeds=[10.0, 20.0])
+        assert nm.speed_of_machine(0) == 10.0
+
+    def test_initial_speeds_length_checked(self):
+        with pytest.raises(HMPIError):
+            make(initial_speeds=[1.0])
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(HMPIError):
+            make(initial_speeds=[0.0, 1.0])
+
+
+class TestPlacement:
+    def test_machine_of(self):
+        nm = make(placement=[1, 0, 1])
+        assert nm.nprocs == 3
+        assert nm.machine_of(0) == 1
+        assert nm.machine_of(1) == 0
+
+
+class TestSpeedUpdates:
+    def test_update_speed(self):
+        nm = make()
+        nm.update_speed(1, 75.0)
+        assert nm.speed_of_machine(1) == 75.0
+
+    def test_update_rejects_nonpositive(self):
+        with pytest.raises(HMPIError):
+            make().update_speed(0, -1.0)
+
+    def test_benchmark_refresh(self):
+        nm = make()
+        # process 0 took 0.02s for 1 unit -> 50 units/s; process 1 took 0.1s
+        nm.update_speeds_from_benchmark([0.02, 0.1], volume=1.0)
+        assert nm.speed_of_machine(0) == pytest.approx(50.0)
+        assert nm.speed_of_machine(1) == pytest.approx(10.0)
+
+    def test_benchmark_refresh_colocated_scales_up(self):
+        nm = make(placement=[0, 0, 1])
+        # two processes shared machine 0; each measured 0.04s/unit ->
+        # full-machine speed is 2 * 1/0.04 = 50.
+        nm.update_speeds_from_benchmark([0.04, 0.04, 0.1], volume=1.0)
+        assert nm.speed_of_machine(0) == pytest.approx(50.0)
+
+    def test_benchmark_refresh_uses_slowest_on_machine(self):
+        nm = make(placement=[0, 0])
+        nm.update_speeds_from_benchmark([0.04, 0.08], volume=1.0)
+        assert nm.speed_of_machine(0) == pytest.approx(2 / 0.08)
+
+    def test_benchmark_length_mismatch(self):
+        with pytest.raises(HMPIError):
+            make().update_speeds_from_benchmark([0.1], volume=1.0)
+
+    def test_benchmark_zero_time_rejected(self):
+        with pytest.raises(HMPIError):
+            make().update_speeds_from_benchmark([0.0, 0.1], volume=1.0)
+
+
+class TestTransferCosts:
+    def test_transfer_time_matches_cluster(self):
+        cluster = uniform_network([1.0, 1.0])
+        nm = make(cluster)
+        assert nm.transfer_time(0, 1, 12_500_000) == pytest.approx(
+            cluster.transfer_time(0, 1, 12_500_000)
+        )
+
+    def test_latency(self):
+        nm = make()
+        assert nm.latency(0, 1) == pytest.approx(1.5e-4)

@@ -1,0 +1,64 @@
+"""Benchmark factories for HMPI_Recon."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import uniform_network
+from repro.core.recon import (
+    kernel_benchmark,
+    matmul_kernel,
+    stencil_kernel,
+    unit_benchmark,
+)
+from repro.mpi import run_mpi
+
+
+class TestUnitBenchmark:
+    def test_charges_declared_volume(self):
+        cluster = uniform_network([100.0])
+        bench = unit_benchmark(volume=5.0)
+
+        def app(env):
+            bench(env)
+            return env.wtime()
+
+        res = run_mpi(app, cluster)
+        assert res.results[0] == pytest.approx(0.05)
+
+
+class TestKernelBenchmark:
+    def test_runs_kernel_and_charges(self):
+        calls = []
+        cluster = uniform_network([50.0])
+        bench = kernel_benchmark(lambda: calls.append(1), volume=2.0)
+
+        def app(env):
+            bench(env)
+            return env.wtime()
+
+        res = run_mpi(app, cluster)
+        assert calls == [1]
+        assert res.results[0] == pytest.approx(0.04)
+
+
+class TestKernels:
+    def test_matmul_kernel_shape_and_determinism(self):
+        k1 = matmul_kernel(r=5, seed=3)
+        k2 = matmul_kernel(r=5, seed=3)
+        out1, out2 = k1(), k2()
+        assert out1.shape == (5, 5)
+        assert (out1 == out2).all()
+
+    def test_matmul_kernel_is_a_product(self):
+        k = matmul_kernel(r=4, seed=0)
+        out = k()
+        assert np.isfinite(out).all()
+
+    def test_stencil_kernel(self):
+        k = stencil_kernel(k=32, seed=1)
+        out = k()
+        assert out.shape == (32,)
+        assert np.isfinite(out).all()
+
+    def test_stencil_deterministic(self):
+        assert (stencil_kernel(16, seed=2)() == stencil_kernel(16, seed=2)()).all()

@@ -1,0 +1,127 @@
+"""Full-stack scenarios exercising every layer together."""
+
+import numpy as np
+import pytest
+
+from repro.apps.em3d import generate_problem, run_em3d_hmpi, run_em3d_mpi
+from repro.cluster import paper_network, uniform_network
+from repro.core import ExhaustiveMapper, GreedyMapper, run_hmpi
+from repro.perfmodel import compile_model
+
+
+class TestDSLToExecution:
+    """A model written in the DSL drives group creation, and the created
+    group's measured time matches the model's prediction."""
+
+    SRC = """
+    algorithm Pipeline(int p, int v[p], int b[p][p]) {
+      coord I=p;
+      node {I>=0: bench*(v[I]);};
+      link (L=p) {
+        I>0 && L==I-1 : length*(b[I][L]) [L]->[I];
+      };
+      parent[0];
+      scheme {
+        int i;
+        for (i = 0; i < p; i++) {
+          100%%[i];
+          if (i < p - 1) 100%%[i]->[i+1];
+        }
+      };
+    }
+    """
+
+    def test_prediction_matches_faithful_execution(self):
+        model = compile_model(self.SRC)
+        v = [40.0, 120.0, 20.0]
+        b = np.zeros((3, 3))
+        b[1, 0] = b[2, 1] = 2_500_000  # 0.2 s each over 100 Mbit
+        bound = model.bind(3, v, b.tolist())
+        cluster = paper_network()
+
+        def app(hmpi):
+            predicted = hmpi.timeof(bound) if hmpi.is_host() else None
+            gid = hmpi.group_create(bound, mapper=ExhaustiveMapper())
+            measured = None
+            if gid.is_member:
+                comm = gid.comm
+                comm.barrier()
+                t0 = comm.wtime()
+                me = comm.rank
+                # execute exactly the modelled pattern
+                if me > 0:
+                    comm.recv(me - 1, tag=0)
+                hmpi.compute(v[me])
+                if me < comm.size - 1:
+                    comm.send(None, me + 1, tag=0,
+                              nbytes=int(b[me + 1, me]))
+                comm.barrier()
+                measured = comm.wtime() - t0
+                hmpi.group_free(gid)
+            return (predicted, measured)
+
+        res = run_hmpi(app, cluster)
+        predicted = res.results[0][0]
+        measured = max(m for _, m in res.results if m is not None)
+        # The scheme's resource clocks capture the pipeline dependency the
+        # program actually executes, so agreement should be tight.
+        assert measured == pytest.approx(predicted, rel=0.05)
+
+
+class TestHeterogeneityGradient:
+    def test_speedup_grows_with_heterogeneity(self):
+        """The more heterogeneous the network, the bigger HMPI's win.
+
+        Speeds descend from the host: the parent constraint pins sub-body 0
+        to machine 0, so machine 0 must not be the slowest or both variants
+        share the same immovable bottleneck.
+        """
+        problem = generate_problem(p=6, total_nodes=6_000, seed=4)
+        speedups = []
+        for spread in (1.0, 4.0, 16.0):
+            speeds = list(np.geomspace(100.0 * spread, 100.0, 6))
+            mpi = run_em3d_mpi(uniform_network(speeds), problem, niter=3, k=100)
+            hmpi = run_em3d_hmpi(uniform_network(speeds), problem, niter=3, k=100)
+            speedups.append(mpi.algorithm_time / hmpi.algorithm_time)
+        assert speedups[0] == pytest.approx(1.0, abs=0.1)
+        assert speedups[2] > speedups[1] >= speedups[0] - 0.1
+
+    def test_parent_pin_bounds_hmpi_when_host_is_slowest(self):
+        """With the host on the slowest machine, the pinned parent sub-body
+        is an immovable bottleneck that HMPI cannot route around — a real
+        consequence of the paper's parent semantics."""
+        problem = generate_problem(p=4, total_nodes=4_000, seed=6)
+        asc = uniform_network([10.0, 50.0, 100.0, 200.0])  # host slowest
+        hmpi = run_em3d_hmpi(asc, problem, niter=2, k=100, mapper=GreedyMapper())
+        mpi = run_em3d_mpi(asc, problem, niter=2, k=100)
+        # HMPI still wins (it reorders the other three sub-bodies) but its
+        # time is lower-bounded by sub-body 0 on the speed-10 host.
+        lower_bound = problem.d[0] / 100 * 2 / 10.0  # volume/k * niter / speed
+        assert hmpi.algorithm_time >= lower_bound
+        assert hmpi.algorithm_time <= mpi.algorithm_time + 1e-9
+
+
+class TestGroupSequences:
+    def test_alternating_algorithms_reuse_processes(self):
+        """Two different models, created and freed alternately."""
+        from repro.perfmodel import CallableModel
+
+        cluster = paper_network()
+        m_small = CallableModel(2, lambda i: 50.0, lambda s, d: 1024.0)
+        m_large = CallableModel(5, lambda i: 20.0 * (i + 1), lambda s, d: 2048.0)
+
+        def app(hmpi):
+            sizes = []
+            for model in (m_small, m_large, m_small):
+                gid = hmpi.group_create(model)
+                if gid.is_member:
+                    gid.comm.barrier()
+                    sizes.append(gid.size)
+                    hmpi.group_free(gid)
+                else:
+                    sizes.append(None)
+            return sizes
+
+        res = run_hmpi(app, cluster)
+        host_sizes = res.results[0]
+        assert host_sizes == [2, 5, 2]  # host is in every group (parent)

@@ -1,0 +1,68 @@
+"""Failure injection through the HMPI stack (the FT direction the paper's
+conclusion points at)."""
+
+import pytest
+
+from repro.cluster import FaultSchedule, inject_faults, paper_network, uniform_network
+from repro.core import run_hmpi
+from repro.perfmodel import CallableModel
+
+
+class TestFailureSurface:
+    def test_group_member_failure_recorded(self):
+        cluster = uniform_network([100.0, 100.0, 100.0])
+        inject_faults(cluster, FaultSchedule({"m01": 0.5}))
+        model = CallableModel(3, lambda i: 200.0, lambda s, d: 0.0)
+
+        def app(hmpi):
+            gid = hmpi.group_create(model)
+            if gid.is_member:
+                hmpi.compute(200.0)  # 2 s; m01 dies at 0.5
+                gid.comm.barrier()
+                hmpi.group_free(gid)
+            return "ok"
+
+        res = run_hmpi(app, cluster, timeout=20)
+        assert res.failed
+        assert res.failures[0].machine == "m01"
+
+    def test_survivors_recreate_group_without_dead_machine(self):
+        """The recovery pattern: catch the failure signal, mark the rank
+        dead, and create a smaller group on the survivors."""
+        cluster = paper_network()
+        inject_faults(cluster, FaultSchedule({"ws06": 0.1}))  # fastest dies
+        model_big = CallableModel(3, lambda i: 100.0, lambda s, d: 0.0)
+
+        def app(hmpi):
+            # Rank 6's machine is dead almost immediately; it drops out.
+            if hmpi.rank == 6:
+                hmpi.compute(100.0)  # raises MachineFailure inside
+                return None
+            hmpi.mark_dead(6)
+            gid = hmpi.group_create(model_big)
+            ranks = gid.world_ranks
+            if gid.is_member:
+                gid.comm.barrier()
+                hmpi.group_free(gid)
+            return ranks
+
+        res = run_hmpi(app, cluster, timeout=20)
+        assert res.failed  # rank 6's machine failure is recorded
+        ranks = res.results[0]
+        assert 6 not in ranks
+        assert len(ranks) == 3
+
+    def test_clean_run_has_no_failures(self):
+        cluster = paper_network()
+        model = CallableModel(2, lambda i: 10.0, lambda s, d: 0.0)
+
+        def app(hmpi):
+            gid = hmpi.group_create(model)
+            if gid.is_member:
+                gid.comm.barrier()
+                hmpi.group_free(gid)
+            return True
+
+        res = run_hmpi(app, cluster)
+        assert not res.failed
+        assert all(res.results)

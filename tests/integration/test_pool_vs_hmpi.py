@@ -1,0 +1,99 @@
+"""Dynamic self-scheduling vs HMPI's static model-driven balancing.
+
+Two answers to heterogeneity on the same divisible workload and network:
+the worker pool needs no performance model but pays task granularity and
+round-trip latency; HMPI needs the model but assigns each processor its
+exact share up front.  Both must crush the naive uniform split, and HMPI
+should win when the model is exact (as it is here).
+"""
+
+import pytest
+
+from repro.cluster import paper_network
+from repro.core import run_hmpi
+from repro.mpi import run_mpi
+from repro.mpi.pool import Task, run_task_pool
+from repro.perfmodel import CallableModel
+
+TOTAL_WORK = 800.0
+NTASKS = 40
+
+
+def pool_time():
+    def app(env):
+        tasks = [Task(TOTAL_WORK / NTASKS, payload=i, fn=None)
+                 for i in range(NTASKS)]
+        run_task_pool(env, tasks)
+        env.comm_world.barrier()
+        return env.wtime()
+
+    res = run_mpi(app, paper_network())
+    return res.makespan
+
+
+def hmpi_time():
+    # 8 workers (the pool's master does not compute), balanced statically.
+    def app(hmpi):
+        speeds = hmpi.state.netmodel.speeds()
+        host = hmpi.env.machine_index
+        # intended arrangement: host first, rest by descending speed
+        order = [host] + sorted(
+            (i for i in range(len(speeds)) if i != host),
+            key=lambda i: -speeds[i],
+        )[:7]
+        shares = [TOTAL_WORK * speeds[m] / sum(speeds[m] for m in order)
+                  for m in order]
+        model = CallableModel(8, lambda i: shares[i], lambda s, d: 64.0)
+        gid = hmpi.group_create(model)
+        elapsed = None
+        if gid.is_member:
+            comm = gid.comm
+            comm.barrier()
+            t0 = comm.wtime()
+            hmpi.compute(shares[comm.rank], gid.my_concurrency)
+            comm.barrier()
+            elapsed = comm.wtime() - t0
+            hmpi.group_free(gid)
+        return elapsed
+
+    res = run_hmpi(app, paper_network())
+    return max(t for t in res.results if t is not None)
+
+
+def uniform_time():
+    def app2(env):
+        c = env.comm_world.split(0 if env.rank > 0 else 1, key=env.rank)
+        if env.rank == 0:
+            return 0.0
+        c.barrier()
+        t0 = c.wtime()
+        env.compute(TOTAL_WORK / 8)
+        c.barrier()
+        return c.wtime() - t0
+
+    res = run_mpi(app2, paper_network())
+    return max(res.results)
+
+
+class TestPoolVsHMPI:
+    def test_both_beat_uniform_split(self):
+        t_uniform = uniform_time()
+        t_pool = pool_time()
+        t_hmpi = hmpi_time()
+        assert t_pool < t_uniform
+        assert t_hmpi < t_uniform
+
+    def test_static_model_beats_dynamic_granularity(self):
+        """With an exact model, HMPI's static shares avoid both the pool's
+        task-granularity floor and its dispatch round trips."""
+        t_pool = pool_time()
+        t_hmpi = hmpi_time()
+        assert t_hmpi < t_pool
+
+    def test_pool_within_granularity_bound(self):
+        """The pool's makespan is bounded by the optimum plus one task on
+        the slowest machine that executed anything."""
+        t_pool = pool_time()
+        per_task = TOTAL_WORK / NTASKS
+        # worst granularity penalty: one 20-unit task on the speed-9 box
+        assert t_pool <= (TOTAL_WORK / 521) + per_task / 9 + 0.5

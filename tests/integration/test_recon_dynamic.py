@@ -1,0 +1,112 @@
+"""HMPI_Recon under dynamic external load — the paper's multi-user challenge."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ConstantLoad, StepLoad, uniform_network
+from repro.core import run_hmpi
+from repro.perfmodel import CallableModel
+
+
+def loaded_cluster():
+    """Nominally fast machine 3 is 90% consumed by an external user."""
+    cluster = uniform_network([100.0, 100.0, 100.0, 400.0])
+    cluster.machines[3].load = ConstantLoad(0.1)  # effective speed 40
+    return cluster
+
+
+def work_model(volumes=(120.0, 60.0)):
+    n = len(volumes)
+    return CallableModel(n, lambda i: volumes[i], lambda s, d: 1024.0)
+
+
+class TestReconChangesSelection:
+    def test_without_recon_the_loaded_machine_is_chosen(self):
+        cluster = loaded_cluster()
+        model = work_model()
+
+        def app(hmpi):
+            gid = hmpi.group_create(model)
+            if gid.is_member:
+                hmpi.group_free(gid)
+            return gid.world_ranks
+
+        res = run_hmpi(app, cluster)
+        # Nominal speeds say machine 3 is 4x faster: it gets picked.
+        assert 3 in res.results[0]
+
+    def test_with_recon_the_loaded_machine_is_avoided(self):
+        cluster = loaded_cluster()
+        model = work_model()
+
+        def app(hmpi):
+            hmpi.recon()
+            gid = hmpi.group_create(model)
+            if gid.is_member:
+                hmpi.group_free(gid)
+            return (gid.world_ranks, hmpi.state.netmodel.speeds().tolist())
+
+        res = run_hmpi(app, cluster)
+        ranks, speeds = res.results[0]
+        assert speeds[3] == pytest.approx(40.0)
+        assert 3 not in ranks  # true speed 40 < 100 of the idle machines
+
+    def test_recon_makes_execution_faster(self):
+        """End to end: the recon'd selection finishes sooner."""
+        model = work_model()
+
+        def app(hmpi, use_recon):
+            if use_recon:
+                hmpi.recon()
+            gid = hmpi.group_create(model)
+            elapsed = None
+            if gid.is_member:
+                comm = gid.comm
+                comm.barrier()
+                t0 = comm.wtime()
+                hmpi.compute((120.0, 60.0)[comm.rank])
+                comm.barrier()
+                elapsed = comm.wtime() - t0
+                hmpi.group_free(gid)
+            return elapsed
+
+        blind = run_hmpi(app, loaded_cluster(), args=(False,))
+        informed = run_hmpi(app, loaded_cluster(), args=(True,))
+        t_blind = max(t for t in blind.results if t is not None)
+        t_informed = max(t for t in informed.results if t is not None)
+        assert t_informed < t_blind
+
+
+class TestTimeVaryingLoad:
+    def test_recon_observes_current_share(self):
+        """Recon run while a square load is in its loaded phase reports the
+        loaded speed, not the nominal one."""
+        cluster = uniform_network([100.0, 100.0])
+        # Machine 1 loaded (share 0.25) from the start for a long time.
+        cluster.machines[1].load = StepLoad([(1000.0, 1.0)], initial=0.25)
+
+        def app(hmpi):
+            hmpi.recon()
+            return hmpi.state.netmodel.speeds().tolist()
+
+        res = run_hmpi(app, cluster)
+        assert res.results[0][1] == pytest.approx(25.0)
+
+    def test_repeated_recon_tracks_change(self):
+        cluster = uniform_network([100.0, 100.0])
+        # Machine 1: share 0.2 until t=100, then back to 1.0.
+        cluster.machines[1].load = StepLoad([(100.0, 1.0)], initial=0.2)
+
+        def app(hmpi):
+            hmpi.recon()
+            first = hmpi.state.netmodel.speed_of_machine(1)
+            hmpi.compute(2_500.0)  # push virtual time past t=100 everywhere
+            hmpi.comm_world.barrier()
+            hmpi.recon()
+            second = hmpi.state.netmodel.speed_of_machine(1)
+            return (first, second)
+
+        res = run_hmpi(app, cluster)
+        first, second = res.results[0]
+        assert first == pytest.approx(20.0, rel=0.05)
+        assert second == pytest.approx(100.0, rel=0.05)

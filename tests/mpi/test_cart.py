@@ -1,0 +1,145 @@
+"""Cartesian topologies."""
+
+import pytest
+
+from repro.cluster import homogeneous_network
+from repro.mpi import PROC_NULL, run_mpi
+from repro.mpi.cart import cart_create, dims_create
+from repro.util.errors import MPICommError
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize("nnodes,ndims,expected", [
+        (6, 2, [3, 2]),
+        (9, 2, [3, 3]),
+        (12, 2, [4, 3]),
+        (12, 3, [3, 2, 2]),
+        (7, 2, [7, 1]),
+        (1, 3, [1, 1, 1]),
+    ])
+    def test_balanced_factorisation(self, nnodes, ndims, expected):
+        assert dims_create(nnodes, ndims) == expected
+
+    def test_product_invariant(self):
+        import math
+
+        for n in range(1, 40):
+            for d in (1, 2, 3):
+                assert math.prod(dims_create(n, d)) == n
+
+    def test_bad_args(self):
+        with pytest.raises(MPICommError):
+            dims_create(0, 2)
+
+
+class TestCartCreate:
+    def test_grid_coords_roundtrip(self):
+        def app(env):
+            cart = cart_create(env.comm_world, [2, 3])
+            assert cart is not None
+            me = cart.coords
+            assert cart.rank_of(me) == cart.rank
+            return me
+
+        res = run_mpi(app, homogeneous_network(6))
+        assert res.results[0] == (0, 0)
+        assert res.results[5] == (1, 2)
+
+    def test_excess_ranks_get_none(self):
+        def app(env):
+            cart = cart_create(env.comm_world, [2, 2])
+            return None if cart is None else cart.size
+
+        res = run_mpi(app, homogeneous_network(6))
+        assert res.results == [4, 4, 4, 4, None, None]
+
+    def test_too_large_grid(self):
+        def app(env):
+            with pytest.raises(MPICommError):
+                cart_create(env.comm_world, [3, 3])
+            env.comm_world.barrier()
+            return True
+
+        run_mpi(app, homogeneous_network(4))
+
+    def test_nonperiodic_out_of_range_rank_of(self):
+        def app(env):
+            cart = cart_create(env.comm_world, [2, 2])
+            with pytest.raises(MPICommError):
+                cart.rank_of([2, 0])
+            cart.barrier()
+            return True
+
+        run_mpi(app, homogeneous_network(4))
+
+    def test_periodic_wraps(self):
+        def app(env):
+            cart = cart_create(env.comm_world, [2, 2], periods=[True, True])
+            return cart.rank_of([3, -1])  # wraps to (1, 1)
+
+        res = run_mpi(app, homogeneous_network(4))
+        assert res.results[0] == 3
+
+
+class TestShift:
+    def test_interior_shift(self):
+        def app(env):
+            cart = cart_create(env.comm_world, [3, 1])
+            return cart.shift(0, 1)
+
+        res = run_mpi(app, homogeneous_network(3))
+        assert res.results[1] == (0, 2)  # source above, dest below
+
+    def test_edges_get_proc_null(self):
+        def app(env):
+            cart = cart_create(env.comm_world, [3, 1])
+            return cart.shift(0, 1)
+
+        res = run_mpi(app, homogeneous_network(3))
+        assert res.results[0] == (PROC_NULL, 1)
+        assert res.results[2] == (1, PROC_NULL)
+
+    def test_periodic_ring_shift_communicates(self):
+        def app(env):
+            cart = cart_create(env.comm_world, [4], periods=[True])
+            src, dst = cart.shift(0, 1)
+            return cart.sendrecv(cart.rank, dst, 0, src, 0)
+
+        res = run_mpi(app, homogeneous_network(4))
+        assert res.results == [3, 0, 1, 2]
+
+
+class TestCartSub:
+    def test_rows_and_columns(self):
+        def app(env):
+            cart = cart_create(env.comm_world, [2, 3])
+            row = cart.sub([False, True])    # keep columns: row comms
+            col = cart.sub([True, False])    # keep rows: column comms
+            return (cart.coords, row.size, row.rank, col.size, col.rank)
+
+        res = run_mpi(app, homogeneous_network(6))
+        for coords, row_size, row_rank, col_size, col_rank in res.results:
+            i, j = coords
+            assert row_size == 3 and row_rank == j
+            assert col_size == 2 and col_rank == i
+
+    def test_sub_comms_isolate_traffic(self):
+        from repro.mpi.ops import SUM
+
+        def app(env):
+            cart = cart_create(env.comm_world, [2, 2])
+            row = cart.sub([False, True])
+            return row.allreduce(cart.rank, SUM)
+
+        res = run_mpi(app, homogeneous_network(4))
+        # rows are {0,1} and {2,3}
+        assert res.results == [1, 1, 5, 5]
+
+    def test_drop_all_dims(self):
+        def app(env):
+            cart = cart_create(env.comm_world, [2, 2])
+            solo = cart.sub([False, False])
+            return (solo.size, solo.dims)
+
+        res = run_mpi(app, homogeneous_network(4))
+        assert all(r == (1, (1,)) for r in res.results)

@@ -1,0 +1,200 @@
+"""Collective operations verified against reference semantics."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MAX, MAXLOC, MIN, PROD, SUM, run_mpi
+from repro.util.errors import MPICommError
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 9])
+class TestBcast:
+    def test_scalar(self, size):
+        from repro.cluster import homogeneous_network
+
+        def app(env):
+            return env.comm_world.bcast("payload" if env.rank == 0 else None)
+
+        res = run_mpi(app, homogeneous_network(size))
+        assert res.results == ["payload"] * size
+
+    def test_nonzero_root(self, size):
+        from repro.cluster import homogeneous_network
+
+        root = size - 1
+
+        def app(env):
+            return env.comm_world.bcast(env.rank if env.rank == root else None,
+                                        root=root)
+
+        res = run_mpi(app, homogeneous_network(size))
+        assert res.results == [root] * size
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 9])
+class TestReduceAllreduce:
+    def test_reduce_sum(self, size):
+        from repro.cluster import homogeneous_network
+
+        def app(env):
+            return env.comm_world.reduce(env.rank + 1, SUM, root=0)
+
+        res = run_mpi(app, homogeneous_network(size))
+        assert res.results[0] == size * (size + 1) // 2
+        assert all(r is None for r in res.results[1:])
+
+    def test_allreduce_max(self, size):
+        from repro.cluster import homogeneous_network
+
+        def app(env):
+            return env.comm_world.allreduce(env.rank * 2, MAX)
+
+        res = run_mpi(app, homogeneous_network(size))
+        assert res.results == [(size - 1) * 2] * size
+
+
+class TestReduceOps:
+    def test_prod(self, small_cluster):
+        def app(env):
+            return env.comm_world.allreduce(env.rank + 1, PROD)
+
+        res = run_mpi(app, small_cluster)
+        assert res.results == [24] * 4
+
+    def test_min(self, small_cluster):
+        def app(env):
+            return env.comm_world.allreduce(10 - env.rank, MIN)
+
+        res = run_mpi(app, small_cluster)
+        assert res.results == [7] * 4
+
+    def test_maxloc(self, small_cluster):
+        def app(env):
+            value = [5, 9, 9, 1][env.rank]
+            return env.comm_world.allreduce((value, env.rank), MAXLOC)
+
+        res = run_mpi(app, small_cluster)
+        # ties broken by smaller index
+        assert res.results == [(9, 1)] * 4
+
+    def test_array_elementwise_sum(self, small_cluster):
+        def app(env):
+            return env.comm_world.allreduce(np.full(3, float(env.rank)), SUM)
+
+        res = run_mpi(app, small_cluster)
+        assert (res.results[0] == np.full(3, 6.0)).all()
+
+
+class TestGatherScatter:
+    def test_gather(self, small_cluster):
+        def app(env):
+            return env.comm_world.gather(env.rank ** 2, root=2)
+
+        res = run_mpi(app, small_cluster)
+        assert res.results[2] == [0, 1, 4, 9]
+        assert res.results[0] is None
+
+    def test_scatter(self, small_cluster):
+        def app(env):
+            data = [f"item{i}" for i in range(4)] if env.rank == 1 else None
+            return env.comm_world.scatter(data, root=1)
+
+        res = run_mpi(app, small_cluster)
+        assert res.results == ["item0", "item1", "item2", "item3"]
+
+    def test_scatter_wrong_length(self, small_cluster):
+        def app(env):
+            if env.rank == 0:
+                with pytest.raises(MPICommError):
+                    env.comm_world.scatter([1, 2], root=0)
+            return True
+
+        # Only rank 0 raises; others never enter the collective.
+        run_mpi(app, small_cluster)
+
+
+class TestAllgatherAlltoall:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 9])
+    def test_allgather(self, size):
+        from repro.cluster import homogeneous_network
+
+        def app(env):
+            return env.comm_world.allgather(env.rank * 10)
+
+        res = run_mpi(app, homogeneous_network(size))
+        expected = [i * 10 for i in range(size)]
+        assert all(r == expected for r in res.results)
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5])
+    def test_alltoall_transpose(self, size):
+        from repro.cluster import homogeneous_network
+
+        def app(env):
+            out = env.comm_world.alltoall(
+                [env.rank * 100 + j for j in range(env.size)]
+            )
+            return out
+
+        res = run_mpi(app, homogeneous_network(size))
+        for r in range(size):
+            assert res.results[r] == [src * 100 + r for src in range(size)]
+
+    def test_alltoall_wrong_length(self, pair_cluster):
+        def app(env):
+            with pytest.raises(MPICommError):
+                env.comm_world.alltoall([1])
+            env.comm_world.barrier()
+            return True
+
+        run_mpi(app, pair_cluster)
+
+
+class TestScanExscan:
+    def test_inclusive_scan(self, small_cluster):
+        def app(env):
+            return env.comm_world.scan(env.rank + 1, SUM)
+
+        res = run_mpi(app, small_cluster)
+        assert res.results == [1, 3, 6, 10]
+
+    def test_exclusive_scan(self, small_cluster):
+        def app(env):
+            return env.comm_world.exscan(env.rank + 1, SUM)
+
+        res = run_mpi(app, small_cluster)
+        assert res.results == [None, 1, 3, 6]
+
+
+class TestReduceScatterBlock:
+    def test_elementwise_then_scatter(self, small_cluster):
+        def app(env):
+            contribution = [env.rank * 10 + j for j in range(env.size)]
+            return env.comm_world.reduce_scatter_block(contribution, SUM)
+
+        res = run_mpi(app, small_cluster)
+        # element j summed over ranks: sum_r (r*10 + j) = 60 + 4j
+        assert res.results == [60, 64, 68, 72]
+
+
+class TestBarrier:
+    def test_barrier_synchronises_clocks(self, small_cluster):
+        def app(env):
+            env.compute(float(env.rank * 100))  # very uneven work
+            env.comm_world.barrier()
+            return env.wtime()
+
+        res = run_mpi(app, small_cluster)
+        # Slowest pre-barrier worker: rank 2 computes 200 units at speed 25
+        # -> 8 s.  After the barrier nobody's clock is earlier than that.
+        assert min(res.results) >= 8.0
+        assert max(res.results) < 8.1  # barrier latency is small
+
+    def test_consecutive_collectives_do_not_cross_match(self, small_cluster):
+        def app(env):
+            c = env.comm_world
+            a = c.allgather(("first", env.rank))
+            b = c.allgather(("second", env.rank))
+            return (a[0][0], b[0][0])
+
+        res = run_mpi(app, small_cluster)
+        assert all(r == ("first", "second") for r in res.results)

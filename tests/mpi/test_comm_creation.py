@@ -1,0 +1,115 @@
+"""Communicator creation: split, dup, create, context isolation."""
+
+import pytest
+
+from repro.mpi import UNDEFINED, run_mpi
+from repro.mpi.group import Group
+from repro.util.errors import MPICommError
+
+
+class TestSplit:
+    def test_split_by_parity(self, small_cluster):
+        def app(env):
+            c = env.comm_world.split(env.rank % 2, key=env.rank)
+            return (c.rank, c.size, c.group.world_ranks)
+
+        res = run_mpi(app, small_cluster)
+        assert res.results[0] == (0, 2, (0, 2))
+        assert res.results[1] == (0, 2, (1, 3))
+        assert res.results[2] == (1, 2, (0, 2))
+        assert res.results[3] == (1, 2, (1, 3))
+
+    def test_key_orders_ranks(self, small_cluster):
+        def app(env):
+            c = env.comm_world.split(0, key=-env.rank)
+            return c.rank
+
+        res = run_mpi(app, small_cluster)
+        assert res.results == [3, 2, 1, 0]
+
+    def test_undefined_color_returns_none(self, small_cluster):
+        def app(env):
+            color = UNDEFINED if env.rank == 0 else 1
+            c = env.comm_world.split(color)
+            return None if c is None else c.size
+
+        res = run_mpi(app, small_cluster)
+        assert res.results == [None, 3, 3, 3]
+
+    def test_split_contexts_isolate_traffic(self, small_cluster):
+        def app(env):
+            c = env.comm_world.split(env.rank % 2)
+            # Each sub-communicator does its own allgather with identical
+            # tags; contexts must keep them apart.
+            return c.allgather(env.rank)
+
+        res = run_mpi(app, small_cluster)
+        assert res.results[0] == [0, 2]
+        assert res.results[1] == [1, 3]
+
+
+class TestDup:
+    def test_same_group_fresh_context(self, small_cluster):
+        def app(env):
+            d = env.comm_world.dup()
+            assert d.context != env.comm_world.context
+            assert d.group == env.comm_world.group
+            # traffic on the dup must not match the original
+            if env.rank == 0:
+                d.send("dup-msg", 1, tag=0)
+                env.comm_world.send("world-msg", 1, tag=0)
+                return None
+            if env.rank == 1:
+                world_first = env.comm_world.recv(0, 0)
+                dup_second = d.recv(0, 0)
+                return (world_first, dup_second)
+            return None
+
+        res = run_mpi(app, small_cluster)
+        assert res.results[1] == ("world-msg", "dup-msg")
+
+
+class TestCreate:
+    def test_subgroup_communicator(self, small_cluster):
+        def app(env):
+            sub = Group([1, 3])
+            c = env.comm_world.create(sub)
+            if c is None:
+                return None
+            return (c.rank, c.size)
+
+        res = run_mpi(app, small_cluster)
+        assert res.results == [None, (0, 2), None, (1, 2)]
+
+    def test_create_rejects_non_subset(self, pair_cluster):
+        def app(env):
+            with pytest.raises(MPICommError):
+                env.comm_world.create(Group([0, 5]))
+            env.comm_world.barrier()
+            return True
+
+        run_mpi(app, pair_cluster)
+
+
+class TestFree:
+    def test_freed_comm_unusable(self, pair_cluster):
+        def app(env):
+            d = env.comm_world.dup()
+            d.free()
+            with pytest.raises(MPICommError):
+                d.send(1, 0)
+            env.comm_world.barrier()
+            return True
+
+        run_mpi(app, pair_cluster)
+
+
+class TestNestedCreation:
+    def test_split_of_split(self, small_cluster):
+        def app(env):
+            half = env.comm_world.split(env.rank // 2)       # {0,1} {2,3}
+            solo = half.split(half.rank)                      # singletons
+            return (half.size, solo.size, solo.rank)
+
+        res = run_mpi(app, small_cluster)
+        assert all(r == (2, 1, 0) for r in res.results)

@@ -1,0 +1,111 @@
+"""Communicator error paths and miscellaneous accessors."""
+
+import pytest
+
+from repro.cluster import uniform_network
+from repro.mpi import run_mpi
+from repro.util.errors import MPICommError
+
+
+class TestRankValidation:
+    def test_send_to_out_of_range_rank(self, pair_cluster):
+        def app(env):
+            with pytest.raises(MPICommError):
+                env.comm_world.send(1, 5)
+            env.comm_world.barrier()
+            return True
+
+        run_mpi(app, pair_cluster)
+
+    def test_recv_from_out_of_range_rank(self, pair_cluster):
+        def app(env):
+            with pytest.raises(MPICommError):
+                env.comm_world.recv(9)
+            env.comm_world.barrier()
+            return True
+
+        run_mpi(app, pair_cluster)
+
+    def test_bcast_root_out_of_range(self, pair_cluster):
+        def app(env):
+            with pytest.raises(MPICommError):
+                env.comm_world.bcast(1, root=7)
+            env.comm_world.barrier()
+            return True
+
+        run_mpi(app, pair_cluster)
+
+    def test_reduce_root_out_of_range(self, pair_cluster):
+        from repro.mpi import SUM
+
+        def app(env):
+            with pytest.raises(MPICommError):
+                env.comm_world.reduce(1, SUM, root=-1)
+            env.comm_world.barrier()
+            return True
+
+        run_mpi(app, pair_cluster)
+
+
+class TestWorldProperties:
+    def test_is_world(self, pair_cluster):
+        def app(env):
+            sub = env.comm_world.split(0)
+            return (env.comm_world.is_world, sub.is_world)
+
+        res = run_mpi(app, pair_cluster)
+        assert res.results[0] == (True, False)
+
+    def test_wtime_monotone(self, pair_cluster):
+        def app(env):
+            t0 = env.comm_world.wtime()
+            env.compute(10.0)
+            t1 = env.comm_world.wtime()
+            return t1 > t0
+
+        res = run_mpi(app, pair_cluster)
+        assert all(res.results)
+
+    def test_repr_contains_rank(self, pair_cluster):
+        def app(env):
+            return repr(env.comm_world)
+
+        res = run_mpi(app, pair_cluster)
+        assert "rank=0/2" in res.results[0]
+
+
+class TestSubCommunicatorTranslation:
+    def test_status_source_is_comm_rank(self):
+        cluster = uniform_network([10.0] * 4)
+
+        def app(env):
+            from repro.mpi import Status
+
+            # sub-communicator of ranks {2, 3}: comm ranks 0, 1
+            sub = env.comm_world.split(0 if env.rank >= 2 else 1, key=env.rank)
+            if env.rank == 2:
+                sub.send("x", 1, tag=4)
+                return None
+            if env.rank == 3:
+                st = Status()
+                sub.recv(0, 4, status=st)
+                return st.source  # must be 0 (comm rank), not 2 (world)
+            return None
+
+        res = run_mpi(app, cluster)
+        assert res.results[3] == 0
+
+    def test_messages_cross_comm_ranks_correctly(self):
+        cluster = uniform_network([10.0] * 4)
+
+        def app(env):
+            sub = env.comm_world.split(env.rank % 2, key=env.rank)
+            # in each sub-comm: comm rank 0 sends its world rank to comm rank 1
+            if sub.rank == 0:
+                sub.send(env.rank, 1)
+                return None
+            return sub.recv(0)
+
+        res = run_mpi(app, cluster)
+        assert res.results[2] == 0  # world 2 is comm rank 1 of the even comm
+        assert res.results[3] == 1

@@ -1,0 +1,75 @@
+"""Datatypes and payload encoding."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import (
+    BYTE,
+    DOUBLE,
+    INT,
+    decode_payload,
+    encode_payload,
+    sizeof,
+)
+
+
+class TestDatatype:
+    def test_sizes(self):
+        assert DOUBLE.size == 8
+        assert INT.size == 4
+        assert BYTE.size == 1
+
+    def test_multiplication_gives_bytes(self):
+        assert DOUBLE * 10 == 80
+        assert 10 * INT == 40
+
+
+class TestSizeof:
+    def test_datatype_objects(self):
+        assert sizeof(DOUBLE) == 8
+
+    @pytest.mark.parametrize("name,size", [
+        ("double", 8), ("float", 4), ("int", 4), ("long", 8),
+        ("char", 1), ("byte", 1), ("short", 2), ("DOUBLE", 8),
+    ])
+    def test_c_names(self, name, size):
+        assert sizeof(name) == size
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            sizeof("quaternion")
+
+
+class TestEncodePayload:
+    def test_ndarray_sized_by_nbytes(self):
+        arr = np.zeros(100, dtype=np.float64)
+        payload, nbytes = encode_payload(arr)
+        assert nbytes == 800
+        assert (decode_payload(payload) == arr).all()
+
+    def test_ndarray_copied_at_send(self):
+        arr = np.arange(4.0)
+        payload, _ = encode_payload(arr)
+        arr[0] = 999.0  # sender reuses its buffer
+        assert decode_payload(payload)[0] == 0.0
+
+    def test_object_roundtrip(self):
+        obj = {"a": [1, 2, 3], "b": (4.5, "x")}
+        payload, nbytes = encode_payload(obj)
+        assert nbytes > 0
+        assert decode_payload(payload) == obj
+
+    def test_object_isolation(self):
+        obj = {"key": [1]}
+        payload, _ = encode_payload(obj)
+        obj["key"].append(2)
+        assert decode_payload(payload) == {"key": [1]}
+
+    def test_nbytes_override(self):
+        _, nbytes = encode_payload("tiny", nbytes=10_000)
+        assert nbytes == 10_000
+
+    def test_none_payload(self):
+        payload, nbytes = encode_payload(None)
+        assert decode_payload(payload) is None
+        assert nbytes > 0

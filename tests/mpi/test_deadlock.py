@@ -1,0 +1,92 @@
+"""Deterministic deadlock detection."""
+
+import pytest
+
+from repro.cluster import homogeneous_network
+from repro.mpi import run_mpi
+from repro.util.errors import DeadlockError
+
+
+class TestDetection:
+    def test_all_ranks_waiting_forever(self):
+        def app(env):
+            # everyone receives from the next rank; nobody sends
+            return env.comm_world.recv((env.rank + 1) % env.size, 0)
+
+        with pytest.raises(DeadlockError):
+            run_mpi(app, homogeneous_network(3), timeout=10)
+
+    def test_single_rank_self_wait(self):
+        def app(env):
+            return env.comm_world.recv(0, 0)
+
+        with pytest.raises(DeadlockError):
+            run_mpi(app, homogeneous_network(1), timeout=10)
+
+    def test_partial_finish_then_stuck(self):
+        def app(env):
+            if env.rank == 0:
+                return "done"  # finishes immediately, sends nothing
+            return env.comm_world.recv(0, 0)
+
+        with pytest.raises(DeadlockError):
+            run_mpi(app, homogeneous_network(2), timeout=10)
+
+    def test_wrong_tag_never_matches(self):
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                c.send("x", 1, tag=1)
+                return None
+            return c.recv(0, tag=2)
+
+        with pytest.raises(DeadlockError):
+            run_mpi(app, homogeneous_network(2), timeout=10)
+
+
+class TestNoFalsePositives:
+    def test_late_sender(self):
+        """A rank that computes for a while before sending must not trip
+        the detector while its peer waits."""
+
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                env.compute(500.0)
+                c.send("eventually", 1)
+                return None
+            return c.recv(0)
+
+        res = run_mpi(app, homogeneous_network(2), timeout=30)
+        assert res.results[1] == "eventually"
+
+    def test_chained_dependencies(self):
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                c.send(0, 1)
+                return c.recv(env.size - 1)
+            v = c.recv(env.rank - 1)
+            c.send(v + 1, (env.rank + 1) % env.size)
+            return v
+
+        res = run_mpi(app, homogeneous_network(5), timeout=30)
+        # ranks 1..4 each increment: rank 0 receives 4 back.
+        assert res.results[0] == 4
+
+    def test_repeated_ping_pong(self):
+        def app(env):
+            c = env.comm_world
+            other = 1 - env.rank
+            v = env.rank
+            for _ in range(50):
+                if env.rank == 0:
+                    c.send(v, other)
+                    v = c.recv(other)
+                else:
+                    v = c.recv(other)
+                    c.send(v + 1, other)
+            return v
+
+        res = run_mpi(app, homogeneous_network(2), timeout=30)
+        assert res.results[0] == 50

@@ -1,0 +1,83 @@
+"""Fault injection surfaced through the engine."""
+
+import pytest
+
+from repro.cluster import FaultSchedule, inject_faults, uniform_network
+from repro.mpi import run_mpi
+from repro.util.errors import DeadlockError
+
+
+def failing_cluster(fail_machine="m01", fail_at=0.5):
+    cluster = uniform_network([100.0, 100.0, 100.0])
+    inject_faults(cluster, FaultSchedule({fail_machine: fail_at}))
+    return cluster
+
+
+class TestFailureDuringCompute:
+    def test_failed_rank_recorded_not_raised(self):
+        cluster = failing_cluster()
+
+        def app(env):
+            env.compute(200.0)  # 2 s — machine m01 dies at 0.5
+            return "survived"
+
+        res = run_mpi(app, cluster, timeout=10)
+        assert res.failed
+        assert len(res.failures) == 1
+        assert res.failures[0].machine == "m01"
+        assert res.results[0] == "survived"
+        assert res.results[1] is None
+        assert res.results[2] == "survived"
+
+    def test_failure_time_recorded(self):
+        cluster = failing_cluster(fail_at=0.25)
+
+        def app(env):
+            env.compute(100.0)
+            return True
+
+        res = run_mpi(app, cluster, timeout=10)
+        assert res.failures[0].vtime == pytest.approx(0.25)
+
+
+class TestFailureCascades:
+    def test_survivors_waiting_on_dead_rank_unblock(self):
+        cluster = failing_cluster()
+
+        def app(env):
+            if env.rank == 1:
+                env.compute(200.0)     # dies mid-compute
+                env.comm_world.send("never", 0)
+                return None
+            if env.rank == 0:
+                return env.comm_world.recv(1)  # stuck on the dead rank
+            return "bystander"
+
+        # The run terminates (no hang); the failure is recorded and the
+        # secondary deadlock of rank 0 is not re-raised as a program bug.
+        res = run_mpi(app, cluster, timeout=20)
+        assert res.failed
+        assert res.results[2] == "bystander"
+
+    def test_pure_program_deadlock_still_raises(self):
+        cluster = uniform_network([100.0, 100.0])
+
+        def app(env):
+            return env.comm_world.recv(1 - env.rank)
+
+        with pytest.raises(DeadlockError):
+            run_mpi(app, cluster, timeout=10)
+
+
+class TestHealthyMachinesUnaffected:
+    def test_no_failures_when_compute_fits(self):
+        cluster = failing_cluster(fail_at=10.0)
+
+        def app(env):
+            env.compute(100.0)  # 1 s, finishes before the failure
+            env.comm_world.barrier()
+            return env.wtime()
+
+        res = run_mpi(app, cluster, timeout=10)
+        assert not res.failed
+        assert all(r is not None for r in res.results)

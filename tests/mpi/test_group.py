@@ -1,0 +1,129 @@
+"""MPI group algebra — the constructors HMPI deliberately omits but the
+substrate provides via HMPI_Get_comm."""
+
+import pytest
+
+from repro.mpi.group import GROUP_EMPTY, IDENT, SIMILAR, UNEQUAL, Group
+from repro.mpi.status import UNDEFINED
+from repro.util.errors import MPIGroupError
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert GROUP_EMPTY.size == 0
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(MPIGroupError):
+            Group([1, 1])
+
+    def test_negative_rejected(self):
+        with pytest.raises(MPIGroupError):
+            Group([-1])
+
+
+class TestAccessors:
+    def test_size_and_iteration(self):
+        g = Group([5, 3, 7])
+        assert g.size == 3
+        assert list(g) == [5, 3, 7]
+
+    def test_rank_of(self):
+        g = Group([5, 3, 7])
+        assert g.rank_of(3) == 1
+        assert g.rank_of(99) == UNDEFINED
+
+    def test_world_rank(self):
+        g = Group([5, 3, 7])
+        assert g.world_rank(2) == 7
+        with pytest.raises(MPIGroupError):
+            g.world_rank(3)
+
+    def test_contains(self):
+        g = Group([5, 3])
+        assert 5 in g and 4 not in g
+
+    def test_translate_ranks(self):
+        g1 = Group([10, 11, 12])
+        g2 = Group([12, 10])
+        assert g1.translate_ranks([0, 1, 2], g2) == [1, UNDEFINED, 0]
+
+    def test_compare(self):
+        a = Group([1, 2, 3])
+        assert a.compare(Group([1, 2, 3])) == IDENT
+        assert a.compare(Group([3, 2, 1])) == SIMILAR
+        assert a.compare(Group([1, 2])) == UNEQUAL
+
+
+class TestSetOperations:
+    def test_union_preserves_first_order(self):
+        a = Group([1, 3, 5])
+        b = Group([5, 4, 1, 2])
+        assert Group([1, 3, 5, 4, 2]) == a.union(b)
+
+    def test_intersection_order_of_first(self):
+        a = Group([5, 3, 1])
+        b = Group([1, 2, 3])
+        assert a.intersection(b) == Group([3, 1])
+
+    def test_difference(self):
+        a = Group([5, 3, 1])
+        b = Group([3])
+        assert a.difference(b) == Group([5, 1])
+
+    def test_union_with_empty(self):
+        a = Group([1, 2])
+        assert a.union(GROUP_EMPTY) == a
+        assert GROUP_EMPTY.union(a) == a
+
+    def test_difference_with_self_is_empty(self):
+        a = Group([1, 2])
+        assert a.difference(a) == GROUP_EMPTY
+
+
+class TestInclExcl:
+    def test_incl_reorders(self):
+        g = Group([10, 20, 30, 40])
+        assert g.incl([2, 0]) == Group([30, 10])
+
+    def test_incl_bad_rank(self):
+        with pytest.raises(MPIGroupError):
+            Group([10]).incl([3])
+
+    def test_excl(self):
+        g = Group([10, 20, 30, 40])
+        assert g.excl([1, 3]) == Group([10, 30])
+
+    def test_excl_validates(self):
+        with pytest.raises(MPIGroupError):
+            Group([10]).excl([5])
+
+
+class TestRangeOperations:
+    def test_range_incl(self):
+        g = Group(list(range(100, 110)))
+        # (first, last, stride)
+        assert g.range_incl([(0, 6, 2)]) == Group([100, 102, 104, 106])
+
+    def test_range_incl_negative_stride(self):
+        g = Group(list(range(100, 105)))
+        assert g.range_incl([(4, 0, -2)]) == Group([104, 102, 100])
+
+    def test_range_excl(self):
+        g = Group(list(range(100, 106)))
+        assert g.range_excl([(0, 5, 2)]) == Group([101, 103, 105])
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(MPIGroupError):
+            Group([1, 2]).range_incl([(0, 1, 0)])
+
+    def test_multiple_ranges(self):
+        g = Group(list(range(10)))
+        assert g.range_incl([(0, 1, 1), (8, 9, 1)]) == Group([0, 1, 8, 9])
+
+
+class TestHashEq:
+    def test_equal_groups_hash_equal(self):
+        assert hash(Group([1, 2])) == hash(Group([1, 2]))
+
+    def test_order_matters_for_eq(self):
+        assert Group([1, 2]) != Group([2, 1])

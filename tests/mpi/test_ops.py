@@ -1,0 +1,81 @@
+"""Reduction operations."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.ops import (
+    BAND,
+    BOR,
+    LAND,
+    LOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PROD,
+    SUM,
+)
+
+
+class TestScalarOps:
+    def test_sum_prod(self):
+        assert SUM(2, 3) == 5
+        assert PROD(2, 3) == 6
+
+    def test_max_min(self):
+        assert MAX(2, 3) == 3
+        assert MIN(2, 3) == 2
+
+    def test_logical(self):
+        assert LAND(1, 0) is False
+        assert LAND(1, 2) is True
+        assert LOR(0, 0) is False
+        assert LOR(0, 5) is True
+
+    def test_bitwise(self):
+        assert BAND(0b1100, 0b1010) == 0b1000
+        assert BOR(0b1100, 0b1010) == 0b1110
+
+
+class TestArrayOps:
+    def test_elementwise_max(self):
+        a = np.array([1, 5, 2])
+        b = np.array([3, 1, 2])
+        assert (MAX(a, b) == np.array([3, 5, 2])).all()
+
+    def test_elementwise_min(self):
+        a = np.array([1.0, 5.0])
+        b = np.array([3.0, 1.0])
+        assert (MIN(a, b) == np.array([1.0, 1.0])).all()
+
+    def test_elementwise_logical(self):
+        a = np.array([1, 0, 1])
+        b = np.array([1, 1, 0])
+        assert (LAND(a, b) == np.array([True, False, False])).all()
+        assert (LOR(a, b) == np.array([True, True, True])).all()
+
+
+class TestLocOps:
+    def test_maxloc_picks_larger(self):
+        assert MAXLOC((5, 0), (9, 1)) == (9, 1)
+
+    def test_maxloc_tie_smaller_index(self):
+        assert MAXLOC((9, 3), (9, 1)) == (9, 1)
+        assert MAXLOC((9, 1), (9, 3)) == (9, 1)
+
+    def test_minloc(self):
+        assert MINLOC((5, 0), (9, 1)) == (5, 0)
+        assert MINLOC((5, 2), (5, 0)) == (5, 0)
+
+    def test_associativity_over_sequence(self):
+        from functools import reduce
+
+        values = [(4, 0), (9, 1), (9, 2), (1, 3)]
+        assert reduce(MAXLOC, values) == (9, 1)
+        assert reduce(MINLOC, values) == (1, 3)
+
+
+class TestOpObject:
+    def test_named(self):
+        assert SUM.name == "MPI_SUM"
+        assert MAXLOC.name == "MPI_MAXLOC"

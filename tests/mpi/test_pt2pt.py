@@ -1,0 +1,163 @@
+"""Point-to-point semantics: matching, ordering, wildcards, status."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, PROC_NULL, Status, run_mpi
+
+
+class TestBasicSendRecv:
+    def test_object_roundtrip(self, pair_cluster):
+        def app(env):
+            if env.rank == 0:
+                env.comm_world.send({"x": 1}, 1, tag=3)
+                return None
+            return env.comm_world.recv(0, 3)
+
+        res = run_mpi(app, pair_cluster)
+        assert res.results[1] == {"x": 1}
+
+    def test_array_roundtrip(self, pair_cluster):
+        def app(env):
+            if env.rank == 0:
+                env.comm_world.send(np.arange(10.0), 1)
+                return None
+            got = env.comm_world.recv(0)
+            return got.sum()
+
+        res = run_mpi(app, pair_cluster)
+        assert res.results[1] == pytest.approx(45.0)
+
+    def test_status_filled(self, pair_cluster):
+        def app(env):
+            if env.rank == 0:
+                env.comm_world.send(np.zeros(4), 1, tag=9)
+                return None
+            st = Status()
+            env.comm_world.recv(ANY_SOURCE, ANY_TAG, status=st)
+            return (st.source, st.tag, st.nbytes)
+
+        res = run_mpi(app, pair_cluster)
+        assert res.results[1] == (0, 9, 32)
+
+    def test_negative_user_tag_rejected(self, pair_cluster):
+        from repro.util.errors import MPICommError
+
+        def app(env):
+            if env.rank == 0:
+                with pytest.raises(MPICommError):
+                    env.comm_world.send(1, 1, tag=-5)
+            return True
+
+        run_mpi(app, pair_cluster)
+
+    def test_send_to_proc_null_is_noop(self, pair_cluster):
+        def app(env):
+            env.comm_world.send("x", PROC_NULL)
+            got = env.comm_world.recv(PROC_NULL)
+            return got
+
+        res = run_mpi(app, pair_cluster)
+        assert res.results == [None, None]
+
+
+class TestMatching:
+    def test_tag_selectivity(self, pair_cluster):
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                c.send("first", 1, tag=1)
+                c.send("second", 1, tag=2)
+                return None
+            second = c.recv(0, tag=2)
+            first = c.recv(0, tag=1)
+            return (first, second)
+
+        res = run_mpi(app, pair_cluster)
+        assert res.results[1] == ("first", "second")
+
+    def test_fifo_order_same_tag(self, pair_cluster):
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                for i in range(5):
+                    c.send(i, 1, tag=7)
+                return None
+            return [c.recv(0, 7) for _ in range(5)]
+
+        res = run_mpi(app, pair_cluster)
+        assert res.results[1] == [0, 1, 2, 3, 4]
+
+    def test_any_source_any_tag(self, small_cluster):
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                vals = sorted(c.recv(ANY_SOURCE, ANY_TAG) for _ in range(3))
+                return vals
+            c.send(env.rank * 10, 0, tag=env.rank)
+            return None
+
+        res = run_mpi(app, small_cluster)
+        assert res.results[0] == [10, 20, 30]
+
+
+class TestSendRecvCombined:
+    def test_ring_shift(self, small_cluster):
+        def app(env):
+            c = env.comm_world
+            right = (env.rank + 1) % env.size
+            left = (env.rank - 1) % env.size
+            return c.sendrecv(env.rank, right, 0, left, 0)
+
+        res = run_mpi(app, small_cluster)
+        assert res.results == [3, 0, 1, 2]
+
+    def test_pairwise_exchange_no_deadlock(self, pair_cluster):
+        def app(env):
+            c = env.comm_world
+            other = 1 - env.rank
+            return c.sendrecv(f"from-{env.rank}", other, 5, other, 5)
+
+        res = run_mpi(app, pair_cluster)
+        assert res.results == ["from-1", "from-0"]
+
+
+class TestProbe:
+    def test_probe_then_recv(self, pair_cluster):
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                c.send(np.zeros(3), 1, tag=4)
+                return None
+            st = c.probe(0, 4)
+            count = st.get_count(8)
+            value = c.recv(0, 4)
+            return (count, len(value))
+
+        res = run_mpi(app, pair_cluster)
+        assert res.results[1] == (3, 3)
+
+    def test_iprobe_none_when_empty(self, pair_cluster):
+        def app(env):
+            c = env.comm_world
+            if env.rank == 1:
+                first = c.iprobe(0, 9)       # nothing sent yet (may be None)
+                c.send("go", 0, tag=1)
+                got = c.recv(0, 9)
+                return got
+            c.recv(1, 1)                      # wait for rank 1's null probe
+            c.send("done", 1, tag=9)
+            return None
+
+        res = run_mpi(app, pair_cluster)
+        assert res.results[1] == "done"
+
+
+class TestWorldAccessors:
+    def test_rank_size_machine(self, small_cluster):
+        def app(env):
+            return (env.rank, env.size, env.machine.name, env.comm_world.rank)
+
+        res = run_mpi(app, small_cluster)
+        for r, out in enumerate(res.results):
+            assert out == (r, 4, f"m{r:02d}", r)

@@ -1,0 +1,98 @@
+"""Nonblocking requests."""
+
+from repro.mpi import run_mpi
+from repro.mpi.request import waitall
+from repro.mpi.request import testall as check_all_done
+
+
+class TestIsend:
+    def test_isend_completes_immediately(self, pair_cluster):
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                req = c.isend("hello", 1)
+                done, _, _ = req.test()
+                assert done
+                req.wait()
+                return "sent"
+            return c.recv(0)
+
+        res = run_mpi(app, pair_cluster)
+        assert res.results == ["sent", "hello"]
+
+
+class TestIrecv:
+    def test_wait_returns_value_and_status(self, pair_cluster):
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                c.send(123, 1, tag=7)
+                return None
+            req = c.irecv(0, 7)
+            value, status = req.wait()
+            return (value, status.source, status.tag)
+
+        res = run_mpi(app, pair_cluster)
+        assert res.results[1] == (123, 0, 7)
+
+    def test_posted_order_matching(self, pair_cluster):
+        """Two irecvs posted before the sends must match in post order."""
+
+        def app(env):
+            c = env.comm_world
+            if env.rank == 1:
+                r1 = c.irecv(0, 5)
+                r2 = c.irecv(0, 5)
+                c.send("ready", 0, tag=0)
+                v1, _ = r1.wait()
+                v2, _ = r2.wait()
+                return (v1, v2)
+            c.recv(1, 0)
+            c.send("first", 1, tag=5)
+            c.send("second", 1, tag=5)
+            return None
+
+        res = run_mpi(app, pair_cluster)
+        assert res.results[1] == ("first", "second")
+
+    def test_test_polls_without_blocking(self, pair_cluster):
+        def app(env):
+            c = env.comm_world
+            if env.rank == 1:
+                req = c.irecv(0, 3)
+                done_before, _, _ = req.test()
+                c.send("go", 0, tag=1)
+                value, _ = req.wait()
+                done_after, value2, _ = req.test()
+                return (done_before, value, done_after, value2)
+            c.recv(1, 1)
+            c.send("payload", 1, tag=3)
+            return None
+
+        res = run_mpi(app, pair_cluster)
+        done_before, value, done_after, value2 = res.results[1]
+        assert done_before is False
+        assert value == "payload"
+        assert done_after is True and value2 == "payload"
+
+
+class TestWaitallTestall:
+    def test_waitall_gathers_everything(self, small_cluster):
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                reqs = [c.irecv(src, 2) for src in (1, 2, 3)]
+                results = waitall(reqs)
+                return sorted(v for v, _ in results)
+            c.send(env.rank * 11, 0, tag=2)
+            return None
+
+        res = run_mpi(app, small_cluster)
+        assert res.results[0] == [11, 22, 33]
+
+    def test_testall_empty_list(self, pair_cluster):
+        def app(env):
+            return check_all_done([])
+
+        res = run_mpi(app, pair_cluster)
+        assert res.results == [True, True]

@@ -1,0 +1,132 @@
+"""Synchronous-mode sends (rendezvous semantics)."""
+
+import pytest
+
+from repro.cluster import TCP_100MBIT, uniform_network
+from repro.mpi import run_mpi
+from repro.util.errors import DeadlockError
+
+
+class TestRendezvous:
+    def test_sender_waits_for_receiver(self):
+        """The sender's clock advances past the receiver's matching point."""
+        cluster = uniform_network([100.0, 100.0])
+
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                c.ssend(b"payload", 1, tag=1, nbytes=100)
+                return env.wtime()
+            env.compute(500.0)  # receiver busy for 5 s before matching
+            c.recv(0, 1)
+            return env.wtime()
+
+        res = run_mpi(app, cluster)
+        # A plain send would return after ~latency; the ssend waits out the
+        # receiver's 5 s of computation plus the ack latency.
+        assert res.results[0] > 5.0
+
+    def test_plain_send_does_not_wait(self):
+        cluster = uniform_network([100.0, 100.0])
+
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                c.send(b"payload", 1, tag=1, nbytes=100)
+                return env.wtime()
+            env.compute(500.0)
+            c.recv(0, 1)
+            return env.wtime()
+
+        res = run_mpi(app, cluster)
+        assert res.results[0] < 0.01
+
+    def test_early_receiver_costs_only_roundtrip(self):
+        cluster = uniform_network([100.0, 100.0])
+        nbytes = 1_250_000  # 0.1 s
+
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                env.compute(100.0)  # 1 s; receiver posts immediately
+                c.ssend(b"x", 1, tag=0, nbytes=nbytes)
+                return env.wtime()
+            return c.recv(0, 0) and env.wtime() or env.wtime()
+
+        res = run_mpi(app, cluster)
+        expected = 1.0 + TCP_100MBIT.transfer_time(nbytes) + TCP_100MBIT.latency
+        assert res.results[0] == pytest.approx(expected, rel=1e-3)
+
+    def test_payload_delivered(self):
+        cluster = uniform_network([100.0, 100.0])
+
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                c.ssend({"k": 42}, 1)
+                return None
+            return c.recv(0)
+
+        res = run_mpi(app, cluster)
+        assert res.results[1] == {"k": 42}
+
+    def test_unmatched_ssend_deadlocks(self):
+        cluster = uniform_network([100.0, 100.0])
+
+        def app(env):
+            if env.rank == 0:
+                env.comm_world.ssend(b"never", 1, tag=7)
+            return "done"
+
+        with pytest.raises(DeadlockError):
+            run_mpi(app, cluster, timeout=10)
+
+    def test_ssend_to_proc_null_noop(self):
+        from repro.mpi import PROC_NULL
+
+        cluster = uniform_network([100.0])
+
+        def app(env):
+            env.comm_world.ssend(b"x", PROC_NULL)
+            return env.wtime()
+
+        res = run_mpi(app, cluster)
+        assert res.results[0] == 0.0
+
+
+class TestInterleaving:
+    def test_ssend_then_send_ordering(self):
+        cluster = uniform_network([100.0, 100.0])
+
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                c.ssend("first", 1, tag=0)
+                c.send("second", 1, tag=0)
+                return None
+            a = c.recv(0, 0)
+            b = c.recv(0, 0)
+            return (a, b)
+
+        res = run_mpi(app, cluster)
+        assert res.results[1] == ("first", "second")
+
+    def test_acks_do_not_cross_match_user_receives(self):
+        """An ack travels on the internal context; a wildcard user recv
+        must never see it."""
+        from repro.mpi import ANY_SOURCE, ANY_TAG
+
+        cluster = uniform_network([100.0, 100.0])
+
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                c.ssend("sync", 1, tag=3)
+                c.send("plain", 1, tag=4)
+                return None
+            first = c.recv(ANY_SOURCE, 3)
+            second = c.recv(ANY_SOURCE, ANY_TAG)
+            return (first, second)
+
+        res = run_mpi(app, cluster)
+        assert res.results[1] == ("sync", "plain")

@@ -1,0 +1,133 @@
+"""Execution tracing and Gantt rendering."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import uniform_network
+from repro.mpi import Tracer, run_mpi
+from repro.util.gantt import render_gantt, utilization
+
+
+def traced_run(app, cluster, **kw):
+    tracer = Tracer()
+    result = run_mpi(app, cluster, tracer=tracer, **kw)
+    return tracer, result
+
+
+class TestComputeEvents:
+    def test_compute_interval_recorded(self, pair_cluster):
+        def app(env):
+            env.compute(100.0)
+
+        tracer, _ = traced_run(app, pair_cluster)
+        events = tracer.of_rank(0)
+        assert len(events) == 1
+        e = events[0]
+        assert e.kind == "compute"
+        assert e.t0 == 0.0
+        assert e.t1 == pytest.approx(1.0)  # 100 units at speed 100
+        assert e.volume == 100.0
+
+    def test_total_compute_seconds(self, pair_cluster):
+        def app(env):
+            env.compute(50.0)
+            env.compute(50.0)
+
+        tracer, _ = traced_run(app, pair_cluster)
+        assert tracer.total_compute_seconds(0) == pytest.approx(1.0)
+        assert tracer.total_compute_seconds(1) == pytest.approx(2.0)
+
+
+class TestMessageEvents:
+    def test_send_and_recv_recorded(self, pair_cluster):
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                c.send(np.zeros(1000), 1, tag=5)
+            else:
+                c.recv(0, 5)
+
+        tracer, _ = traced_run(app, pair_cluster)
+        sends = tracer.by_kind("send")
+        recvs = tracer.by_kind("recv")
+        assert len(sends) == 1 and len(recvs) == 1
+        assert sends[0].rank == 0 and sends[0].peer == 1
+        assert sends[0].nbytes == 8000 and sends[0].tag == 5
+        assert recvs[0].rank == 1 and recvs[0].peer == 0
+        # arrival is after departure
+        assert recvs[0].t1 >= sends[0].t0
+
+    def test_total_bytes_sent(self, pair_cluster):
+        def app(env):
+            c = env.comm_world
+            if env.rank == 0:
+                c.send(np.zeros(100), 1)
+                c.send(np.zeros(100), 1)
+            else:
+                c.recv(0)
+                c.recv(0)
+
+        tracer, _ = traced_run(app, pair_cluster)
+        assert tracer.total_bytes_sent(0) == 1600
+        assert tracer.total_bytes_sent() == 1600
+
+
+class TestTraceQueries:
+    def test_makespan_matches_run(self, small_cluster):
+        def app(env):
+            env.compute(10.0 * (env.rank + 1))
+            env.comm_world.barrier()
+
+        tracer, result = traced_run(app, small_cluster)
+        assert tracer.makespan() == pytest.approx(result.makespan, rel=0.01)
+
+    def test_nranks(self, small_cluster):
+        def app(env):
+            env.compute(1.0)
+
+        tracer, _ = traced_run(app, small_cluster)
+        assert tracer.nranks() == 4
+
+    def test_no_tracer_no_events(self, pair_cluster):
+        def app(env):
+            env.compute(1.0)
+
+        result = run_mpi(app, pair_cluster)  # no tracer argument
+        assert result.makespan > 0
+
+
+class TestGantt:
+    def test_render_contains_all_ranks(self, small_cluster):
+        def app(env):
+            env.compute(10.0)
+            env.comm_world.barrier()
+
+        tracer, _ = traced_run(app, small_cluster)
+        chart = render_gantt(tracer, width=40)
+        for rank in range(4):
+            assert f"rank {rank:2d} |" in chart
+        assert "#" in chart  # some computation visible
+
+    def test_busy_rank_shows_more_compute(self):
+        cluster = uniform_network([100.0, 100.0])
+
+        def app(env):
+            env.compute(100.0 if env.rank == 0 else 1.0)
+            env.comm_world.barrier()
+
+        tracer, _ = traced_run(app, cluster)
+        chart = render_gantt(tracer, width=50)
+        row0, row1 = chart.splitlines()[:2]
+        assert row0.count("#") > row1.count("#")
+
+    def test_empty_trace(self):
+        assert "empty" in render_gantt(Tracer())
+
+    def test_utilization(self, pair_cluster):
+        def app(env):
+            env.compute(100.0)       # rank 0: 1 s, rank 1: 2 s
+            env.comm_world.barrier()
+
+        tracer, _ = traced_run(app, pair_cluster)
+        assert utilization(tracer, 1) == pytest.approx(1.0, rel=0.01)
+        assert utilization(tracer, 0) == pytest.approx(0.5, rel=0.02)

@@ -1,0 +1,94 @@
+"""Python-native model builder (no DSL)."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.builder import CallableModel, MatrixModel
+from repro.perfmodel.model import LinearActionVisitor
+from repro.util.errors import PMDLSemanticError
+
+
+class Recorder(LinearActionVisitor):
+    def __init__(self):
+        self.events = []
+
+    def compute(self, percent, proc):
+        self.events.append(("C", percent, proc))
+
+    def transfer(self, percent, src, dst):
+        self.events.append(("T", percent, src, dst))
+
+
+class TestCallableModel:
+    def test_volumes_from_callables(self):
+        m = CallableModel(
+            nproc=3,
+            node_volume=lambda i: 10.0 * (i + 1),
+            link_volume=lambda s, d: 100.0 * s + d,
+        )
+        assert m.node_volumes() == pytest.approx([10.0, 20.0, 30.0])
+        links = m.link_volumes()
+        assert links[2, 1] == 201.0
+        assert links[1, 1] == 0.0  # diagonal forced to zero
+
+    def test_volumes_cached(self):
+        calls = []
+        m = CallableModel(2, lambda i: calls.append(i) or 1.0, lambda s, d: 0.0)
+        m.node_volumes()
+        m.node_volumes()
+        assert calls == [0, 1]
+
+    def test_default_scheme_transfers_then_computes(self):
+        m = CallableModel(
+            nproc=2,
+            node_volume=lambda i: 1.0,
+            link_volume=lambda s, d: 8.0,
+        )
+        rec = Recorder()
+        m.walk_scheme(rec)
+        kinds = [e[0] for e in rec.events]
+        assert kinds == ["T", "T", "C", "C"]
+        assert all(e[1] == 100.0 for e in rec.events)
+
+    def test_custom_scheme(self):
+        def scheme(v):
+            v.compute(50.0, 0)
+            v.compute(50.0, 0)
+
+        m = CallableModel(1, lambda i: 4.0, lambda s, d: 0.0, scheme=scheme)
+        rec = Recorder()
+        m.walk_scheme(rec)
+        assert rec.events == [("C", 50.0, 0), ("C", 50.0, 0)]
+
+    def test_parent_validation(self):
+        with pytest.raises(PMDLSemanticError):
+            CallableModel(2, lambda i: 1.0, lambda s, d: 0.0, parent=5)
+
+    def test_nproc_validation(self):
+        with pytest.raises(PMDLSemanticError):
+            CallableModel(0, lambda i: 1.0, lambda s, d: 0.0)
+
+    def test_negative_volume_rejected(self):
+        m = CallableModel(2, lambda i: -1.0, lambda s, d: 0.0)
+        with pytest.raises(PMDLSemanticError):
+            m.node_volumes()
+
+
+class TestMatrixModel:
+    def test_arrays_as_ground_truth(self):
+        node = [3.0, 1.0]
+        links = [[0.0, 64.0], [32.0, 0.0]]
+        m = MatrixModel(node, links)
+        assert m.nproc == 2
+        assert m.node_volumes() == pytest.approx(node)
+        assert m.link_volumes()[0, 1] == 64.0
+
+    def test_diagonal_zeroed(self):
+        m = MatrixModel([1.0], [[99.0]])
+        assert m.link_volumes()[0, 0] == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(PMDLSemanticError):
+            MatrixModel([1.0, 2.0], [[0.0]])
+        with pytest.raises(PMDLSemanticError):
+            MatrixModel([[1.0]], np.zeros((1, 1)))

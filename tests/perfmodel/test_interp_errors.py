@@ -1,0 +1,93 @@
+"""Error handling in the PMDL evaluator."""
+
+import pytest
+
+from repro.perfmodel.interp import ActionVisitor, Environment, Interpreter
+from repro.perfmodel.parser import parse, parse_expression
+from repro.util.errors import PMDLRuntimeError
+
+
+interp = Interpreter()
+
+
+def ev(src, env=None):
+    return interp.eval(parse_expression(src), env or Environment())
+
+
+class NullVisitor(ActionVisitor):
+    def compute(self, percent, coords):
+        pass
+
+    def transfer(self, percent, src, dst):
+        pass
+
+
+def run(body, params=None, structs_src=""):
+    src = f"""
+    {structs_src}
+    algorithm A(int p) {{
+      coord I=p;
+      node {{I>=0: bench*(1);}};
+      scheme {{ {body} }};
+    }}
+    """
+    alg = parse(src)[-1]
+    structs = {s.name: s for s in parse(src)[:-1]}
+    Interpreter(structs).exec_block(
+        alg.scheme.body, Environment(params or {"p": 2}), NullVisitor()
+    )
+
+
+class TestExpressionErrors:
+    def test_assignment_to_literal(self):
+        with pytest.raises(PMDLRuntimeError, match="assignment target"):
+            ev("5 = 3")
+
+    def test_assignment_to_undeclared(self):
+        with pytest.raises(PMDLRuntimeError, match="undeclared"):
+            env = Environment()
+            interp.eval(parse_expression("x = 1"), env)
+
+    def test_call_unknown_external(self):
+        with pytest.raises(PMDLRuntimeError, match="unknown external"):
+            ev("Magic(1)")
+
+    def test_member_assignment_on_scalar(self):
+        with pytest.raises(PMDLRuntimeError, match="non-struct"):
+            env = Environment({"x": 3})
+            interp.eval(parse_expression("x.field = 1"), env)
+
+    def test_index_on_scalar(self):
+        with pytest.raises(PMDLRuntimeError, match="bad index"):
+            ev("x[0]", Environment({"x": 5}))
+
+
+class TestEnvironmentErrors:
+    def test_pop_base_frame(self):
+        env = Environment()
+        with pytest.raises(PMDLRuntimeError):
+            env.pop()
+
+    def test_contains(self):
+        env = Environment({"a": 1})
+        assert "a" in env and "b" not in env
+
+
+class TestStatementErrors:
+    def test_struct_initializer_rejected(self):
+        with pytest.raises(PMDLRuntimeError, match="initialisers"):
+            run("P x = 0;", structs_src="typedef struct {int I;} P;")
+
+    def test_while_runaway_detected(self):
+        # A while whose condition never changes trips the iteration guard.
+        with pytest.raises(PMDLRuntimeError, match="iterations|terminates"):
+            run("int i = 0; for (;;) i = 1;")
+
+
+class TestStructRepr:
+    def test_repr_shows_fields(self):
+        from repro.perfmodel.interp import StructValue
+
+        s = StructValue("P", ["I", "J"])
+        s.set("I", 7)
+        assert "I=7" in repr(s)

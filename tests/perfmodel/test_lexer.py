@@ -1,0 +1,100 @@
+"""PMDL tokenizer."""
+
+import pytest
+
+from repro.perfmodel.lexer import tokenize
+from repro.perfmodel.tokens import TokenKind
+from repro.util.errors import PMDLSyntaxError
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == TokenKind.EOF
+
+    def test_identifier_vs_keyword(self):
+        assert kinds("algorithm foo") == [
+            (TokenKind.KEYWORD, "algorithm"),
+            (TokenKind.IDENT, "foo"),
+        ]
+
+    def test_all_section_keywords(self):
+        for kw in ("coord", "node", "link", "parent", "scheme", "bench",
+                   "length", "par", "sizeof", "typedef", "struct"):
+            assert kinds(kw)[0] == (TokenKind.KEYWORD, kw)
+
+    def test_underscored_identifier(self):
+        assert kinds("_my_var2")[0] == (TokenKind.IDENT, "_my_var2")
+
+
+class TestNumbers:
+    def test_int(self):
+        assert kinds("42")[0] == (TokenKind.INT, "42")
+
+    def test_float(self):
+        assert kinds("3.25")[0] == (TokenKind.FLOAT, "3.25")
+
+    def test_exponent(self):
+        assert kinds("1e6")[0] == (TokenKind.FLOAT, "1e6")
+        assert kinds("2.5e-3")[0] == (TokenKind.FLOAT, "2.5e-3")
+
+    def test_int_then_member_not_float(self):
+        # "100%%" must not eat the percent signs
+        toks = kinds("100%%")
+        assert toks == [(TokenKind.INT, "100"), (TokenKind.PUNCT, "%%")]
+
+
+class TestPunctuation:
+    def test_longest_match(self):
+        assert kinds("->")[0] == (TokenKind.PUNCT, "->")
+        assert kinds("- >") == [(TokenKind.PUNCT, "-"), (TokenKind.PUNCT, ">")]
+
+    def test_double_percent_vs_single(self):
+        assert kinds("%%")[0] == (TokenKind.PUNCT, "%%")
+        assert kinds("% %") == [(TokenKind.PUNCT, "%"), (TokenKind.PUNCT, "%")]
+
+    def test_increment(self):
+        assert kinds("i++") == [(TokenKind.IDENT, "i"), (TokenKind.PUNCT, "++")]
+
+    def test_logical_operators(self):
+        assert [t for _, t in kinds("&& || == != <= >=")] == [
+            "&&", "||", "==", "!=", "<=", ">=",
+        ]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment here\nb") == [
+            (TokenKind.IDENT, "a"), (TokenKind.IDENT, "b"),
+        ]
+
+    def test_block_comment(self):
+        assert kinds("a /* multi\nline */ b") == [
+            (TokenKind.IDENT, "a"), (TokenKind.IDENT, "b"),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(PMDLSyntaxError):
+            tokenize("a /* never closed")
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_block_comment_advances_lines(self):
+        toks = tokenize("/* a\nb\nc */ x")
+        assert toks[0].line == 3
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(PMDLSyntaxError, match="unexpected character"):
+            tokenize("a @ b")

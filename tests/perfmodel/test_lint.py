@@ -1,0 +1,91 @@
+"""The model-consistency linter."""
+
+import numpy as np
+import pytest
+
+from repro.apps.em3d.model import em3d_model
+from repro.apps.matmul import bind_matmul_model, heterogeneous_distribution
+from repro.perfmodel import CallableModel, MatrixModel, compile_model, lint_model
+
+
+class TestPaperModelsAreConsistent:
+    def test_em3d(self):
+        bm = em3d_model().bind(
+            4, 100, [400, 300, 200, 100],
+            [[0, 5, 0, 3], [5, 0, 2, 0], [0, 2, 0, 1], [3, 0, 1, 0]],
+        )
+        report = lint_model(bm)
+        assert report.ok, report.issues
+        assert "consistent" in str(report)
+
+    @pytest.mark.parametrize("l", [4, 6, 12])
+    def test_matmul(self, l):
+        speeds = np.array([[4.0, 1.0], [2.0, 3.0]])
+        dist = heterogeneous_distribution(12, l, speeds)
+        report = lint_model(bind_matmul_model(dist, 8))
+        assert report.ok, report.issues
+
+
+class TestInconsistenciesCaught:
+    def test_undercounted_compute(self):
+        src = """
+        algorithm Bad(int p) {
+          coord I=p;
+          node {I>=0: bench*(10);};
+          scheme { int i; par (i = 0; i < p; i++) 50%%[i]; };
+        }
+        """
+        report = lint_model(compile_model(src).bind(3))
+        assert not report.ok
+        assert any("50.0000%" in issue for issue in report.issues)
+
+    def test_overcounted_transfer(self):
+        def scheme(v):
+            v.transfer(100.0, 0, 1)
+            v.transfer(100.0, 0, 1)   # sent twice
+            v.compute(100.0, 0)
+            v.compute(100.0, 1)
+
+        links = np.zeros((2, 2))
+        links[0, 1] = 1000.0
+        report = lint_model(MatrixModel([1.0, 1.0], links, scheme=scheme))
+        assert not report.ok
+        assert any("200.0000%" in issue for issue in report.issues)
+
+    def test_transfer_on_undeclared_pair(self):
+        def scheme(v):
+            v.transfer(100.0, 1, 0)   # declared direction is 0 -> 1
+            v.compute(100.0, 0)
+            v.compute(100.0, 1)
+
+        links = np.zeros((2, 2))
+        links[0, 1] = 1000.0
+        report = lint_model(MatrixModel([1.0, 1.0], links, scheme=scheme))
+        assert not report.ok
+        # both problems reported: missing 0->1 and phantom 1->0
+        assert any("0->1" in issue for issue in report.issues)
+        assert any("1->0" in issue for issue in report.issues)
+
+    def test_compute_on_zero_volume_processor(self):
+        def scheme(v):
+            v.compute(100.0, 0)
+            v.compute(100.0, 1)   # has zero declared volume
+
+        report = lint_model(
+            MatrixModel([1.0, 0.0], np.zeros((2, 2)), scheme=scheme)
+        )
+        assert not report.ok
+
+    def test_negative_percent(self):
+        def scheme(v):
+            v.compute(-10.0, 0)
+            v.compute(110.0, 0)
+
+        report = lint_model(MatrixModel([1.0], np.zeros((1, 1)), scheme=scheme))
+        assert any("negative" in issue for issue in report.issues)
+
+
+class TestDefaultSchemeAlwaysLints:
+    def test_callable_model_default(self):
+        model = CallableModel(3, lambda i: 5.0, lambda s, d: 64.0)
+        assert lint_model(model).ok

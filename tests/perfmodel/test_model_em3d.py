@@ -1,0 +1,104 @@
+"""The compiled Em3d model (paper Figure 4) exposes the right volumes."""
+
+import numpy as np
+import pytest
+
+from repro.apps.em3d.model import em3d_model
+from repro.perfmodel.model import LinearActionVisitor
+from repro.util.errors import PMDLSemanticError
+
+
+class Recorder(LinearActionVisitor):
+    def __init__(self):
+        self.computes = {}
+        self.transfers = {}
+
+    def compute(self, percent, proc):
+        self.computes[proc] = self.computes.get(proc, 0.0) + percent
+
+    def transfer(self, percent, src, dst):
+        key = (src, dst)
+        self.transfers[key] = self.transfers.get(key, 0.0) + percent
+
+
+@pytest.fixture
+def bound():
+    d = [300, 200, 100]
+    dep = [[0, 10, 5], [10, 0, 0], [5, 0, 0]]
+    return em3d_model().bind(3, 100, d, dep)
+
+
+class TestGeometry:
+    def test_nproc_and_parent(self, bound):
+        assert bound.nproc == 3
+        assert bound.parent_index() == 0
+
+    def test_linear_index_roundtrip(self, bound):
+        for i in range(3):
+            assert bound.linear_index(bound.coords_of(i)) == i
+
+
+class TestVolumes:
+    def test_node_volumes_are_d_over_k(self, bound):
+        assert bound.node_volumes() == pytest.approx([3.0, 2.0, 1.0])
+
+    def test_link_volumes_dep_times_sizeof_double(self, bound):
+        links = bound.link_volumes()
+        # dep[I][L] values travel L -> I at 8 bytes each
+        assert links[1, 0] == 80.0   # dep[0][1] = 10
+        assert links[2, 0] == 40.0   # dep[0][2] = 5
+        assert links[0, 1] == 80.0   # dep[1][0] = 10
+        assert links[0, 2] == 40.0
+        assert links[1, 2] == 0.0 and links[2, 1] == 0.0
+        assert np.diag(links).sum() == 0.0
+
+
+class TestScheme:
+    def test_percentages_sum_to_100(self, bound):
+        rec = Recorder()
+        bound.walk_scheme(rec)
+        assert rec.computes == {0: 100.0, 1: 100.0, 2: 100.0}
+        # Exactly the nonzero link pairs transfer, each at 100%.
+        links = bound.link_volumes()
+        expected_pairs = {(s, d) for s in range(3) for d in range(3)
+                          if links[s, d] > 0}
+        assert set(rec.transfers) == expected_pairs
+        assert all(v == 100.0 for v in rec.transfers.values())
+
+    def test_transfers_precede_computes(self, bound):
+        events = []
+
+        class OrderRecorder(LinearActionVisitor):
+            def compute(self, percent, proc):
+                events.append("C")
+
+            def transfer(self, percent, src, dst):
+                events.append("T")
+
+        bound.walk_scheme(OrderRecorder())
+        # one round: all transfers first, then all computes
+        switch = events.index("C")
+        assert all(e == "T" for e in events[:switch])
+        assert all(e == "C" for e in events[switch:])
+
+
+class TestBinding:
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(PMDLSemanticError):
+            em3d_model().bind(3, 100, [1, 2], [[0] * 3] * 3)
+
+    def test_wrong_matrix_shape_rejected(self):
+        with pytest.raises(PMDLSemanticError):
+            em3d_model().bind(3, 100, [1, 2, 3], [[0] * 2] * 3)
+
+    def test_missing_parameter(self):
+        with pytest.raises(PMDLSemanticError, match="missing"):
+            em3d_model().bind(3, 100)
+
+    def test_keyword_binding(self):
+        bm = em3d_model().bind(2, 10, d=[10, 20], dep=[[0, 1], [1, 0]])
+        assert bm.node_volumes() == pytest.approx([1.0, 2.0])
+
+    def test_duplicate_keyword(self):
+        with pytest.raises(PMDLSemanticError, match="twice"):
+            em3d_model().bind(2, 10, [1, 2], p=2)

@@ -1,0 +1,112 @@
+"""The compiled ParallelAxB model (paper Figure 7): volumes and scheme
+self-consistency."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul.distribution import heterogeneous_distribution
+from repro.apps.matmul.model import bind_matmul_model, matmul_model
+from repro.perfmodel.model import LinearActionVisitor
+
+
+class PercentAccumulator(LinearActionVisitor):
+    def __init__(self):
+        self.compute_pct = {}
+        self.transfer_pct = {}
+
+    def compute(self, percent, proc):
+        self.compute_pct[proc] = self.compute_pct.get(proc, 0.0) + percent
+
+    def transfer(self, percent, src, dst):
+        key = (src, dst)
+        self.transfer_pct[key] = self.transfer_pct.get(key, 0.0) + percent
+
+
+def homogeneous_bound(n=4, r=8, m=2, l=2):
+    w = [l // m] * m
+    h = np.full((m, m, m, m), 0, dtype=int)
+    # homogeneous: every rectangle is (l/m) x (l/m); same-row overlap is l/m
+    for i in range(m):
+        for j in range(m):
+            for k in range(m):
+                for l2 in range(m):
+                    h[i, j, k, l2] = (l // m) if i == k else 0
+    return matmul_model().bind(m, r, n, l, w, h)
+
+
+class TestGeometry:
+    def test_grid_nproc(self):
+        bm = homogeneous_bound()
+        assert bm.nproc == 4
+        assert bm.extents == (2, 2)
+
+    def test_parent_is_origin(self):
+        assert homogeneous_bound().parent_index() == 0
+
+    def test_row_major_linearisation(self):
+        bm = homogeneous_bound()
+        assert bm.linear_index((1, 0)) == 2
+        assert bm.coords_of(3) == (1, 1)
+
+
+class TestVolumesHomogeneous:
+    def test_node_volume_formula(self):
+        # w[J]*h[I][J][I][J]*(n/l)^2*n = 1*1*4*4 = 16
+        bm = homogeneous_bound(n=4, l=2, m=2)
+        assert bm.node_volumes() == pytest.approx([16.0] * 4)
+
+    def test_link_volumes_symmetric_pattern(self):
+        bm = homogeneous_bound(n=4, r=8, m=2, l=2)
+        links = bm.link_volumes()
+        # B traffic within columns: (0,0)->(1,0): 1*1*4*64*8 = 2048
+        # A traffic across columns: same magnitude for this grid.
+        assert links[0, 2] == pytest.approx(2048.0)
+        assert links[0, 1] == pytest.approx(2048.0)
+        assert np.diag(links).sum() == 0.0
+
+    def test_scheme_percentages_close_exactly(self):
+        bm = homogeneous_bound(n=4, r=8, m=2, l=2)
+        acc = PercentAccumulator()
+        bm.walk_scheme(acc)
+        for proc, pct in acc.compute_pct.items():
+            assert pct == pytest.approx(100.0)
+        links = bm.link_volumes()
+        for (s, d), pct in acc.transfer_pct.items():
+            assert links[s, d] > 0
+            assert pct == pytest.approx(100.0)
+        # every declared link pair is exercised by the scheme
+        assert set(acc.transfer_pct) == {
+            (s, d) for s in range(4) for d in range(4) if links[s, d] > 0
+        }
+
+
+class TestVolumesHeterogeneous:
+    @pytest.fixture
+    def het(self):
+        speeds = np.array([[4.0, 1.0], [2.0, 3.0]])
+        dist = heterogeneous_distribution(n=12, l=6, speeds=speeds)
+        return dist, bind_matmul_model(dist, r=8)
+
+    def test_node_volumes_proportional_to_areas(self, het):
+        dist, bm = het
+        volumes = bm.node_volumes()
+        areas = [dist.area(g) for g in range(4)]
+        # node volume = area * n  (each of n steps updates every block once)
+        assert volumes == pytest.approx([a * 12 for a in areas])
+
+    def test_scheme_self_consistent(self, het):
+        _, bm = het
+        acc = PercentAccumulator()
+        bm.walk_scheme(acc)
+        for pct in acc.compute_pct.values():
+            assert pct == pytest.approx(100.0)
+        links = bm.link_volumes()
+        for (s, d), pct in acc.transfer_pct.items():
+            assert pct == pytest.approx(100.0), (s, d)
+        assert set(acc.transfer_pct) == {
+            (s, d) for s in range(4) for d in range(4) if links[s, d] > 0
+        }
+
+    def test_total_area_is_full_matrix(self, het):
+        dist, _ = het
+        assert sum(dist.area(g) for g in range(4)) == 12 * 12

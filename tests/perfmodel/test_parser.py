@@ -1,0 +1,219 @@
+"""PMDL parser over the paper's grammar."""
+
+import pytest
+
+from repro.perfmodel import ast
+from repro.perfmodel.parser import parse, parse_expression
+from repro.util.errors import PMDLSyntaxError
+
+MINIMAL = """
+algorithm A(int p) {
+  coord I=p;
+  node {I>=0: bench*(1);};
+}
+"""
+
+
+class TestTopLevel:
+    def test_minimal_algorithm(self):
+        alg = parse(MINIMAL)[0]
+        assert alg.name == "A"
+        assert [p.name for p in alg.params] == ["p"]
+        assert alg.coords[0].name == "I"
+        assert len(alg.node_rules) == 1
+        assert alg.parent is None and alg.scheme is None
+
+    def test_typedef_then_algorithm(self):
+        src = "typedef struct {int I; int J;} P;\n" + MINIMAL
+        items = parse(src)
+        assert isinstance(items[0], ast.StructDef)
+        assert items[0].name == "P"
+        assert [f.name for f in items[0].fields] == ["I", "J"]
+
+    def test_junk_at_top_level(self):
+        with pytest.raises(PMDLSyntaxError):
+            parse("banana")
+
+    def test_trailing_semicolon_after_algorithm(self):
+        parse(MINIMAL.rstrip()[:-1] + "};")  # Fig 7 style '};'
+
+
+class TestParams:
+    def test_array_params_with_dims(self):
+        src = """
+        algorithm A(int p, int d[p], int dep[p][p]) {
+          coord I=p;
+          node {I>=0: bench*(d[I]);};
+        }
+        """
+        alg = parse(src)[0]
+        assert len(alg.params[1].dims) == 1
+        assert len(alg.params[2].dims) == 2
+
+    def test_param_type_required(self):
+        with pytest.raises(PMDLSyntaxError):
+            parse("algorithm A(p) { coord I=p; }")
+
+
+class TestSections:
+    def test_multi_coord(self):
+        src = """
+        algorithm A(int m) {
+          coord I=m, J=m;
+          node {I>=0: bench*(1);};
+        }
+        """
+        alg = parse(src)[0]
+        assert [c.name for c in alg.coords] == ["I", "J"]
+
+    def test_link_with_vars_and_rules(self):
+        src = """
+        algorithm A(int p, int dep[p][p]) {
+          coord I=p;
+          node {I>=0: bench*(1);};
+          link (L=p) {
+            I!=L : length*(dep[I][L]*sizeof(double)) [L]->[I];
+          };
+          parent[0];
+        }
+        """
+        alg = parse(src)[0]
+        assert alg.link_vars[0].name == "L"
+        rule = alg.link_rules[0]
+        assert isinstance(rule.volume, ast.Binary)
+        assert len(rule.src) == 1 and len(rule.dst) == 1
+        assert alg.parent.coords[0].value == 0
+
+    def test_parent_multi_coordinate(self):
+        src = """
+        algorithm A(int m) {
+          coord I=m, J=m;
+          node {I>=0: bench*(1);};
+          parent[0,0];
+        }
+        """
+        assert len(parse(src)[0].parent.coords) == 2
+
+    def test_unknown_section(self):
+        with pytest.raises(PMDLSyntaxError):
+            parse("algorithm A(int p) { banana; }")
+
+
+class TestSchemeStatements:
+    def make(self, body):
+        src = f"""
+        algorithm A(int p) {{
+          coord I=p;
+          node {{I>=0: bench*(1);}};
+          scheme {{ {body} }};
+        }}
+        """
+        return parse(src)[0].scheme.body
+
+    def test_compute_action(self):
+        (stmt,) = self.make("100%%[0];")
+        assert isinstance(stmt, ast.ComputeAction)
+        assert stmt.percent.value == 100
+
+    def test_transfer_action(self):
+        (stmt,) = self.make("50%%[0]->[1];")
+        assert isinstance(stmt, ast.TransferAction)
+
+    def test_parenthesized_percent(self):
+        (stmt,) = self.make("(100/p)%%[0];")
+        assert isinstance(stmt.percent, ast.Binary)
+
+    def test_par_loop_with_empty_update(self):
+        (stmt,) = self.make("par (int i = 0; i < p; ) { i += 1; }")
+        assert isinstance(stmt, ast.Par)
+        assert stmt.update is None
+
+    def test_for_loop(self):
+        (stmt,) = self.make("for (int i = 0; i < p; i++) 100%%[i];")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.body, ast.ComputeAction)
+
+    def test_if_else(self):
+        (stmt,) = self.make("if (p > 1) 100%%[0]; else 100%%[0];")
+        assert isinstance(stmt, ast.If)
+        assert stmt.otherwise is not None
+
+    def test_var_decl_multiple(self):
+        (stmt,) = self.make("int a, b = 2, c;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert [d.name for d in stmt.declarators] == ["a", "b", "c"]
+        assert stmt.declarators[1].init.value == 2
+
+    def test_while(self):
+        (stmt,) = self.make("while (p > 0) p = p - 1;")
+        assert isinstance(stmt, ast.While)
+
+    def test_empty_statement(self):
+        (stmt,) = self.make(";")
+        assert isinstance(stmt, ast.EmptyStmt)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert e.right.op == "*"
+
+    def test_comparison_precedence(self):
+        e = parse_expression("a + 1 < b * 2")
+        assert e.op == "<"
+
+    def test_logical_precedence(self):
+        e = parse_expression("a && b || c")
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_assignment_right_associative(self):
+        e = parse_expression("a = b = 1")
+        assert isinstance(e, ast.Assign)
+        assert isinstance(e.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        e = parse_expression("a += 2")
+        assert e.op == "+="
+
+    def test_member_chain_and_index(self):
+        e = parse_expression("h[Root.I][Root.J]")
+        assert isinstance(e, ast.Index)
+        assert isinstance(e.base, ast.Index)
+        assert isinstance(e.base.index, ast.Member)
+
+    def test_postfix_increment(self):
+        e = parse_expression("Receiver.I++")
+        assert isinstance(e, ast.IncDec)
+        assert isinstance(e.target, ast.Member)
+
+    def test_address_of(self):
+        e = parse_expression("&Root")
+        assert isinstance(e, ast.AddrOf)
+
+    def test_sizeof(self):
+        e = parse_expression("sizeof(double)")
+        assert isinstance(e, ast.Sizeof)
+        assert e.type_name == "double"
+
+    def test_sizeof_requires_type(self):
+        with pytest.raises(PMDLSyntaxError):
+            parse_expression("sizeof(banana)")
+
+    def test_call_with_args(self):
+        e = parse_expression("GetProcessor(r, c, m, h, w, &Root)")
+        assert isinstance(e, ast.Call)
+        assert len(e.args) == 6
+
+    def test_ternary(self):
+        e = parse_expression("a > b ? a : b")
+        assert isinstance(e, ast.Conditional)
+
+    def test_unary_minus_and_not(self):
+        assert isinstance(parse_expression("-x"), ast.Unary)
+        assert isinstance(parse_expression("!x"), ast.Unary)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(PMDLSyntaxError):
+            parse_expression("a + b c")

@@ -1,0 +1,178 @@
+"""Static semantic checks."""
+
+import pytest
+
+from repro.perfmodel.compiler import compile_model, compile_source
+from repro.util.errors import PMDLSemanticError
+
+
+def compiles(src, **kw):
+    return compile_model(src, **kw)
+
+
+class TestNameResolution:
+    def test_undefined_name_in_node_rule(self):
+        with pytest.raises(PMDLSemanticError, match="undefined name 'q'"):
+            compiles("""
+            algorithm A(int p) {
+              coord I=p;
+              node {I>=0: bench*(q);};
+            }
+            """)
+
+    def test_link_var_visible_in_link_rule(self):
+        compiles("""
+        algorithm A(int p) {
+          coord I=p;
+          node {I>=0: bench*(1);};
+          link (L=p) { I!=L : length*(1) [L]->[I]; };
+        }
+        """)
+
+    def test_link_var_not_visible_in_node(self):
+        with pytest.raises(PMDLSemanticError):
+            compiles("""
+            algorithm A(int p) {
+              coord I=p;
+              node {I>=0: bench*(L);};
+              link (L=p) { I!=L : length*(1) [L]->[I]; };
+            }
+            """)
+
+    def test_scheme_locals_scoped(self):
+        with pytest.raises(PMDLSemanticError, match="undefined name 'i'"):
+            compiles("""
+            algorithm A(int p) {
+              coord I=p;
+              node {I>=0: bench*(1);};
+              scheme {
+                for (int i = 0; i < p; i++) 100%%[i];
+                100%%[i];
+              };
+            }
+            """)
+
+    def test_coord_not_visible_in_scheme(self):
+        with pytest.raises(PMDLSemanticError, match="undefined name 'I'"):
+            compiles("""
+            algorithm A(int p) {
+              coord I=p;
+              node {I>=0: bench*(1);};
+              scheme { 100%%[I]; };
+            }
+            """)
+
+
+class TestArityChecks:
+    def test_parent_arity(self):
+        with pytest.raises(PMDLSemanticError, match="parent has 2"):
+            compiles("""
+            algorithm A(int p) {
+              coord I=p;
+              node {I>=0: bench*(1);};
+              parent[0, 0];
+            }
+            """)
+
+    def test_action_arity(self):
+        with pytest.raises(PMDLSemanticError, match="compute action has 2"):
+            compiles("""
+            algorithm A(int p) {
+              coord I=p;
+              node {I>=0: bench*(1);};
+              scheme { 100%%[0, 0]; };
+            }
+            """)
+
+    def test_link_side_arity(self):
+        with pytest.raises(PMDLSemanticError, match="link source has 2"):
+            compiles("""
+            algorithm A(int p) {
+              coord I=p;
+              node {I>=0: bench*(1);};
+              link { I>=0 : length*(1) [0,0]->[I]; };
+            }
+            """)
+
+
+class TestDeclarations:
+    def test_duplicate_parameter(self):
+        with pytest.raises(PMDLSemanticError, match="duplicate parameter"):
+            compiles("algorithm A(int p, int p) { coord I=p; node {I>=0: bench*(1);}; }")
+
+    def test_coord_shadows_param(self):
+        with pytest.raises(PMDLSemanticError, match="shadows"):
+            compiles("algorithm A(int p) { coord p=p; node {p>=0: bench*(1);}; }")
+
+    def test_needs_coord(self):
+        with pytest.raises(PMDLSemanticError, match="at least one coord"):
+            compiles("algorithm A(int p) { node {1: bench*(1);}; }")
+
+    def test_unknown_struct_type_in_scheme(self):
+        # An undeclared struct type is not recognised as a type name, so the
+        # declaration fails to parse (PMDLError either way).
+        from repro.util.errors import PMDLError
+
+        with pytest.raises(PMDLError):
+            compiles("""
+            algorithm A(int p) {
+              coord I=p;
+              node {I>=0: bench*(1);};
+              scheme { Vector v; };
+            }
+            """)
+
+
+class TestExternals:
+    def test_undeclared_external_rejected(self):
+        with pytest.raises(PMDLSemanticError, match="undeclared external"):
+            compiles("""
+            algorithm A(int p) {
+              coord I=p;
+              node {I>=0: bench*(1);};
+              scheme { Mystery(p); };
+            }
+            """)
+
+    def test_declared_external_accepted(self):
+        compiles("""
+        algorithm A(int p) {
+          coord I=p;
+          node {I>=0: bench*(1);};
+          scheme { Helper(p); };
+        }
+        """, externals={"Helper": lambda p: None})
+
+
+class TestCompileSource:
+    def test_multiple_algorithms(self):
+        models = compile_source("""
+        algorithm A(int p) { coord I=p; node {I>=0: bench*(1);}; }
+        algorithm B(int q) { coord J=q; node {J>=0: bench*(2);}; }
+        """)
+        assert set(models) == {"A", "B"}
+
+    def test_compile_model_needs_name_when_ambiguous(self):
+        src = """
+        algorithm A(int p) { coord I=p; node {I>=0: bench*(1);}; }
+        algorithm B(int q) { coord J=q; node {J>=0: bench*(2);}; }
+        """
+        with pytest.raises(PMDLSemanticError, match="pass `name`"):
+            compile_model(src)
+        assert compile_model(src, name="B").name == "B"
+
+    def test_unknown_name(self):
+        with pytest.raises(PMDLSemanticError):
+            compile_model("algorithm A(int p) { coord I=p; node {I>=0: bench*(1);}; }",
+                          name="Z")
+
+    def test_duplicate_algorithm(self):
+        with pytest.raises(PMDLSemanticError, match="duplicate"):
+            compile_source("""
+            algorithm A(int p) { coord I=p; node {I>=0: bench*(1);}; }
+            algorithm A(int p) { coord I=p; node {I>=0: bench*(1);}; }
+            """)
+
+    def test_no_algorithm(self):
+        with pytest.raises(PMDLSemanticError, match="no algorithm"):
+            compile_source("typedef struct {int x;} T;")

@@ -1,0 +1,124 @@
+"""Property-based tests of virtual-time invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import uniform_network
+from repro.core.estimator import estimate_time
+from repro.core.netmodel import NetworkModel
+from repro.mpi import run_mpi
+from repro.perfmodel.builder import MatrixModel
+
+speeds_strategy = st.lists(
+    st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+    min_size=2, max_size=5,
+)
+
+
+class TestEngineClockInvariants:
+    @given(speeds=speeds_strategy, volume=st.floats(0.0, 500.0))
+    @settings(max_examples=25, deadline=None)
+    def test_compute_time_is_volume_over_speed(self, speeds, volume):
+        cluster = uniform_network(speeds)
+
+        def app(env):
+            env.compute(volume)
+            return env.wtime()
+
+        res = run_mpi(app, cluster, timeout=30)
+        for rank, t in enumerate(res.results):
+            assert t == (volume / speeds[rank])
+
+    @given(speeds=speeds_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_barrier_clock_dominance(self, speeds):
+        """After a barrier, every clock >= every pre-barrier clock."""
+        cluster = uniform_network(speeds)
+
+        def app(env):
+            env.compute(100.0 * (env.rank + 1))
+            before = env.wtime()
+            env.comm_world.barrier()
+            return (before, env.wtime())
+
+        res = run_mpi(app, cluster, timeout=30)
+        max_before = max(b for b, _ in res.results)
+        for _, after in res.results:
+            assert after >= max_before - 1e-12
+
+    @given(speeds=speeds_strategy, seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_clocks_monotone_through_messaging(self, speeds, seed):
+        cluster = uniform_network(speeds)
+        rng = np.random.default_rng(seed)
+        work = rng.uniform(0, 50, size=len(speeds)).tolist()
+
+        def app(env):
+            stamps = [env.wtime()]
+            env.compute(work[env.rank])
+            stamps.append(env.wtime())
+            right = (env.rank + 1) % env.size
+            left = (env.rank - 1) % env.size
+            env.comm_world.sendrecv(env.rank, right, 0, left, 0)
+            stamps.append(env.wtime())
+            return stamps
+
+        res = run_mpi(app, cluster, timeout=30)
+        for stamps in res.results:
+            assert all(a <= b + 1e-12 for a, b in zip(stamps, stamps[1:]))
+
+
+class TestEstimatorInvariants:
+    @given(seed=st.integers(0, 2**31 - 1), nproc=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_at_least_compute_bound(self, seed, nproc):
+        rng = np.random.default_rng(seed)
+        speeds = rng.uniform(5.0, 200.0, size=max(nproc, 2))
+        cluster = uniform_network(speeds.tolist())
+        nm = NetworkModel(cluster, list(range(cluster.size)))
+        node = rng.uniform(0.0, 100.0, size=nproc)
+        links = rng.uniform(0.0, 1e5, size=(nproc, nproc))
+        np.fill_diagonal(links, 0.0)
+        model = MatrixModel(node, links)
+        machines = [int(rng.integers(0, cluster.size)) for _ in range(nproc)]
+        t = estimate_time(model, nm, machines)
+        from collections import Counter
+
+        counts = Counter(machines)
+        lower = max(
+            node[i] / (speeds[machines[i]] / counts[machines[i]])
+            for i in range(nproc)
+        ) if nproc else 0.0
+        assert t >= lower - 1e-9
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_faster_machines_never_hurt(self, seed):
+        """Uniformly doubling all speeds cannot increase predicted time."""
+        rng = np.random.default_rng(seed)
+        speeds = rng.uniform(5.0, 100.0, size=4)
+        node = rng.uniform(1.0, 50.0, size=3)
+        links = rng.uniform(0.0, 1e5, size=(3, 3))
+        np.fill_diagonal(links, 0.0)
+        model = MatrixModel(node, links)
+        machines = [0, 1, 2]
+
+        nm_slow = NetworkModel(uniform_network(speeds.tolist()), [0, 1, 2, 3])
+        nm_fast = NetworkModel(uniform_network((2 * speeds).tolist()), [0, 1, 2, 3])
+        assert (
+            estimate_time(model, nm_fast, machines)
+            <= estimate_time(model, nm_slow, machines) + 1e-9
+        )
+
+    @given(seed=st.integers(0, 2**31 - 1), scale=st.floats(1.1, 5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_compute_scaling_monotone(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        node = rng.uniform(1.0, 50.0, size=3)
+        links = rng.uniform(0.0, 1e4, size=(3, 3))
+        np.fill_diagonal(links, 0.0)
+        nm = NetworkModel(uniform_network([50.0, 25.0, 100.0]), [0, 1, 2])
+        small = estimate_time(MatrixModel(node, links), nm, [0, 1, 2])
+        big = estimate_time(MatrixModel(node * scale, links), nm, [0, 1, 2])
+        assert big >= small - 1e-12

@@ -1,0 +1,118 @@
+"""Property-based tests: collectives against reference semantics for
+random communicator sizes, roots, and payloads."""
+
+from functools import reduce as freduce
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import homogeneous_network
+from repro.mpi import MAX, SUM, run_mpi
+
+sizes = st.integers(1, 9)
+payload_lists = st.lists(st.integers(-1000, 1000), min_size=1, max_size=9)
+
+
+class TestBcastProperty:
+    @given(size=sizes, root_frac=st.floats(0, 0.999),
+           algorithm=st.sampled_from(["binomial", "flat", "chain"]))
+    @settings(max_examples=30, deadline=None)
+    def test_everyone_gets_roots_value(self, size, root_frac, algorithm):
+        root = int(root_frac * size)
+
+        def app(env):
+            value = ("payload", env.rank) if env.rank == root else None
+            return env.comm_world.bcast(value, root=root, algorithm=algorithm)
+
+        res = run_mpi(app, homogeneous_network(size), timeout=30)
+        assert res.results == [("payload", root)] * size
+
+
+class TestReduceProperty:
+    @given(values=payload_lists, root_frac=st.floats(0, 0.999))
+    @settings(max_examples=30, deadline=None)
+    def test_reduce_equals_functools_reduce(self, values, root_frac):
+        size = len(values)
+        root = int(root_frac * size)
+
+        def app(env):
+            return env.comm_world.reduce(values[env.rank], SUM, root=root)
+
+        res = run_mpi(app, homogeneous_network(size), timeout=30)
+        assert res.results[root] == sum(values)
+        for r, out in enumerate(res.results):
+            if r != root:
+                assert out is None
+
+    @given(values=payload_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_allreduce_max(self, values):
+        size = len(values)
+
+        def app(env):
+            return env.comm_world.allreduce(values[env.rank], MAX)
+
+        res = run_mpi(app, homogeneous_network(size), timeout=30)
+        assert res.results == [max(values)] * size
+
+
+class TestScanProperty:
+    @given(values=payload_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_inclusive_prefix(self, values):
+        size = len(values)
+
+        def app(env):
+            return env.comm_world.scan(values[env.rank], SUM)
+
+        res = run_mpi(app, homogeneous_network(size), timeout=30)
+        expected = [sum(values[: i + 1]) for i in range(size)]
+        assert res.results == expected
+
+    @given(values=payload_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_exclusive_prefix(self, values):
+        size = len(values)
+
+        def app(env):
+            return env.comm_world.exscan(values[env.rank], SUM)
+
+        res = run_mpi(app, homogeneous_network(size), timeout=30)
+        assert res.results[0] is None
+        for i in range(1, size):
+            assert res.results[i] == sum(values[:i])
+
+
+class TestGatherScatterDuality:
+    @given(values=payload_lists, root_frac=st.floats(0, 0.999))
+    @settings(max_examples=20, deadline=None)
+    def test_scatter_then_gather_is_identity(self, values, root_frac):
+        size = len(values)
+        root = int(root_frac * size)
+
+        def app(env):
+            mine = env.comm_world.scatter(
+                list(values) if env.rank == root else None, root=root
+            )
+            return env.comm_world.gather(mine, root=root)
+
+        res = run_mpi(app, homogeneous_network(size), timeout=30)
+        assert res.results[root] == list(values)
+
+
+class TestAlltoallProperty:
+    @given(size=st.integers(1, 6), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_alltoall_is_transpose(self, size, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 100, size=(size, size)).tolist()
+
+        def app(env):
+            return env.comm_world.alltoall(list(matrix[env.rank]))
+
+        res = run_mpi(app, homogeneous_network(size), timeout=30)
+        for r in range(size):
+            assert res.results[r] == [matrix[s][r] for s in range(size)]

@@ -1,0 +1,83 @@
+"""Property-based tests of the MPI group algebra."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi.group import IDENT, Group
+from repro.mpi.status import UNDEFINED
+
+ranks = st.lists(st.integers(0, 30), unique=True, max_size=10)
+
+
+def groups(draw_from=ranks):
+    return draw_from.map(Group)
+
+
+class TestAlgebraLaws:
+    @given(groups(), groups())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert set(a) <= set(u)
+        assert set(b) <= set(u)
+        assert set(u) == set(a) | set(b)
+
+    @given(groups(), groups())
+    def test_intersection_is_set_intersection(self, a, b):
+        assert set(a.intersection(b)) == set(a) & set(b)
+
+    @given(groups(), groups())
+    def test_difference_is_set_difference(self, a, b):
+        assert set(a.difference(b)) == set(a) - set(b)
+
+    @given(groups())
+    def test_union_idempotent(self, a):
+        assert a.union(a).compare(a) == IDENT
+
+    @given(groups(), groups())
+    def test_union_order_stability(self, a, b):
+        """Union preserves the order of the first group as a prefix."""
+        u = a.union(b)
+        assert u.world_ranks[: a.size] == a.world_ranks
+
+    @given(groups(), groups(), groups())
+    def test_intersection_associative_on_sets(self, a, b, c):
+        left = a.intersection(b).intersection(c)
+        right = a.intersection(b.intersection(c))
+        assert set(left) == set(right)
+
+
+class TestRankMaps:
+    @given(groups())
+    def test_rank_of_world_rank_roundtrip(self, g):
+        for gr in range(g.size):
+            assert g.rank_of(g.world_rank(gr)) == gr
+
+    @given(groups(), groups())
+    def test_translate_consistency(self, a, b):
+        translated = a.translate_ranks(list(range(a.size)), b)
+        for gr, tr in enumerate(translated):
+            wr = a.world_rank(gr)
+            if wr in b:
+                assert b.world_rank(tr) == wr
+            else:
+                assert tr == UNDEFINED
+
+
+class TestInclExclDuality:
+    @given(ranks)
+    def test_incl_of_all_is_identity(self, rs):
+        g = Group(rs)
+        assert g.incl(list(range(g.size))).compare(g) == IDENT
+
+    @given(ranks, st.data())
+    def test_incl_excl_partition(self, rs, data):
+        g = Group(rs)
+        if g.size == 0:
+            return
+        chosen = data.draw(
+            st.lists(st.integers(0, g.size - 1), unique=True)
+        )
+        inc = g.incl(chosen)
+        exc = g.excl(chosen)
+        assert set(inc) | set(exc) == set(g)
+        assert set(inc) & set(exc) == set()

@@ -1,0 +1,87 @@
+"""Property-based tests of the PMDL expression evaluator against Python
+reference semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.perfmodel.interp import Environment, Interpreter
+from repro.perfmodel.parser import parse_expression
+
+interp = Interpreter()
+
+small_ints = st.integers(-50, 50)
+pos_ints = st.integers(1, 50)
+
+
+def ev(src, env=None):
+    return interp.eval(parse_expression(src), env or Environment())
+
+
+class TestArithmeticAgainstPython:
+    @given(small_ints, small_ints)
+    def test_addition(self, a, b):
+        assert ev(f"({a}) + ({b})") == a + b
+
+    @given(small_ints, small_ints)
+    def test_multiplication(self, a, b):
+        assert ev(f"({a}) * ({b})") == a * b
+
+    @given(small_ints, pos_ints)
+    def test_division_value(self, a, b):
+        got = ev(f"({a}) / ({b})")
+        assert got == (a // b if a % b == 0 else a / b)
+
+    @given(small_ints, pos_ints)
+    def test_c_modulo_sign_of_dividend(self, a, b):
+        got = ev(f"({a}) % ({b})")
+        # C: (a/b)*b + a%b == a with trunc division
+        q = abs(a) // b * (1 if a >= 0 else -1)
+        assert q * b + got == a
+        assert abs(got) < b
+
+    @given(small_ints, small_ints)
+    def test_comparisons(self, a, b):
+        assert ev(f"({a}) < ({b})") == int(a < b)
+        assert ev(f"({a}) == ({b})") == int(a == b)
+        assert ev(f"({a}) >= ({b})") == int(a >= b)
+
+    @given(small_ints)
+    def test_unary_minus_involution(self, a):
+        assert ev(f"-(-({a}))") == a
+
+
+class TestExpressionStructure:
+    @given(small_ints, small_ints, small_ints)
+    def test_precedence_matches_python(self, a, b, c):
+        assert ev(f"({a}) + ({b}) * ({c})") == a + b * c
+        assert ev(f"(({a}) + ({b})) * ({c})") == (a + b) * c
+
+    @given(small_ints, small_ints, small_ints)
+    def test_ternary(self, cond, a, b):
+        assert ev(f"({cond}) ? ({a}) : ({b})") == (a if cond else b)
+
+    @given(st.booleans(), st.booleans())
+    def test_logical_ops(self, x, y):
+        a, b = int(x), int(y)
+        assert ev(f"{a} && {b}") == int(x and y)
+        assert ev(f"{a} || {b}") == int(x or y)
+
+
+class TestEnvironment:
+    @given(st.dictionaries(
+        st.sampled_from(["a", "b", "c", "x"]),
+        small_ints, min_size=1,
+    ))
+    def test_lookup_returns_bound_values(self, bindings):
+        env = Environment(bindings)
+        for name, value in bindings.items():
+            assert ev(name, env) == value
+
+    @given(small_ints)
+    def test_scope_shadowing(self, v):
+        env = Environment({"x": v})
+        env.push()
+        env.declare("x", v + 1)
+        assert env.lookup("x") == v + 1
+        env.pop()
+        assert env.lookup("x") == v

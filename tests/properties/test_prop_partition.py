@@ -1,0 +1,125 @@
+"""Property-based tests for the distribution machinery (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.matmul.distribution import (
+    heights_tensor,
+    heterogeneous_distribution,
+    partition_generalized_block,
+    proportional_partition,
+)
+
+weights_strategy = st.lists(
+    st.floats(min_value=0.1, max_value=1000.0, allow_nan=False),
+    min_size=1, max_size=8,
+)
+
+
+class TestProportionalPartitionProperties:
+    @given(weights=weights_strategy, extra=st.integers(0, 200))
+    def test_exactness_and_minimum(self, weights, extra):
+        k = len(weights)
+        total = k + extra  # always feasible with minimum 1
+        parts = proportional_partition(total, np.array(weights))
+        assert parts.sum() == total
+        assert (parts >= 1).all()
+
+    @given(weights=weights_strategy, extra=st.integers(0, 200))
+    def test_within_one_of_ideal_when_no_clamping(self, weights, extra):
+        """Pure largest-remainder (no part hits the minimum clamp): every
+        part is within 1 of its ideal proportional share."""
+        k = len(weights)
+        total = k + extra
+        w = np.array(weights)
+        ideal = w / w.sum() * total
+        if (np.floor(ideal) < 1).any():
+            return  # clamping active; the bound does not apply
+        parts = proportional_partition(total, w)
+        assert (np.abs(parts - ideal) <= 1.0 + 1e-9).all()
+
+    @given(st.integers(2, 6), st.integers(0, 100), st.integers(0, 2**31 - 1))
+    def test_permutation_equivariance(self, k, extra, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.uniform(0.5, 50.0, size=k)
+        total = k + extra
+        base = proportional_partition(total, w)
+        # Reversing the weights must reverse the partition when weights are
+        # distinct enough to avoid remainder ties.
+        if len(set(np.round(w, 6))) == k and len(set(base.tolist())) == k:
+            rev = proportional_partition(total, w[::-1].copy())
+            assert sorted(rev.tolist()) == sorted(base.tolist())
+
+
+grid_strategy = st.tuples(
+    st.integers(2, 4),                       # m
+    st.integers(0, 20),                      # l slack over m
+    st.integers(0, 2**31 - 1),               # seed
+)
+
+
+class TestGeneralizedBlockProperties:
+    @given(grid_strategy)
+    @settings(max_examples=60)
+    def test_partition_invariants(self, params):
+        m, slack, seed = params
+        l = m + slack
+        rng = np.random.default_rng(seed)
+        speeds = rng.uniform(1.0, 100.0, size=(m, m))
+        w, heights = partition_generalized_block(l, speeds)
+        assert w.sum() == l
+        assert (w >= 1).all()
+        assert (heights.sum(axis=0) == l).all()
+        assert (heights >= 1).all()
+
+    @given(grid_strategy)
+    @settings(max_examples=40)
+    def test_heights_tensor_invariants(self, params):
+        m, slack, seed = params
+        l = m + slack
+        rng = np.random.default_rng(seed)
+        speeds = rng.uniform(1.0, 100.0, size=(m, m))
+        _, heights = partition_generalized_block(l, speeds)
+        h4 = heights_tensor(heights)
+        # own height on the "diagonal"
+        for i in range(m):
+            for j in range(m):
+                assert h4[i, j, i, j] == heights[i, j]
+        # symmetry under pair swap
+        assert (h4 == h4.transpose(2, 3, 0, 1)).all()
+        # overlaps with one column partition sum to the rectangle's height
+        for i in range(m):
+            for j in range(m):
+                for other in range(m):
+                    assert h4[i, j, :, other].sum() == heights[i, j]
+
+
+class TestDistributionProperties:
+    @given(st.integers(2, 3), st.integers(1, 3), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40)
+    def test_blocks_partition_exactly(self, m, gmult, seed):
+        rng = np.random.default_rng(seed)
+        l = m * 2
+        n = l * gmult
+        speeds = rng.uniform(1.0, 20.0, size=(m, m))
+        dist = heterogeneous_distribution(n, l, speeds)
+        all_blocks = []
+        for g in range(m * m):
+            blocks = dist.blocks_of(g)
+            assert len(blocks) == dist.area(g)
+            all_blocks.extend(blocks)
+        assert len(all_blocks) == n * n
+        assert len(set(all_blocks)) == n * n
+
+    @given(st.integers(2, 3), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40)
+    def test_owner_agrees_with_blocks_of(self, m, seed):
+        rng = np.random.default_rng(seed)
+        l = m + int(rng.integers(0, 4))
+        n = l * 2
+        speeds = rng.uniform(1.0, 20.0, size=(m, m))
+        dist = heterogeneous_distribution(n, l, speeds)
+        for g in range(m * m):
+            for (i, j) in dist.blocks_of(g):
+                assert dist.owner_rank(i, j) == g

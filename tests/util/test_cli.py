@@ -1,0 +1,65 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig09_defaults(self):
+        args = build_parser().parse_args(["fig09"])
+        assert args.slots == 2
+        assert args.niter == 8
+
+
+class TestCommands:
+    def test_fig09_small(self, capsys):
+        assert main(["fig09", "--sizes", "4500", "--niter", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "4500" in out
+
+    def test_fig11_small(self, capsys):
+        assert main(["fig11", "--sizes", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "speedup" in out
+
+    def test_cluster_json(self, capsys):
+        assert main(["cluster", "--preset", "paper"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert len(blob["machines"]) == 9
+        assert blob["machines"][6]["speed"] == 176
+
+    def test_compile_model_file(self, tmp_path, capsys):
+        model = tmp_path / "ring.mpc"
+        model.write_text("""
+        algorithm Ring(int p, int v[p]) {
+          coord I=p;
+          node {I>=0: bench*(v[I]);};
+          link (L=p) { L == (I+1)%p : length*(64) [L]->[I]; };
+          parent[0];
+        }
+        """)
+        assert main(["compile", str(model)]) == 0
+        out = capsys.readouterr().out
+        assert "compiled 1 algorithm(s): Ring" in out
+        assert "algorithm Ring" in out
+
+    def test_compile_with_external_call(self, tmp_path, capsys):
+        model = tmp_path / "ext.mpc"
+        model.write_text("""
+        algorithm Ext(int p) {
+          coord I=p;
+          node {I>=0: bench*(1);};
+          scheme { Helper(p); };
+        }
+        """)
+        assert main(["compile", str(model)]) == 0
+        assert "Ext" in capsys.readouterr().out

@@ -1,0 +1,34 @@
+"""Deterministic RNG helpers."""
+
+from repro.util.rng import DEFAULT_SEED, make_rng, spawn_rng
+
+
+class TestMakeRng:
+    def test_default_seed_reproducible(self):
+        a = make_rng().random(5)
+        b = make_rng().random(5)
+        assert (a == b).all()
+
+    def test_explicit_seed(self):
+        a = make_rng(7).random(5)
+        b = make_rng(7).random(5)
+        c = make_rng(8).random(5)
+        assert (a == b).all()
+        assert not (a == c).all()
+
+    def test_default_seed_constant(self):
+        assert DEFAULT_SEED == 20030422
+
+
+class TestSpawnRng:
+    def test_children_differ_by_key(self):
+        parent1 = make_rng(1)
+        parent2 = make_rng(1)
+        c1 = spawn_rng(parent1, 0).random(4)
+        c2 = spawn_rng(parent2, 1).random(4)
+        assert not (c1 == c2).all()
+
+    def test_same_key_same_stream(self):
+        c1 = spawn_rng(make_rng(1), 5).random(4)
+        c2 = spawn_rng(make_rng(1), 5).random(4)
+        assert (c1 == c2).all()
