@@ -4,9 +4,17 @@ DESIGN.md calls out the mapper as a design choice the paper delegates to
 the mpC runtime [7].  This bench compares the three implemented strategies
 (and the exhaustive oracle) on the paper network for an EM3D instance:
 solution quality (predicted execution time of the chosen group) and the
-wall-clock cost of the selection itself.
+wall-clock cost of the selection itself.  A second section measures the
+runtime's selection cache: the cost of a cold ``HMPI_Timeof``-style
+selection versus repeated (warm) ones on the same model.
+
+With ``--smoke``, a quick regression check compares the default mapper's
+selection cost against the recorded baseline in
+``benchmarks/baselines/mapper_smoke.json`` (fails beyond 2×).
 """
 
+import json
+import pathlib
 import time
 
 import pytest
@@ -20,18 +28,26 @@ from repro.core import (
     NetworkModel,
     RefineMapper,
 )
+from repro.core.runtime import HMPIRuntimeState
 from repro.util.tables import Table
 
 P = 7
 K = 100
+WARM_REPEATS = 200
+BASELINE_PATH = pathlib.Path(__file__).parent / "baselines" / "mapper_smoke.json"
 
 
-def _compare():
+def _make_problem():
     problem = generate_problem(p=P, total_nodes=21_000, seed=5,
                                boundary_fraction=0.3)
     model = bind_em3d_model(problem, K)
     cluster = paper_network()
     netmodel = NetworkModel(cluster, list(range(cluster.size)))
+    return model, cluster, netmodel
+
+
+def _compare():
+    model, cluster, netmodel = _make_problem()
     candidates = list(range(cluster.size))
     fixed = {model.parent_index(): 0}
 
@@ -50,14 +66,42 @@ def _compare():
     return rows
 
 
+def _cache_profile():
+    """Cold vs warm selection through the runtime's selection cache."""
+    model, cluster, netmodel = _make_problem()
+    state = HMPIRuntimeState(netmodel)
+
+    t0 = time.perf_counter()
+    cold_mapping = state.select(model)
+    cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(WARM_REPEATS):
+        warm_mapping = state.select(model)
+    warm = (time.perf_counter() - t0) / WARM_REPEATS
+
+    assert warm_mapping is cold_mapping
+    stats = state.selection_stats
+    assert stats.cache_hits == WARM_REPEATS and stats.cache_misses == 1
+    return cold * 1000, warm * 1000
+
+
 def test_ablation_mapper(benchmark, report):
     rows = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    cold_ms, warm_ms = _cache_profile()
 
     t = Table("mapper", "predicted time (s)", "selection cost (ms)",
               title=f"Ablation — mapping algorithms (EM3D, p={P}, paper network)")
     for name, pred, wall, _ in rows:
         t.add(name, pred, wall)
     report.emit(t.render())
+
+    c = Table("selection", "cost (ms)",
+              title="Selection cache (DefaultMapper via the runtime)")
+    c.add("cold (first call)", cold_ms)
+    c.add(f"warm (cached, avg of {WARM_REPEATS})", warm_ms)
+    c.add("speedup (x)", cold_ms / warm_ms)
+    report.emit(c.render())
 
     by_name = {name: pred for name, pred, _, _ in rows}
     oracle = by_name["exhaustive"]
@@ -67,3 +111,34 @@ def test_ablation_mapper(benchmark, report):
     assert by_name["default"] <= oracle * 1.10
     for name, pred, _, _ in rows:
         assert pred >= oracle - 1e-9
+    # The selection cache must make repeated Timeof/Group_create calls at
+    # least 5x cheaper than the cold selection (in practice it is O(1)
+    # and orders of magnitude cheaper).
+    assert cold_ms / warm_ms >= 5.0
+
+
+def test_mapper_selection_smoke(smoke):
+    """Fail if default-mapper selection regressed >2x vs the baseline."""
+    if not smoke:
+        pytest.skip("smoke regression check runs with --smoke")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    model, cluster, netmodel = _make_problem()
+    candidates = list(range(cluster.size))
+    fixed = {model.parent_index(): 0}
+
+    best = float("inf")
+    for _ in range(3):
+        mapper = DefaultMapper()
+        t0 = time.perf_counter()
+        mapper.select(model, netmodel, candidates, fixed)
+        best = min(best, time.perf_counter() - t0)
+
+    # Generous floor keeps slow shared CI machines from flaking; beyond
+    # that, >2x over the recorded baseline is a regression.
+    limit_ms = max(2.0 * baseline["default_selection_ms"], 50.0)
+    assert best * 1000 <= limit_ms, (
+        f"default mapper selection took {best * 1000:.2f} ms, "
+        f"limit {limit_ms:.2f} ms (baseline "
+        f"{baseline['default_selection_ms']:.2f} ms recorded "
+        f"{baseline['recorded']})"
+    )

@@ -4,8 +4,13 @@ The paper's matrix program picks the generalized block size by evaluating
 ``HMPI_Timeof`` for every candidate instead of actually running each one.
 This bench validates that shortcut: for every candidate l we record both
 the prediction and a real (simulated) execution, and check that the l the
-sweep would pick is also the l with the fastest actual run.
+sweep would pick is also the l with the fastest actual run.  It also
+measures repeating the whole prediction sweep through the runtime's
+selection cache (the paper's program re-evaluates Timeof in a loop, so
+repeated sweeps between Recon calls should be nearly free).
 """
+
+import time
 
 import pytest
 
@@ -18,6 +23,7 @@ from repro.apps.matmul import (
 )
 from repro.cluster import PAPER_SPEEDS, paper_network
 from repro.core import GreedyMapper, NetworkModel
+from repro.core.runtime import HMPIRuntimeState
 from repro.util.tables import Table
 
 N = 18
@@ -44,8 +50,37 @@ def _sweep():
     return rows
 
 
+def _cached_sweep():
+    """Cold vs warm full-sweep cost through the selection cache."""
+    cluster = paper_network()
+    netmodel = NetworkModel(cluster, list(range(cluster.size)))
+    grid = speed_grid(list(PAPER_SPEEDS), M, host_machine=0)
+    state = HMPIRuntimeState(netmodel, mapper="greedy")
+    models = [
+        bind_matmul_model(heterogeneous_distribution(N, l, grid), R)
+        for l in candidate_block_sizes(N, M)
+    ]
+
+    t0 = time.perf_counter()
+    for model in models:
+        state.select(model)
+    cold = time.perf_counter() - t0
+
+    repeats = 50
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        for model in models:
+            state.select(model)
+    warm = (time.perf_counter() - t0) / repeats
+
+    assert state.selection_stats.cache_misses == len(models)
+    assert state.selection_stats.cache_hits == repeats * len(models)
+    return cold * 1000, warm * 1000
+
+
 def test_ablation_timeof(benchmark, report):
     rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    cold_ms, warm_ms = _cached_sweep()
 
     t = Table("l", "Timeof predicted (s)", "executed (s)",
               title=f"Ablation — Timeof sweep vs real execution "
@@ -59,8 +94,17 @@ def test_ablation_timeof(benchmark, report):
     report.emit(f"Timeof picks l = {predicted_best}; "
                 f"actually fastest l = {actual_best}")
 
+    c = Table("Timeof sweep", "cost (ms)",
+              title="Selection cache (full l-sweep, greedy mapper)")
+    c.add("cold (first sweep)", cold_ms)
+    c.add("warm (cached, avg of 50)", warm_ms)
+    c.add("speedup (x)", cold_ms / warm_ms)
+    report.emit(c.render())
+
     # The paper's shortcut is sound: the sweep picks the truly fastest l,
     # and every individual prediction is tight.
     assert predicted_best == actual_best
     for _, pred, measured in rows:
         assert pred == pytest.approx(measured, rel=0.1)
+    # Repeating the sweep between Recon calls must be at least 5x cheaper.
+    assert cold_ms / warm_ms >= 5.0

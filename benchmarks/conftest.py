@@ -18,6 +18,22 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run the quick performance-regression smoke checks "
+             "(compare against benchmarks/baselines/*.json)",
+    )
+
+
+@pytest.fixture
+def smoke(request) -> bool:
+    """Whether the smoke regression checks were requested."""
+    return request.config.getoption("--smoke")
+
+
 class Reporter:
     def __init__(self, name: str):
         self.name = name

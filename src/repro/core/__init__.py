@@ -19,15 +19,27 @@ from .estimator import TimelineVisitor, estimate_breakdown, estimate_time
 from .linkprobe import LinkEstimate, ping_pong, probe_links
 from .group import HMPIGroup
 from .mapper import (
+    MAPPER_REGISTRY,
     DefaultMapper,
     ExhaustiveMapper,
     GreedyMapper,
     Mapper,
     Mapping,
     RefineMapper,
+    available_mappers,
+    register_mapper,
+    resolve_mapper,
 )
 from .netmodel import NetworkModel
 from .samapper import AnnealingMapper
+from .seleng import (
+    CompiledTrace,
+    SelectionStats,
+    TraceEvaluator,
+    compile_trace,
+    evaluate_mapping,
+    evaluate_mappings,
+)
 from .recon import kernel_benchmark, matmul_kernel, stencil_kernel, unit_benchmark
 from .runtime import HMPI, HOST_RANK, HMPIRuntimeState, run_hmpi
 
@@ -54,6 +66,16 @@ __all__ = [
     "RefineMapper",
     "DefaultMapper",
     "AnnealingMapper",
+    "MAPPER_REGISTRY",
+    "register_mapper",
+    "available_mappers",
+    "resolve_mapper",
+    "CompiledTrace",
+    "SelectionStats",
+    "TraceEvaluator",
+    "compile_trace",
+    "evaluate_mapping",
+    "evaluate_mappings",
     "unit_benchmark",
     "kernel_benchmark",
     "matmul_kernel",

@@ -4,7 +4,10 @@ For readers following the paper's listings (Figures 5 and 8), these
 wrappers expose the exact ``HMPI_*`` spelling over the object API of
 :mod:`repro.core.runtime`.  Each takes the per-rank :class:`HMPI`
 environment as its first argument (the role the implicit process context
-plays in the C binding).
+plays in the C binding).  Trailing options (``mapper``, ``iterations``,
+``volume``) are keyword-only, mirroring the object API's keyword
+arguments, and accept the same mapper registry strings.  See
+``docs/API.md`` for the full two-layer API contract.
 
 >>> def main(hmpi):                                 # doctest: +SKIP
 ...     if HMPI_Is_member(hmpi, HMPI_COMM_WORLD_GROUP):
@@ -19,6 +22,7 @@ plays in the C binding).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Callable
 from typing import Any
 
@@ -48,12 +52,48 @@ __all__ = [
 HMPI_COMM_WORLD_GROUP = object()
 
 
+#: Bound models memoized per PerformanceModel (below); without this,
+#: every flat-API call would create a fresh bound model, so repeated
+#: ``HMPI_Timeof(hmpi, model, params)`` — the paper's Figure 8 loop —
+#: could never hit the runtime's selection cache.
+_BIND_CACHE_SIZE = 32
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively hashable view of a parameter value (lists -> tuples)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return value
+
+
 def _bind_if_needed(
     model: PerformanceModel | AbstractBoundModel,
     model_parameters: tuple | None,
 ) -> AbstractBoundModel:
     if isinstance(model, PerformanceModel):
-        return model.bind(*(model_parameters or ()))
+        params = tuple(model_parameters or ())
+        try:
+            key = _freeze(params)
+            hash(key)
+        except TypeError:  # unhashable parameter type: bind fresh
+            return model.bind(*params)
+        cache = getattr(model, "_repro_bound_cache", None)
+        if cache is None:
+            cache = OrderedDict()
+            try:
+                model._repro_bound_cache = cache
+            except AttributeError:  # models with __slots__
+                return model.bind(*params)
+        bound = cache.get(key)
+        if bound is None:
+            bound = cache[key] = model.bind(*params)
+            while len(cache) > _BIND_CACHE_SIZE:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
+        return bound
     if model_parameters:
         raise HMPIStateError(
             "model_parameters given with an already-bound model"
@@ -64,6 +104,7 @@ def _bind_if_needed(
 def HMPI_Recon(
     hmpi: HMPI,
     benchmark: Callable | None = None,
+    *,
     volume: float = 1.0,
 ) -> float:
     """Refresh processor-speed estimates (collective over the world)."""
@@ -74,17 +115,28 @@ def HMPI_Timeof(
     hmpi: HMPI,
     perf_model: PerformanceModel | AbstractBoundModel,
     model_parameters: tuple | None = None,
+    *,
+    mapper: "Mapper | str | None" = None,
     iterations: float = 1.0,
 ) -> float:
-    """Predict execution time without running (local operation)."""
-    return hmpi.timeof(_bind_if_needed(perf_model, model_parameters), iterations=iterations)
+    """Predict execution time without running (local operation).
+
+    ``mapper`` — instance or registry string — mirrors ``hmpi.timeof`` so
+    the two API layers stay congruent.
+    """
+    return hmpi.timeof(
+        _bind_if_needed(perf_model, model_parameters),
+        mapper=mapper,
+        iterations=iterations,
+    )
 
 
 def HMPI_Group_create(
     hmpi: HMPI,
     perf_model: PerformanceModel | AbstractBoundModel,
     model_parameters: tuple | None = None,
-    mapper: Mapper | None = None,
+    *,
+    mapper: "Mapper | str | None" = None,
 ) -> HMPIGroup:
     """Create the group that executes the algorithm fastest (collective
     over the host and all free processes)."""

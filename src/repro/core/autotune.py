@@ -49,7 +49,7 @@ def tune_group_size(
     hmpi: HMPI,
     family: ModelFamily,
     sizes: Iterable[int],
-    mapper: Mapper | None = None,
+    mapper: "Mapper | str | None" = None,
 ) -> SizeSweepResult:
     """Predict the best process count for an algorithm family.
 
@@ -57,6 +57,7 @@ def tune_group_size(
     model is built, the selection problem solved against the current
     network model, and the predicted time recorded.  Candidates larger
     than the available process pool are skipped; if none fit, raises.
+    ``mapper`` may be an instance or a registry string.
     """
     available = len(hmpi.state.participants())
     predictions: dict[int, float] = {}
@@ -87,7 +88,7 @@ def auto_create(
     hmpi: HMPI,
     family: ModelFamily,
     sizes: Iterable[int],
-    mapper: Mapper | None = None,
+    mapper: "Mapper | str | None" = None,
 ):
     """Collective: size sweep on the host, then ``group_create`` the winner.
 

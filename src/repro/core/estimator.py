@@ -198,6 +198,10 @@ def replay_trace(
     precomputed: single-protocol links collapse to an inline
     ``latency + bytes/bandwidth``, multi-protocol links fall back to
     per-message protocol selection.
+
+    Legacy single-candidate path, kept as a readable reference; the
+    selection hot paths (mappers, ``estimate_time``) now run on the
+    compiled engine in :mod:`repro.core.seleng`.
     """
     n = len(node_volumes)
     single_port = netmodel.cluster.single_port
@@ -258,21 +262,18 @@ def estimate_time(
     ``machines[i]`` is the machine index abstract processor ``i`` would run
     on.  This is the function ``HMPI_Timeof`` evaluates (with the mapping
     the runtime would actually choose) and the objective the mappers
-    minimise.  The scheme is interpreted once per model and replayed from
-    its cached trace thereafter.
+    minimise.  The scheme is compiled once per model (see
+    :mod:`repro.core.seleng`) and replayed from flat event arrays
+    thereafter; mappers pricing whole neighbourhoods should use
+    :func:`repro.core.seleng.evaluate_mappings` or a
+    :class:`repro.core.seleng.TraceEvaluator` directly to amortise setup.
     """
     if len(machines) != model.nproc:
         raise HMPIError(
             f"mapping length {len(machines)} != model nproc {model.nproc}"
         )
-    return replay_trace(
-        record_trace(model),
-        model.node_volumes(),
-        model.link_volumes(),
-        _effective_speeds(netmodel, machines),
-        netmodel,
-        machines,
-    )
+    from .seleng import TraceEvaluator
+    return TraceEvaluator(model, netmodel).evaluate(machines)
 
 
 def estimate_breakdown(

@@ -3,8 +3,12 @@
 Given a bound performance model, the network model, and the set of
 available world processes (the parent plus all free processes), a mapper
 chooses which process runs each abstract processor so that the *predicted*
-execution time (:func:`repro.core.estimator.estimate_time`) is minimal.
-The paper defers these algorithms to the mpC runtime [7]; we provide:
+execution time is minimal.  Candidates are priced by the compiled
+selection engine (:mod:`repro.core.seleng`), which replays the model's
+trace from precompiled event arrays and amortises setup across whole
+neighbourhoods; :class:`repro.core.estimator.TimelineVisitor` remains the
+semantic oracle the engine is pinned to.  The paper defers the selection
+algorithms to the mpC runtime [7]; we provide:
 
 - :class:`ExhaustiveMapper` — optimal by enumeration, with optional
   machine-speed symmetry reduction; the oracle used in tests.
@@ -16,6 +20,13 @@ The paper defers these algorithms to the mpC runtime [7]; we provide:
 - :class:`DefaultMapper` — greedy seed + refinement; what the HMPI runtime
   uses unless told otherwise.
 
+Every entry point that takes a mapper also accepts its **registry
+string** — ``"greedy"``, ``"refine"``, ``"exhaustive"``, ``"anneal"``,
+``"default"`` — resolved by :func:`resolve_mapper`.  String specs resolve
+to shared default-configured instances (so the runtime's selection cache
+can key on mapper identity); pass an instance for custom parameters, and
+:func:`register_mapper` to add project-specific strategies.
+
 A mapping may pin abstract processors to specific processes via ``fixed`` —
 the runtime pins the model's ``parent`` to the calling host so that "every
 newly created group has exactly one process shared with already existing
@@ -24,17 +35,21 @@ groups".
 
 from __future__ import annotations
 
+import inspect
 import itertools
 from abc import ABC, abstractmethod
 from collections import Counter
+from collections.abc import Callable
 from collections.abc import Mapping as MappingABC
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..perfmodel.model import AbstractBoundModel
 from ..util.errors import MappingError
-from .estimator import estimate_time
 from .netmodel import NetworkModel
+from .seleng import SelectionStats, TraceEvaluator
 
 __all__ = [
     "Mapping",
@@ -43,6 +58,10 @@ __all__ = [
     "GreedyMapper",
     "RefineMapper",
     "DefaultMapper",
+    "MAPPER_REGISTRY",
+    "register_mapper",
+    "available_mappers",
+    "resolve_mapper",
 ]
 
 
@@ -63,10 +82,12 @@ def _build_mapping(
     processes: Sequence[int],
     model: AbstractBoundModel,
     netmodel: NetworkModel,
+    evaluator: TraceEvaluator | None = None,
 ) -> Mapping:
     machines = tuple(netmodel.machine_of(p) for p in processes)
-    t = estimate_time(model, netmodel, machines)
-    return Mapping(tuple(processes), machines, t)
+    if evaluator is None:
+        evaluator = TraceEvaluator(model, netmodel)
+    return Mapping(tuple(processes), machines, evaluator.evaluate(machines))
 
 
 def _check_inputs(
@@ -102,27 +123,71 @@ class Mapper(ABC):
         netmodel: NetworkModel,
         candidates: Sequence[int],
         fixed: MappingABC[int, int] | None = None,
+        *,
+        stats: SelectionStats | None = None,
     ) -> Mapping:
-        """Choose a process per abstract processor minimising predicted time."""
+        """Choose a process per abstract processor minimising predicted time.
+
+        ``stats``, when given, receives the engine's evaluation counters
+        (and any mapper-specific counts such as symmetry pruning).
+        """
+
+
+def _supports_stats(mapper: Mapper) -> bool:
+    """Whether a mapper's ``select`` accepts the ``stats`` keyword.
+
+    Third-party mappers written against the pre-engine interface keep
+    working: callers use this probe before passing ``stats`` through.
+    """
+    try:
+        return "stats" in inspect.signature(mapper.select).parameters
+    except (TypeError, ValueError):
+        return False
+
+
+def _seed_select(
+    seed: Mapper,
+    model: AbstractBoundModel,
+    netmodel: NetworkModel,
+    candidates: Sequence[int],
+    fixed: MappingABC[int, int],
+    stats: SelectionStats | None,
+) -> Mapping:
+    if stats is not None and _supports_stats(seed):
+        return seed.select(model, netmodel, candidates, fixed, stats=stats)
+    return seed.select(model, netmodel, candidates, fixed)
 
 
 class ExhaustiveMapper(Mapper):
     """Optimal selection by enumeration.
 
     Enumerates injective assignments of the non-fixed abstract processors
-    to the remaining candidates.  With ``reduce_symmetry`` (default on),
-    candidate processes whose machines have identical speed estimates are
-    treated as interchangeable, which collapses the paper's 9-machine
-    search from 9! to a few hundred evaluations — exact whenever links are
-    uniform (as on the paper's switched Ethernet); set it to False for
-    clusters with heterogeneous links.
+    to the remaining candidates, priced in batches through the compiled
+    engine.  With ``reduce_symmetry`` (default on), candidate processes
+    whose machines have identical speed estimates are treated as
+    interchangeable, which collapses the paper's 9-machine search from 9!
+    to a few hundred evaluations — exact whenever links are uniform (as on
+    the paper's switched Ethernet); set it to False for clusters with
+    heterogeneous links.
 
-    ``max_evaluations`` guards against combinatorial blow-up.
+    ``max_evaluations`` guards against combinatorial blow-up of the
+    evaluated assignments; ``max_symmetry_skips`` separately bounds the
+    permutations *pruned* by symmetry, so a huge symmetric search space
+    cannot spin the enumeration loop unboundedly.  Both counts are
+    reported through :class:`SelectionStats`.
     """
 
-    def __init__(self, reduce_symmetry: bool = True, max_evaluations: int = 200_000):
+    def __init__(
+        self,
+        reduce_symmetry: bool = True,
+        max_evaluations: int = 200_000,
+        max_symmetry_skips: int = 5_000_000,
+        batch_size: int = 512,
+    ):
         self.reduce_symmetry = reduce_symmetry
         self.max_evaluations = max_evaluations
+        self.max_symmetry_skips = max_symmetry_skips
+        self.batch_size = batch_size
 
     def select(
         self,
@@ -130,41 +195,87 @@ class ExhaustiveMapper(Mapper):
         netmodel: NetworkModel,
         candidates: Sequence[int],
         fixed: MappingABC[int, int] | None = None,
+        *,
+        stats: SelectionStats | None = None,
     ) -> Mapping:
         fixed = dict(fixed or {})
         _check_inputs(model, candidates, fixed)
         n = model.nproc
         free_slots = [i for i in range(n) if i not in fixed]
         pool = [c for c in candidates if c not in set(fixed.values())]
+        evaluator = TraceEvaluator(model, netmodel, stats)
 
-        best: Mapping | None = None
+        base = [0] * n
+        for idx, proc in fixed.items():
+            base[idx] = proc
+
+        # Speed-equivalence class per candidate process: permutations whose
+        # per-slot class sequence was already seen cannot price differently
+        # when links are uniform.
+        class_of: dict[int, int] = {}
+        if self.reduce_symmetry:
+            classes: dict[float, int] = {}
+            for c in candidates:
+                speed = netmodel.speed_of_machine(netmodel.machine_of(c))
+                class_of[c] = classes.setdefault(speed, len(classes))
+
+        best_time = float("inf")
+        best_procs: tuple[int, ...] | None = None
+        best_machines: tuple[int, ...] | None = None
         evaluations = 0
-        seen_signatures: set[tuple] = set()
+        skipped = 0
+        seen_signatures: set[tuple[int, ...]] = set()
+        pending: list[tuple[int, ...]] = []
+
+        def flush() -> None:
+            nonlocal best_time, best_procs, best_machines
+            if not pending:
+                return
+            machines = [
+                [netmodel.machine_of(p) for p in procs] for procs in pending
+            ]
+            times = evaluator.evaluate_batch(machines)
+            idx = int(np.argmin(times))
+            if times[idx] < best_time:
+                best_time = float(times[idx])
+                best_procs = pending[idx]
+                best_machines = tuple(machines[idx])
+            pending.clear()
+
         for combo in itertools.permutations(pool, len(free_slots)):
-            assignment = [0] * n
-            for idx, proc in fixed.items():
-                assignment[idx] = proc
+            assignment = list(base)
             for slot, proc in zip(free_slots, combo):
                 assignment[slot] = proc
             if self.reduce_symmetry:
-                signature = tuple(
-                    (netmodel.speed_of_machine(netmodel.machine_of(p)),)
-                    for p in assignment
-                )
+                signature = tuple(class_of[p] for p in assignment)
                 if signature in seen_signatures:
+                    skipped += 1
+                    if skipped > self.max_symmetry_skips:
+                        if stats is not None:
+                            stats.symmetry_skips += skipped
+                        raise MappingError(
+                            f"exhaustive search pruned more than "
+                            f"{self.max_symmetry_skips} symmetric permutations; "
+                            "use GreedyMapper/DefaultMapper"
+                        )
                     continue
                 seen_signatures.add(signature)
             evaluations += 1
             if evaluations > self.max_evaluations:
+                if stats is not None:
+                    stats.symmetry_skips += skipped
                 raise MappingError(
                     f"exhaustive search exceeded {self.max_evaluations} "
                     "evaluations; use GreedyMapper/DefaultMapper"
                 )
-            mapping = _build_mapping(assignment, model, netmodel)
-            if best is None or mapping.time < best.time:
-                best = mapping
-        assert best is not None
-        return best
+            pending.append(tuple(assignment))
+            if len(pending) >= self.batch_size:
+                flush()
+        flush()
+        if stats is not None:
+            stats.symmetry_skips += skipped
+        assert best_procs is not None and best_machines is not None
+        return Mapping(best_procs, best_machines, best_time)
 
 
 class GreedyMapper(Mapper):
@@ -182,6 +293,8 @@ class GreedyMapper(Mapper):
         netmodel: NetworkModel,
         candidates: Sequence[int],
         fixed: MappingABC[int, int] | None = None,
+        *,
+        stats: SelectionStats | None = None,
     ) -> Mapping:
         fixed = dict(fixed or {})
         _check_inputs(model, candidates, fixed)
@@ -216,7 +329,10 @@ class GreedyMapper(Mapper):
             machine_load[netmodel.machine_of(best_proc)] += volumes[i]
             used.add(best_proc)
 
-        return _build_mapping([p for p in assignment if p is not None], model, netmodel)
+        return _build_mapping(
+            [p for p in assignment if p is not None], model, netmodel,
+            evaluator=TraceEvaluator(model, netmodel, stats),
+        )
 
 
 class RefineMapper(Mapper):
@@ -225,7 +341,8 @@ class RefineMapper(Mapper):
     Starts from ``seed``'s mapping and repeatedly applies the best
     improving move among (a) swapping the processes of two abstract
     processors and (b) moving one abstract processor to an unused
-    candidate, until a local optimum or ``max_rounds``.
+    candidate, until a local optimum or ``max_rounds``.  Each round's
+    whole swap/move neighbourhood is priced with one batched engine call.
     """
 
     def __init__(self, seed: Mapper | None = None, max_rounds: int = 20):
@@ -238,16 +355,19 @@ class RefineMapper(Mapper):
         netmodel: NetworkModel,
         candidates: Sequence[int],
         fixed: MappingABC[int, int] | None = None,
+        *,
+        stats: SelectionStats | None = None,
     ) -> Mapping:
         fixed = dict(fixed or {})
-        current = self.seed.select(model, netmodel, candidates, fixed)
+        current = _seed_select(self.seed, model, netmodel, candidates, fixed, stats)
         n = model.nproc
         pinned = set(fixed.keys())
+        evaluator = TraceEvaluator(model, netmodel, stats)
 
         for _ in range(self.max_rounds):
-            best_next: Mapping | None = None
             assignment = list(current.processes)
             unused = [c for c in candidates if c not in set(assignment)]
+            trials: list[list[int]] = []
             # swap moves
             for i in range(n):
                 if i in pinned:
@@ -259,11 +379,7 @@ class RefineMapper(Mapper):
                         continue
                     trial = list(assignment)
                     trial[i], trial[j] = trial[j], trial[i]
-                    mapping = _build_mapping(trial, model, netmodel)
-                    if mapping.time < current.time and (
-                        best_next is None or mapping.time < best_next.time
-                    ):
-                        best_next = mapping
+                    trials.append(trial)
             # move-to-unused moves
             for i in range(n):
                 if i in pinned:
@@ -271,14 +387,19 @@ class RefineMapper(Mapper):
                 for proc in unused:
                     trial = list(assignment)
                     trial[i] = proc
-                    mapping = _build_mapping(trial, model, netmodel)
-                    if mapping.time < current.time and (
-                        best_next is None or mapping.time < best_next.time
-                    ):
-                        best_next = mapping
-            if best_next is None:
+                    trials.append(trial)
+            if not trials:
                 break
-            current = best_next
+            machines = [
+                [netmodel.machine_of(p) for p in trial] for trial in trials
+            ]
+            times = evaluator.evaluate_batch(machines)
+            idx = int(np.argmin(times))
+            if not times[idx] < current.time:
+                break
+            current = Mapping(
+                tuple(trials[idx]), tuple(machines[idx]), float(times[idx])
+            )
         return current
 
 
@@ -294,5 +415,76 @@ class DefaultMapper(Mapper):
         netmodel: NetworkModel,
         candidates: Sequence[int],
         fixed: MappingABC[int, int] | None = None,
+        *,
+        stats: SelectionStats | None = None,
     ) -> Mapping:
-        return self._impl.select(model, netmodel, candidates, fixed)
+        return self._impl.select(model, netmodel, candidates, fixed, stats=stats)
+
+
+# ----------------------------------------------------------------------
+# mapper registry — string specs for every entry point
+# ----------------------------------------------------------------------
+
+#: name -> zero-argument factory producing a default-configured mapper.
+MAPPER_REGISTRY: dict[str, Callable[[], Mapper]] = {}
+
+# Shared default instances per registry name: string specs must resolve to
+# a stable identity so the runtime's selection cache can key on the mapper.
+_RESOLVED: dict[str, Mapper] = {}
+
+
+def register_mapper(
+    name: str, factory: Callable[[], Mapper], *, overwrite: bool = False
+) -> None:
+    """Register a mapper factory under a string spec (case-insensitive)."""
+    key = name.lower()
+    if key in MAPPER_REGISTRY and not overwrite:
+        raise MappingError(f"mapper {name!r} is already registered")
+    MAPPER_REGISTRY[key] = factory
+    _RESOLVED.pop(key, None)
+
+
+def available_mappers() -> tuple[str, ...]:
+    """Registered mapper specs, sorted."""
+    return tuple(sorted(MAPPER_REGISTRY))
+
+
+def resolve_mapper(
+    spec: "str | Mapper | None", default: Mapper | None = None
+) -> Mapper | None:
+    """Resolve a mapper spec — instance, registry string, or None.
+
+    Instances pass through unchanged; strings resolve to a shared
+    default-configured instance of the registered strategy; ``None``
+    resolves to ``default``.
+    """
+    if spec is None:
+        return default
+    if isinstance(spec, Mapper):
+        return spec
+    if isinstance(spec, str):
+        key = spec.lower()
+        instance = _RESOLVED.get(key)
+        if instance is None:
+            factory = MAPPER_REGISTRY.get(key)
+            if factory is None and key == "anneal":
+                from . import samapper  # noqa: F401  (registers "anneal")
+                factory = MAPPER_REGISTRY.get(key)
+            if factory is None:
+                raise MappingError(
+                    f"unknown mapper {spec!r}; available: "
+                    f"{', '.join(available_mappers())}"
+                )
+            instance = factory()
+            _RESOLVED[key] = instance
+        return instance
+    raise MappingError(
+        f"mapper spec must be a registry string or Mapper instance, "
+        f"got {type(spec).__name__}"
+    )
+
+
+register_mapper("greedy", GreedyMapper)
+register_mapper("refine", RefineMapper)
+register_mapper("exhaustive", ExhaustiveMapper)
+register_mapper("default", DefaultMapper)

@@ -62,6 +62,7 @@ class NetworkModel:
         if any(s <= 0 for s in speeds):
             raise HMPIError("speed estimates must be positive")
         self._speeds = np.asarray(speeds, dtype=float)
+        self._speed_epoch = 0
 
     # ------------------------------------------------------------------
     # processes
@@ -78,6 +79,17 @@ class NetworkModel:
     # ------------------------------------------------------------------
     # speeds
     # ------------------------------------------------------------------
+    @property
+    def speed_epoch(self) -> int:
+        """Monotonic counter bumped whenever any speed estimate changes.
+
+        Predictions derived from this model (the runtime's selection
+        cache in particular) are valid only for the epoch they were
+        computed in; a ``HMPI_Recon`` refresh invalidates them by bumping
+        the epoch.
+        """
+        return self._speed_epoch
+
     def speed_of_machine(self, machine_index: int) -> float:
         """Current speed estimate of a machine (benchmark units/sec)."""
         return float(self._speeds[machine_index])
@@ -91,6 +103,7 @@ class NetworkModel:
         if speed <= 0:
             raise HMPIError(f"speed estimate must be positive, got {speed}")
         self._speeds[machine_index] = speed
+        self._speed_epoch += 1
 
     def update_speeds_from_benchmark(
         self, world_times: Sequence[float], volume: float

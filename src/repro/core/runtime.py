@@ -31,6 +31,7 @@ processes, which are not members of any HMPI group".
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from collections.abc import Callable, Sequence
 from typing import Any
 
@@ -41,8 +42,9 @@ from ..mpi.launcher import MPIEnv, MPIRunResult, default_placement, run_mpi
 from ..perfmodel.model import AbstractBoundModel
 from ..util.errors import HMPIStateError
 from .group import HMPIGroup
-from .mapper import DefaultMapper, Mapper, Mapping
+from .mapper import DefaultMapper, Mapper, Mapping, _supports_stats, resolve_mapper
 from .netmodel import NetworkModel
+from .seleng import SelectionStats
 
 __all__ = ["HMPI", "HMPIRuntimeState", "run_hmpi", "HOST_RANK"]
 
@@ -55,11 +57,23 @@ _TAG_GROUP_CREATE = -2_000_000
 
 
 class HMPIRuntimeState:
-    """Shared, lock-protected state of one HMPI run."""
+    """Shared, lock-protected state of one HMPI run.
 
-    def __init__(self, netmodel: NetworkModel, mapper: Mapper):
+    ``mapper`` may be a :class:`Mapper` instance or a registry string
+    (``"default"``, ``"greedy"``, ...); ``None`` selects the runtime
+    default.  The state also owns the **selection cache**: repeated
+    ``timeof``/``group_create`` on the same model between ``recon``
+    refreshes are answered in O(1), keyed by (model identity, mapper
+    identity, network-model speed epoch, candidate set, pins).
+    ``selection_stats`` counts cache hits/misses and engine evaluations.
+    """
+
+    #: Cached selections retained (LRU); stale epochs age out naturally.
+    SELECTION_CACHE_SIZE = 64
+
+    def __init__(self, netmodel: NetworkModel, mapper: "Mapper | str | None" = None):
         self.netmodel = netmodel
-        self.mapper = mapper
+        self.mapper = resolve_mapper(mapper, default=None) or DefaultMapper()
         self.lock = threading.RLock()
         # Free = not a member of any HMPI group.  The host is permanently
         # the parent of the world group, so it is never "free" but always
@@ -70,12 +84,71 @@ class HMPIRuntimeState:
         # Real-time rendezvous counters for group_free (gid -> arrivals).
         self.free_rendezvous: dict[int, int] = {}
         self.free_cond = threading.Condition(self.lock)
+        self.selection_stats = SelectionStats()
+        # key -> (Mapping, model ref, mapper ref); the refs keep the ids in
+        # the key stable for the entry's lifetime.
+        self._selection_cache: OrderedDict[tuple, tuple[Mapping, Any, Any]] = (
+            OrderedDict()
+        )
 
     def participants(self) -> list[int]:
         """Host plus free processes, excluding known-dead ranks."""
         with self.lock:
             alive_free = sorted(self.free - self.dead)
         return [HOST_RANK] + alive_free
+
+    # ------------------------------------------------------------------
+    # selection (with cache)
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        model: AbstractBoundModel,
+        mapper: "Mapper | str | None" = None,
+        fixed: dict[int, int] | None = None,
+    ) -> Mapping:
+        """Solve (or recall) the selection problem for ``model``.
+
+        Cached per (model, mapper, speed epoch, candidates, pins): the
+        prediction stays valid until a ``recon`` bumps the network model's
+        speed epoch or the pool of free processes changes.
+        """
+        with self.lock:
+            netmodel = self.netmodel
+            use_mapper = resolve_mapper(mapper, default=self.mapper)
+            candidates = tuple(self.participants())
+        if fixed is None:
+            fixed = {model.parent_index(): HOST_RANK}
+        key = (
+            id(model),
+            id(use_mapper),
+            netmodel.speed_epoch,
+            candidates,
+            tuple(sorted(fixed.items())),
+        )
+        with self.lock:
+            entry = self._selection_cache.get(key)
+            if entry is not None:
+                self._selection_cache.move_to_end(key)
+                self.selection_stats.cache_hits += 1
+                return entry[0]
+            self.selection_stats.cache_misses += 1
+            stats = self.selection_stats
+        if _supports_stats(use_mapper):
+            mapping = use_mapper.select(
+                model, netmodel, list(candidates), fixed, stats=stats
+            )
+        else:
+            mapping = use_mapper.select(model, netmodel, list(candidates), fixed)
+        with self.lock:
+            self._selection_cache[key] = (mapping, model, use_mapper)
+            while len(self._selection_cache) > self.SELECTION_CACHE_SIZE:
+                self._selection_cache.popitem(last=False)
+        return mapping
+
+    def invalidate_selections(self) -> None:
+        """Drop every cached selection (speed-epoch bumps do this lazily)."""
+        with self.lock:
+            self._selection_cache.clear()
 
 
 class HMPI:
@@ -161,7 +234,7 @@ class HMPI:
     def timeof(
         self,
         model: AbstractBoundModel,
-        mapper: Mapper | None = None,
+        mapper: "Mapper | str | None" = None,
         iterations: float = 1.0,
     ) -> float:
         """Predict the execution time of ``model`` without running it.
@@ -169,18 +242,23 @@ class HMPI:
         Local operation: runs the selection algorithm against the current
         network model and returns the predicted time of the best group,
         scaled by ``iterations`` (the model describes one scheme run; the
-        paper's models describe one iteration/step sequence).
+        paper's models describe one iteration/step sequence).  ``mapper``
+        may be an instance or a registry string.  Selections are cached:
+        repeated calls on the same model are O(1) until ``recon`` refreshes
+        the speed estimates or the free-process pool changes.
         """
         mapping = self._select(model, mapper)
         return mapping.time * iterations
 
-    def _select(self, model: AbstractBoundModel, mapper: Mapper | None) -> Mapping:
-        with self.state.lock:
-            netmodel = self.state.netmodel
-            use_mapper = mapper or self.state.mapper
-            candidates = self.state.participants()
-        fixed = {model.parent_index(): HOST_RANK}
-        return use_mapper.select(model, netmodel, candidates, fixed)
+    @property
+    def selection_stats(self) -> SelectionStats:
+        """Selection-cache and engine counters of this run."""
+        return self.state.selection_stats
+
+    def _select(
+        self, model: AbstractBoundModel, mapper: "Mapper | str | None"
+    ) -> Mapping:
+        return self.state.select(model, mapper)
 
     # ------------------------------------------------------------------
     # HMPI_Group_create / HMPI_Group_free
@@ -188,7 +266,7 @@ class HMPI:
     def group_create(
         self,
         model: AbstractBoundModel,
-        mapper: Mapper | None = None,
+        mapper: "Mapper | str | None" = None,
     ) -> HMPIGroup:
         """Create the group predicted to execute ``model`` fastest.
 
@@ -286,7 +364,7 @@ def run_hmpi(
     nprocs: int | None = None,
     args: tuple = (),
     kwargs: dict | None = None,
-    mapper: Mapper | None = None,
+    mapper: "Mapper | str | None" = None,
     initial_speeds: Sequence[float] | None = None,
     timeout: float | None = 120.0,
     tracer: Any = None,
@@ -296,13 +374,15 @@ def run_hmpi(
     This brackets the application with ``HMPI_Init``/``HMPI_Finalize``: it
     builds the shared runtime state (network model seeded with nominal
     machine speeds unless ``initial_speeds`` is given) and hands every rank
-    an :class:`HMPI` environment.  ``tracer`` is forwarded to the engine
-    (see :class:`repro.mpi.tracing.Tracer`).
+    an :class:`HMPI` environment.  ``mapper`` may be a :class:`Mapper`
+    instance or a registry string such as ``"default"`` or ``"greedy"``.
+    ``tracer`` is forwarded to the engine (see
+    :class:`repro.mpi.tracing.Tracer`).
     """
     if placement is None:
         placement = default_placement(cluster, nprocs)
     netmodel = NetworkModel(cluster, placement, initial_speeds)
-    state = HMPIRuntimeState(netmodel, mapper or DefaultMapper())
+    state = HMPIRuntimeState(netmodel, mapper)
 
     def wrapped(env: MPIEnv, *a: Any, **kw: Any) -> Any:
         return app(HMPI(env, state), *a, **kw)

@@ -18,9 +18,16 @@ from collections.abc import Sequence
 
 from ..perfmodel.model import AbstractBoundModel
 from ..util.rng import make_rng
-from .estimator import estimate_time
-from .mapper import GreedyMapper, Mapper, Mapping, _build_mapping, _check_inputs
+from .mapper import (
+    GreedyMapper,
+    Mapper,
+    Mapping,
+    _check_inputs,
+    _seed_select,
+    register_mapper,
+)
 from .netmodel import NetworkModel
+from .seleng import SelectionStats, TraceEvaluator
 
 __all__ = ["AnnealingMapper"]
 
@@ -59,6 +66,8 @@ class AnnealingMapper(Mapper):
         netmodel: NetworkModel,
         candidates: Sequence[int],
         fixed: MappingABC[int, int] | None = None,
+        *,
+        stats: SelectionStats | None = None,
     ) -> Mapping:
         fixed = dict(fixed or {})
         _check_inputs(model, candidates, fixed)
@@ -67,8 +76,11 @@ class AnnealingMapper(Mapper):
         pinned = set(fixed)
         movable = [i for i in range(n) if i not in pinned]
 
-        current = self.seed_mapper.select(model, netmodel, candidates, fixed)
+        current = _seed_select(
+            self.seed_mapper, model, netmodel, candidates, fixed, stats
+        )
         best = current
+        evaluator = TraceEvaluator(model, netmodel, stats)
         if not movable:
             return best
 
@@ -90,9 +102,8 @@ class AnnealingMapper(Mapper):
                 trial[a], trial[b] = trial[b], trial[a]
             else:
                 continue
-            t_trial = estimate_time(
-                model, netmodel, [netmodel.machine_of(p) for p in trial]
-            )
+            trial_machines = tuple(netmodel.machine_of(p) for p in trial)
+            t_trial = evaluator.evaluate(trial_machines)
             accept = t_trial <= current_time or (
                 rng.random() < math.exp((current_time - t_trial) / temp)
             )
@@ -100,6 +111,9 @@ class AnnealingMapper(Mapper):
                 assignment = trial
                 current_time = t_trial
                 if t_trial < best.time:
-                    best = _build_mapping(trial, model, netmodel)
+                    best = Mapping(tuple(trial), trial_machines, t_trial)
             temp *= cooling
         return best
+
+
+register_mapper("anneal", AnnealingMapper, overwrite=True)

@@ -2,6 +2,17 @@
 
 import pytest
 
+from repro.core import (
+    AnnealingMapper,
+    DefaultMapper,
+    GreedyMapper,
+    Mapper,
+    auto_create,
+    available_mappers,
+    register_mapper,
+    resolve_mapper,
+    tune_group_size,
+)
 from repro.core.api import (
     HMPI_COMM_WORLD_GROUP,
     HMPI_Get_comm,
@@ -18,7 +29,7 @@ from repro.core.api import (
 )
 from repro.core.runtime import run_hmpi
 from repro.perfmodel import compile_model
-from repro.util.errors import HMPIStateError
+from repro.util.errors import HMPIStateError, MappingError
 
 MODEL_SRC = """
 algorithm Work(int p, int d[p]) {
@@ -84,3 +95,148 @@ class TestPaperStyleProgram:
 
         res = run_hmpi(main, paper_cluster)
         assert all(res.results)
+
+
+class TestMapperRegistry:
+    def test_available_and_resolve(self):
+        names = available_mappers()
+        for spec in ("default", "greedy", "refine", "exhaustive"):
+            assert spec in names
+            assert isinstance(resolve_mapper(spec), Mapper)
+        # Strings resolve to a shared instance (stable cache identity)...
+        assert resolve_mapper("greedy") is resolve_mapper("greedy")
+        # ...case-insensitively, and "anneal" resolves lazily.
+        assert resolve_mapper("Greedy") is resolve_mapper("greedy")
+        assert isinstance(resolve_mapper("anneal"), AnnealingMapper)
+
+    def test_instances_and_none_pass_through(self):
+        mapper = GreedyMapper()
+        assert resolve_mapper(mapper) is mapper
+        fallback = DefaultMapper()
+        assert resolve_mapper(None, default=fallback) is fallback
+        assert resolve_mapper(None) is None
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(MappingError, match="unknown mapper"):
+            resolve_mapper("simulated-annealing")
+        with pytest.raises(MappingError, match="registry string"):
+            resolve_mapper(42)
+
+    def test_register_custom_mapper(self):
+        class MyMapper(DefaultMapper):
+            pass
+
+        register_mapper("test-custom", MyMapper)
+        try:
+            assert isinstance(resolve_mapper("test-custom"), MyMapper)
+            with pytest.raises(MappingError, match="already registered"):
+                register_mapper("test-custom", MyMapper)
+            register_mapper("test-custom", MyMapper, overwrite=True)
+        finally:
+            from repro.core.mapper import MAPPER_REGISTRY, _RESOLVED
+
+            MAPPER_REGISTRY.pop("test-custom", None)
+            _RESOLVED.pop("test-custom", None)
+
+
+class TestRegistryStringsAccepted:
+    """Every mapper-taking entry point accepts registry strings."""
+
+    def test_run_hmpi_and_methods(self, paper_cluster):
+        model = compile_model(MODEL_SRC)
+
+        def main(hmpi):
+            if not hmpi.is_host():
+                return None
+            bound = model.bind(3, [120, 60, 30])
+            t_obj = hmpi.timeof(bound, "greedy")
+            t_flat = HMPI_Timeof(hmpi, model, (3, [120, 60, 30]),
+                                 mapper="greedy")
+            return t_obj, t_flat
+
+        res = run_hmpi(main, paper_cluster, mapper="refine")
+        t_obj, t_flat = res.results[0]
+        assert t_obj > 0 and t_flat == t_obj
+
+    def test_group_create_both_layers(self, paper_cluster):
+        model = compile_model(MODEL_SRC)
+
+        def main(hmpi):
+            g1 = hmpi.group_create(model.bind(3, [120, 60, 30]), "greedy")
+            if g1.is_member:
+                hmpi.group_free(g1)
+            g2 = HMPI_Group_create(hmpi, model, (3, [120, 60, 30]),
+                                   mapper="default")
+            if g2.is_member:
+                hmpi.group_free(g2)
+            return True
+
+        res = run_hmpi(main, paper_cluster)
+        assert all(res.results)
+
+    def test_autotune_entry_points(self, paper_cluster):
+        model = compile_model(MODEL_SRC)
+
+        def family(p):
+            return model.bind(p, [100] * p)
+
+        def main(hmpi):
+            if hmpi.is_host():
+                sweep = tune_group_size(hmpi, family, [2, 3], mapper="greedy")
+                assert sweep.best_p in (2, 3)
+            group, best_p = auto_create(hmpi, family, [2, 3], mapper="greedy")
+            if group.is_member:
+                hmpi.group_free(group)
+            return best_p
+
+        res = run_hmpi(main, paper_cluster)
+        assert len(set(res.results)) == 1
+
+    def test_unknown_string_surfaces_at_call(self, paper_cluster):
+        model = compile_model(MODEL_SRC)
+
+        def main(hmpi):
+            if hmpi.is_host():
+                with pytest.raises(MappingError, match="unknown mapper"):
+                    hmpi.timeof(model.bind(3, [120, 60, 30]), "nope")
+            return True
+
+        run_hmpi(main, paper_cluster)
+
+
+class TestFlatBindMemoization:
+    def test_repeated_timeof_hits_selection_cache(self, paper_cluster):
+        """Equal (model, parameters) bind to the same object, so the
+        paper's Figure 8 Timeof loop is served from the selection cache."""
+        model = compile_model(MODEL_SRC)
+
+        def main(hmpi):
+            if not hmpi.is_host():
+                return None
+            t1 = HMPI_Timeof(hmpi, model, (3, [120, 60, 30]))
+            t2 = HMPI_Timeof(hmpi, model, (3, [120, 60, 30]))
+            s = hmpi.selection_stats
+            return t1, t2, s.cache_hits, s.cache_misses
+
+        res = run_hmpi(main, paper_cluster)
+        t1, t2, hits, misses = res.results[0]
+        assert t2 == t1
+        assert (hits, misses) == (1, 1)
+
+
+class TestKeywordOnlyOptions:
+    """Trailing options of the flat HMPI_* functions are keyword-only."""
+
+    def test_positional_options_rejected(self, paper_cluster):
+        model = compile_model(MODEL_SRC)
+
+        def main(hmpi):
+            if not hmpi.is_host():
+                return True
+            with pytest.raises(TypeError):
+                HMPI_Timeof(hmpi, model, (3, [120, 60, 30]), "greedy")
+            with pytest.raises(TypeError):
+                HMPI_Recon(hmpi, None, 2.0)
+            return True
+
+        run_hmpi(main, paper_cluster)
