@@ -6,8 +6,15 @@ Commands
     Regenerate a paper figure's series and print the table (smaller
     default sweeps than the pytest benchmarks; flags adjust sizes).
 ``compile FILE``
-    Compile a PMDL model file, run the consistency linter, and print the
-    canonical source (the model the runtime actually uses).
+    Compile a PMDL model file (static analysis included), print the
+    canonical source, and — when ``--bind`` supplies parameter values —
+    run the consistency linter; analyzer errors and lint issues exit
+    nonzero.
+``check FILE [FILE ...]``
+    Static analysis only: report coded ``PM0xx`` diagnostics without
+    binding parameters.  ``--strict`` fails on warnings, ``--json`` emits
+    machine-readable reports, ``--apps`` also checks the built-in
+    application models.
 ``cluster``
     Print a preset cluster configuration as JSON (edit it, feed it back to
     experiments).
@@ -16,6 +23,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .apps.em3d import generate_problem, run_em3d_hmpi, run_em3d_mpi
@@ -68,9 +76,23 @@ def _cmd_fig11(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_bindings(pairs: list[str]) -> dict:
+    bindings = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"--bind expects NAME=VALUE, got {pair!r}")
+        try:
+            bindings[name] = json.loads(value)
+        except json.JSONDecodeError:
+            raise SystemExit(f"--bind {name}: {value!r} is not valid JSON")
+    return bindings
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
-    from .perfmodel import compile_source, parse
+    from .perfmodel import compile_source, lint_model, parse
     from .perfmodel.printer import format_unit
+    from .util.errors import PMDLError
 
     source = open(args.file).read()
     # Externals unknown at compile time: declare every called name as a stub
@@ -81,11 +103,62 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     keywords = {"algorithm", "coord", "node", "link", "parent", "scheme",
                 "sizeof", "par", "for", "if", "while", "bench", "length"}
     externals = {name: (lambda *a: None) for name in called - keywords}
-    models = compile_source(source, externals=externals)
+    try:
+        models = compile_source(source, externals=externals)
+    except PMDLError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(f"compiled {len(models)} algorithm(s): {', '.join(models)}")
+    for name, model in models.items():
+        for diag in model.diagnostics:
+            print(f"{args.file}: {name}: {diag.render()}")
     print()
     print(format_unit(parse(source)))
+
+    if args.bind:
+        bindings = _parse_bindings(args.bind)
+        exit_code = 0
+        for name, model in models.items():
+            wanted = {p: v for p, v in bindings.items()
+                      if p in model.param_names}
+            try:
+                bound = model.bind(**wanted)
+            except PMDLError as exc:
+                print(f"error binding {name}: {exc}", file=sys.stderr)
+                return 1
+            report = lint_model(bound)
+            print(f"{name}: {report}")
+            if not report.ok:
+                exit_code = 1
+        return exit_code
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .perfmodel import check_source
+
+    targets: list[tuple[str, str]] = []
+    for path in args.files:
+        targets.append((path, open(path).read()))
+    if args.apps:
+        from .apps.em3d.model import EM3D_MODEL_SOURCE
+        from .apps.jacobi.model import JACOBI_MODEL_SOURCE
+        from .apps.matmul.model import MM_MODEL_SOURCE
+        targets += [("<app:em3d>", EM3D_MODEL_SOURCE),
+                    ("<app:matmul>", MM_MODEL_SOURCE),
+                    ("<app:jacobi>", JACOBI_MODEL_SOURCE)]
+    if not targets:
+        print("nothing to check: pass model files and/or --apps",
+              file=sys.stderr)
+        return 2
+
+    reports = [check_source(source, target=name) for name, source in targets]
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+    return max(r.exit_code(strict=args.strict) for r in reports)
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
@@ -125,7 +198,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     pc = sub.add_parser("compile", help="compile + lint a PMDL model file")
     pc.add_argument("file")
+    pc.add_argument("--bind", nargs="+", metavar="NAME=VALUE", default=None,
+                    help="bind parameters (JSON values) and run the "
+                         "consistency linter; lint issues exit nonzero")
     pc.set_defaults(fn=_cmd_compile)
+
+    pchk = sub.add_parser(
+        "check", help="static analysis of PMDL files (no parameter binding)")
+    pchk.add_argument("files", nargs="*", metavar="FILE")
+    pchk.add_argument("--apps", action="store_true",
+                      help="also check the built-in application models")
+    pchk.add_argument("--strict", action="store_true",
+                      help="exit nonzero on warnings, not just errors")
+    pchk.add_argument("--json", action="store_true",
+                      help="machine-readable diagnostic reports")
+    pchk.set_defaults(fn=_cmd_check)
 
     pk = sub.add_parser("cluster", help="dump a preset cluster as JSON")
     pk.add_argument("--preset", choices=["paper", "multiprotocol"],

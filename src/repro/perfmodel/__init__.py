@@ -5,8 +5,10 @@ language" (derived from mpC's network types) and the compiler that turns a
 model description into the set of functions used by the HMPI runtime.
 """
 
+from .analyze import analyze_algorithm, check_source
 from .builder import CallableModel, MatrixModel
 from .compiler import compile_model, compile_source
+from .diagnostics import RULES, Diagnostic, DiagnosticReport, Severity
 from .lint import LintReport, lint_model
 from .interp import ActionVisitor, Environment, Interpreter, Ref, StructValue
 from .lexer import tokenize
@@ -18,12 +20,25 @@ from .model import (
     default_scheme_walk,
 )
 from .parser import parse, parse_expression
-from .printer import format_algorithm, format_expression, format_struct, format_unit
+from .printer import (
+    format_algorithm,
+    format_coords,
+    format_expression,
+    format_struct,
+    format_unit,
+)
 
 __all__ = [
     "compile_model",
+    "analyze_algorithm",
+    "check_source",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "RULES",
     "lint_model",
     "LintReport",
+    "format_coords",
     "format_algorithm",
     "format_expression",
     "format_struct",

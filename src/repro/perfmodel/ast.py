@@ -14,7 +14,8 @@ All nodes carry their source line for diagnostics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Iterator
 
 __all__ = [
     "Node", "Expr", "Stmt",
@@ -25,6 +26,7 @@ __all__ = [
     "VarDecl", "Declarator", "ExprStmt", "Block", "If", "For", "Par",
     "While", "ComputeAction", "TransferAction", "EmptyStmt",
     "Scheme", "Algorithm",
+    "iter_child_nodes", "walk",
 ]
 
 
@@ -294,3 +296,32 @@ class Algorithm(Node):
     parent: ParentDecl | None
     scheme: Scheme | None
     structs: list[StructDef] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# generic traversal (used by the static analyzer)
+# ----------------------------------------------------------------------
+
+def iter_child_nodes(node: Node) -> Iterator[Node]:
+    """Yield every direct child :class:`Node` of ``node``, in field order.
+
+    Lists of nodes are flattened; ``None`` children and non-node fields
+    (names, operators, literal values) are skipped.
+    """
+    for f in fields(node):
+        value = getattr(node, f.name)
+        if isinstance(value, Node):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, Node):
+                    yield item
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Yield ``node`` and every descendant, depth-first, in source order."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(list(iter_child_nodes(current))))

@@ -3,9 +3,15 @@
 This is the reproduction of the paper's model-definition compiler ("a
 compiler compiles the description of this performance model to generate a
 set of functions [that] make up an algorithm-specific part of the HMPI
-runtime system").  Pipeline: tokenize → parse → semantic check → wrap in a
-:class:`~repro.perfmodel.model.PerformanceModel` whose bound instances
-expose the generated volume/scheme functions.
+runtime system").  Pipeline: tokenize → parse → semantic check → static
+analysis → wrap in a :class:`~repro.perfmodel.model.PerformanceModel`
+whose bound instances expose the generated volume/scheme functions.
+
+The static analyzer (:mod:`repro.perfmodel.analyze`) runs after the
+semantic check: error-severity diagnostics (provable defects such as
+out-of-range coordinates or self-transfers) abort compilation with
+:class:`~repro.util.errors.PMDLAnalysisError`; warnings and infos are
+attached to the resulting model's ``diagnostics`` tuple.
 """
 
 from __future__ import annotations
@@ -13,8 +19,10 @@ from __future__ import annotations
 from collections.abc import Callable
 from typing import Any
 
-from ..util.errors import PMDLSemanticError
+from ..util.errors import PMDLAnalysisError, PMDLSemanticError
 from . import ast
+from .analyze import analyze_algorithm
+from .diagnostics import Severity
 from .model import PerformanceModel
 from .parser import parse
 from .semantics import check_algorithm
@@ -25,12 +33,14 @@ __all__ = ["compile_source", "compile_model"]
 def compile_source(
     source: str,
     externals: dict[str, Callable[..., Any]] | None = None,
+    analyze: bool = True,
 ) -> dict[str, PerformanceModel]:
     """Compile PMDL source, returning every algorithm it defines by name.
 
     ``externals`` binds the Python implementations of functions the schemes
     call (the paper's ``GetProcessor``); the semantic checker requires every
-    called name to be bound.
+    called name to be bound.  Pass ``analyze=False`` to skip the static
+    analyzer (e.g. when compiling a deliberately-defective model).
     """
     externals = dict(externals or {})
     items = parse(source)
@@ -45,7 +55,17 @@ def compile_source(
             if item.name in models:
                 raise PMDLSemanticError(f"duplicate algorithm definition {item.name!r}")
             check_algorithm(item, structs, frozenset(externals))
-            models[item.name] = PerformanceModel(item, structs, externals)
+            diags = analyze_algorithm(item, structs) if analyze else []
+            errors = [d for d in diags if d.severity >= Severity.ERROR]
+            if errors:
+                details = "\n  ".join(d.render() for d in errors)
+                raise PMDLAnalysisError(
+                    f"static analysis of algorithm {item.name!r} found "
+                    f"{len(errors)} error(s):\n  {details}",
+                    diagnostics=tuple(errors),
+                )
+            models[item.name] = PerformanceModel(
+                item, structs, externals, diagnostics=tuple(diags))
     if not models:
         raise PMDLSemanticError("source defines no algorithm")
     return models
@@ -55,9 +75,10 @@ def compile_model(
     source: str,
     externals: dict[str, Callable[..., Any]] | None = None,
     name: str | None = None,
+    analyze: bool = True,
 ) -> PerformanceModel:
     """Compile PMDL source expected to define one algorithm (or pick by name)."""
-    models = compile_source(source, externals)
+    models = compile_source(source, externals, analyze=analyze)
     if name is not None:
         try:
             return models[name]

@@ -8,6 +8,13 @@ every pair's communication — both paper models do (verified in the test
 suite).  A model whose author got a percentage denominator wrong will
 still compile and estimate, just wrongly; this linter catches that.
 
+The linter runs on a *bound* model (concrete parameters); the symbolic
+generalization that needs no binding lives in
+:mod:`repro.perfmodel.analyze`.  Both report through the shared
+:mod:`repro.perfmodel.diagnostics` framework: every lint finding is a
+:class:`~repro.perfmodel.diagnostics.Diagnostic` with a stable ``PM07x``
+code, and ``LintReport.issues`` keeps exposing the plain message strings.
+
 >>> report = lint_model(bound_model)
 >>> report.ok
 True
@@ -18,29 +25,52 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from .diagnostics import Diagnostic, Severity, register_rule
 from .model import AbstractBoundModel, LinearActionVisitor
 
 __all__ = ["LintReport", "lint_model"]
 
 _TOLERANCE = 1e-6
 
+PM070 = register_rule("PM070", "compute-coverage", Severity.ERROR,
+                      "scheme does not perform 100% of a declared compute volume")
+PM071 = register_rule("PM071", "compute-on-zero-volume", Severity.ERROR,
+                      "scheme computes on a processor with zero declared volume")
+PM072 = register_rule("PM072", "transfer-coverage", Severity.ERROR,
+                      "scheme does not transfer 100% of a declared link volume")
+PM073 = register_rule("PM073", "transfer-on-zero-pair", Severity.ERROR,
+                      "scheme transfers on a pair with zero declared volume")
+PM074 = register_rule("PM074", "negative-percent", Severity.ERROR,
+                      "scheme performs a negative percentage")
+
 
 @dataclass
 class LintReport:
-    """Outcome of linting one bound model."""
+    """Outcome of linting one bound model.
 
-    issues: list[str] = field(default_factory=list)
+    ``diagnostics`` carries the coded findings; ``issues`` is the
+    backward-compatible list of message strings.
+    """
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
     compute_percent: dict[int, float] = field(default_factory=dict)
     transfer_percent: dict[tuple[int, int], float] = field(default_factory=dict)
 
     @property
+    def issues(self) -> list[str]:
+        return [d.message for d in self.diagnostics]
+
+    @property
     def ok(self) -> bool:
-        return not self.issues
+        return not self.diagnostics
 
     def __str__(self) -> str:
         if self.ok:
             return "model is consistent: scheme covers 100% of all volumes"
-        return "model inconsistencies:\n" + "\n".join(f"  - {i}" for i in self.issues)
+        return "model inconsistencies:\n" + "\n".join(
+            f"  - [{d.code}] {d.message}" for d in self.diagnostics)
 
 
 class _Accumulator(LinearActionVisitor):
@@ -71,7 +101,8 @@ def lint_model(model: AbstractBoundModel, tolerance: float = _TOLERANCE) -> Lint
         compute_percent=dict(acc.compute_pct),
         transfer_percent=dict(acc.transfer_pct),
     )
-    report.issues.extend(acc.negative)
+    for message in acc.negative:
+        report.diagnostics.append(PM074.at(0, message))
 
     node = model.node_volumes()
     links = model.link_volumes()
@@ -80,29 +111,36 @@ def lint_model(model: AbstractBoundModel, tolerance: float = _TOLERANCE) -> Lint
     for proc in range(n):
         pct = acc.compute_pct.get(proc, 0.0)
         if node[proc] > 0 and abs(pct - 100.0) > tolerance * 100:
-            report.issues.append(
+            report.diagnostics.append(PM070.at(
+                0,
                 f"processor {proc}: scheme performs {pct:.4f}% of its "
-                f"computation (declared volume {node[proc]:g})"
-            )
+                f"computation (declared volume {node[proc]:g})",
+            ))
         elif node[proc] == 0 and pct > tolerance * 100:
-            report.issues.append(
+            report.diagnostics.append(PM071.at(
+                0,
                 f"processor {proc}: scheme computes {pct:.4f}% but the "
-                "node declaration gives it zero volume"
-            )
+                "node declaration gives it zero volume",
+            ))
 
-    seen_pairs = set(acc.transfer_pct)
-    for src in range(n):
-        for dst in range(n):
-            declared = links[src, dst]
-            pct = acc.transfer_pct.get((src, dst), 0.0)
-            if declared > 0 and abs(pct - 100.0) > tolerance * 100:
-                report.issues.append(
-                    f"link {src}->{dst}: scheme transfers {pct:.4f}% of the "
-                    f"declared {declared:g} bytes"
-                )
-            elif declared == 0 and (src, dst) in seen_pairs and pct > 0:
-                report.issues.append(
-                    f"link {src}->{dst}: scheme transfers on a pair with "
-                    "zero declared volume"
-                )
+    # only the declared (nonzero) pairs plus the pairs the scheme actually
+    # touched can be inconsistent — no need for the dense n×n sweep
+    declared_pairs = {
+        (int(s), int(d)) for s, d in zip(*np.nonzero(links))
+    }
+    for src, dst in sorted(declared_pairs | set(acc.transfer_pct)):
+        declared = links[src, dst]
+        pct = acc.transfer_pct.get((src, dst), 0.0)
+        if declared > 0 and abs(pct - 100.0) > tolerance * 100:
+            report.diagnostics.append(PM072.at(
+                0,
+                f"link {src}->{dst}: scheme transfers {pct:.4f}% of the "
+                f"declared {declared:g} bytes",
+            ))
+        elif declared == 0 and (src, dst) in acc.transfer_pct and pct > 0:
+            report.diagnostics.append(PM073.at(
+                0,
+                f"link {src}->{dst}: scheme transfers on a pair with "
+                "zero declared volume",
+            ))
     return report

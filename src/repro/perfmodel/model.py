@@ -272,11 +272,14 @@ class PerformanceModel:
         algorithm: ast.Algorithm,
         structs: dict[str, ast.StructDef] | None = None,
         externals: dict[str, Callable[..., Any]] | None = None,
+        diagnostics: tuple = (),
     ):
         self.algorithm = algorithm
         self.structs = dict(structs or {})
         self.externals = dict(externals or {})
         self.interpreter = Interpreter(self.structs, self.externals)
+        #: Non-fatal analyzer findings (warnings/infos) from compilation.
+        self.diagnostics = tuple(diagnostics)
 
     @property
     def name(self) -> str:

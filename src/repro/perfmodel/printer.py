@@ -16,7 +16,8 @@ from __future__ import annotations
 from ..util.errors import PMDLError
 from . import ast
 
-__all__ = ["format_algorithm", "format_struct", "format_expression", "format_unit"]
+__all__ = ["format_algorithm", "format_struct", "format_expression",
+           "format_coords", "format_unit"]
 
 _INDENT = "  "
 
@@ -58,8 +59,13 @@ def format_expression(e: ast.Expr) -> str:
     raise PMDLError(f"cannot print expression {type(e).__name__}")
 
 
-def _coords(coords: list[ast.Expr]) -> str:
+def format_coords(coords: list[ast.Expr]) -> str:
+    """Render a coordinate tuple as it appears in source: ``[I, J]``."""
     return "[" + ", ".join(format_expression(c) for c in coords) + "]"
+
+
+# internal alias kept for the statement printers below
+_coords = format_coords
 
 
 # ----------------------------------------------------------------------

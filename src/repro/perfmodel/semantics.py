@@ -17,12 +17,18 @@ _TYPE_KEYWORDS = {"int", "double", "float", "long", "char", "void"}
 
 
 class _Scope:
+    """Lexical scope mapping declared names to their static type name.
+
+    The type is ``None`` when unknown; struct-typed names make ``Member``
+    accesses checkable against the struct's declared fields.
+    """
+
     def __init__(self, parent: "_Scope | None" = None):
         self.parent = parent
-        self.names: set[str] = set()
+        self.names: dict[str, str | None] = {}
 
-    def declare(self, name: str) -> None:
-        self.names.add(name)
+    def declare(self, name: str, type_name: str | None = None) -> None:
+        self.names[name] = type_name
 
     def resolves(self, name: str) -> bool:
         scope: _Scope | None = self
@@ -31,6 +37,14 @@ class _Scope:
                 return True
             scope = scope.parent
         return False
+
+    def type_of(self, name: str) -> str | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
 
 
 class _Checker:
@@ -53,7 +67,7 @@ class _Checker:
             if p.name in seen:
                 self.err(p, f"duplicate parameter {p.name!r}")
             seen.add(p.name)
-            top.declare(p.name)
+            top.declare(p.name, p.type_name)
             dim_scope = _Scope(top)
             for dim in p.dims:
                 self.check_expr(dim, dim_scope)
@@ -66,7 +80,7 @@ class _Checker:
                 self.err(c, f"coordinate {c.name!r} shadows another declaration")
             seen.add(c.name)
             self.check_expr(c.extent, top)
-            coord_scope.declare(c.name)
+            coord_scope.declare(c.name, "int")
 
         for rule in alg.node_rules:
             self.check_expr(rule.condition, coord_scope)
@@ -78,7 +92,7 @@ class _Checker:
                 self.err(lv, f"link variable {lv.name!r} shadows another declaration")
             seen.add(lv.name)
             self.check_expr(lv.extent, top)
-            link_scope.declare(lv.name)
+            link_scope.declare(lv.name, "int")
 
         ncoords = len(alg.coords)
         for rule in alg.link_rules:
@@ -116,7 +130,7 @@ class _Checker:
             for d in stmt.declarators:
                 if d.init is not None:
                     self.check_expr(d.init, scope)
-                scope.declare(d.name)
+                scope.declare(d.name, stmt.type_name)
         elif isinstance(stmt, ast.ExprStmt):
             self.check_expr(stmt.expr, scope)
         elif isinstance(stmt, ast.Block):
@@ -172,6 +186,15 @@ class _Checker:
             self.check_expr(expr.index, scope)
         elif isinstance(expr, ast.Member):
             self.check_expr(expr.base, scope)
+            base_type = self.static_type(expr.base, scope)
+            if base_type in self.structs:
+                struct = self.structs[base_type]
+                if expr.name not in {f.name for f in struct.fields}:
+                    self.err(expr, f"struct {base_type!r} has no field "
+                                   f"{expr.name!r}")
+            elif base_type in _TYPE_KEYWORDS:
+                self.err(expr, f"member access {expr.name!r} on non-struct "
+                               f"value of type {base_type!r}")
         elif isinstance(expr, ast.Unary):
             self.check_expr(expr.operand, scope)
         elif isinstance(expr, ast.AddrOf):
@@ -195,6 +218,23 @@ class _Checker:
                 self.check_expr(a, scope)
         else:  # pragma: no cover - parser produces no other kinds
             self.err(expr, f"unsupported expression {type(expr).__name__}")
+
+    def static_type(self, expr: ast.Expr, scope: _Scope) -> str | None:
+        """Best-effort static type name of an expression (None if unknown)."""
+        if isinstance(expr, ast.Name):
+            return scope.type_of(expr.ident)
+        if isinstance(expr, ast.Member):
+            base_type = self.static_type(expr.base, scope)
+            if base_type in self.structs:
+                for f in self.structs[base_type].fields:
+                    if f.name == expr.name:
+                        return f.type_name
+            return None
+        if isinstance(expr, ast.Index):
+            # arrays are arrays of their element type (no nested arrays of
+            # structs in PMDL), so indexing preserves the declared type
+            return self.static_type(expr.base, scope)
+        return None
 
 
 def check_algorithm(

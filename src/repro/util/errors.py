@@ -21,6 +21,7 @@ __all__ = [
     "PMDLError",
     "PMDLSyntaxError",
     "PMDLSemanticError",
+    "PMDLAnalysisError",
     "PMDLRuntimeError",
     "HMPIError",
     "HMPIStateError",
@@ -80,6 +81,18 @@ class PMDLSyntaxError(PMDLError):
 
 class PMDLSemanticError(PMDLError):
     """Model is syntactically valid but semantically inconsistent."""
+
+
+class PMDLAnalysisError(PMDLSemanticError):
+    """The static analyzer proved a defect in the model.
+
+    Carries the machine-readable :class:`~repro.perfmodel.diagnostics.Diagnostic`
+    objects so tooling can report codes/lines without re-parsing the message.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
 
 
 class PMDLRuntimeError(PMDLError):

@@ -176,3 +176,49 @@ class TestCompileSource:
     def test_no_algorithm(self):
         with pytest.raises(PMDLSemanticError, match="no algorithm"):
             compile_source("typedef struct {int x;} T;")
+
+
+class TestMemberAccess:
+    STRUCT = "typedef struct {int I; int J;} Proc;\n"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(PMDLSemanticError, match="no field 'K'"):
+            compile_model(self.STRUCT + """
+            algorithm A(int p) {
+              coord I=p;
+              node {I>=0: bench*(1);};
+              scheme { Proc s; s.K = 1; 100%%[0]; };
+            }
+            """)
+
+    def test_declared_field_accepted(self):
+        compile_model(self.STRUCT + """
+        algorithm A(int p) {
+          coord I=p;
+          node {I>=0: bench*(1);};
+          scheme {
+            Proc s;
+            par (s.I = 0; s.I < p; s.I++) 100%%[s.I];
+          };
+        }
+        """)
+
+    def test_member_on_scalar_rejected(self):
+        with pytest.raises(PMDLSemanticError, match="non-struct"):
+            compile_model("""
+            algorithm A(int p) {
+              coord I=p;
+              node {I>=0: bench*(1);};
+              scheme { int x; x.I = 1; 100%%[0]; };
+            }
+            """)
+
+    def test_field_read_in_expression_checked(self):
+        with pytest.raises(PMDLSemanticError, match="no field 'Z'"):
+            compile_model(self.STRUCT + """
+            algorithm A(int p) {
+              coord I=p;
+              node {I>=0: bench*(1);};
+              scheme { Proc s; 100%%[s.Z]; };
+            }
+            """)

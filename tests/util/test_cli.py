@@ -63,3 +63,94 @@ class TestCommands:
         """)
         assert main(["compile", str(model)]) == 0
         assert "Ext" in capsys.readouterr().out
+
+
+class TestCheckCommand:
+    DEFECT = """
+    algorithm Oob(int p) {
+      coord I=p;
+      node {I>=0: bench*(1);};
+      scheme { 100%%[p]; };
+    }
+    """
+    CLEAN = """
+    algorithm Clean(int p) {
+      coord I=p;
+      node {I>=0: bench*(1);};
+      scheme { int i; par (i = 0; i < p; i++) 100%%[i]; };
+    }
+    """
+
+    def test_defective_model_exits_nonzero(self, tmp_path, capsys):
+        f = tmp_path / "oob.pmdl"
+        f.write_text(self.DEFECT)
+        assert main(["check", str(f)]) == 1
+        out = capsys.readouterr().out
+        assert "PM010" in out
+        assert "error" in out
+
+    def test_clean_model_exits_zero(self, tmp_path, capsys):
+        f = tmp_path / "clean.pmdl"
+        f.write_text(self.CLEAN)
+        assert main(["check", str(f), "--strict"]) == 0
+
+    def test_strict_gates_on_warnings(self, tmp_path):
+        f = tmp_path / "warn.pmdl"
+        f.write_text("""
+        algorithm Warn(int p, int q) {
+          coord I=p;
+          node {I>=0: bench*(1);};
+        }
+        """)
+        assert main(["check", str(f)]) == 0
+        assert main(["check", str(f), "--strict"]) == 1
+
+    def test_json_output(self, tmp_path, capsys):
+        f = tmp_path / "oob.pmdl"
+        f.write_text(self.DEFECT)
+        assert main(["check", str(f), "--json"]) == 1
+        blob = json.loads(capsys.readouterr().out)
+        assert blob[0]["errors"] == 1
+        assert blob[0]["diagnostics"][0]["code"] == "PM010"
+
+    def test_apps_are_clean_under_strict(self, capsys):
+        assert main(["check", "--apps", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "<app:em3d>" in out
+        assert "<app:matmul>" in out
+
+    def test_no_targets_is_usage_error(self, capsys):
+        assert main(["check"]) == 2
+
+
+class TestCompileGating:
+    def test_analysis_error_exits_nonzero(self, tmp_path, capsys):
+        f = tmp_path / "oob.pmdl"
+        f.write_text(TestCheckCommand.DEFECT)
+        assert main(["compile", str(f)]) == 1
+        assert "PM010" in capsys.readouterr().err
+
+    def test_bind_runs_linter_and_gates(self, tmp_path, capsys):
+        f = tmp_path / "under.pmdl"
+        f.write_text("""
+        algorithm Bad(int p) {
+          coord I=p;
+          node {I>=0: bench*(10);};
+          scheme { int i; par (i = 0; i < p; i++) 50%%[i]; };
+        }
+        """)
+        assert main(["compile", str(f)]) == 0
+        assert main(["compile", str(f), "--bind", "p=3"]) == 1
+        assert "50.0000%" in capsys.readouterr().out
+
+    def test_bind_consistent_model_exits_zero(self, tmp_path, capsys):
+        f = tmp_path / "ok.pmdl"
+        f.write_text("""
+        algorithm Ok(int p) {
+          coord I=p;
+          node {I>=0: bench*(10);};
+          scheme { int i; par (i = 0; i < p; i++) 100%%[i]; };
+        }
+        """)
+        assert main(["compile", str(f), "--bind", "p=4"]) == 0
+        assert "consistent" in capsys.readouterr().out
