@@ -1,83 +1,111 @@
 #!/usr/bin/env python3
-"""Surviving a machine failure and regrouping.
+"""Surviving a machine failure with HMPI_Group_repair.
 
 The paper names resource failures as an HNOC challenge and, in its
 conclusion, envisions a library combining HMPI's heterogeneity support
-with FT-MPI-style fault tolerance.  This example exercises the
-reproduction's fault-injection path: a machine dies mid-run, the affected
-rank drops out, the survivors mark it dead and create a fresh (smaller)
-group that excludes the dead machine.
+with FT-MPI-style fault tolerance.  This example walks the repair path
+end to end:
+
+1. a group is created over the whole cluster and iterates on a job;
+2. a machine dies mid-iteration — the survivors' operations resolve to a
+   *typed* ``RankFailedError`` naming the dead rank (never a hang);
+3. the survivors call ``HMPI_Group_repair``: the runtime marks the
+   machine dead in the network model, invalidates the selection cache,
+   re-runs process selection over the survivors (drafting free processes
+   as replacements when available), and hands back a working group;
+4. the job finishes on the repaired group and the result is identical to
+   what a fault-free run would have produced.
 
 Run:  python examples/fault_tolerance.py
 """
 
 from repro.cluster import FaultSchedule, inject_faults, paper_network
 from repro.core import run_hmpi
+from repro.mpi.ops import SUM
 from repro.perfmodel import CallableModel
-from repro.util.errors import MachineFailure
+from repro.util.errors import OperationTimeoutError, RankFailedError
 
-WORK = 300.0
-DOOMED_RANK = 6  # one world process per machine: rank 6 is on ws06
+ITERATIONS = 8
+WORK = 40.0
+DOOMED_MACHINE = "ws06"  # one world process per machine: world rank 6
+FAIL_AT = 0.05
 
 
-def model(nproc):
+def model_for(navail):
+    """Performance model factory: re-resolved per selection attempt, so a
+    repair that loses machines can still target the survivors."""
+    nproc = min(9, navail)
     return CallableModel(nproc, lambda i: WORK, lambda s, d: 8192.0,
                          name=f"work-{nproc}")
 
 
 def app(hmpi):
-    # Phase 1: everyone tries a chunk of work; the rank on the doomed
-    # machine dies inside compute() with MachineFailure.
-    try:
-        hmpi.compute(50.0)
-    except MachineFailure as failure:
-        return {"status": "lost", "failure": str(failure)}
-
-    # Survivors agree on who is gone (in a real deployment this comes from
-    # a failure detector; here every survivor knows the schedule).
-    hmpi.mark_dead(DOOMED_RANK)
-
-    # Phase 2: regroup on the survivors and finish the job.
-    gid = hmpi.group_create(model(4))
-    out = {"status": "not-selected", "group": gid.world_ranks}
-    if gid.is_member:
-        comm = gid.comm
-        comm.barrier()
-        t0 = comm.wtime()
-        hmpi.compute(WORK, gid.my_concurrency)
-        comm.barrier()
-        out = {
+    # Note: MachineFailure is deliberately NOT caught.  A rank whose
+    # machine died must fall out of the run (the launcher records the
+    # failure per rank); swallowing it would make the rank look healthy
+    # while its pending operations silently starve the survivors.
+    repairs = 0
+    gid = None
+    history = []
+    while True:
+        if gid is None:
+            created = hmpi.group_create(
+                model_for if hmpi.is_host() else None)
+            if created is None:      # host released the free pool
+                return {"status": "released", "repairs": repairs}
+            if not created.is_member:
+                continue             # wait in the pool: repair draft
+            gid = created
+        try:
+            # The job: iterate compute + allreduce until done.  A
+            # death surfaces as RankFailedError at the survivors.
+            for it in range(len(history), ITERATIONS):
+                hmpi.compute(WORK, gid.my_concurrency)
+                history.append(gid.comm.allreduce(1, SUM))
+        except (RankFailedError, OperationTimeoutError) as exc:
+            repairs += 1
+            gid = hmpi.group_repair(
+                gid, model_for, dead=tuple(getattr(exc, "ranks", ())))
+            if not gid.is_member:
+                gid = None           # demoted to the free pool
+            continue
+        if hmpi.is_host():
+            hmpi.release_free()
+        return {
             "status": "finished",
+            "repairs": repairs,
             "group": gid.world_ranks,
-            "group_rank": comm.rank,
-            "elapsed": comm.wtime() - t0,
+            "history": history,
         }
-        hmpi.group_free(gid)
-    return out
 
 
 def main():
     cluster = paper_network()
-    # ws06 (the fastest machine) dies almost immediately.
-    inject_faults(cluster, FaultSchedule({"ws06": 0.05}))
+    inject_faults(cluster, FaultSchedule({DOOMED_MACHINE: FAIL_AT}))
 
-    result = run_hmpi(app, cluster, timeout=30)
-    print("injected failure: ws06 at t=0.05 virtual s\n")
-    group = None
+    result = run_hmpi(app, cluster, timeout=60)
+    print(f"injected failure: {DOOMED_MACHINE} at t={FAIL_AT} virtual s\n")
+    host = result.results[0]
     for rank, out in enumerate(result.results):
-        if out["status"] == "lost":
-            print(f"  rank {rank}: LOST — {out['failure']}")
+        if out is None:
+            exc = result.exception_of(rank)
+            label = type(exc).__name__ if exc else "no result"
+            print(f"  rank {rank}: lost — {label}")
         elif out["status"] == "finished":
-            group = out["group"]
-            print(f"  rank {rank}: finished as group rank "
-                  f"{out['group_rank']} in {out['elapsed']:.3f} virtual s")
+            print(f"  rank {rank}: finished after {out['repairs']} repair(s) "
+                  f"as part of group {out['group']}")
         else:
-            print(f"  rank {rank}: survived, not selected")
+            print(f"  rank {rank}: {out['status']}")
 
-    assert group is not None
-    assert DOOMED_RANK not in group, "dead machine reused!"
-    print(f"\nregrouped computation ran on world ranks {group} — the dead")
-    print("machine was excluded from selection and never touched again.")
+    assert host["status"] == "finished", host
+    assert host["repairs"] >= 1, "the death should have forced a repair"
+    assert 6 not in host["group"], "dead machine reused!"
+    # Every allreduce after the repair counts the (smaller) new group, and
+    # the job still ran all its iterations.
+    assert len(host["history"]) == ITERATIONS
+    print(f"\nallreduce totals per iteration: {host['history']}")
+    print("the dead machine was excluded by the repair and the job "
+          "completed on the survivors.")
 
 
 if __name__ == "__main__":

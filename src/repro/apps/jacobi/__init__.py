@@ -10,6 +10,7 @@ neighbour chain instead of a general graph) and than MM (1-D instead of
 2-D decomposition).
 """
 
+from .ft import JacobiFTResult, run_jacobi_ft
 from .model import JACOBI_MODEL_SOURCE, bind_jacobi_model, jacobi_model
 from .solver import (
     JacobiRunResult,
@@ -27,5 +28,7 @@ __all__ = [
     "jacobi_reference",
     "run_jacobi_mpi",
     "run_jacobi_hmpi",
+    "run_jacobi_ft",
     "JacobiRunResult",
+    "JacobiFTResult",
 ]

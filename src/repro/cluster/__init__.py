@@ -5,7 +5,14 @@ machines with heterogeneous speeds and multi-user load, links with
 heterogeneous latency/bandwidth and multiple protocols, and fault injection.
 """
 
-from .faults import FaultSchedule, inject_faults, random_fault_schedule
+from .faults import (
+    FaultSchedule,
+    TransientFaultConfig,
+    TransientLinkFaults,
+    attach_transient_faults,
+    inject_faults,
+    random_fault_schedule,
+)
 from .link import FAST_INTERCONNECT, SHARED_MEMORY, TCP_100MBIT, Link, Protocol
 from .load import (
     NO_LOAD,
@@ -47,6 +54,9 @@ __all__ = [
     "RandomWalkLoad",
     "NO_LOAD",
     "FaultSchedule",
+    "TransientFaultConfig",
+    "TransientLinkFaults",
+    "attach_transient_faults",
     "inject_faults",
     "random_fault_schedule",
     "PAPER_SPEEDS",

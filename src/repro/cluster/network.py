@@ -57,6 +57,9 @@ class Cluster:
         single_port: bool = False,
     ):
         self.single_port = bool(single_port)
+        #: Optional transient link-fault schedule (drop/delay of individual
+        #: messages); attach via :func:`repro.cluster.faults.attach_transient_faults`.
+        self.transient_faults = None
         if not machines:
             raise ClusterError("a cluster needs at least one machine")
         names = [m.name for m in machines]

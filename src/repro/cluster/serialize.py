@@ -12,9 +12,11 @@ times — through plain dictionaries, and therefore through JSON.
 from __future__ import annotations
 
 import json
+import math
 from typing import Any
 
 from ..util.errors import ClusterError
+from .faults import TransientFaultConfig, TransientLinkFaults, attach_transient_faults
 from .link import Link, Protocol
 from .load import NO_LOAD, ConstantLoad, LoadModel, RandomWalkLoad, SquareWaveLoad, StepLoad
 from .machine import Machine
@@ -86,6 +88,57 @@ def _link_from_dict(blob: dict[str, Any]) -> Link:
 
 
 # ----------------------------------------------------------------------
+# transient link faults
+# ----------------------------------------------------------------------
+
+def _tf_config_to_dict(cfg: TransientFaultConfig) -> dict[str, Any]:
+    blob: dict[str, Any] = {
+        "drop_prob": cfg.drop_prob,
+        "delay_prob": cfg.delay_prob,
+        "delay": cfg.delay,
+        "start": cfg.start,
+    }
+    if math.isfinite(cfg.stop):  # math.inf is not valid JSON
+        blob["stop"] = cfg.stop
+    return blob
+
+
+def _tf_config_from_dict(blob: dict[str, Any]) -> TransientFaultConfig:
+    return TransientFaultConfig(
+        drop_prob=blob.get("drop_prob", 0.0),
+        delay_prob=blob.get("delay_prob", 0.0),
+        delay=blob.get("delay", 0.0),
+        start=blob.get("start", 0.0),
+        stop=blob.get("stop", math.inf),
+    )
+
+
+def _transient_faults_to_dict(tf: TransientLinkFaults) -> dict[str, Any]:
+    blob: dict[str, Any] = {
+        "seed": tf.seed,
+        "default": _tf_config_to_dict(tf.default),
+    }
+    if tf.pair_configs:
+        blob["pairs"] = [
+            {"src": src, "dst": dst, **_tf_config_to_dict(cfg)}
+            for (src, dst), cfg in sorted(tf.pair_configs.items())
+        ]
+    return blob
+
+
+def _transient_faults_from_dict(blob: dict[str, Any]) -> TransientLinkFaults:
+    pairs = {
+        (entry["src"], entry["dst"]): _tf_config_from_dict(entry)
+        for entry in blob.get("pairs", [])
+    }
+    return TransientLinkFaults(
+        config=_tf_config_from_dict(blob.get("default", {})),
+        seed=blob.get("seed", 0),
+        pair_configs=pairs,
+    )
+
+
+# ----------------------------------------------------------------------
 # clusters
 # ----------------------------------------------------------------------
 
@@ -99,7 +152,7 @@ def cluster_to_dict(cluster: Cluster) -> dict[str, Any]:
         if m.fail_at is not None:
             entry["fail_at"] = m.fail_at
         machines.append(entry)
-    return {
+    blob = {
         "single_port": cluster.single_port,
         "machines": machines,
         "default_protocols": [
@@ -111,6 +164,9 @@ def cluster_to_dict(cluster: Cluster) -> dict[str, Any]:
             for i, j, link in cluster.all_links()
         ],
     }
+    if cluster.transient_faults is not None:
+        blob["transient_faults"] = _transient_faults_to_dict(cluster.transient_faults)
+    return blob
 
 
 def cluster_from_dict(blob: dict[str, Any]) -> Cluster:
@@ -136,6 +192,10 @@ def cluster_from_dict(blob: dict[str, Any]) -> Cluster:
         cluster.set_link(entry["src"], entry["dst"],
                          _link_from_dict({k: entry[k] for k in ("protocols", "pinned")}),
                          symmetric=False)
+    if "transient_faults" in blob:
+        attach_transient_faults(
+            cluster, _transient_faults_from_dict(blob["transient_faults"])
+        )
     return cluster
 
 

@@ -6,15 +6,18 @@ from .api import (
     HMPI_Group_create,
     HMPI_Group_free,
     HMPI_Group_rank,
+    HMPI_Group_repair,
     HMPI_Group_size,
     HMPI_Is_free,
     HMPI_Is_host,
     HMPI_Is_member,
     HMPI_Recon,
+    HMPI_Release_free,
     HMPI_Timeof,
     HMPI_Wtime,
 )
 from .autotune import SizeSweepResult, auto_create, tune_group_size
+from .checkpoint import CheckpointStore, charged_load, charged_save, nbytes_of
 from .estimator import TimelineVisitor, estimate_breakdown, estimate_time
 from .linkprobe import LinkEstimate, ping_pong, probe_links
 from .group import HMPIGroup
@@ -50,6 +53,10 @@ __all__ = [
     "run_hmpi",
     "HOST_RANK",
     "NetworkModel",
+    "CheckpointStore",
+    "charged_save",
+    "charged_load",
+    "nbytes_of",
     "estimate_time",
     "auto_create",
     "tune_group_size",
@@ -84,6 +91,7 @@ __all__ = [
     "HMPI_Recon",
     "HMPI_Timeof",
     "HMPI_Group_create",
+    "HMPI_Group_repair",
     "HMPI_Group_free",
     "HMPI_Group_rank",
     "HMPI_Group_size",
@@ -92,4 +100,5 @@ __all__ = [
     "HMPI_Is_free",
     "HMPI_Is_member",
     "HMPI_Wtime",
+    "HMPI_Release_free",
 ]

@@ -37,6 +37,7 @@ __all__ = [
     "HMPI_Recon",
     "HMPI_Timeof",
     "HMPI_Group_create",
+    "HMPI_Group_repair",
     "HMPI_Group_free",
     "HMPI_Group_rank",
     "HMPI_Group_size",
@@ -45,6 +46,7 @@ __all__ = [
     "HMPI_Is_free",
     "HMPI_Is_member",
     "HMPI_Wtime",
+    "HMPI_Release_free",
 ]
 
 #: Sentinel for membership tests against the predefined world group
@@ -143,6 +145,29 @@ def HMPI_Group_create(
     return hmpi.group_create(_bind_if_needed(perf_model, model_parameters), mapper)
 
 
+def HMPI_Group_repair(
+    hmpi: HMPI,
+    gid: HMPIGroup,
+    perf_model: PerformanceModel | AbstractBoundModel,
+    model_parameters: tuple | None = None,
+    *,
+    mapper: "Mapper | str | None" = None,
+    dead: tuple = (),
+) -> HMPIGroup:
+    """Reform a broken group around its survivors (collective over them).
+
+    Called after a typed failure (``RankFailedError`` & co.) on the
+    group's communicator; ``dead`` passes the world ranks the caller
+    observed to have failed (``error.ranks``).  Returns a fresh group
+    selected over the surviving machines; raises ``HMPIRepairError`` when
+    repair is impossible.
+    """
+    return hmpi.group_repair(
+        gid, _bind_if_needed(perf_model, model_parameters),
+        mapper=mapper, dead=dead,
+    )
+
+
 def HMPI_Group_free(hmpi: HMPI, gid: HMPIGroup) -> None:
     """Destroy a group (collective over its members)."""
     hmpi.group_free(gid)
@@ -183,3 +208,9 @@ def HMPI_Is_member(hmpi: HMPI, gid: HMPIGroup | Any) -> bool:
 def HMPI_Wtime(hmpi: HMPI) -> float:
     """Current virtual time of the calling process."""
     return hmpi.wtime()
+
+
+def HMPI_Release_free(hmpi: HMPI) -> None:
+    """Dismiss the free processes waiting in ``HMPI_Group_create`` (host
+    only); each receives None from its pending create call."""
+    hmpi.release_free()

@@ -1,0 +1,187 @@
+"""Checkpoint/rollback support for fault-tolerant HMPI applications.
+
+A :class:`CheckpointStore` models stable storage attached to the host
+machine: group members push per-part snapshots of their application state
+(keyed by a label, an iteration number, and a part index), and after a
+group repair the survivors — plus any newly drafted members — restore the
+*latest complete* checkpoint, i.e. the highest iteration for which every
+part arrived.  A member that dies mid-save leaves that iteration
+incomplete, so rollback never observes a torn snapshot.
+
+The store itself is shared Python state (the simulator's ranks are
+threads); virtual-time cost is charged explicitly through
+:func:`charged_save` / :func:`charged_load`, which bill the transfer of
+the checkpointed bytes over the link between the member's machine and the
+host machine — the same Hockney link model the engine charges for
+messages.  Completeness is judged against the ``nparts`` declared at save
+time, so checkpoints written under different group sizes (before and
+after a repair) coexist; :meth:`CheckpointStore.discard_after` drops the
+partial future left behind by a failure before the group resumes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from ..util.errors import HMPIStateError
+
+__all__ = ["CheckpointStore", "charged_save", "charged_load", "nbytes_of"]
+
+
+def nbytes_of(data: Any) -> int:
+    """Modelled size of a checkpoint payload in bytes.
+
+    NumPy arrays report their true buffer size; containers sum their
+    elements; scalars and strings use a small fixed estimate.  This feeds
+    the link-cost charge, so a rough size is enough.
+    """
+    if isinstance(data, np.ndarray):
+        return int(data.nbytes)
+    if isinstance(data, (tuple, list)):
+        return sum(nbytes_of(item) for item in data)
+    if isinstance(data, dict):
+        return sum(nbytes_of(k) + nbytes_of(v) for k, v in data.items())
+    if isinstance(data, (bytes, bytearray)):
+        return len(data)
+    if isinstance(data, str):
+        return len(data.encode())
+    return 8  # scalar-ish
+
+
+def _snapshot(data: Any) -> Any:
+    """Deep-enough copy so later in-place mutation cannot corrupt a saved
+    checkpoint (arrays are the mutable state that matters here)."""
+    if isinstance(data, np.ndarray):
+        return data.copy()
+    if isinstance(data, tuple):
+        return tuple(_snapshot(item) for item in data)
+    if isinstance(data, list):
+        return [_snapshot(item) for item in data]
+    if isinstance(data, dict):
+        return {k: _snapshot(v) for k, v in data.items()}
+    return data
+
+
+class CheckpointStore:
+    """Thread-safe in-memory stable storage for iteration checkpoints.
+
+    One store serves a whole run; every rank may call every method.  A
+    checkpoint is addressed by ``(key, iteration)`` and consists of
+    ``nparts`` parts (one per group member).  It becomes *complete* — and
+    thus restorable — once all parts have been saved.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # key -> iteration -> {"nparts": int, "parts": {part: data}}
+        self._data: dict[str, dict[int, dict[str, Any]]] = {}
+        self.saves = 0          # parts written
+        self.restores = 0       # complete checkpoints read back
+
+    def save(self, key: str, iteration: int, part: int, nparts: int,
+             data: Any) -> None:
+        """Write one member's part of checkpoint ``(key, iteration)``.
+
+        All writers of one iteration must agree on ``nparts``; the payload
+        is snapshotted (arrays copied) at call time.
+        """
+        if nparts < 1 or not 0 <= part < nparts:
+            raise HMPIStateError(
+                f"invalid checkpoint part {part}/{nparts} for {key!r}@{iteration}"
+            )
+        payload = _snapshot(data)
+        with self._lock:
+            entry = self._data.setdefault(key, {}).get(iteration)
+            if entry is None:
+                entry = {"nparts": nparts, "parts": {}}
+                self._data[key][iteration] = entry
+            elif entry["nparts"] != nparts:
+                raise HMPIStateError(
+                    f"checkpoint {key!r}@{iteration} already started with "
+                    f"{entry['nparts']} parts, got nparts={nparts}"
+                )
+            entry["parts"][part] = payload
+            self.saves += 1
+
+    def is_complete(self, key: str, iteration: int) -> bool:
+        with self._lock:
+            entry = self._data.get(key, {}).get(iteration)
+            return entry is not None and len(entry["parts"]) == entry["nparts"]
+
+    def latest_complete(self, key: str) -> int | None:
+        """Highest iteration with all parts present, or None."""
+        with self._lock:
+            best = None
+            for it, entry in self._data.get(key, {}).items():
+                if len(entry["parts"]) == entry["nparts"]:
+                    if best is None or it > best:
+                        best = it
+            return best
+
+    def load(self, key: str, iteration: int) -> list[Any]:
+        """Parts of a complete checkpoint, ordered by part index."""
+        with self._lock:
+            entry = self._data.get(key, {}).get(iteration)
+            if entry is None or len(entry["parts"]) != entry["nparts"]:
+                raise HMPIStateError(
+                    f"checkpoint {key!r}@{iteration} is missing or incomplete"
+                )
+            self.restores += 1
+            return [_snapshot(entry["parts"][i])
+                    for i in range(entry["nparts"])]
+
+    def discard_after(self, key: str, iteration: int) -> None:
+        """Drop every checkpoint of ``key`` newer than ``iteration``.
+
+        Called on rollback: partial checkpoints the failed epoch left
+        behind must not collide with the resumed run's saves (which may
+        use a different part count after repair).
+        """
+        with self._lock:
+            data = self._data.get(key)
+            if data is None:
+                return
+            for it in [it for it in data if it > iteration]:
+                del data[it]
+
+    def iterations(self, key: str) -> list[int]:
+        """All iterations with any saved part (complete or not), sorted."""
+        with self._lock:
+            return sorted(self._data.get(key, {}))
+
+
+def _transfer_seconds(hmpi: Any, nbytes: int) -> float:
+    """Link cost between the caller's machine and the host machine."""
+    from .runtime import HOST_RANK  # local import: runtime imports us
+
+    netmodel = hmpi.state.netmodel
+    me = hmpi.env.machine_index
+    host = netmodel.machine_of(HOST_RANK)
+    if me == host:
+        return 0.0
+    return netmodel.transfer_time(me, host, nbytes)
+
+
+def charged_save(hmpi: Any, store: CheckpointStore, key: str, iteration: int,
+                 part: int, nparts: int, data: Any) -> float:
+    """Save one part, charging the member's clock for shipping it to the
+    host's stable storage; returns the seconds charged."""
+    cost = _transfer_seconds(hmpi, nbytes_of(data))
+    if cost > 0.0:
+        hmpi.env.elapse(cost)
+    store.save(key, iteration, part, nparts, data)
+    return cost
+
+
+def charged_load(hmpi: Any, store: CheckpointStore, key: str,
+                 iteration: int) -> list[Any]:
+    """Load a complete checkpoint, charging for pulling it back from the
+    host's stable storage."""
+    parts = store.load(key, iteration)
+    cost = _transfer_seconds(hmpi, nbytes_of(parts))
+    if cost > 0.0:
+        hmpi.env.elapse(cost)
+    return parts

@@ -63,6 +63,7 @@ class NetworkModel:
             raise HMPIError("speed estimates must be positive")
         self._speeds = np.asarray(speeds, dtype=float)
         self._speed_epoch = 0
+        self._dead_machines: set[int] = set()
 
     # ------------------------------------------------------------------
     # processes
@@ -134,6 +135,42 @@ class NetworkModel:
             self.update_speed(m, counts[m] * volume / elapsed)
 
     # ------------------------------------------------------------------
+    # failures (degraded mode)
+    # ------------------------------------------------------------------
+    def mark_machine_dead(self, machine_index: int) -> None:
+        """Record a machine failure in the model of the network.
+
+        The machine stays in the model (indices are stable) but is flagged
+        dead; predictions derived before the failure are invalidated by the
+        same epoch mechanism a ``HMPI_Recon`` refresh uses, so the
+        selection cache can never serve a pre-failure mapping.
+        """
+        if not 0 <= machine_index < self.cluster.size:
+            raise HMPIError(f"unknown machine index {machine_index}")
+        if machine_index not in self._dead_machines:
+            self._dead_machines.add(machine_index)
+            self._speed_epoch += 1
+
+    def machine_dead(self, machine_index: int) -> bool:
+        """Whether a machine has been marked failed."""
+        return machine_index in self._dead_machines
+
+    @property
+    def dead_machines(self) -> frozenset[int]:
+        """Indices of machines marked failed."""
+        return frozenset(self._dead_machines)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the model reflects at least one machine failure."""
+        return bool(self._dead_machines)
+
+    def alive_world_ranks(self) -> list[int]:
+        """World ranks placed on machines not marked dead."""
+        return [r for r, m in enumerate(self.placement)
+                if m not in self._dead_machines]
+
+    # ------------------------------------------------------------------
     # communication costs
     # ------------------------------------------------------------------
     def transfer_time(self, machine_src: int, machine_dst: int, nbytes: float) -> float:
@@ -146,4 +183,5 @@ class NetworkModel:
 
     def __repr__(self) -> str:
         speeds = ", ".join(f"{s:g}" for s in self._speeds)
-        return f"NetworkModel(speeds=[{speeds}], nprocs={self.nprocs})"
+        dead = f", dead={sorted(self._dead_machines)}" if self._dead_machines else ""
+        return f"NetworkModel(speeds=[{speeds}], nprocs={self.nprocs}{dead})"

@@ -26,6 +26,15 @@ model and distributes the chosen mapping point-to-point, so processes that
 are busy in other groups are never touched — matching the paper's rule
 that ``HMPI_Group_create`` "must be called by the parent and all the
 processes, which are not members of any HMPI group".
+
+**Fault tolerance** (the direction the paper's conclusion names, FT-MPI
+style).  The creation exchange is a two-phase *map/commit* protocol so a
+mid-exchange machine death can never leave participants with divergent
+mappings; ``group_repair`` reforms a group around the survivors of a
+broken one, marking dead machines in the network model (which bumps the
+speed epoch, so every cached selection and ``HMPI_Timeof`` answer is
+recomputed over the surviving subset — degraded mode).  See
+``docs/FAULTS.md`` for the walkthrough.
 """
 
 from __future__ import annotations
@@ -37,10 +46,17 @@ from typing import Any
 
 from ..cluster.network import Cluster
 from ..mpi.communicator import Comm
+from ..mpi.engine import FTConfig
 from ..mpi.group import Group
 from ..mpi.launcher import MPIEnv, MPIRunResult, default_placement, run_mpi
 from ..perfmodel.model import AbstractBoundModel
-from ..util.errors import HMPIStateError
+from ..util.errors import (
+    HMPIRepairError,
+    HMPIStateError,
+    MachineFailure,
+    MappingError,
+    RankFailedError,
+)
 from .group import HMPIGroup
 from .mapper import DefaultMapper, Mapper, Mapping, _supports_stats, resolve_mapper
 from .netmodel import NetworkModel
@@ -54,6 +70,14 @@ HOST_RANK = 0
 # Internal world-context tags (distinct from both user tags >= 0 and
 # collective tags <= -1_000_000 by living in their own negative band).
 _TAG_GROUP_CREATE = -2_000_000
+_TAG_REPAIR = -2_000_001
+
+#: Bound on protocol-level receive retries after a spurious wake (stall
+#: resolution may wake a waiter as collateral damage of an unrelated
+#: failure); guarantees real-time termination of the exchange loops.  A
+#: free process can sit through several repairs it takes no part in, each
+#: contributing a few collateral wakes, so the bound is generous.
+_MAX_PROTO_RETRIES = 64
 
 
 class HMPIRuntimeState:
@@ -105,17 +129,24 @@ class HMPIRuntimeState:
         model: AbstractBoundModel,
         mapper: "Mapper | str | None" = None,
         fixed: dict[int, int] | None = None,
+        candidates: Sequence[int] | None = None,
     ) -> Mapping:
         """Solve (or recall) the selection problem for ``model``.
 
         Cached per (model, mapper, speed epoch, candidates, pins): the
         prediction stays valid until a ``recon`` bumps the network model's
-        speed epoch or the pool of free processes changes.
+        speed epoch, a machine failure is recorded (same epoch mechanism),
+        or the pool of free processes changes.  ``candidates`` overrides
+        the default pool (host + free − dead) — group repair passes the
+        survivor set explicitly.
         """
         with self.lock:
             netmodel = self.netmodel
             use_mapper = resolve_mapper(mapper, default=self.mapper)
-            candidates = tuple(self.participants())
+            if candidates is None:
+                candidates = tuple(self.participants())
+            else:
+                candidates = tuple(candidates)
         if fixed is None:
             fixed = {model.parent_index(): HOST_RANK}
         key = (
@@ -265,58 +296,194 @@ class HMPI:
     # ------------------------------------------------------------------
     def group_create(
         self,
-        model: AbstractBoundModel,
+        model: "AbstractBoundModel | Callable[[int], AbstractBoundModel]",
         mapper: "Mapper | str | None" = None,
-    ) -> HMPIGroup:
+    ) -> HMPIGroup | None:
         """Create the group predicted to execute ``model`` fastest.
 
         Collective over the host and all free processes.  The host solves
         the selection problem and distributes the mapping; members obtain a
         communicator whose rank order equals the model's abstract-processor
-        order.
+        order.  ``model`` is consulted only on the host and may be a
+        callable ``n_candidates -> bound model`` (fault-tolerant callers
+        size the group to however many processes survive).
+
+        Failure-aware: the exchange is a two-phase *map/commit* protocol.
+        The host resends an updated mapping (with the dead rank excluded
+        and the selection recomputed) if a participant dies before the
+        commit goes out, so no participant can act on a superseded
+        mapping.  Returns None at a free process the host released with
+        :meth:`release_free`.
         """
         world = self.comm_world
         if self.is_host():
             with self.state.lock:
                 counter = self.state.creation_counter
                 self.state.creation_counter += 1
-                others = [r for r in self.state.participants() if r != HOST_RANK]
-            mapping = self._select(model, mapper)
-            payload = (counter, mapping.processes, mapping.machines, mapping.time)
-            for r in others:
-                world._send_internal(payload, r, _TAG_GROUP_CREATE)
+            recipients = {r: _TAG_GROUP_CREATE for r in self._free_pool()}
+            mapping = self._host_distribute(counter, model, mapper, recipients)
         else:
             if not self.is_free():
+                self._raise_if_doomed()
                 raise HMPIStateError(
                     f"HMPI_Group_create called by busy non-host process "
                     f"(world rank {self.rank})"
                 )
-            # The payload carries the creation counter; a constant tag is
-            # safe because messages between a fixed pair never overtake
-            # each other, so consecutive creations match in order.
-            payload, _ = world._recv_internal(HOST_RANK, _TAG_GROUP_CREATE)
-            counter, processes, machines, time = payload
-            mapping = Mapping(tuple(processes), tuple(machines), time)
+            got = self._await_mapping(_TAG_GROUP_CREATE)
+            if got is None:  # released by the host
+                return None
+            counter, mapping = got
             with self.state.lock:
                 self.state.creation_counter = max(
                     self.state.creation_counter, counter + 1
                 )
+        return self._materialize(counter, mapping)
 
-        # Build the member communicator deterministically.
+    # -- creation/repair exchange internals ----------------------------
+
+    def _free_pool(self) -> list[int]:
+        """Free, alive, still-running ranks able to join a new group."""
+        engine = self.comm_world._engine
+        with self.state.lock:
+            pool = sorted(self.state.free - self.state.dead)
+        return [r for r in pool if not engine.procs[r].finished]
+
+    def _host_distribute(
+        self,
+        counter: int,
+        model: "AbstractBoundModel | Callable[[int], AbstractBoundModel]",
+        mapper: "Mapper | str | None",
+        recipients: dict[int, int],
+    ) -> Mapping:
+        """Two-phase mapping exchange, host side (``rank -> tag`` targets).
+
+        Phase 1 sends ``("map", counter, attempt, ...)`` to every living
+        recipient; phase 2 sends ``("commit", counter, attempt)``.  A send
+        failure in phase 1 marks the rank dead, re-runs the selection over
+        the survivors and restarts with ``attempt + 1`` — per-pair message
+        ordering guarantees every recipient sees that map before its
+        commit.  A phase-2 failure only marks the rank dead: if it was a
+        selected member the group is born broken and the first operation
+        on it surfaces a typed error, escalating to ``group_repair``.
+
+        ``model`` may be a callable ``n_candidates -> bound model`` so a
+        death *during* the exchange can shrink the requested group instead
+        of making the selection infeasible.
+        """
+        world = self.comm_world
+        attempt = 0
+        while True:
+            with self.state.lock:
+                targets = [r for r in sorted(recipients)
+                           if r not in self.state.dead]
+            candidates = [HOST_RANK] + targets
+            use_model = model
+            if callable(model) and not isinstance(model, AbstractBoundModel):
+                use_model = model(len(candidates))
+            try:
+                mapping = self.state.select(use_model, mapper,
+                                            candidates=candidates)
+            except MappingError:
+                for r in targets:
+                    try:
+                        world._send_internal(("abort", counter, attempt),
+                                             r, recipients[r])
+                    except RankFailedError:
+                        pass
+                raise
+            payload = ("map", counter, attempt,
+                       mapping.processes, mapping.machines, mapping.time)
+            restart = False
+            for r in targets:
+                try:
+                    world._send_internal(payload, r, recipients[r])
+                except RankFailedError as exc:
+                    self._mark_ranks_dead(set(exc.ranks) | {r})
+                    restart = True
+                    break
+            if restart:
+                attempt += 1
+                continue
+            for r in targets:
+                try:
+                    world._send_internal(("commit", counter, attempt),
+                                         r, recipients[r])
+                except RankFailedError as exc:
+                    # Too late to reselect (earlier recipients may already
+                    # be committed); the group may be born broken.
+                    self._mark_ranks_dead(set(exc.ranks) | {r})
+            return mapping
+
+    def _await_mapping(self, tag: int) -> "tuple[int, Mapping] | None":
+        """Two-phase mapping exchange, recipient side.
+
+        Keeps the *latest* map and returns on the commit matching it; maps
+        superseded before their commit are simply overwritten.  Spurious
+        wakes (collateral :class:`RankFailedError` from stall resolution
+        while the host is alive and mid-repair) retry, bounded.  Returns
+        None on a ``release`` sentinel, raises :class:`HMPIRepairError`
+        on ``abort`` or host death.
+        """
+        world = self.comm_world
+        last: tuple | None = None
+        retries = 0
+        while True:
+            try:
+                payload, _ = world._recv_internal(HOST_RANK, tag)
+            except RankFailedError as exc:
+                if HOST_RANK in exc.ranks:
+                    raise HMPIRepairError(
+                        "host failed during group formation"
+                    ) from exc
+                # We may BE the casualty everyone is being woken about: a
+                # process on a doomed machine, skipped by the host, would
+                # otherwise spin here on collateral wakes.
+                self._raise_if_doomed()
+                retries += 1
+                if retries > _MAX_PROTO_RETRIES:
+                    raise
+                continue
+            kind = payload[0]
+            if kind == "map":
+                last = payload
+            elif kind == "release":
+                return None
+            elif kind == "abort":
+                raise HMPIRepairError(
+                    f"host aborted group formation {payload[1]}: "
+                    f"no feasible mapping over the survivors"
+                )
+            elif kind == "commit":
+                _, counter, attempt = payload
+                if last is not None and last[1] == counter and last[2] == attempt:
+                    mapping = Mapping(tuple(last[3]), tuple(last[4]), last[5])
+                    return counter, mapping
+                # Commit of a superseded attempt: ignore (cannot normally
+                # happen — commits follow their own map on the ordered
+                # channel — but harmless to skip).
+
+    def _materialize(self, counter: int, mapping: Mapping,
+                     from_repair: bool = False) -> HMPIGroup:
+        """Build the per-rank group handle and update free-set membership."""
+        world = self.comm_world
         comm = None
         if self.rank in mapping.processes:
             ctx = world._engine.allocate_context(("hmpi-group", counter))
             comm = Comm(world._engine, Group(mapping.processes), ctx, self.rank)
             with self.state.lock:
                 self.state.free.discard(self.rank)
-        group = HMPIGroup(
+        elif from_repair and self.rank != HOST_RANK:
+            # A survivor the new selection left out returns to the free pool.
+            with self.state.lock:
+                self.state.free.add(self.rank)
+            world._engine.poke()
+        return HMPIGroup(
             gid=counter,
             mapping=mapping,
             comm=comm,
             parent_world_rank=HOST_RANK,
             my_world_rank=self.rank,
         )
-        return group
 
     def group_free(self, group: HMPIGroup) -> None:
         """Free the group (collective over its members).
@@ -344,13 +511,178 @@ class HMPI:
         group._mark_freed()
 
     # ------------------------------------------------------------------
-    # fault handling hooks (FT direction named in the paper's conclusion)
+    # fault handling (FT direction named in the paper's conclusion)
     # ------------------------------------------------------------------
     def mark_dead(self, world_rank: int) -> None:
-        """Exclude a rank (on a failed machine) from future selections."""
+        """Exclude a rank (on a failed machine) from future selections.
+
+        Also marks the rank's machine dead in the network model, which
+        bumps the speed epoch: every cached selection is invalidated, and
+        subsequent ``HMPI_Timeof``/``HMPI_Group_create`` answer over the
+        surviving subset (degraded mode).
+        """
         with self.state.lock:
+            if world_rank in self.state.dead:
+                return
             self.state.dead.add(world_rank)
             self.state.free.discard(world_rank)
+            self.state.netmodel.mark_machine_dead(
+                self.state.netmodel.machine_of(world_rank)
+            )
+        # Blocked ranks (external waits in particular) may care.
+        self.comm_world._engine.poke()
+
+    def _mark_ranks_dead(self, ranks) -> None:
+        for r in sorted(ranks):
+            self.mark_dead(r)
+
+    def _raise_if_doomed(self) -> None:
+        """Die of :class:`MachineFailure` if this process has been marked
+        dead — its machine is scheduled to fail before it could make any
+        further progress, so behave as the hardware will."""
+        with self.state.lock:
+            doomed = self.rank in self.state.dead
+        if doomed:
+            mach = self.env.machine
+            vtime = mach.fail_at if mach.fail_at is not None else self.wtime()
+            raise MachineFailure(mach.name, vtime)
+
+    def detect_failures(self, at_vtime: float | None = None) -> set[int]:
+        """Mark ranks the engine knows to be failed; return the new ones.
+
+        Static detection against the fault schedule at ``at_vtime``
+        (default: the caller's current virtual time) plus ranks whose
+        threads already died of :class:`MachineFailure` — deterministic
+        with respect to real-time thread interleaving for scheduled
+        faults.
+        """
+        t = self.wtime() if at_vtime is None else at_vtime
+        failed = self.comm_world._engine.failed_ranks(t)
+        with self.state.lock:
+            newly = failed - self.state.dead
+        self._mark_ranks_dead(newly)
+        return newly
+
+    def alive_ranks(self) -> list[int]:
+        """World ranks not marked dead (degraded-mode membership view)."""
+        with self.state.lock:
+            return [r for r in range(self.size) if r not in self.state.dead]
+
+    def group_repair(
+        self,
+        broken: HMPIGroup,
+        model: "AbstractBoundModel | Callable[[int], AbstractBoundModel]",
+        mapper: "Mapper | str | None" = None,
+        dead: Sequence[int] = (),
+    ) -> HMPIGroup:
+        """Reform a broken group around its survivors (HMPI_Group_repair).
+
+        Collective over the survivors of ``broken`` — every member whose
+        machine is alive must call this after observing a typed failure
+        (:class:`RankFailedError` & co.) on the group, passing the world
+        ranks it knows to be dead (``error.ranks``).  ``model`` is only
+        consulted on the host and may be a callable ``n_candidates ->
+        bound model``, invoked once the survivor count is known — the
+        repaired group's size usually depends on how many processes are
+        left.
+
+        Protocol: survivors report their dead-sets to the host, which
+        recv-fails (typed, deterministically) on members that are actually
+        dead; the host then marks the union dead — invalidating the
+        selection cache via the network model's epoch — re-runs selection
+        over the survivors plus any still-waiting free processes, and runs
+        the same two-phase map/commit exchange as ``group_create``.  The
+        broken handle is freed on every path; survivors excluded from the
+        new mapping return to the free pool (their handle reports
+        non-membership).  Raises :class:`HMPIRepairError` when repair is
+        impossible (host dead, or no feasible mapping over survivors).
+        """
+        if not broken.is_member and self.rank not in broken.mapping.processes:
+            raise HMPIStateError(
+                f"group_repair called by non-member (world rank {self.rank}) "
+                f"of HMPI group {broken.gid}"
+            )
+        world = self.comm_world
+        self._mark_ranks_dead(dead)
+        self.detect_failures()
+        if self.is_host():
+            members = [r for r in broken.mapping.processes if r != HOST_RANK]
+            survivors: list[int] = []
+            for r in members:
+                with self.state.lock:
+                    if r in self.state.dead:
+                        continue
+                collected = False
+                for _ in range(_MAX_PROTO_RETRIES):
+                    try:
+                        payload, _ = world._recv_internal(r, _TAG_REPAIR)
+                    except RankFailedError as exc:
+                        self._mark_ranks_dead(exc.ranks)
+                        with self.state.lock:
+                            if r in self.state.dead:
+                                break
+                        continue  # collateral wake; r is alive, retry
+                    self._mark_ranks_dead(payload[2])
+                    survivors.append(r)
+                    collected = True
+                    break
+                if not collected:
+                    # Unreachable within the retry budget: treat as lost.
+                    self.mark_dead(r)
+            with self.state.lock:
+                counter = self.state.creation_counter
+                self.state.creation_counter += 1
+            recipients = {r: _TAG_REPAIR for r in survivors}
+            for r in self._free_pool():
+                recipients.setdefault(r, _TAG_GROUP_CREATE)
+            try:
+                mapping = self._host_distribute(counter, model, mapper,
+                                                recipients)
+            except MappingError as exc:
+                broken._mark_freed()
+                raise HMPIRepairError(
+                    f"cannot repair group {broken.gid}: {exc}"
+                ) from exc
+        else:
+            with self.state.lock:
+                known_dead = tuple(sorted(self.state.dead))
+            try:
+                world._send_internal(("report", broken.gid, known_dead),
+                                     HOST_RANK, _TAG_REPAIR)
+            except RankFailedError as exc:
+                if HOST_RANK in exc.ranks:
+                    broken._mark_freed()
+                    raise HMPIRepairError(
+                        "host failed during group repair"
+                    ) from exc
+                raise
+            got = self._await_mapping(_TAG_REPAIR)
+            if got is None:  # release cannot arrive on the repair tag
+                broken._mark_freed()
+                raise HMPIRepairError("unexpected release during repair")
+            counter, mapping = got
+            with self.state.lock:
+                self.state.creation_counter = max(
+                    self.state.creation_counter, counter + 1
+                )
+        broken._mark_freed()
+        return self._materialize(counter, mapping, from_repair=True)
+
+    def release_free(self) -> None:
+        """Dismiss the waiting free processes (host only).
+
+        Each free process blocked in ``group_create`` receives a release
+        sentinel and returns None from it, letting SPMD main functions end
+        cleanly once the host knows no further group will be created.
+        """
+        if not self.is_host():
+            raise HMPIStateError("release_free may only be called by the host")
+        world = self.comm_world
+        for r in self._free_pool():
+            try:
+                world._send_internal(("release",), r, _TAG_GROUP_CREATE)
+            except RankFailedError:
+                self.mark_dead(r)
 
     def get_comm(self, group: HMPIGroup):
         """HMPI_Get_comm: the MPI communicator behind a group handle."""
@@ -368,6 +700,7 @@ def run_hmpi(
     initial_speeds: Sequence[float] | None = None,
     timeout: float | None = 120.0,
     tracer: Any = None,
+    ft: "FTConfig | None" = None,
 ) -> MPIRunResult:
     """Run ``app(hmpi, *args, **kwargs)`` SPMD with the HMPI runtime.
 
@@ -376,8 +709,9 @@ def run_hmpi(
     machine speeds unless ``initial_speeds`` is given) and hands every rank
     an :class:`HMPI` environment.  ``mapper`` may be a :class:`Mapper`
     instance or a registry string such as ``"default"`` or ``"greedy"``.
-    ``tracer`` is forwarded to the engine (see
-    :class:`repro.mpi.tracing.Tracer`).
+    ``tracer`` and ``ft`` (fault-tolerance knobs) are forwarded to the
+    engine (see :class:`repro.mpi.tracing.Tracer`,
+    :class:`repro.mpi.engine.FTConfig`).
     """
     if placement is None:
         placement = default_placement(cluster, nprocs)
@@ -389,5 +723,5 @@ def run_hmpi(
 
     return run_mpi(
         wrapped, cluster, placement=placement,
-        args=args, kwargs=kwargs, timeout=timeout, tracer=tracer,
+        args=args, kwargs=kwargs, timeout=timeout, tracer=tracer, ft=ft,
     )

@@ -22,7 +22,7 @@ from .collectives import (
 )
 from .communicator import Comm
 from .datatypes import BYTE, CHAR, DOUBLE, FLOAT, INT, LONG, Datatype, sizeof
-from .engine import Engine, WORLD_CONTEXT
+from .engine import Engine, FTConfig, WORLD_CONTEXT
 from .group import GROUP_EMPTY, IDENT, SIMILAR, UNEQUAL, Group
 from .launcher import MPIEnv, MPIRunResult, default_placement, run_mpi
 from .pool import Task, WorkerPool, run_task_pool
@@ -39,6 +39,7 @@ __all__ = [
     "SIMILAR",
     "UNEQUAL",
     "Engine",
+    "FTConfig",
     "WORLD_CONTEXT",
     "MPIEnv",
     "MPIRunResult",

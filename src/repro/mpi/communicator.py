@@ -114,11 +114,15 @@ class Comm:
                                self._context, tag, obj, nbytes)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
-             status: Status | None = None) -> Any:
+             status: Status | None = None,
+             timeout: float | None = None) -> Any:
         """Blocking receive; returns the received object.
 
         Pass a :class:`Status` to have source/tag/nbytes filled in (source
-        as a communicator rank).
+        as a communicator rank).  ``timeout`` bounds the wait in *virtual*
+        seconds: if the message can never arrive, the call raises
+        :class:`~repro.util.errors.OperationTimeoutError` instead of
+        stalling until global failure resolution.
         """
         self._check_alive()
         if source == PROC_NULL:
@@ -129,7 +133,8 @@ class Comm:
             return None
         wsrc = self._translate_out(source)
         posted = self._engine.post_recv(self._world_rank, self._context, wsrc, tag)
-        value, st = self._engine.wait_recv(self._world_rank, posted)
+        value, st = self._engine.wait_recv(self._world_rank, posted,
+                                           timeout=timeout)
         if status is not None:
             local = self._localize_status(st)
             status.source = local.source
@@ -156,15 +161,19 @@ class Comm:
         self.send(obj, dest, tag, nbytes)
         return SendRequest()
 
-    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
-        """Nonblocking receive; ``wait()`` yields ``(value, status)``."""
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              timeout: float | None = None) -> Request:
+        """Nonblocking receive; ``wait()`` yields ``(value, status)``.
+
+        ``timeout`` (virtual seconds) bounds the eventual ``wait()``.
+        """
         self._check_alive()
         if source == PROC_NULL:
             req = SendRequest()  # trivially complete, value None
             return req
         wsrc = self._translate_out(source)
         posted = self._engine.post_recv(self._world_rank, self._context, wsrc, tag)
-        return RecvRequest(self, posted)
+        return RecvRequest(self, posted, timeout=timeout)
 
     def sendrecv(self, obj: Any, dest: int, sendtag: int = 0,
                  source: int = ANY_SOURCE, recvtag: int = ANY_TAG,
@@ -180,11 +189,13 @@ class Comm:
             status.arrival_vtime = st.arrival_vtime
         return value
 
-    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              timeout: float | None = None) -> Status:
         """Block until a matching message is available; return its status."""
         self._check_alive()
         wsrc = self._translate_out(source)
-        st = self._engine.probe(self._world_rank, self._context, wsrc, tag, block=True)
+        st = self._engine.probe(self._world_rank, self._context, wsrc, tag,
+                                block=True, timeout=timeout)
         assert st is not None
         return self._localize_status(st)
 
@@ -200,10 +211,11 @@ class Comm:
         self._engine.post_send(self._world_rank, self._translate_out(dest),
                                self._context, tag, obj, nbytes)
 
-    def _recv_internal(self, source: int, tag: int) -> tuple[Any, Status]:
+    def _recv_internal(self, source: int, tag: int,
+                       timeout: float | None = None) -> tuple[Any, Status]:
         wsrc = self._translate_out(source)
         posted = self._engine.post_recv(self._world_rank, self._context, wsrc, tag)
-        return self._engine.wait_recv(self._world_rank, posted)
+        return self._engine.wait_recv(self._world_rank, posted, timeout=timeout)
 
     def _next_coll_tag(self) -> int:
         self._check_alive()

@@ -17,11 +17,21 @@ matching the paper's switched Ethernet "enabling parallel communications".
 
 Blocking receives block the *thread*, so algorithm-level blocking structure
 is mirrored exactly and no global clock synchronisation is needed.  A
-deterministic deadlock detector fires when every live rank is blocked: with
-eager sends nothing can ever unblock them.  Machine failures (fault
-injection) surface as :class:`MachineFailure` in the affected ranks and as
-:class:`DeadlockError` (carrying the failure list) in ranks left waiting on
-the dead ones.
+deterministic stall detector fires when every live rank is blocked: with
+eager sends nothing can ever unblock them.
+
+**Failure semantics.**  Machine failures (fault injection) surface as
+:class:`MachineFailure` in the affected ranks.  Survivors do not share that
+fate: a send whose message would arrive after the destination's death
+raises a local, typed :class:`RankFailedError` at the sender, and a stalled
+receive whose source can never send again resolves to
+:class:`RankFailedError` at the receiver.  Receives may carry a
+*virtual-time* deadline (:class:`OperationTimeoutError` past it), and
+transient link faults (``cluster.transient_faults``) are masked by seeded
+retransmission with exponential backoff — :class:`LinkFaultError` once the
+budget is exhausted.  Only a stall with no failure anywhere is a true
+:class:`DeadlockError`, and that one stays terminal.  Knobs live in
+:class:`FTConfig`.
 """
 
 from __future__ import annotations
@@ -29,21 +39,65 @@ from __future__ import annotations
 import threading
 from collections import deque
 from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 from typing import Any
 
 from ..cluster.network import Cluster
-from ..util.errors import DeadlockError, MachineFailure, MPIError
+from ..util.errors import (
+    DeadlockError,
+    LinkFaultError,
+    MachineFailure,
+    MPIError,
+    OperationTimeoutError,
+    RankFailedError,
+)
 from .datatypes import decode_payload, encode_payload
 from .status import ANY_SOURCE, ANY_TAG, Status
 
-__all__ = ["Message", "PostedRecv", "ProcessState", "Engine", "WORLD_CONTEXT",
-           "ACK_CONTEXT"]
+__all__ = ["Message", "PostedRecv", "ProcessState", "Engine", "FTConfig",
+           "WORLD_CONTEXT", "ACK_CONTEXT"]
 
 #: Context id of the world communicator.
 WORLD_CONTEXT = 0
 #: Internal context carrying synchronous-send acknowledgements; never used
 #: by communicators, so ack traffic cannot match user receives.
 ACK_CONTEXT = -1
+
+
+@dataclass(frozen=True)
+class FTConfig:
+    """Fault-tolerance behaviour of the engine.
+
+    ``max_retries``/``retry_timeout``/``backoff`` govern retransmission of
+    messages dropped by transient link faults: attempt ``k`` (1-based)
+    charges ``retry_timeout * backoff**(k-1)`` virtual seconds of timer
+    wait to the sender before the copy goes out again.
+    ``default_recv_timeout``, when set, bounds every blocking receive that
+    does not pass its own ``timeout`` (virtual seconds).
+    ``fail_fast_sends`` makes a send whose arrival would postdate the
+    destination machine's death raise :class:`RankFailedError` at the
+    sender instead of silently vanishing.
+    """
+
+    max_retries: int = 8
+    retry_timeout: float = 1e-3
+    backoff: float = 2.0
+    default_recv_timeout: float | None = None
+    fail_fast_sends: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise MPIError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_timeout < 0:
+            raise MPIError(f"retry_timeout must be >= 0, got {self.retry_timeout}")
+        if self.backoff < 1.0:
+            raise MPIError(f"backoff must be >= 1, got {self.backoff}")
+
+
+#: Exceptions that are expected fallout of injected faults; ``Engine.run``
+#: records them per rank but does not re-raise them as program bugs.
+_FAULT_FALLOUT = (MachineFailure, RankFailedError, LinkFaultError,
+                  OperationTimeoutError)
 
 
 class Message:
@@ -97,8 +151,8 @@ class ProcessState:
 
     __slots__ = (
         "rank", "machine_index", "clock", "cond", "unexpected", "posted",
-        "last_arrival", "finished", "failed", "result", "exception", "thread",
-        "waiting",
+        "last_arrival", "send_seq", "finished", "failed", "result",
+        "exception", "thread", "waiting", "wake_exc",
     )
 
     def __init__(self, rank: int, machine_index: int, lock: threading.RLock):
@@ -109,14 +163,20 @@ class ProcessState:
         self.unexpected: deque[Message] = deque()
         self.posted: deque[PostedRecv] = deque()
         self.last_arrival: dict[int, float] = {}
+        self.send_seq: dict[int, int] = {}
         self.finished = False
         self.failed = False
         self.result: Any = None
         self.exception: BaseException | None = None
         self.thread: threading.Thread | None = None
-        # ("recv", PostedRecv) or ("probe", (context, src, tag)) while the
-        # rank's thread is inside a blocking wait; None otherwise.
+        # ("recv", PostedRecv, deadline), ("probe", (context, src, tag),
+        # deadline) or ("ext", predicate, None) while the rank's thread is
+        # inside a blocking wait; None otherwise.  ``deadline`` is an
+        # absolute virtual time or None.
         self.waiting: tuple | None = None
+        # Exception planted by the stall resolver for this rank to raise
+        # from inside its blocking wait (cleared by the waiter).
+        self.wake_exc: BaseException | None = None
 
 
 class Engine:
@@ -132,7 +192,8 @@ class Engine:
     """
 
     def __init__(self, cluster: Cluster, placement: Sequence[int],
-                 tracer: "object | None" = None):
+                 tracer: "object | None" = None,
+                 ft: FTConfig | None = None):
         if not placement:
             raise MPIError("placement must map at least one rank")
         for m in placement:
@@ -140,6 +201,7 @@ class Engine:
                 raise MPIError(f"placement references unknown machine index {m}")
         self.cluster = cluster
         self.tracer = tracer
+        self.ft = ft if ft is not None else FTConfig()
         self.placement = list(placement)
         self.nprocs = len(placement)
         self.lock = threading.RLock()
@@ -230,6 +292,13 @@ class Engine:
         receiver returns a zero-byte acknowledgement whose arrival
         lower-bounds the sender's clock, so the rendezvous shows up in
         virtual time.
+
+        Failure semantics: transient link faults (if the cluster carries a
+        schedule) are masked by retransmission with backoff, charging the
+        timer waits to the sender; exhausting the budget raises
+        :class:`LinkFaultError`.  If the message would arrive after the
+        destination machine's death, the sender gets a local
+        :class:`RankFailedError` (``ft.fail_fast_sends``).
         """
         if not 0 <= dst < self.nprocs:
             raise MPIError(f"destination rank {dst} out of range")
@@ -238,8 +307,11 @@ class Engine:
         smach.check_alive(sproc.clock)
         payload, size = encode_payload(obj, nbytes)
         dmach_idx = self.placement[dst]
+        dmach = self.cluster.machine(dmach_idx)
         link = self.cluster.link(sproc.machine_index, dmach_idx)
         proto = link.protocol_for(size)
+        extra_delay = self._transient_delay(sproc, smach, dmach, src, dst)
+        smach.check_alive(sproc.clock)  # retransmission timers take time too
         # Messages between one ordered rank pair serialise on their link:
         # a transfer starts when both the sender has issued it and the
         # previous transfer to the same destination has fully arrived.
@@ -247,7 +319,12 @@ class Engine:
         # is exactly the estimator's per-pair link-busy rule.
         depart = sproc.clock
         start = max(depart, sproc.last_arrival.get(dst, 0.0))
-        arrival = start + proto.transfer_time(size)
+        arrival = start + proto.transfer_time(size) + extra_delay
+        if self.ft.fail_fast_sends and not dmach.alive_at(arrival):
+            raise RankFailedError(
+                [dst], machine=dmach.name, vtime=dmach.fail_at,
+                op=f"send from rank {src} to rank {dst}",
+            )
         sproc.last_arrival[dst] = arrival
         if self.cluster.single_port:
             # The sender's interface is occupied until the transfer ends.
@@ -278,6 +355,35 @@ class Engine:
         if ack_pr is not None:
             # Rendezvous: the sender's clock advances to the ack's arrival.
             self.wait_recv(src, ack_pr)
+
+    def _transient_delay(self, sproc: ProcessState, smach, dmach,
+                         src: int, dst: int) -> float:
+        """Resolve transient link faults for one logical message.
+
+        Returns the extra arrival delay (jitter faults); charges
+        retransmission timer waits for dropped copies to the sender's
+        clock; raises :class:`LinkFaultError` past ``ft.max_retries``.
+        Deterministic regardless of thread interleaving: the fault schedule
+        is keyed on the per-pair message sequence number and the attempt
+        counter, both interleaving-invariant.
+        """
+        tf = self.cluster.transient_faults
+        if tf is None or smach is dmach:
+            return 0.0
+        seq = sproc.send_seq.get(dst, 0)
+        sproc.send_seq[dst] = seq + 1
+        attempt = 0
+        while True:
+            kind, extra = tf.outcome(src, dst, smach.name, dmach.name,
+                                     seq, attempt, sproc.clock)
+            if kind == "ok":
+                return 0.0
+            if kind == "delay":
+                return extra
+            attempt += 1
+            if attempt > self.ft.max_retries:
+                raise LinkFaultError(src, dst, attempt)
+            sproc.clock += self.ft.retry_timeout * (self.ft.backoff ** (attempt - 1))
 
     def _deliver(self, msg: Message) -> None:
         """Match against posted receives or queue as unexpected (lock held)."""
@@ -316,17 +422,41 @@ class Engine:
             self.procs[dst].posted.append(pr)
         return pr
 
-    def wait_recv(self, dst: int, pr: PostedRecv) -> tuple[Any, Status]:
-        """Block until ``pr`` completes; charge arrival time; decode payload."""
+    def wait_recv(self, dst: int, pr: PostedRecv,
+                  timeout: float | None = None) -> tuple[Any, Status]:
+        """Block until ``pr`` completes; charge arrival time; decode payload.
+
+        ``timeout`` is a *virtual-time* budget: if the receive can never
+        complete and a deadline was set, the wait resolves to
+        :class:`OperationTimeoutError` (clock advanced to the deadline)
+        instead of participating in failure/deadlock resolution.  Falls
+        back to ``ft.default_recv_timeout`` when None.
+        """
         proc = self.procs[dst]
+        if timeout is None:
+            timeout = self.ft.default_recv_timeout
+        deadline = None if timeout is None else proc.clock + timeout
         with self.lock:
-            proc.waiting = ("recv", pr)
+            proc.waiting = ("recv", pr, deadline)
             try:
                 while not pr.done:
-                    self._check_deadlock()
+                    self._raise_if_woken(proc)
+                    self._check_stall()
+                    self._raise_if_woken(proc)
                     if self.deadlocked:
                         raise self._deadlock_error()
                     proc.cond.wait()
+                # The receive was satisfied: a collateral wake planted
+                # concurrently (stall resolution racing with the message
+                # that saved us) is moot and must not leak into the next
+                # operation.
+                proc.wake_exc = None
+            except BaseException:
+                # A stale posted receive would steal the next matching
+                # message; retract it before propagating.
+                if pr in proc.posted:
+                    proc.posted.remove(pr)
+                raise
             finally:
                 proc.waiting = None
             msg = pr.message
@@ -357,9 +487,16 @@ class Engine:
                         arrival_vtime=msg.arrival)
         return decode_payload(msg.payload), status
 
-    def probe(self, dst: int, context: int, src: int, tag: int, block: bool) -> Status | None:
-        """MPI_(I)probe: peek at the first matching unexpected message."""
+    def probe(self, dst: int, context: int, src: int, tag: int, block: bool,
+              timeout: float | None = None) -> Status | None:
+        """MPI_(I)probe: peek at the first matching unexpected message.
+
+        ``timeout`` (blocking probes only) mirrors :meth:`wait_recv`.
+        """
         proc = self.procs[dst]
+        if timeout is None:
+            timeout = self.ft.default_recv_timeout
+        deadline = None if timeout is None else proc.clock + timeout
         with self.lock:
             try:
                 while True:
@@ -367,12 +504,17 @@ class Engine:
                         if msg.matches(context, src, tag):
                             if msg.arrival > proc.clock:
                                 proc.clock = msg.arrival
+                            # Satisfied: drop any concurrently planted
+                            # collateral wake (see wait_recv).
+                            proc.wake_exc = None
                             return Status(source=msg.src, tag=msg.tag,
                                           nbytes=msg.nbytes, arrival_vtime=msg.arrival)
                     if not block:
                         return None
-                    proc.waiting = ("probe", (context, src, tag))
-                    self._check_deadlock()
+                    proc.waiting = ("probe", (context, src, tag), deadline)
+                    self._raise_if_woken(proc)
+                    self._check_stall()
+                    self._raise_if_woken(proc)
                     if self.deadlocked:
                         raise self._deadlock_error()
                     proc.cond.wait()
@@ -380,36 +522,198 @@ class Engine:
                 proc.waiting = None
 
     # ------------------------------------------------------------------
-    # deadlock / failure accounting
+    # external waits (runtime-level blocking, e.g. group repair drains)
     # ------------------------------------------------------------------
+    def wait_until(self, world_rank: int, predicate: Callable[[], bool],
+                   label: str = "external condition") -> None:
+        """Block ``world_rank`` until ``predicate()`` holds.
+
+        For runtime-level rendezvous that are not message receives (the
+        repair drain waits for every survivor of a broken group to report
+        in).  The predicate is evaluated under the engine lock on every
+        wake-up, so it must be fast and must not acquire other locks.
+        The waiter participates in stall accounting: if nothing can ever
+        satisfy the predicate, the run still terminates (typed error or
+        deadlock), never hangs.  Callers that change predicate-relevant
+        state outside engine messaging must call :meth:`poke`.
+        """
+        proc = self.procs[world_rank]
+        with self.lock:
+            proc.waiting = ("ext", predicate, None)
+            try:
+                while not predicate():
+                    self._raise_if_woken(proc)
+                    self._check_stall()
+                    self._raise_if_woken(proc)
+                    if self.deadlocked:
+                        raise self._deadlock_error()
+                    proc.cond.wait()
+            finally:
+                proc.waiting = None
+
+    def poke(self) -> None:
+        """Wake every blocked rank to re-evaluate its wait condition.
+
+        Required after out-of-band state changes (e.g. the HMPI runtime
+        marking ranks free/dead) that external-wait predicates observe.
+        """
+        with self.lock:
+            for p in self.procs:
+                p.cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # stall / failure accounting
+    # ------------------------------------------------------------------
+    def _raise_if_woken(self, proc: ProcessState) -> None:
+        """Raise and clear the exception planted by the stall resolver."""
+        exc = proc.wake_exc
+        if exc is not None:
+            proc.wake_exc = None
+            if isinstance(exc, OperationTimeoutError):
+                # The timer ran out: virtual time passes to the deadline.
+                proc.clock = max(proc.clock, exc.deadline)
+            raise exc
+
     def _condition_satisfied(self, proc: ProcessState) -> bool:
         """Whether a waiting rank's wake-up condition already holds (lock held)."""
         assert proc.waiting is not None
-        kind, spec = proc.waiting
+        kind, spec, _deadline = proc.waiting
         if kind == "recv":
             return spec.done
+        if kind == "ext":
+            return bool(spec())
         context, src, tag = spec
         return any(m.matches(context, src, tag) for m in proc.unexpected)
 
-    def _check_deadlock(self) -> None:
-        """Declare deadlock iff no unfinished rank can ever progress.
+    def failed_ranks(self, at_vtime: float | None = None) -> set[int]:
+        """World ranks that are (or will be) victims of machine failure.
+
+        A rank counts as failed when its thread already died of
+        :class:`MachineFailure`, or its machine has a scheduled death no
+        later than ``at_vtime`` (static detection — deterministic, no race
+        with the victim's own discovery).  ``at_vtime=None`` counts every
+        scheduled death.
+        """
+        with self.lock:
+            out = set()
+            for p in self.procs:
+                if p.failed:
+                    out.add(p.rank)
+                    continue
+                fail_at = self.cluster.machine(p.machine_index).fail_at
+                if fail_at is not None and (at_vtime is None or fail_at <= at_vtime):
+                    out.add(p.rank)
+            return out
+
+    def _unreachable_ranks(self) -> set[int]:
+        """Ranks that can never send another message (lock held).
+
+        Only meaningful during stall resolution, when no message is in
+        flight: a machine-failed rank, a rank whose thread ended with an
+        exception, or a rank whose machine has a *scheduled* death will not
+        produce further traffic — the last because, with nothing able to
+        arrive, virtual time at that rank runs out at ``fail_at`` before
+        anything else happens.
+        """
+        out = set()
+        for p in self.procs:
+            if p.failed or (p.finished and p.exception is not None):
+                out.add(p.rank)
+                continue
+            if not p.finished and \
+                    self.cluster.machine(p.machine_index).fail_at is not None:
+                out.add(p.rank)
+        return out
+
+    def _check_stall(self) -> None:
+        """Resolve the stall iff no unfinished rank can ever progress.
 
         Called (with the lock held) whenever a rank is about to block and
         whenever a rank finishes.  Sends are eager, so if every unfinished
         rank is waiting on an unsatisfied condition, no future delivery can
-        occur and the run is stuck.
+        occur and the run is stuck — some waiter must be woken with a typed
+        error (or, with no failure in sight, the run is a true deadlock).
         """
-        if not self._started:
+        if not self._started or self.deadlocked:
             return
         any_unfinished = False
         for p in self.procs:
             if p.finished:
                 continue
             any_unfinished = True
-            if p.waiting is None or self._condition_satisfied(p):
+            if p.waiting is None or p.wake_exc is not None \
+                    or self._condition_satisfied(p):
                 return
         if any_unfinished:
-            self._declare_deadlock()
+            self._resolve_stall()
+
+    def _resolve_stall(self) -> None:
+        """Pick stall victims and wake them with typed errors (lock held).
+
+        Priority: (1) waiters whose virtual-time deadline can no longer be
+        met time out; (2) waiters on sources that can never send again get
+        :class:`RankFailedError`; (3) with a failure somewhere, every
+        remaining engine waiter is collateral damage of it — typed, not a
+        deadlock; (4) no failure anywhere means a genuine program deadlock,
+        which stays terminal.  Only the victims wake: survivors keep
+        waiting and may be satisfied by messages the woken ranks (e.g. a
+        repairing host) send afterwards — this is what makes the stall
+        *recoverable*.
+        """
+        unreachable = self._unreachable_ranks()
+        timed: list[tuple[ProcessState, BaseException]] = []
+        victims: list[tuple[ProcessState, BaseException]] = []
+        engine_waiters: list[ProcessState] = []
+        for p in self.procs:
+            if p.finished or p.waiting is None:
+                continue
+            kind, spec, deadline = p.waiting
+            if kind == "ext":
+                continue
+            engine_waiters.append(p)
+            op = "recv" if kind == "recv" else "probe"
+            if deadline is not None:
+                timed.append((p, OperationTimeoutError(
+                    f"{op} at rank {p.rank}", deadline - p.clock, deadline)))
+                continue
+            src = spec.src if kind == "recv" else spec[1]
+            if src == ANY_SOURCE:
+                if unreachable:
+                    victims.append((p, self._rank_failed(unreachable, p, op)))
+            elif src in unreachable:
+                victims.append((p, self._rank_failed({src}, p, op)))
+        if timed:
+            # Timed waiters resolve first, alone: once awake they may send
+            # (e.g. trigger a repair), which can still satisfy the others.
+            victims = timed
+        if not victims and engine_waiters and (unreachable or self.failures):
+            # No waiter points directly at a dead rank, but a failure
+            # exists: the stall is its transitive damage.
+            victims = [
+                (p, self._rank_failed(unreachable, p, "wait"))
+                for p in engine_waiters
+            ]
+        if victims:
+            for p, exc in victims:
+                p.wake_exc = exc
+                p.cond.notify_all()
+            return
+        # Nothing typed to report: either a pure deadlock among engine
+        # waiters, or only external waiters are left with no rank able to
+        # satisfy them.  Both are terminal.
+        self._declare_deadlock()
+
+    def _rank_failed(self, ranks: set[int], waiter: ProcessState,
+                     op: str) -> RankFailedError:
+        machine = vtime = None
+        if len(ranks) == 1:
+            mach = self.cluster.machine(
+                self.procs[next(iter(ranks))].machine_index)
+            if mach.fail_at is not None:
+                machine, vtime = mach.name, mach.fail_at
+        return RankFailedError(
+            ranks, machine=machine, vtime=vtime,
+            op=f"{op} at rank {waiter.rank}")
 
     def _declare_deadlock(self) -> None:
         self.deadlocked = True
@@ -431,9 +735,11 @@ class Engine:
         """Run ``target(world_rank)`` on a thread per rank and join all.
 
         Exceptions are captured per rank; :class:`MachineFailure` is
-        recorded in :attr:`failures` (fault injection is an expected
-        outcome), any other exception re-raises after the join from the
-        lowest failing rank.
+        recorded in :attr:`failures` and fault fallout at survivors
+        (:class:`RankFailedError`, :class:`LinkFaultError`,
+        :class:`OperationTimeoutError`) stays in the per-rank ``exception``
+        slots (fault injection is an expected outcome); any other exception
+        re-raises after the join from the lowest failing rank.
         """
 
         def runner(rank: int) -> None:
@@ -448,15 +754,15 @@ class Engine:
             except BaseException as exc:  # noqa: BLE001 — reported after join
                 proc.failed = True
                 proc.exception = exc
-                with self.lock:
-                    # A rank crash (bug or injected) can leave peers waiting
-                    # forever; wake them so the run terminates promptly.
-                    if not isinstance(exc, DeadlockError):
-                        self._declare_deadlock()
             finally:
                 with self.lock:
                     proc.finished = True
-                    self._check_deadlock()
+                    # A rank ending (cleanly or not) can stall peers waiting
+                    # on it, and can satisfy external-wait predicates; both
+                    # need the blocked threads to re-examine the world.
+                    self._check_stall()
+                    for p in self.procs:
+                        p.cond.notify_all()
 
         with self.lock:
             self._started = True
@@ -474,13 +780,20 @@ class Engine:
                 raise DeadlockError(
                     f"rank {proc.rank} did not finish within {timeout}s of real time"
                 )
-        # Re-raise the first program bug.  MachineFailure is an expected
-        # fault-injection outcome, and a DeadlockError is secondary damage
-        # when a failure exists (survivors stuck waiting on a dead rank).
+        # Re-raise the first program bug.  Fault fallout (MachineFailure at
+        # the victim; RankFailedError / LinkFaultError /
+        # OperationTimeoutError at survivors) is an expected outcome of
+        # injection, recorded per rank, not a bug; a DeadlockError is
+        # secondary damage when a failure exists anywhere.
+        any_dead = bool(self.failures) or any(
+            isinstance(p.exception, MachineFailure)
+            or self.cluster.machine(p.machine_index).fail_at is not None
+            for p in self.procs
+        )
         for proc in self.procs:
             exc = proc.exception
-            if exc is None or isinstance(exc, MachineFailure):
+            if exc is None or isinstance(exc, _FAULT_FALLOUT):
                 continue
-            if isinstance(exc, DeadlockError) and self.failures:
+            if isinstance(exc, DeadlockError) and any_dead:
                 continue
             raise exc

@@ -25,7 +25,7 @@ from ..cluster.machine import Machine
 from ..cluster.network import Cluster
 from ..util.errors import MachineFailure, MPIError
 from .communicator import Comm
-from .engine import Engine, WORLD_CONTEXT
+from .engine import Engine, FTConfig, WORLD_CONTEXT
 from .group import Group
 
 __all__ = ["MPIEnv", "MPIRunResult", "run_mpi", "default_placement"]
@@ -101,6 +101,11 @@ class MPIRunResult:
     finish_times: list[float]
     failures: list[MachineFailure] = field(default_factory=list)
     placement: list[int] = field(default_factory=list)
+    #: Per-rank terminal exception (None for ranks that returned normally).
+    #: Includes fault fallout — RankFailedError, LinkFaultError,
+    #: OperationTimeoutError — that ``Engine.run`` records but does not
+    #: re-raise, so fault campaigns can assert on typed outcomes.
+    exceptions: list[BaseException | None] = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
@@ -112,6 +117,9 @@ class MPIRunResult:
 
     def result_of(self, rank: int) -> Any:
         return self.results[rank]
+
+    def exception_of(self, rank: int) -> BaseException | None:
+        return self.exceptions[rank] if self.exceptions else None
 
 
 def default_placement(cluster: Cluster, nprocs: int | None = None) -> list[int]:
@@ -135,6 +143,7 @@ def run_mpi(
     kwargs: dict | None = None,
     timeout: float | None = 120.0,
     tracer: Any = None,
+    ft: FTConfig | None = None,
 ) -> MPIRunResult:
     """Run ``app(env, *args, **kwargs)`` SPMD over the cluster.
 
@@ -148,10 +157,13 @@ def run_mpi(
     tracer:
         optional :class:`repro.mpi.tracing.Tracer` collecting per-rank
         compute/send/recv events for Gantt rendering and validation.
+    ft:
+        fault-tolerance knobs (retransmission budget/backoff, default
+        receive timeout, fail-fast sends); default :class:`FTConfig`.
     """
     if placement is None:
         placement = default_placement(cluster, nprocs)
-    engine = Engine(cluster, placement, tracer=tracer)
+    engine = Engine(cluster, placement, tracer=tracer, ft=ft)
     kw = kwargs or {}
 
     def target(rank: int) -> Any:
@@ -164,4 +176,5 @@ def run_mpi(
         finish_times=[p.clock for p in engine.procs],
         failures=list(engine.failures),
         placement=list(placement),
+        exceptions=[p.exception for p in engine.procs],
     )

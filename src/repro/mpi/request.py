@@ -53,18 +53,21 @@ class SendRequest(Request):
 class RecvRequest(Request):
     """A posted receive awaiting its match."""
 
-    __slots__ = ("_comm", "_posted", "_value", "_status", "_consumed")
+    __slots__ = ("_comm", "_posted", "_value", "_status", "_consumed", "_timeout")
 
-    def __init__(self, comm: "Comm", posted: "PostedRecv"):
+    def __init__(self, comm: "Comm", posted: "PostedRecv",
+                 timeout: float | None = None):
         self._comm = comm
         self._posted = posted
         self._value: Any = None
         self._status: Status | None = None
         self._consumed = False
+        self._timeout = timeout
 
     def _finish(self) -> None:
         if not self._consumed:
-            value, status = self._comm._engine.wait_recv(self._comm._world_rank, self._posted)
+            value, status = self._comm._engine.wait_recv(
+                self._comm._world_rank, self._posted, timeout=self._timeout)
             self._value = value
             self._status = self._comm._localize_status(status)
             self._consumed = True

@@ -18,6 +18,9 @@ __all__ = [
     "MPITruncationError",
     "DeadlockError",
     "MachineFailure",
+    "RankFailedError",
+    "LinkFaultError",
+    "OperationTimeoutError",
     "PMDLError",
     "PMDLSyntaxError",
     "PMDLSemanticError",
@@ -25,6 +28,7 @@ __all__ = [
     "PMDLRuntimeError",
     "HMPIError",
     "HMPIStateError",
+    "HMPIRepairError",
     "MappingError",
 ]
 
@@ -66,6 +70,53 @@ class MachineFailure(MPIError):
         self.vtime = vtime
 
 
+class RankFailedError(MPIError):
+    """A point-to-point or collective operation involved a failed rank.
+
+    This is the *survivor-side* failure signal: the rank that raises it is
+    alive, but a peer it communicates with (or waits on) lives on a machine
+    that died.  Unlike :class:`DeadlockError` it is local and typed — it
+    names the failed world ranks so the application (or the HMPI runtime's
+    ``group_repair``) can exclude them and continue.
+    """
+
+    def __init__(self, ranks, machine: str | None = None,
+                 vtime: float | None = None, op: str = "operation"):
+        self.ranks = tuple(sorted(set(ranks)))
+        self.machine = machine
+        self.vtime = vtime
+        where = f" on machine {machine!r}" if machine else ""
+        when = f" (failed at virtual time {vtime:.6f})" if vtime is not None else ""
+        super().__init__(
+            f"{op} involves failed rank(s) {list(self.ranks)}{where}{when}"
+        )
+
+
+class LinkFaultError(MPIError):
+    """A transient link fault persisted past the retransmission budget."""
+
+    def __init__(self, src: int, dst: int, attempts: int):
+        super().__init__(
+            f"message {src}->{dst} dropped {attempts} times; "
+            f"retransmission budget exhausted"
+        )
+        self.src = src
+        self.dst = dst
+        self.attempts = attempts
+
+
+class OperationTimeoutError(MPIError):
+    """A per-operation virtual-time timeout elapsed before completion."""
+
+    def __init__(self, op: str, timeout: float, deadline: float):
+        super().__init__(
+            f"{op} timed out after {timeout:g} virtual seconds "
+            f"(deadline {deadline:.6f})"
+        )
+        self.timeout = timeout
+        self.deadline = deadline
+
+
 class PMDLError(ReproError):
     """Base class for performance-model definition language errors."""
 
@@ -105,6 +156,10 @@ class HMPIError(ReproError):
 
 class HMPIStateError(HMPIError):
     """An HMPI operation was called in the wrong runtime state."""
+
+
+class HMPIRepairError(HMPIError):
+    """Group repair is impossible (host dead, or too few survivors)."""
 
 
 class MappingError(HMPIError):

@@ -120,3 +120,103 @@ class TestSinglePort:
     def test_default_is_multi_port(self):
         restored = cluster_from_dict(cluster_to_dict(paper_network()))
         assert restored.single_port is False
+
+
+class TestFaultBlobs:
+    """Fault-campaign configuration must survive serialization: schedules,
+    transient-fault configs (default and per-pair), and the seed that makes
+    a campaign reproducible from its saved cluster file."""
+
+    def _faulty_cluster(self):
+        from repro.cluster import (
+            FaultSchedule,
+            TransientFaultConfig,
+            TransientLinkFaults,
+            attach_transient_faults,
+            inject_faults,
+        )
+
+        c = uniform_network([100.0, 50.0, 25.0])
+        inject_faults(c, FaultSchedule({"m01": 0.25, "m02": 1.5}))
+        attach_transient_faults(c, TransientLinkFaults(
+            TransientFaultConfig(drop_prob=0.3, delay_prob=0.1,
+                                 delay=2e-3, start=0.1, stop=5.0),
+            seed=42,
+            pair_configs={("m00", "m02"): TransientFaultConfig(drop_prob=0.9)},
+        ))
+        return c
+
+    def test_fault_schedule_round_trip(self):
+        restored = cluster_from_dict(cluster_to_dict(self._faulty_cluster()))
+        assert restored.machine("m01").fail_at == 0.25
+        assert restored.machine("m02").fail_at == 1.5
+        assert restored.machine("m00").fail_at is None
+
+    def test_transient_config_round_trip(self):
+        restored = cluster_from_dict(cluster_to_dict(self._faulty_cluster()))
+        tf = restored.transient_faults
+        assert tf is not None
+        assert tf.seed == 42
+        d = tf.default
+        assert (d.drop_prob, d.delay_prob, d.delay) == (0.3, 0.1, 2e-3)
+        assert (d.start, d.stop) == (0.1, 5.0)
+
+    def test_pair_config_round_trip(self):
+        restored = cluster_from_dict(cluster_to_dict(self._faulty_cluster()))
+        tf = restored.transient_faults
+        assert tf.config_for("m00", "m02").drop_prob == 0.9
+        # non-overridden pairs fall back to the default
+        assert tf.config_for("m00", "m01").drop_prob == 0.3
+
+    def test_json_round_trip_with_faults(self):
+        from repro.cluster.serialize import cluster_from_json, cluster_to_json
+
+        restored = cluster_from_json(cluster_to_json(self._faulty_cluster()))
+        assert restored.machine("m01").fail_at == 0.25
+        assert restored.transient_faults.config_for("m00", "m02").drop_prob == 0.9
+
+    def test_restored_cluster_reproduces_the_campaign(self):
+        """The whole point of serializing a fault schedule: the restored
+        cluster drives a bitwise-identical faulty run."""
+        from repro.cluster import (
+            TransientFaultConfig,
+            TransientLinkFaults,
+            attach_transient_faults,
+        )
+        from repro.mpi import FTConfig, run_mpi
+
+        def pingpong(env):
+            peer = 1 - env.rank
+            for i in range(12):
+                if env.rank == 0:
+                    env.comm_world.send(i, peer, tag=i)
+                    env.comm_world.recv(peer, tag=i)
+                else:
+                    env.comm_world.send(env.comm_world.recv(peer, tag=i),
+                                        peer, tag=i)
+            return env.wtime()
+
+        original = uniform_network([100.0, 100.0])
+        attach_transient_faults(original, TransientLinkFaults(
+            TransientFaultConfig(drop_prob=0.4), seed=9))
+        restored = cluster_from_dict(cluster_to_dict(original))
+        ft = FTConfig(max_retries=16, retry_timeout=1e-3)
+        a = run_mpi(pingpong, original, timeout=20, ft=ft)
+        b = run_mpi(pingpong, restored, timeout=20, ft=ft)
+        assert a.results == b.results
+        assert a.makespan == b.makespan
+
+    def test_no_transient_block_when_absent(self):
+        blob = cluster_to_dict(uniform_network([10.0, 20.0]))
+        assert "transient_faults" not in blob
+
+    def test_load_model_with_faults_round_trip(self):
+        """Load models and fault blobs coexist in one cluster file."""
+        from repro.cluster import StepLoad
+
+        c = self._faulty_cluster()
+        c.machines[0].load = StepLoad([(0.0, 0.5), (2.0, 0.25)])
+        restored = cluster_from_dict(cluster_to_dict(c))
+        assert restored.machine(0).load.share_at(1.0) == 0.5
+        assert restored.machine(0).load.share_at(3.0) == 0.25
+        assert restored.machine("m01").fail_at == 0.25

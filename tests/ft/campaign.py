@@ -1,0 +1,141 @@
+"""Differential fault-injection campaign harness.
+
+A :class:`Scenario` describes one seeded fault schedule for the
+fault-tolerant Jacobi solver: machine deaths at chosen virtual times,
+optional transient link faults, and the fault-tolerance knobs.  The
+contract every scenario must satisfy (`assert_outcome`):
+
+1. **Bounded termination** — the run finishes in bounded virtual time
+   (and in bounded real time, enforced by the launcher's join timeout:
+   a hang fails the test instead of wedging the suite).
+2. **Differential correctness** — if the run produced a grid, it is
+   *bitwise identical* to the fault-free result (which every partition of
+   the Jacobi sweep computes, so this also equals a fault-free rerun on
+   the surviving subset and the serial reference).
+3. **Typed failure** — if no grid was produced, the run ended with a
+   typed, explained outcome (`result.error`), never silence.
+
+A scenario that cannot possibly fail over (e.g. the host machine dies)
+sets ``must_recover=False``; otherwise recovery itself is asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.jacobi import JacobiFTResult, jacobi_reference, run_jacobi_ft
+from repro.cluster import (
+    FaultSchedule,
+    TransientFaultConfig,
+    TransientLinkFaults,
+    attach_transient_faults,
+    inject_faults,
+    uniform_network,
+)
+from repro.mpi import FTConfig
+
+__all__ = ["Scenario", "run_scenario", "assert_outcome", "FAST_SCENARIOS"]
+
+#: Problem size shared by the whole campaign — small enough for CI, large
+#: enough that deaths can land in every phase of the run.
+N, NITER, K = 18, 12, 100
+
+
+@dataclass
+class Scenario:
+    name: str
+    speeds: list[float] = field(default_factory=lambda: [100.0] * 4)
+    p: int | None = None                     # group size; default all
+    deaths: dict[int, float] = field(default_factory=dict)  # machine -> vtime
+    transient: TransientFaultConfig | None = None
+    transient_seed: int = 0
+    ft: FTConfig | None = None
+    checkpoint_every: int = 2
+    max_repairs: int = 8
+    #: Hard cap on virtual makespan; generous (a fault-free run takes
+    #: ~0.1 vs) but finite — unbounded retry loops would blow it.
+    vtime_bound: float = 60.0
+    #: Whether a successful repair (grid produced) is required, or a
+    #: typed failure is an acceptable outcome (host death etc.).
+    must_recover: bool = True
+
+    def build_cluster(self):
+        cluster = uniform_network(list(self.speeds))
+        if self.deaths:
+            schedule = FaultSchedule({
+                cluster.machines[m].name: t for m, t in self.deaths.items()
+            })
+            inject_faults(cluster, schedule)
+        if self.transient is not None:
+            attach_transient_faults(
+                cluster,
+                TransientLinkFaults(self.transient, seed=self.transient_seed),
+            )
+        return cluster
+
+
+def reference_grid() -> np.ndarray:
+    return jacobi_reference(N, NITER)
+
+
+def run_scenario(sc: Scenario, timeout: float = 60.0) -> JacobiFTResult:
+    cluster = sc.build_cluster()
+    return run_jacobi_ft(
+        cluster, n=N, p=sc.p or len(sc.speeds), niter=NITER, k=K,
+        checkpoint_every=sc.checkpoint_every, ft=sc.ft,
+        max_repairs=sc.max_repairs, timeout=timeout,
+    )
+
+
+def assert_outcome(sc: Scenario, res: JacobiFTResult,
+                   reference: np.ndarray | None = None) -> None:
+    ref = reference_grid() if reference is None else reference
+    assert res.makespan <= sc.vtime_bound, (
+        f"{sc.name}: virtual time {res.makespan} exceeds bound "
+        f"{sc.vtime_bound}"
+    )
+    if res.grid is None:
+        assert not sc.must_recover, (
+            f"{sc.name}: expected recovery but run failed: {res.error}"
+        )
+        assert res.error, f"{sc.name}: failed without a typed explanation"
+    else:
+        assert np.array_equal(res.grid, ref), (
+            f"{sc.name}: repaired result diverges from the fault-free grid"
+        )
+        # Every scheduled death before the end of the run must be
+        # reflected in the outcome's dead set (no silently resurrected
+        # machines).
+        for m, t in sc.deaths.items():
+            if t < res.makespan:
+                assert m in res.dead_ranks, (
+                    f"{sc.name}: machine {m} died at {t} but is not in "
+                    f"dead_ranks {res.dead_ranks}"
+                )
+
+
+#: The quick sweep run on every CI push; the slow campaign in
+#: test_campaign.py extends it with seed sweeps and heavier fault rates.
+FAST_SCENARIOS = [
+    Scenario("control"),
+    Scenario("death-at-selection", deaths={2: 1e-6}),
+    Scenario("death-early", deaths={2: 0.005}),
+    Scenario("death-mid", deaths={2: 0.04}),
+    Scenario("death-late-collective", deaths={2: 0.085}),
+    Scenario("two-deaths-staggered", speeds=[100.0] * 5,
+             deaths={2: 0.01, 3: 0.05}),
+    Scenario("two-deaths-simultaneous", speeds=[100.0] * 5,
+             deaths={1: 0.03, 3: 0.03}),
+    Scenario("draft-replacement", speeds=[100.0] * 5, p=4,
+             deaths={2: 0.03}),
+    Scenario("transient-masked",
+             transient=TransientFaultConfig(drop_prob=0.3, delay_prob=0.2,
+                                            delay=5e-4)),
+    Scenario("transient-plus-death", deaths={1: 0.05},
+             transient=TransientFaultConfig(drop_prob=0.2)),
+    Scenario("host-death", deaths={0: 0.03}, must_recover=False),
+    Scenario("all-but-host-die", deaths={1: 0.02, 2: 0.02, 3: 0.02},
+             must_recover=False),
+]

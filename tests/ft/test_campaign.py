@@ -1,0 +1,146 @@
+"""The differential fault-injection campaign.
+
+Every seeded fault schedule must terminate in bounded virtual time with
+either a successful repair whose numerical result is bitwise identical to
+a fault-free run, or a typed error — never a hang, never a silently wrong
+answer.  The fast sweep runs on every push; the seed/rate sweeps are
+marked ``slow`` and run as a separate CI job.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import TransientFaultConfig
+from repro.mpi import FTConfig
+
+from .campaign import (
+    FAST_SCENARIOS,
+    N,
+    NITER,
+    Scenario,
+    assert_outcome,
+    reference_grid,
+    run_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def ref():
+    return reference_grid()
+
+
+class TestFastSweep:
+    @pytest.mark.parametrize("sc", FAST_SCENARIOS, ids=lambda s: s.name)
+    def test_scenario(self, sc, ref):
+        assert_outcome(sc, run_scenario(sc), ref)
+
+    def test_recovery_scenarios_actually_repair(self, ref):
+        sc = Scenario("death-mid-check", deaths={2: 0.04})
+        res = run_scenario(sc)
+        assert res.repairs >= 1
+        assert res.checkpoint_restores > 0
+        assert 2 in res.dead_ranks
+        assert 2 not in res.final_world_ranks
+
+    def test_equals_fault_free_rerun_on_surviving_subset(self, ref):
+        """The campaign's differential core, spelled out: the repaired
+        result equals a fault-free run confined to the survivors."""
+        faulty = run_scenario(Scenario("death-mid", deaths={2: 0.04}))
+        assert faulty.grid is not None
+        survivors = Scenario("survivors-only", speeds=[100.0] * 3)
+        clean = run_scenario(survivors)
+        assert np.array_equal(faulty.grid, clean.grid)
+        assert np.array_equal(faulty.grid, ref)
+
+    def test_host_death_is_typed_everywhere(self):
+        res = run_scenario(Scenario("host-death", deaths={0: 0.03},
+                                    must_recover=False))
+        assert res.grid is None
+        assert res.error
+
+
+class TestDeterminism:
+    def test_same_schedule_same_result(self, ref):
+        """Thread interleaving must not leak into the numerics: two runs
+        of one schedule agree bitwise and on the dead set."""
+        sc = Scenario("death-early", deaths={2: 0.005})
+        a, b = run_scenario(sc), run_scenario(sc)
+        assert a.grid is not None and b.grid is not None
+        assert np.array_equal(a.grid, b.grid)
+        assert a.dead_ranks == b.dead_ranks
+        assert np.array_equal(a.grid, ref)
+
+    def test_transient_schedule_is_seed_deterministic(self):
+        cfg = TransientFaultConfig(drop_prob=0.4, delay_prob=0.2, delay=1e-3)
+        sc = Scenario("transient-det", transient=cfg, transient_seed=7)
+        a, b = run_scenario(sc), run_scenario(sc)
+        assert a.grid is not None
+        assert np.array_equal(a.grid, b.grid)
+        assert a.makespan == b.makespan
+
+    def test_transient_drops_cost_time(self):
+        """Masked drops are invisible in the numerics but not the clock."""
+        clean = run_scenario(Scenario("control"))
+        # drop_prob**max_retries must stay far below 1/#messages so the
+        # retransmission layer masks every drop (~300 messages here).
+        faulty = run_scenario(Scenario(
+            "transient-heavy",
+            transient=TransientFaultConfig(drop_prob=0.3),
+            ft=FTConfig(max_retries=12, retry_timeout=2e-3),
+        ))
+        assert np.array_equal(clean.grid, faulty.grid)
+        assert faulty.makespan > clean.makespan
+
+
+@pytest.mark.slow
+class TestFullCampaign:
+    """Seed and fault-rate sweeps — the long tail of schedules."""
+
+    def test_death_time_sweep(self, ref):
+        for i in range(16):
+            t = 1e-4 + i * 0.007
+            sc = Scenario(f"death@{t:.4f}", deaths={2: t})
+            assert_outcome(sc, run_scenario(sc), ref)
+
+    def test_two_death_grid(self, ref):
+        for t1 in (0.005, 0.03, 0.06):
+            for t2 in (0.005, 0.03, 0.06):
+                sc = Scenario(
+                    f"deaths@{t1}/{t2}", speeds=[100.0] * 5,
+                    deaths={1: t1, 3: t2},
+                )
+                assert_outcome(sc, run_scenario(sc), ref)
+
+    def test_transient_seed_sweep(self, ref):
+        cfg = TransientFaultConfig(drop_prob=0.35, delay_prob=0.25,
+                                   delay=8e-4)
+        for seed in range(8):
+            sc = Scenario(f"transient-seed{seed}", transient=cfg,
+                          transient_seed=seed)
+            assert_outcome(sc, run_scenario(sc), ref)
+
+    def test_transient_plus_death_seed_sweep(self, ref):
+        cfg = TransientFaultConfig(drop_prob=0.25)
+        for seed in range(4):
+            for t in (0.01, 0.05):
+                sc = Scenario(
+                    f"mixed-seed{seed}@{t}", speeds=[100.0] * 5,
+                    deaths={2: t}, transient=cfg, transient_seed=seed,
+                )
+                assert_outcome(sc, run_scenario(sc), ref)
+
+    def test_heterogeneous_speeds(self, ref):
+        sc = Scenario("hetero-death", speeds=[100.0, 50.0, 200.0, 25.0],
+                      deaths={2: 0.02})
+        assert_outcome(sc, run_scenario(sc), ref)
+
+    def test_unmaskable_link_fault_still_terminates(self, ref):
+        """A link so broken retransmission gives up: the LinkFaultError
+        surfaces as a typed outcome or the run recovers — never a hang."""
+        sc = Scenario(
+            "link-dead-window",
+            transient=TransientFaultConfig(drop_prob=1.0, stop=0.01),
+            ft=FTConfig(max_retries=3, retry_timeout=1e-3),
+            must_recover=False,
+        )
+        assert_outcome(sc, run_scenario(sc), ref)

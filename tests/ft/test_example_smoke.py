@@ -1,0 +1,26 @@
+"""CI smoke test: the fault-tolerance example runs end to end.
+
+The example is the documented walkthrough of the repair API; it asserts
+its own invariants (repair happened, dead machine excluded, all
+iterations completed), so the smoke test only needs a clean exit.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_fault_tolerance_example_runs_clean():
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "examples" / "fault_tolerance.py")],
+        capture_output=True, text=True, timeout=120, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "repair" in proc.stdout
+    assert "lost — MachineFailure" in proc.stdout

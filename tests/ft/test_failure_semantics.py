@@ -1,0 +1,355 @@
+"""Engine-level failure semantics regressions.
+
+Pins down the typed-error contract the repair runtime is built on:
+survivors blocked on a dead peer get :class:`RankFailedError` (naming the
+dead ranks), timed waits get :class:`OperationTimeoutError` with correct
+clock semantics, a pure deadlock is still a :class:`DeadlockError`, and
+transient link faults are seed-deterministic and surface as
+:class:`LinkFaultError` past the retransmission budget.
+"""
+
+import pytest
+
+from repro.cluster import (
+    FaultSchedule,
+    TransientFaultConfig,
+    TransientLinkFaults,
+    attach_transient_faults,
+    inject_faults,
+    uniform_network,
+)
+from repro.mpi import ANY_SOURCE, FTConfig, run_mpi
+from repro.util.errors import (
+    DeadlockError,
+    LinkFaultError,
+    MachineFailure,
+    MPIError,
+    OperationTimeoutError,
+    RankFailedError,
+)
+
+
+def failing_cluster(n=3, fail=("m01",), at=0.5):
+    cluster = uniform_network([100.0] * n)
+    inject_faults(cluster, FaultSchedule({m: at for m in fail}))
+    return cluster
+
+
+class TestTypedFailureWakes:
+    def test_recv_from_dead_rank_is_typed(self):
+        """A survivor's pending recv on a dead source resolves to
+        RankFailedError naming the dead rank — not a global deadlock."""
+        cluster = failing_cluster()
+
+        def app(env):
+            if env.rank == 1:
+                env.compute(200.0)  # dies at 0.5
+                return None
+            if env.rank == 0:
+                try:
+                    env.comm_world.recv(1)
+                except RankFailedError as exc:
+                    return ("typed", exc.ranks)
+                return ("untyped",)
+            return ("bystander",)
+
+        res = run_mpi(app, cluster, timeout=20)
+        kind, ranks = res.results[0]
+        assert kind == "typed"
+        assert 1 in ranks
+        assert isinstance(res.exception_of(1), MachineFailure)
+
+    def test_fail_fast_send_to_dead_machine(self):
+        """With fail_fast_sends, a send whose arrival postdates the
+        destination's death raises at the sender deterministically."""
+        cluster = failing_cluster(at=0.1)
+
+        def app(env):
+            if env.rank == 0:
+                env.compute(50.0)  # t = 0.5 > the death at 0.1
+                try:
+                    env.comm_world.send(list(range(1000)), 1)
+                except RankFailedError as exc:
+                    return ("typed", exc.ranks)
+                return ("sent",)
+            if env.rank == 1:
+                env.compute(200.0)
+                return None
+            return "bystander"
+
+        res = run_mpi(app, cluster, timeout=20,
+                      ft=FTConfig(fail_fast_sends=True))
+        assert res.results[0] == ("typed", (1,))
+
+    def test_collective_with_dead_rank_is_typed(self):
+        cluster = failing_cluster(at=0.2)
+
+        def app(env):
+            from repro.mpi.ops import SUM
+            if env.rank == 1:
+                env.compute(100.0)  # dies before joining
+            try:
+                return ("ok", env.comm_world.allreduce(1, SUM))
+            except RankFailedError as exc:
+                return ("typed", exc.ranks)
+
+        res = run_mpi(app, cluster, timeout=20)
+        assert res.results[0][0] == "typed"
+        assert res.results[2][0] == "typed"
+        assert 1 in res.results[0][1]
+
+
+class TestOperationTimeouts:
+    def test_recv_timeout_clock_semantics(self):
+        """A timed-out recv raises at exactly post_time + timeout on the
+        virtual clock, and only the timed waiter is woken."""
+        cluster = uniform_network([100.0, 100.0])
+
+        def app(env):
+            if env.rank == 0:
+                t0 = env.wtime()
+                with pytest.raises(OperationTimeoutError) as ei:
+                    env.comm_world.recv(1, timeout=0.25)
+                return (env.wtime() - t0, ei.value.timeout)
+            env.compute(100.0)  # busy for 1 vs; never sends
+            return "quiet"
+
+        res = run_mpi(app, cluster, timeout=20)
+        waited, reported = res.results[0]
+        assert waited == pytest.approx(0.25)
+        assert reported == pytest.approx(0.25)
+        assert res.results[1] == "quiet"
+
+    def test_default_recv_timeout_from_ftconfig(self):
+        cluster = uniform_network([100.0, 100.0])
+
+        def app(env):
+            if env.rank == 0:
+                with pytest.raises(OperationTimeoutError):
+                    env.comm_world.recv(1)
+                return env.wtime()
+            env.compute(100.0)
+            return None
+
+        res = run_mpi(app, cluster, timeout=20,
+                      ft=FTConfig(default_recv_timeout=0.125))
+        assert res.results[0] == pytest.approx(0.125)
+
+    def test_timeout_is_recoverable(self):
+        """After a timeout the rank keeps running; a later matching recv
+        still succeeds (the wake is not a poisoned state)."""
+        cluster = uniform_network([100.0, 100.0])
+
+        def app(env):
+            if env.rank == 0:
+                with pytest.raises(OperationTimeoutError):
+                    env.comm_world.recv(1, tag=1, timeout=0.1)
+                return env.comm_world.recv(1, tag=2)
+            env.compute(50.0)
+            env.comm_world.send("late", 0, tag=2)
+            return None
+
+        res = run_mpi(app, cluster, timeout=20)
+        assert res.results[0] == "late"
+
+
+class TestDeadlockAccounting:
+    def test_pure_deadlock_still_deadlocks(self):
+        """No faults injected -> a genuine cycle is still a program bug
+        and raises DeadlockError (the FT layer must not swallow it)."""
+        cluster = uniform_network([100.0, 100.0])
+
+        def app(env):
+            # both ranks recv first: classic head-to-head deadlock
+            peer = 1 - env.rank
+            return env.comm_world.recv(peer)
+
+        with pytest.raises(DeadlockError):
+            run_mpi(app, cluster, timeout=20)
+
+    def test_deadlock_not_misattributed_to_faults(self):
+        """A cycle among ranks whose machines are all healthy is a
+        DeadlockError even when fault tolerance is configured."""
+        cluster = uniform_network([100.0, 100.0])
+
+        def app(env):
+            peer = 1 - env.rank
+            return env.comm_world.recv(peer)
+
+        with pytest.raises(DeadlockError):
+            run_mpi(app, cluster, timeout=20, ft=FTConfig())
+
+    def test_fault_fallout_not_reraised_as_bug(self):
+        """Secondary RankFailedErrors are recorded per rank, not
+        re-raised by run(): the campaign relies on this accounting."""
+        cluster = failing_cluster(at=0.2)
+
+        def app(env):
+            if env.rank == 1:
+                env.compute(100.0)
+                return None
+            env.comm_world.recv(1)  # typed wake propagates out of app
+            return "unreachable"
+
+        res = run_mpi(app, cluster, timeout=20)
+        assert isinstance(res.exception_of(0), RankFailedError)
+        assert isinstance(res.exception_of(1), MachineFailure)
+        assert isinstance(res.exception_of(2), RankFailedError)
+        assert res.failures and res.failures[0].machine == "m01"
+
+
+class TestAnySourceUnderFaults:
+    def test_any_source_prefers_delivered_messages(self):
+        """ANY_SOURCE keeps matching deterministically (lowest-rank
+        arrival order) while a machine dies: messages already delivered
+        are drained before the dead peer poisons the wildcard."""
+        cluster = failing_cluster(n=4, fail=("m03",), at=0.3)
+
+        def app(env):
+            from repro.mpi import Status
+            if env.rank == 0:
+                got, srcs = [], []
+                try:
+                    for _ in range(3):
+                        st = Status()
+                        got.append(env.comm_world.recv(ANY_SOURCE, status=st))
+                        srcs.append(st.source)
+                except RankFailedError as exc:
+                    return ("partial", got, srcs, exc.ranks)
+                return ("all", got, srcs)
+            if env.rank == 3:
+                env.compute(100.0)  # dies before sending
+                env.comm_world.send("from-3", 0)
+                return None
+            env.compute(float(env.rank))  # ranks 1, 2 send early
+            env.comm_world.send(f"from-{env.rank}", 0)
+            return "sent"
+
+        res = run_mpi(app, cluster, timeout=20)
+        kind, got, srcs, dead = res.results[0]
+        assert kind == "partial"
+        # both live senders were drained, in deterministic arrival order
+        assert got == ["from-1", "from-2"]
+        assert srcs == [1, 2]
+        assert 3 in dead
+
+    def test_any_source_determinism_repeated(self):
+        """Same schedule, same wildcard matching — run to run."""
+        def once():
+            cluster = failing_cluster(n=4, fail=("m02",), at=0.25)
+
+            def app(env):
+                from repro.mpi import Status
+                if env.rank == 0:
+                    out = []
+                    try:
+                        while len(out) < 3:
+                            st = Status()
+                            data = env.comm_world.recv(ANY_SOURCE, status=st)
+                            out.append((st.source, data))
+                    except RankFailedError:
+                        out.append(("failed", None))
+                    return out
+                if env.rank != 2:
+                    env.compute(float(env.rank) * 2.0)
+                    env.comm_world.send(env.rank * 10, 0)
+                else:
+                    env.compute(100.0)
+                return None
+
+            return run_mpi(app, cluster, timeout=20).results[0]
+
+        assert once() == once()
+
+
+class TestTransientFaults:
+    def _lossy_cluster(self, drop, seed, stop=None):
+        cluster = uniform_network([100.0, 100.0])
+        cfg = TransientFaultConfig(
+            drop_prob=drop, **({"stop": stop} if stop is not None else {}))
+        attach_transient_faults(cluster, TransientLinkFaults(cfg, seed=seed))
+        return cluster
+
+    def _pingpong(self, env, rounds=20):
+        peer = 1 - env.rank
+        for i in range(rounds):
+            if env.rank == 0:
+                env.comm_world.send(i, peer, tag=i)
+                assert env.comm_world.recv(peer, tag=i) == i
+            else:
+                env.comm_world.send(env.comm_world.recv(peer, tag=i),
+                                    peer, tag=i)
+        return env.wtime()
+
+    def test_masked_drops_charge_retry_time(self):
+        clean = run_mpi(self._pingpong, self._lossy_cluster(0.0, 1),
+                        timeout=20)
+        lossy = run_mpi(self._pingpong, self._lossy_cluster(0.4, 1),
+                        timeout=20,
+                        ft=FTConfig(max_retries=16, retry_timeout=1e-3))
+        assert lossy.results[0] > clean.results[0]
+
+    def test_drop_schedule_is_seed_deterministic(self):
+        ft = FTConfig(max_retries=16, retry_timeout=1e-3)
+        a = run_mpi(self._pingpong, self._lossy_cluster(0.4, 7),
+                    timeout=20, ft=ft)
+        b = run_mpi(self._pingpong, self._lossy_cluster(0.4, 7),
+                    timeout=20, ft=ft)
+        c = run_mpi(self._pingpong, self._lossy_cluster(0.4, 8),
+                    timeout=20, ft=ft)
+        assert a.results[0] == b.results[0]
+        assert a.makespan == b.makespan
+        # a different seed draws a different drop pattern
+        assert c.results[0] != a.results[0]
+
+    def test_budget_exhaustion_is_typed(self):
+        """drop_prob=1.0: every retransmission fails, so the sender gets
+        LinkFaultError after exactly max_retries+1 attempts."""
+        cluster = self._lossy_cluster(1.0, 0)
+
+        def app(env):
+            if env.rank == 0:
+                try:
+                    env.comm_world.send("doomed", 1)
+                except LinkFaultError as exc:
+                    return ("typed", exc.src, exc.dst, exc.attempts)
+                return ("sent",)
+            try:
+                return ("got", env.comm_world.recv(0, timeout=5.0))
+            except (RankFailedError, OperationTimeoutError) as exc:
+                return ("peer-typed", type(exc).__name__)
+
+        res = run_mpi(app, cluster, timeout=20,
+                      ft=FTConfig(max_retries=3, retry_timeout=1e-3))
+        assert res.results[0] == ("typed", 0, 1, 4)
+        assert res.results[1][0] in ("peer-typed", "got")
+
+    def test_fault_window_respected(self):
+        """Messages sent after the window's stop time never fault."""
+        cluster = self._lossy_cluster(1.0, 0, stop=0.05)
+
+        def app(env):
+            env.compute(10.0)  # move past the window (t = 0.1)
+            if env.rank == 0:
+                env.comm_world.send("clean", 1)
+                return "sent"
+            return env.comm_world.recv(0)
+
+        res = run_mpi(app, cluster, timeout=20,
+                      ft=FTConfig(max_retries=1))
+        assert res.results[1] == "clean"
+
+
+class TestFTConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(MPIError):
+            FTConfig(max_retries=-1)
+        with pytest.raises(MPIError):
+            FTConfig(retry_timeout=-0.5)
+        with pytest.raises(MPIError):
+            FTConfig(backoff=0.5)
+
+    def test_defaults_are_usable(self):
+        cfg = FTConfig()
+        assert cfg.max_retries >= 1
+        assert cfg.fail_fast_sends

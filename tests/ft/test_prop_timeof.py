@@ -1,0 +1,126 @@
+"""Property-based differential test: HMPI_Timeof vs the engine.
+
+For randomly drawn pipeline workloads (compute volumes, transfer sizes,
+machine speeds), ``HMPI_Timeof``'s prediction must agree with the
+virtual time the engine actually measures when the selected group runs
+the modelled pattern — within the documented 5% tolerance (the scheme's
+resource clocks capture exactly the dependency structure the program
+executes).  The invariant must survive degraded mode: after a machine is
+marked dead, both the prediction and the execution move to the
+surviving subset and still agree.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import uniform_network
+from repro.core import ExhaustiveMapper, run_hmpi
+from repro.perfmodel import CallableModel
+
+#: Documented agreement bound for mirrored executions (the integration
+#: suite uses the same figure for the DSL pipeline).
+REL_TOL = 0.05
+
+speeds_st = st.lists(
+    st.floats(min_value=25.0, max_value=400.0), min_size=4, max_size=5)
+volumes_st = st.lists(
+    st.floats(min_value=10.0, max_value=200.0), min_size=3, max_size=3)
+# Transfers must carry real volume: a zero-byte link is no dependency in
+# the model, while the mirrored program still blocks on its recv.
+bytes_st = st.lists(
+    st.integers(min_value=10_000, max_value=3_000_000),
+    min_size=2, max_size=2)
+
+
+def pipeline_model(v, b):
+    """p-stage pipeline: compute stage i, then pass b[i] bytes to i+1."""
+    p = len(v)
+    links = np.zeros((p, p))
+    for i in range(p - 1):
+        links[i, i + 1] = b[i]
+
+    def scheme(visitor):
+        for i in range(p):
+            visitor.compute(100.0, i)
+            if i < p - 1:
+                visitor.transfer(100.0, i, i + 1)
+
+    return CallableModel(
+        p,
+        lambda i: float(v[i]),
+        lambda s, d: float(links[s, d]),
+        scheme=scheme,
+        name="prop-pipeline",
+    )
+
+
+def mirrored_run(cluster, v, b, dead=()):
+    """Predict with timeof, then execute the modelled pattern."""
+    bound = pipeline_model(v, b)
+
+    def app(hmpi):
+        if hmpi.is_host():
+            for r in dead:
+                hmpi.mark_dead(r)
+        predicted = hmpi.timeof(bound) if hmpi.is_host() else None
+        gid = hmpi.group_create(bound, mapper=ExhaustiveMapper())
+        measured = None
+        if gid.is_member:
+            comm = gid.comm
+            comm.barrier()
+            t0 = comm.wtime()
+            me = comm.rank
+            if me > 0:
+                comm.recv(me - 1, tag=0)
+            hmpi.compute(v[me])
+            if me < comm.size - 1:
+                comm.send(None, me + 1, tag=0, nbytes=int(b[me]))
+            comm.barrier()
+            measured = comm.wtime() - t0
+            members = gid.world_ranks
+            hmpi.group_free(gid)
+        else:
+            members = ()
+        return (predicted, measured, members)
+
+    res = run_hmpi(app, cluster, timeout=30)
+    # ranks marked dead exit with MachineFailure and contribute None
+    outcomes = [r for r in res.results if r is not None]
+    predicted = res.results[0][0]
+    measured = max(m for _, m, _ in outcomes if m is not None)
+    members = res.results[0][2]
+    return predicted, measured, members
+
+
+class TestTimeofDifferential:
+    @settings(max_examples=12, deadline=None)
+    @given(speeds=speeds_st, v=volumes_st, b=bytes_st)
+    def test_prediction_matches_execution(self, speeds, v, b):
+        cluster = uniform_network(speeds)
+        predicted, measured, _ = mirrored_run(cluster, v, b)
+        assert measured == pytest.approx(predicted, rel=REL_TOL)
+
+    @settings(max_examples=12, deadline=None)
+    @given(speeds=speeds_st, v=volumes_st, b=bytes_st,
+           victim=st.integers(min_value=1, max_value=3))
+    def test_prediction_matches_execution_degraded(self, speeds, v, b,
+                                                   victim):
+        """Same invariant with a dead machine: prediction and execution
+        both confine themselves to the survivors and still agree."""
+        cluster = uniform_network(speeds)
+        predicted, measured, members = mirrored_run(
+            cluster, v, b, dead=(victim,))
+        assert victim not in members
+        assert measured == pytest.approx(predicted, rel=REL_TOL)
+
+    def test_killing_the_fast_machines_slows_the_prediction(self):
+        """Directional sanity: deaths can only remove options, so the
+        degraded prediction is never better than the healthy one."""
+        speeds = [100.0, 300.0, 300.0, 50.0, 50.0]
+        v, b = [80.0, 80.0, 80.0], [100_000, 100_000]
+        healthy, _, _ = mirrored_run(uniform_network(speeds), v, b)
+        degraded, _, _ = mirrored_run(uniform_network(speeds), v, b,
+                                      dead=(1, 2))
+        assert degraded >= healthy - 1e-12
