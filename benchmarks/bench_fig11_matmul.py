@@ -15,6 +15,7 @@ import pytest
 from repro.apps.matmul import run_matmul_hmpi, run_matmul_mpi
 from repro.cluster import paper_network
 from repro.core import GreedyMapper
+from repro.obs import Observability
 from repro.util.tables import Table
 
 SIZES = [9, 18, 27, 36]   # n in r x r blocks -> matrices up to 324 x 324
@@ -24,12 +25,12 @@ M = 3
 SEED = 11
 
 
-def _sweep():
+def _sweep(obs=None):
     rows = []
     for n in SIZES:
         mpi = run_matmul_mpi(paper_network(), n=n, r=R, m=M, seed=SEED)
         hmpi = run_matmul_hmpi(paper_network(), n=n, r=R, m=M, l=L,
-                               seed=SEED, mapper=GreedyMapper())
+                               seed=SEED, mapper=GreedyMapper(), obs=obs)
         assert hmpi.checksum == pytest.approx(mpi.checksum, rel=1e-9)
         rows.append((n, n * R, mpi.algorithm_time, hmpi.algorithm_time,
                      hmpi.predicted_time))
@@ -37,7 +38,8 @@ def _sweep():
 
 
 def test_fig11_matmul(benchmark, report):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    obs = Observability(tracer=False)
+    rows = benchmark.pedantic(_sweep, args=(obs,), rounds=1, iterations=1)
 
     a = Table("n (blocks)", "matrix size", "t_MPI (s)", "t_HMPI (s)",
               "Timeof pred (s)",
@@ -49,6 +51,16 @@ def test_fig11_matmul(benchmark, report):
         b.add(n, t_mpi / t_hmpi)
     report.emit(a.render())
     report.emit(b.render())
+
+    snap = obs.snapshot()
+    sel = Table("selection metric", "value",
+                title="Selection engine over the sweep")
+    for series in snap["metrics"]:
+        if series["name"].startswith("hmpi.selection."):
+            sel.add(series["name"].removeprefix("hmpi.selection."),
+                    int(series["value"]))
+    report.emit(sel.render())
+    report.emit(obs.accuracy.render())
 
     # Shape: a decisive HMPI win at every size, growing with n as
     # computation (which the distribution balances) dominates

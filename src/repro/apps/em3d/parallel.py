@@ -171,6 +171,7 @@ def run_em3d_hmpi(
     recon: bool = True,
     procs_per_machine: int = 1,
     timeout: float | None = 120.0,
+    obs=None,
 ) -> EM3DRunResult:
     """The HMPI version of the paper's Figure 5.
 
@@ -205,6 +206,9 @@ def run_em3d_hmpi(
                 return hmpi.compute(volume, _conc)
 
             total, elapsed = _timed_region(comm, member_compute, problem, niter, k)
+            if hmpi.is_host():
+                # The model prices one iteration of the exchange.
+                hmpi.record_measured(bound, elapsed / max(1, niter))
             out = (total, elapsed, gid.world_ranks, predicted,
                    gid.mapping.machines)
             hmpi.group_free(gid)
@@ -212,7 +216,7 @@ def run_em3d_hmpi(
 
     placement = [m for m in range(cluster.size) for _ in range(procs_per_machine)]
     result = run_hmpi(app, cluster, placement=placement, mapper=mapper,
-                      timeout=timeout)
+                      timeout=timeout, obs=obs)
     total, elapsed, ranks, predicted, machines = result.results[0]
     return EM3DRunResult(
         algorithm_time=elapsed,

@@ -111,6 +111,8 @@ def _sweep_resumable(hmpi: HMPI, gid, store: CheckpointStore, n: int,
     panel = grid[start - 1:start + my_rows + 1].copy()
     conc = gid.my_concurrency
 
+    sweep_t0 = hmpi.env.wtime()
+    ckpt_cost = 0.0
     for it in range(done, niter):
         if me > 0:
             comm.send(panel[1].copy(), me - 1, tag=it)
@@ -126,8 +128,16 @@ def _sweep_resumable(hmpi: HMPI, gid, store: CheckpointStore, n: int,
         hmpi.compute(my_rows * n / k, conc)
         completed = it + 1
         if completed % checkpoint_every == 0 or completed == niter:
-            charged_save(hmpi, store, _KEY, completed, me, p,
-                         (start, panel[1:-1]))
+            ckpt_cost += charged_save(hmpi, store, _KEY, completed, me, p,
+                                      (start, panel[1:-1]))
+
+    # Close the prediction loop: the model prices one sweep, so report
+    # the per-iteration time of this epoch (checkpoint charges excluded —
+    # the model does not price them).
+    if me == 0 and niter > done:
+        from .model import jacobi_model
+        elapsed = hmpi.env.wtime() - sweep_t0 - ckpt_cost
+        hmpi.record_measured(jacobi_model(), elapsed / (niter - done))
 
     panels = comm.gather(panel[1:-1], root=0)
     # Success token: a member must not leave while the host might still
@@ -157,6 +167,7 @@ def run_jacobi_ft(
     ft: FTConfig | None = None,
     max_repairs: int = 8,
     timeout: float | None = 120.0,
+    obs=None,
 ) -> JacobiFTResult:
     """Run the Jacobi solver to completion through machine failures.
 
@@ -166,6 +177,9 @@ def run_jacobi_ft(
     looping.  Faults come from the cluster itself: schedule machine
     deaths with :func:`repro.cluster.inject_faults` and transient drops
     with :func:`repro.cluster.attach_transient_faults` before calling.
+    An :class:`repro.obs.Observability` passed as ``obs`` collects
+    metrics, runtime spans (including repairs and checkpoint traffic),
+    the engine trace, and per-sweep prediction-accuracy pairs.
     """
     if p > cluster.size:
         raise ReproError(f"need {p} machines, cluster has {cluster.size}")
@@ -219,7 +233,7 @@ def run_jacobi_ft(
                     pass
             return ("failed", repairs, str(exc))
 
-    result = run_hmpi(app, cluster, timeout=timeout, ft=ft)
+    result = run_hmpi(app, cluster, timeout=timeout, ft=ft, obs=obs)
     host_out = result.results[0]
     dead: list[int] = []
     for r, exc in enumerate(result.exceptions):

@@ -133,12 +133,16 @@ def run_matmul_hmpi(
     mapper: Mapper | None = None,
     recon: bool = True,
     timeout: float | None = 300.0,
+    obs=None,
 ) -> MatmulRunResult:
     """The HMPI version of Figure 8.
 
     With ``l=None`` the host sweeps candidate generalized block sizes with
     ``HMPI_Timeof`` and uses the predicted-fastest one, exactly like the
-    paper's ``optimal_generalised_block_size`` loop.
+    paper's ``optimal_generalised_block_size`` loop.  An
+    :class:`repro.obs.Observability` passed as ``obs`` collects metrics,
+    runtime spans, and the predicted-vs-measured accuracy pair for the
+    timed region.
     """
     if m * m > cluster.size:
         raise ReproError(f"grid {m}x{m} needs {m * m} machines, "
@@ -180,11 +184,13 @@ def run_matmul_hmpi(
                 return hmpi.compute(volume, _conc)
 
             total, elapsed = _timed_region(comm, member_compute, dist, r, seed)
+            if hmpi.is_host():
+                hmpi.record_measured(bind_matmul_model(dist, r), elapsed)
             out = (total, elapsed, gid.world_ranks, chosen_l, predicted, dist)
             hmpi.group_free(gid)
         return out
 
-    result = run_hmpi(app, cluster, mapper=mapper, timeout=timeout)
+    result = run_hmpi(app, cluster, mapper=mapper, timeout=timeout, obs=obs)
     total, elapsed, ranks, chosen_l, predicted, dist = result.results[0]
     return MatmulRunResult(
         algorithm_time=elapsed,

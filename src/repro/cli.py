@@ -18,6 +18,13 @@ Commands
 ``cluster``
     Print a preset cluster configuration as JSON (edit it, feed it back to
     experiments).
+``trace``
+    Run an instrumented scenario (fault-tolerant Jacobi by default) and
+    write its Chrome-trace JSON — load it in Perfetto or
+    ``chrome://tracing`` for per-rank lanes plus nested runtime spans.
+``stats``
+    Run the same scenarios and print the metrics snapshot, selection-
+    cache statistics, and the Timeof prediction-accuracy table.
 """
 
 from __future__ import annotations
@@ -64,15 +71,132 @@ def _cmd_fig10(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig11(args: argparse.Namespace) -> int:
+    from .obs import Observability
+
+    obs = Observability(tracer=False)
     table = Table("n (blocks)", "t_MPI (s)", "t_HMPI (s)", "speedup",
                   title="Figure 11 — MM, HMPI vs MPI (r = l = 9)")
     for n in args.sizes:
         mpi = run_matmul_mpi(paper_network(), n=n, r=9, m=3, seed=args.seed)
         hmpi = run_matmul_hmpi(paper_network(), n=n, r=9, m=3, l=9,
-                               seed=args.seed, mapper=GreedyMapper())
+                               seed=args.seed, mapper=GreedyMapper(), obs=obs)
         table.add(n, mpi.algorithm_time, hmpi.algorithm_time,
                   mpi.algorithm_time / hmpi.algorithm_time)
     print(table.render())
+    print()
+    print(_selection_stats_table(obs).render())
+    return 0
+
+
+def _selection_stats_table(obs) -> Table:
+    """Selection-engine series from the registry, as a printable table."""
+    snap = obs.snapshot()
+    table = Table("selection metric", "value", title="Selection engine")
+    for series in snap["metrics"]:
+        if series["name"].startswith("hmpi.selection."):
+            table.add(series["name"].removeprefix("hmpi.selection."),
+                      int(series["value"]))
+    return table
+
+
+def _parse_fail(pairs: list[str]) -> dict[str, float]:
+    schedule = {}
+    for pair in pairs:
+        name, sep, at = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"--fail expects MACHINE=VTIME, got {pair!r}")
+        try:
+            schedule[name] = float(at)
+        except ValueError:
+            raise SystemExit(f"--fail {name}: {at!r} is not a number")
+    return schedule
+
+
+def _run_observed(args: argparse.Namespace):
+    """Run the chosen instrumented scenario; return its Observability."""
+    from .obs import Observability
+
+    obs = Observability()
+    if args.app == "jacobi":
+        from .apps.jacobi import run_jacobi_ft
+        from .cluster import FaultSchedule, inject_faults, uniform_network
+
+        cluster = uniform_network([100.0] * args.machines)
+        if args.fail:
+            inject_faults(cluster, FaultSchedule(_parse_fail(args.fail)))
+        result = run_jacobi_ft(cluster, n=args.n, p=args.p, niter=args.niter,
+                               k=50, seed=args.seed, obs=obs)
+        if result.error is not None:
+            raise SystemExit(f"jacobi run failed: {result.error}")
+        outcome = (f"jacobi n={args.n} p={args.p} niter={args.niter}: "
+                   f"{result.repairs} repair(s), "
+                   f"{result.checkpoint_saves} checkpoint save(s), "
+                   f"makespan {result.makespan:.3f}s")
+    else:
+        result = run_matmul_hmpi(paper_network(), n=args.n, r=9, m=3,
+                                 seed=args.seed, mapper=GreedyMapper(),
+                                 obs=obs)
+        outcome = (f"matmul n={args.n} l={result.block_size_l}: "
+                   f"algorithm {result.algorithm_time:.3f}s, "
+                   f"makespan {result.makespan:.3f}s")
+    return obs, outcome
+
+
+def _scenario_flags(sub) -> None:
+    sub.add_argument("--app", choices=["jacobi", "matmul"], default="jacobi")
+    sub.add_argument("--n", type=int, default=30,
+                     help="problem size (grid rows / blocks)")
+    sub.add_argument("--p", type=int, default=4,
+                     help="jacobi group size")
+    sub.add_argument("--niter", type=int, default=6)
+    sub.add_argument("--machines", type=int, default=5,
+                     help="jacobi cluster size")
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--fail", nargs="*", metavar="MACHINE=VTIME",
+                     default=["m02=0.05"],
+                     help="jacobi fault schedule (pass bare --fail for a "
+                          "fault-free run)")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    obs, outcome = _run_observed(args)
+    print(outcome)
+    obs.write_chrome_trace(args.out, metadata={"app": args.app})
+    doc = obs.chrome_trace()
+    print(f"wrote {args.out}: {len(doc['traceEvents'])} events "
+          f"({obs.snapshot()['spans']} runtime spans) — open in Perfetto "
+          f"or chrome://tracing")
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            fh.write(obs.metrics.to_json())
+            fh.write("\n")
+        print(f"wrote {args.metrics}: metrics snapshot")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    obs, outcome = _run_observed(args)
+    snap = obs.snapshot()
+    if args.json:
+        print(json.dumps(snap, indent=2))
+        return 0
+    print(outcome)
+    print()
+    table = Table("metric", "labels", "type", "value",
+                  title="Metrics snapshot")
+    for series in snap["metrics"]:
+        labels = ",".join(f"{k}={v}" for k, v in series["labels"].items())
+        if series["type"] == "histogram":
+            value = "n=0"
+            if series["count"]:
+                value = (f"n={series['count']} p50={series['p50']:.2e} "
+                         f"p95={series['p95']:.2e}")
+        else:
+            value = f"{series['value']:g}"
+        table.add(series["name"], labels or "-", series["type"], value)
+    print(table.render())
+    print()
+    print(obs.accuracy.render())
     return 0
 
 
@@ -218,6 +342,22 @@ def build_parser() -> argparse.ArgumentParser:
     pk.add_argument("--preset", choices=["paper", "multiprotocol"],
                     default="paper")
     pk.set_defaults(fn=_cmd_cluster)
+
+    pt = sub.add_parser(
+        "trace", help="run an instrumented scenario, write Chrome-trace JSON")
+    _scenario_flags(pt)
+    pt.add_argument("--out", default="trace.json",
+                    help="Chrome-trace output path (default trace.json)")
+    pt.add_argument("--metrics", default=None, metavar="PATH",
+                    help="also write the metrics snapshot JSON here")
+    pt.set_defaults(fn=_cmd_trace)
+
+    ps = sub.add_parser(
+        "stats", help="run an instrumented scenario, print metrics + accuracy")
+    _scenario_flags(ps)
+    ps.add_argument("--json", action="store_true",
+                    help="print the raw snapshot JSON instead of tables")
+    ps.set_defaults(fn=_cmd_stats)
     return parser
 
 

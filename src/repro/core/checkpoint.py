@@ -22,6 +22,7 @@ partial future left behind by a failure before the group resumes.
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 from typing import Any
 
 import numpy as np
@@ -165,14 +166,31 @@ def _transfer_seconds(hmpi: Any, nbytes: int) -> float:
     return netmodel.transfer_time(me, host, nbytes)
 
 
+def _ckpt_span(hmpi: Any, name: str, **attrs: Any):
+    """Observability span around a checkpoint transfer (no-op when the
+    run carries no obs bundle)."""
+    obs = getattr(hmpi.state, "obs", None)
+    if obs is None:
+        return nullcontext()
+    return obs.spans.span(name, hmpi.rank, hmpi.env.wtime, **attrs)
+
+
 def charged_save(hmpi: Any, store: CheckpointStore, key: str, iteration: int,
                  part: int, nparts: int, data: Any) -> float:
     """Save one part, charging the member's clock for shipping it to the
     host's stable storage; returns the seconds charged."""
-    cost = _transfer_seconds(hmpi, nbytes_of(data))
-    if cost > 0.0:
-        hmpi.env.elapse(cost)
-    store.save(key, iteration, part, nparts, data)
+    nbytes = nbytes_of(data)
+    with _ckpt_span(hmpi, "checkpoint_save", key=key, iteration=iteration,
+                    part=part, nparts=nparts, nbytes=nbytes) as sp:
+        cost = _transfer_seconds(hmpi, nbytes)
+        if cost > 0.0:
+            hmpi.env.elapse(cost)
+        store.save(key, iteration, part, nparts, data)
+        if sp is not None:
+            sp.attrs["cost"] = cost
+            obs = hmpi.state.obs
+            obs.metrics.counter("hmpi.checkpoint.saves").inc()
+            obs.metrics.histogram("hmpi.checkpoint.save_bytes").observe(nbytes)
     return cost
 
 
@@ -180,8 +198,15 @@ def charged_load(hmpi: Any, store: CheckpointStore, key: str,
                  iteration: int) -> list[Any]:
     """Load a complete checkpoint, charging for pulling it back from the
     host's stable storage."""
-    parts = store.load(key, iteration)
-    cost = _transfer_seconds(hmpi, nbytes_of(parts))
-    if cost > 0.0:
-        hmpi.env.elapse(cost)
+    with _ckpt_span(hmpi, "checkpoint_restore", key=key,
+                    iteration=iteration) as sp:
+        parts = store.load(key, iteration)
+        nbytes = nbytes_of(parts)
+        cost = _transfer_seconds(hmpi, nbytes)
+        if cost > 0.0:
+            hmpi.env.elapse(cost)
+        if sp is not None:
+            sp.attrs.update(nbytes=nbytes, cost=cost)
+            obs = hmpi.state.obs
+            obs.metrics.counter("hmpi.checkpoint.restores").inc()
     return parts

@@ -42,7 +42,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from collections.abc import Callable, Sequence
-from typing import Any
+from contextlib import contextmanager, nullcontext
+from typing import TYPE_CHECKING, Any
 
 from ..cluster.network import Cluster
 from ..mpi.communicator import Comm
@@ -61,6 +62,9 @@ from .group import HMPIGroup
 from .mapper import DefaultMapper, Mapper, Mapping, _supports_stats, resolve_mapper
 from .netmodel import NetworkModel
 from .seleng import SelectionStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.core import Observability
 
 __all__ = ["HMPI", "HMPIRuntimeState", "run_hmpi", "HOST_RANK"]
 
@@ -95,9 +99,13 @@ class HMPIRuntimeState:
     #: Cached selections retained (LRU); stale epochs age out naturally.
     SELECTION_CACHE_SIZE = 64
 
-    def __init__(self, netmodel: NetworkModel, mapper: "Mapper | str | None" = None):
+    def __init__(self, netmodel: NetworkModel, mapper: "Mapper | str | None" = None,
+                 obs: "Observability | None" = None):
         self.netmodel = netmodel
         self.mapper = resolve_mapper(mapper, default=None) or DefaultMapper()
+        # Observability bundle (metrics/spans/accuracy); None = off, and
+        # every instrumented path then costs a single attribute check.
+        self.obs = obs
         self.lock = threading.RLock()
         # Free = not a member of any HMPI group.  The host is permanently
         # the parent of the world group, so it is never "free" but always
@@ -114,6 +122,10 @@ class HMPIRuntimeState:
         self._selection_cache: OrderedDict[tuple, tuple[Mapping, Any, Any]] = (
             OrderedDict()
         )
+        if obs is not None:
+            # The registry absorbs the ad-hoc SelectionStats: snapshots
+            # re-publish its live totals as hmpi.selection.* series.
+            obs.attach_selection_stats(self.selection_stats)
 
     def participants(self) -> list[int]:
         """Host plus free processes, excluding known-dead ranks."""
@@ -130,6 +142,7 @@ class HMPIRuntimeState:
         mapper: "Mapper | str | None" = None,
         fixed: dict[int, int] | None = None,
         candidates: Sequence[int] | None = None,
+        info: dict | None = None,
     ) -> Mapping:
         """Solve (or recall) the selection problem for ``model``.
 
@@ -138,7 +151,9 @@ class HMPIRuntimeState:
         speed epoch, a machine failure is recorded (same epoch mechanism),
         or the pool of free processes changes.  ``candidates`` overrides
         the default pool (host + free − dead) — group repair passes the
-        survivor set explicitly.
+        survivor set explicitly.  ``info``, when given, is filled with how
+        the answer was obtained (``cache`` hit/miss, candidate count,
+        engine ``evaluations`` spent) for span attributes and debugging.
         """
         with self.lock:
             netmodel = self.netmodel
@@ -149,6 +164,8 @@ class HMPIRuntimeState:
                 candidates = tuple(candidates)
         if fixed is None:
             fixed = {model.parent_index(): HOST_RANK}
+        if info is not None:
+            info["candidates"] = len(candidates)
         key = (
             id(model),
             id(use_mapper),
@@ -161,9 +178,15 @@ class HMPIRuntimeState:
             if entry is not None:
                 self._selection_cache.move_to_end(key)
                 self.selection_stats.cache_hits += 1
+                if info is not None:
+                    info["cache"] = "hit"
+                    info["evaluations"] = 0
                 return entry[0]
             self.selection_stats.cache_misses += 1
             stats = self.selection_stats
+            evals_before = stats.evaluations
+            if info is not None:
+                info["cache"] = "miss"
         if _supports_stats(use_mapper):
             mapping = use_mapper.select(
                 model, netmodel, list(candidates), fixed, stats=stats
@@ -171,6 +194,8 @@ class HMPIRuntimeState:
         else:
             mapping = use_mapper.select(model, netmodel, list(candidates), fixed)
         with self.lock:
+            if info is not None:
+                info["evaluations"] = stats.evaluations - evals_before
             self._selection_cache[key] = (mapping, model, use_mapper)
             while len(self._selection_cache) > self.SELECTION_CACHE_SIZE:
                 self._selection_cache.popitem(last=False)
@@ -189,6 +214,44 @@ class HMPI:
         self.env = env
         self.state = state
         self.comm_world = env.comm_world  # the paper's HMPI_COMM_WORLD
+
+    # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+    @property
+    def obs(self) -> "Observability | None":
+        """The run's observability bundle (None when not instrumented)."""
+        return self.state.obs
+
+    def _span(self, name: str, **attrs: Any):
+        """Span context around a runtime operation; no-op without obs."""
+        obs = self.state.obs
+        if obs is None:
+            return nullcontext()
+        return obs.spans.span(name, self.rank, self.env.wtime, **attrs)
+
+    def _count(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        obs = self.state.obs
+        if obs is not None:
+            obs.metrics.counter(name, **labels).inc(amount)
+            obs.metrics.mark_vtime(self.env.wtime())
+
+    def record_measured(self, model: "AbstractBoundModel | str",
+                        seconds: float) -> None:
+        """Report the engine-measured execution time of ``model``'s region.
+
+        Resolves the most recent unresolved ``Timeof``/selection estimate
+        of the same model (see
+        :class:`repro.obs.accuracy.PredictionTracker`), feeding the
+        predicted-vs-measured accuracy report.  No-op without obs.
+        """
+        obs = self.state.obs
+        if obs is None:
+            return
+        from ..obs.accuracy import model_key
+
+        key = model if isinstance(model, str) else model_key(model)
+        obs.accuracy.measure(key, seconds)
 
     # ------------------------------------------------------------------
     # identity predicates
@@ -248,15 +311,20 @@ class HMPI:
 
         Returns this process's own measured speed (benchmark units/sec).
         """
-        t0 = self.env.wtime()
-        if benchmark is None:
-            self.env.compute(volume)
-        else:
-            benchmark(self.env)
-        elapsed = self.env.wtime() - t0
-        times = self.comm_world.allgather(elapsed)
-        with self.state.lock:
-            self.state.netmodel.update_speeds_from_benchmark(times, volume)
+        with self._span("HMPI_Recon", volume=volume) as sp:
+            t0 = self.env.wtime()
+            if benchmark is None:
+                self.env.compute(volume)
+            else:
+                benchmark(self.env)
+            elapsed = self.env.wtime() - t0
+            times = self.comm_world.allgather(elapsed)
+            with self.state.lock:
+                self.state.netmodel.update_speeds_from_benchmark(times, volume)
+            if sp is not None:
+                sp.attrs["elapsed"] = elapsed
+                sp.attrs["speed"] = volume / elapsed
+            self._count("hmpi.recon.calls")
         return volume / elapsed
 
     # ------------------------------------------------------------------
@@ -278,8 +346,23 @@ class HMPI:
         repeated calls on the same model are O(1) until ``recon`` refreshes
         the speed estimates or the free-process pool changes.
         """
-        mapping = self._select(model, mapper)
-        return mapping.time * iterations
+        obs = self.state.obs
+        if obs is None:
+            return self.state.select(model, mapper).time * iterations
+        from ..obs.accuracy import model_key
+
+        info: dict = {}
+        with self._span("HMPI_Timeof", model=model_key(model)) as sp:
+            mapping = self.state.select(model, mapper, info=info)
+            predicted = mapping.time * iterations
+            sp.attrs.update(info, predicted=predicted)
+            obs.accuracy.predict(
+                model_key(model), predicted, vtime=self.env.wtime(),
+                mapper=type(resolve_mapper(mapper,
+                                           default=self.state.mapper)).__name__,
+            )
+            self._count("hmpi.timeof.calls")
+        return predicted
 
     @property
     def selection_stats(self) -> SelectionStats:
@@ -316,28 +399,38 @@ class HMPI:
         :meth:`release_free`.
         """
         world = self.comm_world
-        if self.is_host():
-            with self.state.lock:
-                counter = self.state.creation_counter
-                self.state.creation_counter += 1
-            recipients = {r: _TAG_GROUP_CREATE for r in self._free_pool()}
-            mapping = self._host_distribute(counter, model, mapper, recipients)
-        else:
-            if not self.is_free():
-                self._raise_if_doomed()
-                raise HMPIStateError(
-                    f"HMPI_Group_create called by busy non-host process "
-                    f"(world rank {self.rank})"
-                )
-            got = self._await_mapping(_TAG_GROUP_CREATE)
-            if got is None:  # released by the host
-                return None
-            counter, mapping = got
-            with self.state.lock:
-                self.state.creation_counter = max(
-                    self.state.creation_counter, counter + 1
-                )
-        return self._materialize(counter, mapping)
+        with self._span("HMPI_Group_create",
+                        role="host" if self.is_host() else "free") as sp:
+            if self.is_host():
+                with self.state.lock:
+                    counter = self.state.creation_counter
+                    self.state.creation_counter += 1
+                recipients = {r: _TAG_GROUP_CREATE for r in self._free_pool()}
+                mapping = self._host_distribute(counter, model, mapper,
+                                                recipients, span=sp)
+                self._count("hmpi.groups.created")
+            else:
+                if not self.is_free():
+                    self._raise_if_doomed()
+                    raise HMPIStateError(
+                        f"HMPI_Group_create called by busy non-host process "
+                        f"(world rank {self.rank})"
+                    )
+                got = self._await_mapping(_TAG_GROUP_CREATE)
+                if got is None:  # released by the host
+                    if sp is not None:
+                        sp.attrs["released"] = True
+                    return None
+                counter, mapping = got
+                with self.state.lock:
+                    self.state.creation_counter = max(
+                        self.state.creation_counter, counter + 1
+                    )
+            if sp is not None:
+                sp.attrs.update(gid=counter, size=len(mapping.processes),
+                                predicted=mapping.time,
+                                member=self.rank in mapping.processes)
+            return self._materialize(counter, mapping)
 
     # -- creation/repair exchange internals ----------------------------
 
@@ -354,6 +447,7 @@ class HMPI:
         model: "AbstractBoundModel | Callable[[int], AbstractBoundModel]",
         mapper: "Mapper | str | None",
         recipients: dict[int, int],
+        span: Any = None,
     ) -> Mapping:
         """Two-phase mapping exchange, host side (``rank -> tag`` targets).
 
@@ -380,9 +474,10 @@ class HMPI:
             use_model = model
             if callable(model) and not isinstance(model, AbstractBoundModel):
                 use_model = model(len(candidates))
+            info: dict | None = {} if span is not None else None
             try:
                 mapping = self.state.select(use_model, mapper,
-                                            candidates=candidates)
+                                            candidates=candidates, info=info)
             except MappingError:
                 for r in targets:
                     try:
@@ -412,6 +507,22 @@ class HMPI:
                     # Too late to reselect (earlier recipients may already
                     # be committed); the group may be born broken.
                     self._mark_ranks_dead(set(exc.ranks) | {r})
+            obs = self.state.obs
+            if obs is not None:
+                from ..obs.accuracy import model_key
+
+                if span is not None:
+                    span.attrs.update(info or {}, attempts=attempt + 1,
+                                      model=model_key(use_model))
+                # The selection's own estimate is a prediction of this
+                # group's execution time; the app resolves it by calling
+                # record_measured after running the algorithm.
+                obs.accuracy.predict(
+                    model_key(use_model), mapping.time,
+                    vtime=self.env.wtime(),
+                    mapper=type(resolve_mapper(
+                        mapper, default=self.state.mapper)).__name__,
+                )
             return mapping
 
     def _await_mapping(self, tag: int) -> "tuple[int, Mapping] | None":
@@ -529,6 +640,7 @@ class HMPI:
             self.state.netmodel.mark_machine_dead(
                 self.state.netmodel.machine_of(world_rank)
             )
+        self._count("hmpi.ranks.dead")
         # Blocked ranks (external waits in particular) may care.
         self.comm_world._engine.poke()
 
@@ -602,6 +714,35 @@ class HMPI:
                 f"group_repair called by non-member (world rank {self.rank}) "
                 f"of HMPI group {broken.gid}"
             )
+        engine = self.comm_world._engine
+        t0 = self.env.wtime()
+        try:
+            with self._span("HMPI_Group_repair", gid=broken.gid,
+                            role="host" if self.is_host() else "member",
+                            reported_dead=tuple(dead)) as sp:
+                repaired = self._group_repair_exchange(broken, model, mapper,
+                                                       dead, sp)
+                self._count("hmpi.repairs")
+                return repaired
+        finally:
+            if engine.tracer is not None:
+                from ..mpi.tracing import TraceEvent
+
+                engine.tracer.record(TraceEvent(
+                    rank=self.rank, kind="repair", t0=t0,
+                    t1=self.env.wtime(), label=f"gid {broken.gid}",
+                ))
+
+    def _group_repair_exchange(
+        self,
+        broken: HMPIGroup,
+        model: "AbstractBoundModel | Callable[[int], AbstractBoundModel]",
+        mapper: "Mapper | str | None",
+        dead: Sequence[int],
+        sp: Any = None,
+    ) -> HMPIGroup:
+        """The survivor-census / re-selection exchange of ``group_repair``
+        (split out so the public method can instrument every exit path)."""
         world = self.comm_world
         self._mark_ranks_dead(dead)
         self.detect_failures()
@@ -635,9 +776,15 @@ class HMPI:
             recipients = {r: _TAG_REPAIR for r in survivors}
             for r in self._free_pool():
                 recipients.setdefault(r, _TAG_GROUP_CREATE)
+            if sp is not None:
+                sp.attrs["survivors"] = tuple(survivors)
+                sp.attrs["drafted"] = tuple(
+                    r for r, tag in recipients.items()
+                    if tag == _TAG_GROUP_CREATE
+                )
             try:
                 mapping = self._host_distribute(counter, model, mapper,
-                                                recipients)
+                                                recipients, span=sp)
             except MappingError as exc:
                 broken._mark_freed()
                 raise HMPIRepairError(
@@ -666,6 +813,9 @@ class HMPI:
                     self.state.creation_counter, counter + 1
                 )
         broken._mark_freed()
+        if sp is not None:
+            sp.attrs.update(new_gid=counter, size=len(mapping.processes),
+                            member=self.rank in mapping.processes)
         return self._materialize(counter, mapping, from_repair=True)
 
     def release_free(self) -> None:
@@ -701,6 +851,7 @@ def run_hmpi(
     timeout: float | None = 120.0,
     tracer: Any = None,
     ft: "FTConfig | None" = None,
+    obs: "Observability | None" = None,
 ) -> MPIRunResult:
     """Run ``app(hmpi, *args, **kwargs)`` SPMD with the HMPI runtime.
 
@@ -711,12 +862,21 @@ def run_hmpi(
     instance or a registry string such as ``"default"`` or ``"greedy"``.
     ``tracer`` and ``ft`` (fault-tolerance knobs) are forwarded to the
     engine (see :class:`repro.mpi.tracing.Tracer`,
-    :class:`repro.mpi.engine.FTConfig`).
+    :class:`repro.mpi.engine.FTConfig`).  ``obs`` turns on the unified
+    observability layer (:class:`repro.obs.Observability`): runtime spans,
+    metrics, and prediction-accuracy tracking record into it, and its
+    tracer (when it has one) collects the engine events unless an explicit
+    ``tracer`` is also given.
     """
     if placement is None:
         placement = default_placement(cluster, nprocs)
+    if obs is not None:
+        if tracer is None:
+            tracer = obs.tracer
+        else:
+            obs.tracer = tracer  # adopt, so exports see the engine events
     netmodel = NetworkModel(cluster, placement, initial_speeds)
-    state = HMPIRuntimeState(netmodel, mapper)
+    state = HMPIRuntimeState(netmodel, mapper, obs=obs)
 
     def wrapped(env: MPIEnv, *a: Any, **kw: Any) -> Any:
         return app(HMPI(env, state), *a, **kw)

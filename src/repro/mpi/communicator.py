@@ -13,6 +13,7 @@ cross-match between communicators.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any
 
 from ..util.errors import MPICommError
@@ -226,39 +227,74 @@ class Comm:
     # ------------------------------------------------------------------
     # collectives
     # ------------------------------------------------------------------
+    @contextmanager
+    def _traced_coll(self, name: str):
+        """Record the collective's full extent at this rank as a ``coll``
+        trace event, so waiting inside a barrier/bcast renders as part of
+        the collective instead of an idle gap in the Gantt chart.  The
+        finer-grained send/recv events inside the extent outrank it when
+        glyphs overlap, so only the genuine wait portions show as
+        collective time.
+        """
+        tracer = self._engine.tracer
+        if tracer is None:
+            yield
+            return
+        t0 = self._engine.vtime(self._world_rank)
+        try:
+            yield
+        finally:
+            from .tracing import TraceEvent
+
+            tracer.record(TraceEvent(
+                rank=self._world_rank, kind="coll", t0=t0,
+                t1=self._engine.vtime(self._world_rank), label=name,
+            ))
+
     def barrier(self) -> None:
-        return _coll.barrier(self)
+        with self._traced_coll("barrier"):
+            return _coll.barrier(self)
 
     def bcast(self, obj: Any, root: int = 0, nbytes: int | None = None,
               algorithm: str = "binomial") -> Any:
-        return _coll.bcast(self, obj, root, nbytes, algorithm)
+        with self._traced_coll("bcast"):
+            return _coll.bcast(self, obj, root, nbytes, algorithm)
 
     def reduce(self, obj: Any, op: Op, root: int = 0) -> Any:
-        return _coll.reduce(self, obj, op, root)
+        with self._traced_coll("reduce"):
+            return _coll.reduce(self, obj, op, root)
 
     def allreduce(self, obj: Any, op: Op) -> Any:
-        return _coll.allreduce(self, obj, op)
+        with self._traced_coll("allreduce"):
+            return _coll.allreduce(self, obj, op)
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
-        return _coll.gather(self, obj, root)
+        with self._traced_coll("gather"):
+            return _coll.gather(self, obj, root)
 
     def scatter(self, objs: list[Any] | None, root: int = 0) -> Any:
-        return _coll.scatter(self, objs, root)
+        with self._traced_coll("scatter"):
+            return _coll.scatter(self, objs, root)
 
     def allgather(self, obj: Any) -> list[Any]:
-        return _coll.allgather(self, obj)
+        with self._traced_coll("allgather"):
+            return _coll.allgather(self, obj)
 
     def alltoall(self, objs: list[Any]) -> list[Any]:
-        return _coll.alltoall(self, objs)
+        with self._traced_coll("alltoall"):
+            return _coll.alltoall(self, objs)
 
     def scan(self, obj: Any, op: Op) -> Any:
-        return _coll.scan(self, obj, op)
+        with self._traced_coll("scan"):
+            return _coll.scan(self, obj, op)
 
     def exscan(self, obj: Any, op: Op) -> Any:
-        return _coll.exscan(self, obj, op)
+        with self._traced_coll("exscan"):
+            return _coll.exscan(self, obj, op)
 
     def reduce_scatter_block(self, objs: list[Any], op: Op) -> Any:
-        return _coll.reduce_scatter_block(self, objs, op)
+        with self._traced_coll("reduce_scatter_block"):
+            return _coll.reduce_scatter_block(self, objs, op)
 
     # ------------------------------------------------------------------
     # communicator construction (collective)

@@ -383,7 +383,16 @@ class Engine:
             attempt += 1
             if attempt > self.ft.max_retries:
                 raise LinkFaultError(src, dst, attempt)
+            wait_from = sproc.clock
             sproc.clock += self.ft.retry_timeout * (self.ft.backoff ** (attempt - 1))
+            if self.tracer is not None:
+                from .tracing import TraceEvent
+
+                self.tracer.record(TraceEvent(
+                    rank=src, kind="retransmit", t0=wait_from,
+                    t1=sproc.clock, peer=dst,
+                    label=f"attempt {attempt}",
+                ))
 
     def _deliver(self, msg: Message) -> None:
         """Match against posted receives or queue as unexpected (lock held)."""
@@ -751,6 +760,13 @@ class Engine:
                 proc.exception = mf
                 with self.lock:
                     self.failures.append(mf)
+                if self.tracer is not None:
+                    from .tracing import TraceEvent
+
+                    self.tracer.record(TraceEvent(
+                        rank=rank, kind="death", t0=mf.vtime, t1=mf.vtime,
+                        label=mf.machine,
+                    ))
             except BaseException as exc:  # noqa: BLE001 — reported after join
                 proc.failed = True
                 proc.exception = exc

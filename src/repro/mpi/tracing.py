@@ -25,8 +25,16 @@ class TraceEvent:
     kind:
         ``"compute"`` (t0 → t1 of modelled work), ``"send"`` (t0 = call
         time, t1 = CPU-side completion; ``peer``/``nbytes``/``tag`` set),
-        or ``"recv"`` (t0 = when the wait charged the clock, t1 = arrival
-        virtual time; t0 == t1 unless the receiver was early).
+        ``"recv"`` (t0 = when the wait charged the clock, t1 = arrival
+        virtual time; t0 == t1 unless the receiver was early),
+        ``"coll"`` (a collective call's full extent at one rank;
+        ``label`` names the collective — the wait portions render where
+        no finer-grained activity overlaps), ``"retransmit"`` (backoff
+        timer charged while masking a transient link fault; ``peer`` is
+        the destination), ``"death"`` (the rank's machine failed;
+        t0 == t1 == failure vtime, ``label`` is the machine name), or
+        ``"repair"`` (the rank's participation in a group repair;
+        ``label`` carries the broken gid).
     """
 
     rank: int
@@ -37,6 +45,7 @@ class TraceEvent:
     nbytes: int = 0
     tag: int = 0
     volume: float = 0.0
+    label: str = ""
 
     @property
     def duration(self) -> float:

@@ -1,0 +1,52 @@
+"""Unified observability: metrics, runtime spans, Chrome-trace export,
+and Timeof prediction-accuracy tracking.
+
+Quick use::
+
+    from repro.obs import Observability
+    obs = Observability()
+    run_hmpi(app, cluster, obs=obs)
+    obs.write_chrome_trace("trace.json")      # open in ui.perfetto.dev
+    print(obs.accuracy.render())              # predicted vs measured
+    json.dump(obs.snapshot(), fh)             # metrics + accuracy
+
+See ``docs/OBSERVABILITY.md`` for the metrics catalogue and the span
+taxonomy.
+"""
+
+from .accuracy import PredictionRecord, PredictionTracker, model_key
+from .chrometrace import (
+    RANKS_PID,
+    RUNTIME_PID,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .core import Observability
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    publish_selection_stats,
+)
+from .spans import Span, SpanLog
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "publish_selection_stats",
+    "Span",
+    "SpanLog",
+    "PredictionTracker",
+    "PredictionRecord",
+    "model_key",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "RANKS_PID",
+    "RUNTIME_PID",
+]

@@ -1,0 +1,226 @@
+"""Chrome trace-event JSON export — open any run in Perfetto.
+
+Converts an engine :class:`~repro.mpi.tracing.Tracer` (per-rank
+compute/send/recv/collective/fault events) and a runtime
+:class:`~repro.obs.spans.SpanLog` (nested ``HMPI_*`` operation spans)
+into the Trace Event Format consumed by ``chrome://tracing`` and
+https://ui.perfetto.dev: load the emitted file and you get one lane per
+rank for substrate activity plus one lane per rank for runtime spans,
+nested by containment, with all attributes in the args pane.
+
+Timestamps are **virtual** microseconds (the simulator's logical clock),
+declared via ``displayTimeUnit: "ms"`` so Perfetto's ruler reads in
+natural units.  Instant events (rank death) use phase ``"i"``; everything
+with an extent uses complete events (``"X"`` with ``dur``), which
+Perfetto nests within a thread lane by containment — exactly the
+parent/child structure :class:`SpanLog` records.
+
+:func:`validate_chrome_trace` is the schema gate the tests and the CI
+smoke job run: it checks the structural invariants the viewers rely on
+(phases, non-negative timestamps/durations, integer pid/tid, metadata
+shape, JSON-serialisability) and returns a list of violations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..mpi.tracing import Tracer
+    from .spans import SpanLog
+
+__all__ = ["chrome_trace", "validate_chrome_trace", "write_chrome_trace",
+           "RANKS_PID", "RUNTIME_PID"]
+
+#: pid of the engine (per-rank substrate activity) lanes.
+RANKS_PID = 1
+#: pid of the runtime span lanes.
+RUNTIME_PID = 2
+
+_SECONDS_TO_US = 1e6
+
+#: Engine event kinds rendered as instants rather than durations.
+_INSTANT_KINDS = {"death"}
+
+#: Category per engine event kind (Perfetto colours by category).
+_KIND_CATEGORY = {
+    "compute": "compute",
+    "send": "comm",
+    "recv": "comm",
+    "coll": "comm",
+    "retransmit": "fault",
+    "death": "fault",
+    "repair": "fault",
+}
+
+
+def _event_name(e: Any) -> str:
+    label = getattr(e, "label", "")
+    return f"{e.kind}:{label}" if label else e.kind
+
+
+def _event_args(e: Any) -> dict[str, Any]:
+    args: dict[str, Any] = {}
+    if e.peer >= 0:
+        args["peer"] = e.peer
+    if e.nbytes:
+        args["nbytes"] = e.nbytes
+    if e.tag:
+        args["tag"] = e.tag
+    if e.volume:
+        args["volume"] = e.volume
+    label = getattr(e, "label", "")
+    if label:
+        args["label"] = label
+    return args
+
+
+def chrome_trace(tracer: "Tracer | None" = None,
+                 spans: "SpanLog | None" = None,
+                 metadata: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Build a Trace Event Format document from a run's recordings.
+
+    Either source may be None or empty; the result is always a valid
+    (possibly event-free) trace document.
+    """
+    events: list[dict[str, Any]] = []
+    ranks: set[int] = set()
+
+    def name_lanes(pid: int, process: str, tids: set[int],
+                   tid_fmt: str) -> None:
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": process}})
+        for tid in sorted(tids):
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": tid, "args": {"name": tid_fmt.format(tid)}})
+            events.append({"name": "thread_sort_index", "ph": "M", "pid": pid,
+                           "tid": tid, "args": {"sort_index": tid}})
+
+    if tracer is not None and len(tracer) > 0:
+        trace_events = list(tracer.events)
+        ranks = {e.rank for e in trace_events}
+        name_lanes(RANKS_PID, "ranks (engine)", ranks, "rank {}")
+        for e in trace_events:
+            base = {
+                "name": _event_name(e),
+                "cat": _KIND_CATEGORY.get(e.kind, "other"),
+                "pid": RANKS_PID,
+                "tid": e.rank,
+                "ts": e.t0 * _SECONDS_TO_US,
+                "args": _event_args(e),
+            }
+            if e.kind in _INSTANT_KINDS:
+                base["ph"] = "i"
+                base["s"] = "t"  # thread-scoped instant
+            else:
+                base["ph"] = "X"
+                base["dur"] = max(0.0, (e.t1 - e.t0) * _SECONDS_TO_US)
+            events.append(base)
+
+    if spans is not None and len(spans) > 0:
+        span_list = spans.as_dicts()
+        span_ranks = {s["rank"] for s in span_list}
+        name_lanes(RUNTIME_PID, "runtime (HMPI spans)", span_ranks,
+                   "runtime rank {}")
+        for s in span_list:
+            args = {k: _jsonable(v) for k, v in s["attrs"].items()}
+            args["span_id"] = s["span_id"]
+            if s["parent_id"] is not None:
+                args["parent_id"] = s["parent_id"]
+            events.append({
+                "name": s["name"],
+                "cat": "runtime",
+                "ph": "X",
+                "pid": RUNTIME_PID,
+                "tid": s["rank"],
+                "ts": s["t0"] * _SECONDS_TO_US,
+                "dur": max(0.0, (s["t1"] - s["t0"]) * _SECONDS_TO_US),
+                "args": args,
+            })
+
+    doc: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs.chrometrace",
+            "clock": "virtual",
+            **(metadata or {}),
+        },
+    }
+    return doc
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a span attribute to something JSON can carry."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+#: Phases the validator accepts (the subset this exporter emits plus the
+#: counter/flow phases a hand-edited trace may add).
+_VALID_PHASES = {"X", "B", "E", "i", "I", "M", "C", "b", "e", "n", "s", "t", "f"}
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Structural validation of a Trace Event Format document.
+
+    Returns a list of human-readable violations (empty when the document
+    is well-formed).  Checks the invariants Perfetto/``chrome://tracing``
+    rely on rather than the full (loose) spec.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be a JSON object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    try:
+        json.dumps(doc)
+    except (TypeError, ValueError) as exc:
+        problems.append(f"document is not JSON-serialisable: {exc}")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: event must be an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or ph not in _VALID_PHASES:
+            problems.append(f"{where}: bad phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where}: missing event name")
+        for fld in ("pid", "tid"):
+            if not isinstance(ev.get(fld), int):
+                problems.append(f"{where}: {fld} must be an integer")
+        if ph == "M":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: metadata event needs args")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs non-negative dur")
+        if ph == "i" and ev.get("s") not in (None, "g", "p", "t"):
+            problems.append(f"{where}: instant scope must be g/p/t")
+    return problems
+
+
+def write_chrome_trace(path: str, doc: dict[str, Any]) -> None:
+    """Validate and write the trace document (raises on a bad document)."""
+    problems = validate_chrome_trace(doc)
+    if problems:
+        raise ValueError(
+            "refusing to write invalid Chrome trace: " + "; ".join(problems)
+        )
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)

@@ -1,0 +1,116 @@
+"""The unified observability bundle threaded through a run.
+
+One :class:`Observability` object carries the four surfaces of the layer:
+
+- ``metrics`` — the :class:`~repro.obs.metrics.MetricsRegistry`
+  (counters/gauges/histograms, labelled, JSON snapshot);
+- ``spans`` — the :class:`~repro.obs.spans.SpanLog` of runtime
+  operations (``HMPI_Recon``/``Timeof``/``Group_create``/repair/
+  checkpoint), nested parent/child;
+- ``tracer`` — the engine's per-rank :class:`~repro.mpi.tracing.Tracer`
+  (compute/send/recv/collective/fault events), created here unless the
+  caller brings their own;
+- ``accuracy`` — the :class:`~repro.obs.accuracy.PredictionTracker`
+  pairing every ``Timeof`` estimate with the measured execution time.
+
+Pass it to :func:`repro.core.runtime.run_hmpi` via ``obs=`` and every
+layer records into the same bundle; afterwards ``snapshot()`` gives the
+metrics JSON (selection-cache counters included) and ``chrome_trace()``
+the Perfetto-loadable timeline.  A run without an ``Observability`` pays
+one ``is None`` check per instrumented operation — the disabled-overhead
+budget the benchmarks hold the layer to.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..mpi.tracing import Tracer
+from .accuracy import PredictionTracker
+from .chrometrace import chrome_trace as _chrome_trace
+from .chrometrace import write_chrome_trace
+from .metrics import MetricsRegistry
+from .spans import SpanLog
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """Bundle of the observability surfaces for one run.
+
+    ``tracer=True`` (default) creates a fresh engine tracer; pass an
+    existing :class:`Tracer` to share one, or ``tracer=None`` for
+    runtime-only observability (spans/metrics/accuracy without per-rank
+    substrate events).
+    """
+
+    def __init__(self, tracer: "Tracer | bool | None" = True):
+        self.metrics = MetricsRegistry()
+        self.spans = SpanLog()
+        self.accuracy = PredictionTracker()
+        if tracer is True:
+            tracer = Tracer()
+        elif tracer is False:
+            tracer = None
+        self.tracer: Tracer | None = tracer
+        # Live cumulative stats objects re-published at snapshot time:
+        # list of (stats, labels).
+        self._selection_stats: list[tuple[Any, dict[str, Any]]] = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_selection_stats(self, stats: Any, **labels: Any) -> None:
+        """Adopt a live :class:`SelectionStats`; every :meth:`snapshot`
+        re-publishes its current totals as ``hmpi.selection.*`` series.
+        (This is how the registry absorbs the runtime's ad-hoc counters.)
+        """
+        self._selection_stats.append((stats, labels))
+
+    # ------------------------------------------------------------------
+    # outputs
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Metrics snapshot (selection stats folded in) + accuracy report.
+
+        Several runs may attach stats under the same labels (one bundle
+        observing a whole sweep); their totals are summed per label set,
+        not last-writer-wins.
+        """
+        merged: dict[tuple, dict[str, float]] = {}
+        for stats, labels in self._selection_stats:
+            acc = merged.setdefault(tuple(sorted(labels.items())), {})
+            for fld, value in stats.as_dict().items():
+                acc[fld] = acc.get(fld, 0.0) + value
+        for key, fields in merged.items():
+            labels = dict(key)
+            for fld, value in fields.items():
+                self.metrics.gauge(f"hmpi.selection.{fld}",
+                                   **labels).set(float(value))
+        snap = self.metrics.snapshot()
+        snap["accuracy"] = self.accuracy.report()
+        snap["spans"] = len(self.spans)
+        snap["trace_events"] = 0 if self.tracer is None else len(self.tracer)
+        return snap
+
+    def chrome_trace(self, metadata: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Trace Event Format document over the engine + runtime events."""
+        return _chrome_trace(tracer=self.tracer, spans=self.spans,
+                             metadata=metadata)
+
+    def write_chrome_trace(self, path: str,
+                           metadata: dict[str, Any] | None = None) -> None:
+        write_chrome_trace(path, self.chrome_trace(metadata))
+
+    # Convenience passthroughs so instrumented code reads naturally.
+    def counter(self, name: str, **labels: Any):
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: Any):
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels: Any):
+        return self.metrics.histogram(name, **labels)
+
+    def span(self, name: str, rank: int, clock, **attrs: Any):
+        return self.spans.span(name, rank, clock, **attrs)

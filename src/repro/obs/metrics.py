@@ -1,0 +1,265 @@
+"""Virtual-time-aware metrics registry.
+
+A :class:`MetricsRegistry` holds named instruments — :class:`Counter`,
+:class:`Gauge`, :class:`Histogram` — each further keyed by a set of
+**labels** (``group=3, machine="ws06", op="timeof"``), so one logical
+metric fans out into one time series per label combination, exactly like
+Prometheus/OpenMetrics clients.  Instruments are cheap to look up (one
+dict access under one lock) and cheap to update (plain float/int
+arithmetic), so instrumented hot paths cost a None-check when
+observability is off and a few dict operations when it is on.
+
+Virtual time: every update may carry the observing rank's virtual
+timestamp.  The registry keeps the min/max virtual time it has seen, and
+gauges remember the vtime of their last set — a snapshot therefore says
+*when in the simulated run* its values were current, which wall-clock
+metrics libraries cannot express.
+
+``snapshot()`` returns a plain JSON-able dict; ``to_json()`` serialises
+it.  The registry absorbs the selection engine's ad-hoc
+:class:`repro.core.seleng.SelectionStats` via
+:func:`publish_selection_stats`, which re-expresses its counters as
+registry series under ``hmpi.selection.*``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "publish_selection_stats",
+]
+
+#: Default histogram bucket upper bounds: half-decade log scale covering
+#: microseconds to hours of virtual time (and doubling fine for bytes).
+DEFAULT_BUCKETS = tuple(
+    round(10.0 ** (e / 2.0), 9) for e in range(-12, 9)
+)
+
+
+def _label_key(labels: dict[str, Any]) -> tuple:
+    """Canonical hashable form of a label set."""
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, cache hits)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, Any]):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down (free processes, cache size)."""
+
+    __slots__ = ("name", "labels", "value", "vtime")
+
+    def __init__(self, name: str, labels: dict[str, Any]):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.vtime: float | None = None
+
+    def set(self, value: float, vtime: float | None = None) -> None:
+        self.value = value
+        if vtime is not None:
+            self.vtime = vtime
+
+    def add(self, amount: float, vtime: float | None = None) -> None:
+        self.set(self.value + amount, vtime)
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"type": "gauge", "value": self.value}
+        if self.vtime is not None:
+            out["vtime"] = self.vtime
+        return out
+
+
+class Histogram:
+    """Distribution summary: count/sum/min/max plus log-scale buckets.
+
+    Buckets hold cumulative counts of observations ``<= bound`` (the
+    Prometheus convention, with an implicit +Inf bucket equal to
+    ``count``), so quantiles can be estimated without retaining samples.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts",
+                 "count", "total", "min", "max")
+
+    def __init__(self, name: str, labels: dict[str, Any],
+                 bounds: tuple[float, ...] = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram {name}: bounds must be sorted")
+        self.bucket_counts = [0] * len(self.bounds)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        the q-th observation falls in); min/max for q at the ends."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        for bound, cum in zip(self.bounds, self.bucket_counts):
+            if cum >= target:
+                return min(bound, self.max)
+        return self.max
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "p50": self.quantile(0.5) if self.count else None,
+            "p95": self.quantile(0.95) if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe home of every instrument of one run.
+
+    Instruments are addressed by ``(name, labels)``; the first access
+    creates them.  A name is committed to one instrument type on first
+    use — asking for ``counter("x")`` after ``gauge("x")`` is an error,
+    catching the classic copy-paste instrumentation bug early.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, tuple], Any] = {}
+        self._types: dict[str, type] = {}
+        self._vtime_min: float | None = None
+        self._vtime_max: float | None = None
+
+    # -- instrument access ---------------------------------------------
+    def _get(self, cls: type, name: str, labels: dict[str, Any],
+             **kwargs: Any) -> Any:
+        key = (name, _label_key(labels))
+        with self._lock:
+            committed = self._types.setdefault(name, cls)
+            if committed is not cls:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{committed.__name__}, requested {cls.__name__}"
+                )
+            inst = self._instruments.get(key)
+            if inst is None:
+                inst = cls(name, dict(labels), **kwargs)
+                self._instruments[key] = inst
+            return inst
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels, bounds=bounds)
+
+    # -- virtual-time window -------------------------------------------
+    def mark_vtime(self, vtime: float) -> None:
+        """Record that an observation happened at virtual time ``vtime``."""
+        with self._lock:
+            if self._vtime_min is None or vtime < self._vtime_min:
+                self._vtime_min = vtime
+            if self._vtime_max is None or vtime > self._vtime_max:
+                self._vtime_max = vtime
+
+    # -- output --------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able dump: ``{"vtime": {...}, "metrics": [series...]}``."""
+        with self._lock:
+            series = [
+                {"name": inst.name, "labels": dict(inst.labels),
+                 **inst.as_dict()}
+                for _, inst in sorted(self._instruments.items(),
+                                      key=lambda kv: kv[0])
+            ]
+            return {
+                "vtime": {"min": self._vtime_min, "max": self._vtime_max},
+                "metrics": series,
+            }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def get_value(self, name: str, **labels: Any) -> Any:
+        """Value of one series (test/report convenience); None if absent."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            inst = self._instruments.get(key)
+        if inst is None:
+            return None
+        if isinstance(inst, Histogram):
+            return inst.as_dict()
+        return inst.value
+
+    def series(self, name: str) -> list[Any]:
+        """Every instrument registered under ``name`` (any labels)."""
+        with self._lock:
+            return [inst for (n, _), inst in sorted(self._instruments.items(),
+                                                    key=lambda kv: kv[0])
+                    if n == name]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+
+def publish_selection_stats(registry: MetricsRegistry, stats: Any,
+                            **labels: Any) -> None:
+    """Re-express a :class:`~repro.core.seleng.SelectionStats` through the
+    registry as ``hmpi.selection.<counter>`` gauges.
+
+    Gauges, not counters: the stats object is live and cumulative, and
+    publishing happens at snapshot time — setting the current totals is
+    idempotent, repeated publishes do not double-count.
+    """
+    for field, value in stats.as_dict().items():
+        registry.gauge(f"hmpi.selection.{field}", **labels).set(float(value))

@@ -1,0 +1,125 @@
+"""Runtime span tracing with parent/child nesting.
+
+Where :class:`repro.mpi.tracing.Tracer` records what the *substrate* did
+(compute intervals, message sends, receive waits), spans record what the
+*runtime* was doing and why: one :class:`Span` covers a principal HMPI
+operation — ``HMPI_Recon``, ``HMPI_Timeof``, ``HMPI_Group_create``,
+``group_repair``, checkpoint save/restore — with its virtual-time
+extent, the rank that ran it, and attributes describing the decision
+(candidates evaluated, cache hit or miss, survivors drafted).
+
+Nesting follows the call stack: the simulator runs each rank as a
+thread, so a thread-local stack of open spans gives correct parent/child
+links without any cooperation from callers — a checkpoint restore opened
+inside a repair becomes its child automatically.
+
+The log is the runtime-side event bus: the Chrome-trace exporter
+(:mod:`repro.obs.chrometrace`) merges it with the engine's per-rank
+``Tracer`` events into one timeline.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Span", "SpanLog"]
+
+
+@dataclass
+class Span:
+    """One runtime operation: name, rank, virtual-time extent, attributes.
+
+    ``attrs`` may be extended while the span is open (the ``span()``
+    context manager yields the span object for exactly that); after close
+    it should be treated as frozen.
+    """
+
+    name: str
+    rank: int
+    t0: float
+    t1: float = 0.0
+    span_id: int = 0
+    parent_id: int | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name, "rank": self.rank,
+            "t0": self.t0, "t1": self.t1,
+            "span_id": self.span_id, "parent_id": self.parent_id,
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanLog:
+    """Collects completed :class:`Span` records, nested per rank-thread."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._local = threading.local()
+        self.spans: list[Span] = []
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, rank: int, clock: Callable[[], float],
+             **attrs: Any) -> Iterator[Span]:
+        """Open a span around a block; ``clock`` supplies virtual time.
+
+        The span is recorded even when the block raises (with an
+        ``error`` attribute naming the exception type) — failed repairs
+        and timed-out operations are precisely the events worth seeing.
+        """
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        sp = Span(name=name, rank=rank, t0=clock(), span_id=span_id,
+                  parent_id=parent, attrs=attrs)
+        stack.append(sp)
+        try:
+            yield sp
+        except BaseException as exc:
+            sp.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            stack.pop()
+            sp.t1 = clock()
+            with self._lock:
+                self.spans.append(sp)
+
+    # -- queries --------------------------------------------------------
+    def of_rank(self, rank: int) -> list[Span]:
+        with self._lock:
+            return sorted((s for s in self.spans if s.rank == rank),
+                          key=lambda s: (s.t0, s.t1))
+
+    def by_name(self, name: str) -> list[Span]:
+        with self._lock:
+            return [s for s in self.spans if s.name == name]
+
+    def children_of(self, span: Span) -> list[Span]:
+        with self._lock:
+            return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [s.as_dict() for s in self.spans]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.spans)

@@ -2,8 +2,11 @@
 
 Renders a :class:`repro.mpi.tracing.Tracer`'s events as one row of fixed
 width per rank: ``#`` for computation, ``s`` for send activity, ``.`` for
-waiting in a receive, space for idle.  Meant for terminals, docstrings and
-tests — a ten-second way to *see* why one group beats another.
+waiting in a receive, ``=`` for a collective's extent, ``r`` for
+retransmission backoff, ``R`` for group repair, ``X`` for the rank's
+death, space for idle.  Meant for terminals, docstrings and tests — a
+ten-second way to *see* why one group beats another, or where a fault
+campaign spent its time.
 
 >>> print(render_gantt(tracer, width=60))          # doctest: +SKIP
 rank 0 |######s.....######                        | 12.3s
@@ -19,9 +22,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["render_gantt", "utilization"]
 
-#: Priority of glyphs when activities overlap within one cell.
-_GLYPHS = {"compute": "#", "send": "s", "recv": "."}
-_PRIORITY = {"#": 3, "s": 2, ".": 1, " ": 0}
+#: Priority of glyphs when activities overlap within one cell.  Deaths
+#: and repairs outrank everything (they are the rare events worth
+#: seeing); collectives rank *below* point-to-point activity so their
+#: ``=`` only fills the wait portions nothing finer-grained explains.
+_GLYPHS = {
+    "compute": "#",
+    "send": "s",
+    "recv": ".",
+    "coll": "=",
+    "retransmit": "r",
+    "repair": "R",
+    "death": "X",
+}
+_PRIORITY = {"X": 6, "R": 5, "#": 4, "r": 3, "s": 2, ".": 1, "=": 0.5, " ": 0}
+
+_LEGEND = ("        (# compute, s send, . recv-wait, = collective-wait, "
+           "r retransmit, R repair, X death, blank idle)")
+
+
+def _t_start(tracer: "Tracer") -> float:
+    """Earliest recorded activity — virtual time before it (spent in
+    pre-``HMPI_Init`` setup) is excluded from charts and utilization."""
+    return min((e.t0 for e in tracer.events), default=0.0)
 
 
 def render_gantt(tracer: "Tracer", width: int = 72,
@@ -29,11 +52,12 @@ def render_gantt(tracer: "Tracer", width: int = 72,
     """Render the trace as one fixed-width text row per rank."""
     if len(tracer) == 0:
         return "(empty trace)"
+    t0 = _t_start(tracer)
     t_end = tracer.makespan() if t_end is None else t_end
-    if t_end <= 0:
+    if t_end - t0 <= 0:
         return "(trace has no duration)"
     nranks = tracer.nranks()
-    scale = width / t_end
+    scale = width / (t_end - t0)
 
     lines = []
     for rank in range(nranks):
@@ -42,8 +66,8 @@ def render_gantt(tracer: "Tracer", width: int = 72,
             glyph = _GLYPHS.get(e.kind)
             if glyph is None:
                 continue
-            c0 = min(width - 1, int(e.t0 * scale))
-            c1 = min(width - 1, int(e.t1 * scale))
+            c0 = min(width - 1, int((e.t0 - t0) * scale))
+            c1 = min(width - 1, int((e.t1 - t0) * scale))
             if c1 < c0:
                 c0, c1 = c1, c0
             for c in range(c0, c1 + 1):
@@ -51,13 +75,18 @@ def render_gantt(tracer: "Tracer", width: int = 72,
                     cells[c] = glyph
         finish = max((e.t1 for e in tracer.of_rank(rank)), default=0.0)
         lines.append(f"rank {rank:2d} |{''.join(cells)}| {finish:.3f}s")
-    legend = "        (# compute, s send, . recv-wait, blank idle)"
-    return "\n".join(lines + [legend])
+    return "\n".join(lines + [_LEGEND])
 
 
 def utilization(tracer: "Tracer", rank: int, t_end: float | None = None) -> float:
-    """Fraction of the run this rank spent in modelled computation."""
+    """Fraction of the run this rank spent in modelled computation.
+
+    The window starts at the first recorded event, not at virtual time
+    zero — setup before ``HMPI_Init`` (launcher work, speed probes that
+    predate the trace) would otherwise dilute every rank's utilization.
+    """
+    t0 = _t_start(tracer)
     t_end = tracer.makespan() if t_end is None else t_end
-    if t_end <= 0:
+    if t_end - t0 <= 0:
         return 0.0
-    return tracer.total_compute_seconds(rank) / t_end
+    return tracer.total_compute_seconds(rank) / (t_end - t0)

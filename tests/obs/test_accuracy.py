@@ -1,0 +1,101 @@
+"""Prediction-accuracy tracker: pairing, error stats, rendering."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.accuracy import PredictionTracker, model_key
+
+
+class TestModelKey:
+    def test_string_passthrough(self):
+        assert model_key("Jacobi") == "Jacobi"
+
+    def test_named_model(self):
+        class M:
+            name = "ParallelAxB"
+
+        assert model_key(M()) == "ParallelAxB"
+
+    def test_bound_pmdl_model_uses_algorithm_name(self):
+        from repro.apps.jacobi.model import bind_jacobi_model
+
+        m = bind_jacobi_model(3, 100, 30, [10, 10, 8])
+        assert model_key(m) == "Jacobi"
+
+    def test_fallback_type_name(self):
+        assert model_key(3.5) == "float"
+
+
+class TestPairing:
+    def test_measure_resolves_prediction(self):
+        t = PredictionTracker()
+        t.predict("mm", 2.0, vtime=1.0, mapper="GreedyMapper")
+        rec = t.measure("mm", 2.2)
+        assert rec is not None
+        assert rec.measured == 2.2
+        assert rec.rel_error == pytest.approx((2.0 - 2.2) / 2.2)
+
+    def test_lifo_pairs_most_recent_prediction(self):
+        # A Timeof sweep prices many block sizes under one model name;
+        # the group-create selection predicts last, and that is the one
+        # the measured run corresponds to.
+        t = PredictionTracker()
+        t.predict("mm", 10.0)   # sweep candidate
+        t.predict("mm", 20.0)   # sweep candidate
+        t.predict("mm", 2.0)    # the chosen selection
+        rec = t.measure("mm", 2.1)
+        assert rec.predicted == 2.0
+        assert len(t.pairs("mm")) == 1
+
+    def test_unmatched_measurement_kept_visible(self):
+        t = PredictionTracker()
+        assert t.measure("mm", 1.0) is None
+        assert len(t) == 1
+        assert math.isnan(t.records[0].predicted)
+        # NaN-predicted records never count as pairs.
+        assert t.pairs() == []
+
+    def test_keys_do_not_cross(self):
+        t = PredictionTracker()
+        t.predict("a", 1.0)
+        t.predict("b", 5.0)
+        rec = t.measure("a", 1.1)
+        assert rec.predicted == 1.0
+
+
+class TestReport:
+    def test_error_distribution(self):
+        t = PredictionTracker()
+        t.predict("m", 1.0)
+        t.measure("m", 2.0)    # rel error -0.5
+        t.predict("m", 3.0)
+        t.measure("m", 2.0)    # rel error +0.5
+        t.predict("m", 99.0)   # unresolved
+        row = t.report()["m"]
+        assert row["predictions"] == 3
+        assert row["measured"] == 2
+        assert row["mean_abs_rel_error"] == pytest.approx(0.5)
+        assert row["max_abs_rel_error"] == pytest.approx(0.5)
+        assert row["mean_rel_error"] == pytest.approx(0.0)
+
+    def test_empty_report(self):
+        assert PredictionTracker().report() == {}
+
+    def test_to_json_round_trips(self):
+        t = PredictionTracker()
+        t.predict("m", 1.0, vtime=0.5, mapper="GreedyMapper")
+        t.measure("m", 1.25)
+        blob = json.loads(t.to_json())
+        assert blob["report"]["m"]["measured"] == 1
+        assert blob["records"][0]["mapper"] == "GreedyMapper"
+
+    def test_render_table(self):
+        t = PredictionTracker()
+        t.predict("m", 1.0)
+        t.measure("m", 1.0)
+        out = t.render()
+        assert "Timeof prediction accuracy" in out
+        assert "m" in out
+        assert "0.00%" in out

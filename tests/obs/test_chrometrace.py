@@ -1,0 +1,189 @@
+"""Chrome trace-event exporter: schema validity, empty traces, FT runs."""
+
+import json
+
+import pytest
+
+from repro.mpi.tracing import TraceEvent, Tracer
+from repro.obs.chrometrace import (
+    RANKS_PID,
+    RUNTIME_PID,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.spans import SpanLog
+
+
+def make_tracer(*events):
+    tracer = Tracer()
+    for e in events:
+        tracer.record(e)
+    return tracer
+
+
+class TestEmptyTraces:
+    def test_no_sources(self):
+        doc = chrome_trace()
+        assert doc["traceEvents"] == []
+        assert validate_chrome_trace(doc) == []
+
+    def test_empty_tracer_and_spans(self):
+        doc = chrome_trace(tracer=Tracer(), spans=SpanLog())
+        assert doc["traceEvents"] == []
+        assert validate_chrome_trace(doc) == []
+
+    def test_empty_doc_writes(self, tmp_path):
+        path = tmp_path / "t.json"
+        write_chrome_trace(str(path), chrome_trace())
+        assert json.loads(path.read_text())["traceEvents"] == []
+
+
+class TestSchema:
+    def test_engine_events_shape(self):
+        tracer = make_tracer(
+            TraceEvent(rank=0, kind="compute", t0=0.0, t1=0.5, volume=10.0),
+            TraceEvent(rank=1, kind="send", t0=0.1, t1=0.2, peer=0,
+                       nbytes=800, tag=3),
+            TraceEvent(rank=1, kind="death", t0=0.3, t1=0.3, label="m01"),
+        )
+        doc = chrome_trace(tracer=tracer)
+        assert validate_chrome_trace(doc) == []
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in events}
+        comp = by_name["compute"]
+        assert comp["pid"] == RANKS_PID and comp["tid"] == 0
+        assert comp["ts"] == 0.0 and comp["dur"] == pytest.approx(0.5e6)
+        send = by_name["send"]
+        assert send["args"] == {"peer": 0, "nbytes": 800, "tag": 3}
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "death:m01"
+        assert instants[0]["s"] == "t"
+
+    def test_metadata_lanes(self):
+        tracer = make_tracer(TraceEvent(rank=2, kind="compute", t0=0.0, t1=1.0))
+        doc = chrome_trace(tracer=tracer)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {(e["name"], e["pid"], e["tid"]) for e in meta}
+        assert ("process_name", RANKS_PID, 0) in names
+        assert ("thread_name", RANKS_PID, 2) in names
+        assert ("thread_sort_index", RANKS_PID, 2) in names
+
+    def test_span_events_carry_ids(self):
+        log = SpanLog()
+        t = [0.0]
+
+        def clock():
+            t[0] += 1.0
+            return t[0]
+
+        with log.span("HMPI_Group_create", rank=0, clock=clock, gid=1):
+            with log.span("checkpoint_save", rank=0, clock=clock):
+                pass
+        doc = chrome_trace(spans=log)
+        assert validate_chrome_trace(doc) == []
+        spans = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert spans["HMPI_Group_create"]["pid"] == RUNTIME_PID
+        child = spans["checkpoint_save"]
+        assert child["args"]["parent_id"] == \
+            spans["HMPI_Group_create"]["args"]["span_id"]
+
+    def test_non_jsonable_attrs_coerced(self):
+        log = SpanLog()
+        clock = iter(range(100)).__next__
+
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        with log.span("op", rank=0, clock=lambda: float(clock()),
+                      obj=Weird(), tup=(1, 2), mapping={"k": Weird()}):
+            pass
+        doc = chrome_trace(spans=log)
+        assert validate_chrome_trace(doc) == []
+        json.dumps(doc)  # must not raise
+        (ev,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert ev["args"]["obj"] == "<weird>"
+        assert ev["args"]["tup"] == [1, 2]
+
+    def test_displayTimeUnit_and_metadata(self):
+        doc = chrome_trace(metadata={"app": "jacobi"})
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["app"] == "jacobi"
+        assert doc["otherData"]["clock"] == "virtual"
+
+
+class TestValidator:
+    def test_rejects_non_dict(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents must be a list"]
+
+    def test_rejects_bad_phase(self):
+        doc = {"traceEvents": [{"ph": "Z", "name": "x", "pid": 1, "tid": 0,
+                                "ts": 0.0}]}
+        assert any("bad phase" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_negative_ts(self):
+        doc = {"traceEvents": [{"ph": "X", "name": "x", "pid": 1, "tid": 0,
+                                "ts": -1.0, "dur": 1.0}]}
+        assert any("ts" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_x_without_dur(self):
+        doc = {"traceEvents": [{"ph": "X", "name": "x", "pid": 1, "tid": 0,
+                                "ts": 0.0}]}
+        assert any("dur" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_metadata_without_args(self):
+        doc = {"traceEvents": [{"ph": "M", "name": "process_name",
+                                "pid": 1, "tid": 0}]}
+        assert any("metadata" in p for p in validate_chrome_trace(doc))
+
+    def test_write_refuses_invalid(self, tmp_path):
+        doc = {"traceEvents": [{"ph": "Z"}]}
+        with pytest.raises(ValueError):
+            write_chrome_trace(str(tmp_path / "bad.json"), doc)
+        assert not (tmp_path / "bad.json").exists()
+
+
+class TestFTCampaignRoundTrip:
+    def test_ft_jacobi_run_round_trips(self, tmp_path):
+        """A real fault-injected run exports a valid trace containing the
+        death instant, repair extents, and nested runtime spans."""
+        from repro.apps.jacobi import jacobi_reference, run_jacobi_ft
+        from repro.cluster import FaultSchedule, inject_faults, uniform_network
+        from repro.obs import Observability
+
+        cluster = uniform_network([100.0] * 5)
+        inject_faults(cluster, FaultSchedule({"m02": 0.05}))
+        obs = Observability()
+        result = run_jacobi_ft(cluster, n=30, p=4, niter=6, k=50, seed=3,
+                               obs=obs)
+        assert result.error is None
+        assert result.repairs >= 1
+        import numpy as np
+        assert np.array_equal(result.grid, jacobi_reference(30, 6, seed=3))
+
+        path = tmp_path / "ft.json"
+        obs.write_chrome_trace(str(path), metadata={"app": "jacobi-ft"})
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+
+        events = doc["traceEvents"]
+        assert any(e["ph"] == "i" and e["name"].startswith("death")
+                   for e in events)
+        assert any(e.get("cat") == "fault" and e["name"].startswith("repair")
+                   for e in events)
+        runtime = [e for e in events
+                   if e.get("pid") == RUNTIME_PID and e["ph"] == "X"]
+        names = {e["name"] for e in runtime}
+        assert {"HMPI_Group_create", "HMPI_Group_repair",
+                "checkpoint_save", "checkpoint_restore"} <= names
+        # Checkpoint restores re-entered after the repair nest under it.
+        repair_ids = {e["args"]["span_id"] for e in runtime
+                      if e["name"] == "HMPI_Group_repair"}
+        assert repair_ids
+        # Both pids present: engine lanes and runtime lanes.
+        assert {e["pid"] for e in events} >= {RANKS_PID, RUNTIME_PID}

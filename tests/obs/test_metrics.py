@@ -1,0 +1,150 @@
+"""Metrics registry: instruments, labels, type commitment, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    publish_selection_stats,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hmpi.test.calls")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert reg.get_value("hmpi.test.calls") == 3.5
+
+    def test_rejects_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x").inc(-1.0)
+
+    def test_same_name_same_labels_same_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("x", group=1).inc()
+        reg.counter("x", group=1).inc()
+        assert reg.get_value("x", group=1) == 2.0
+
+
+class TestGauge:
+    def test_set_add_and_vtime(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("free_procs")
+        g.set(5.0, vtime=1.0)
+        g.add(-2.0, vtime=3.0)
+        assert g.value == 3.0
+        assert g.vtime == 3.0
+        assert g.as_dict()["vtime"] == 3.0
+
+    def test_vtime_optional(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("x")
+        g.set(1.0)
+        assert "vtime" not in g.as_dict()
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (0.001, 0.01, 0.1):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["count"] == 3
+        assert d["sum"] == pytest.approx(0.111)
+        assert d["min"] == pytest.approx(0.001)
+        assert d["max"] == pytest.approx(0.1)
+
+    def test_quantiles_bucket_resolution(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for _ in range(99):
+            h.observe(0.001)
+        h.observe(10.0)
+        # p50 lands in the 0.001 bucket; p95 too; max caps estimates.
+        assert h.quantile(0.5) <= 0.0011
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_quantile_range_check(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("lat").quantile(1.5)
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_empty_histogram_snapshot(self):
+        reg = MetricsRegistry()
+        d = reg.histogram("lat").as_dict()
+        assert d["count"] == 0
+        assert d["min"] is None and d["p50"] is None
+
+
+class TestRegistry:
+    def test_labels_fan_out_series(self):
+        reg = MetricsRegistry()
+        reg.counter("sends", machine="a").inc()
+        reg.counter("sends", machine="b").inc(2)
+        assert reg.get_value("sends", machine="a") == 1.0
+        assert reg.get_value("sends", machine="b") == 2.0
+        assert len(reg.series("sends")) == 2
+
+    def test_type_commitment(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x", other="label")
+
+    def test_snapshot_shape_and_json(self):
+        reg = MetricsRegistry()
+        reg.counter("c", op="timeof").inc()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(0.2)
+        reg.mark_vtime(1.0)
+        reg.mark_vtime(5.0)
+        snap = json.loads(reg.to_json())
+        assert snap["vtime"] == {"min": 1.0, "max": 5.0}
+        by_name = {s["name"]: s for s in snap["metrics"]}
+        assert by_name["c"]["type"] == "counter"
+        assert by_name["c"]["labels"] == {"op": "timeof"}
+        assert by_name["g"]["value"] == 1.5
+        assert by_name["h"]["count"] == 1
+
+    def test_get_value_missing(self):
+        assert MetricsRegistry().get_value("nope") is None
+
+
+class TestSelectionStatsBridge:
+    def test_publish_selection_stats(self):
+        from repro.core.seleng import SelectionStats
+
+        reg = MetricsRegistry()
+        stats = SelectionStats()
+        stats.cache_hits = 3
+        stats.evaluations = 7
+        publish_selection_stats(reg, stats, mapper="greedy")
+        assert reg.get_value("hmpi.selection.cache_hits", mapper="greedy") == 3.0
+        assert reg.get_value("hmpi.selection.evaluations", mapper="greedy") == 7.0
+        # Idempotent: re-publishing the live totals does not double-count.
+        publish_selection_stats(reg, stats, mapper="greedy")
+        assert reg.get_value("hmpi.selection.cache_hits", mapper="greedy") == 3.0
+
+    def test_observability_sums_stats_per_label_set(self):
+        from repro.core.seleng import SelectionStats
+        from repro.obs import Observability
+
+        obs = Observability(tracer=False)
+        for hits in (2, 5):
+            stats = SelectionStats()
+            stats.cache_hits = hits
+            obs.attach_selection_stats(stats)
+        obs.snapshot()
+        assert obs.metrics.get_value("hmpi.selection.cache_hits") == 7.0

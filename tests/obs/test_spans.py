@@ -1,0 +1,107 @@
+"""Span log: nesting, error capture, thread isolation."""
+
+import threading
+
+import pytest
+
+from repro.obs.spans import SpanLog
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+class TestSpanBasics:
+    def test_records_extent_and_attrs(self):
+        log = SpanLog()
+        clock = FakeClock()
+        with log.span("HMPI_Recon", rank=0, clock=clock, volume=2.0) as sp:
+            sp.attrs["speed"] = 90.0
+        assert len(log) == 1
+        rec = log.spans[0]
+        assert rec.name == "HMPI_Recon"
+        assert rec.t0 == 1.0 and rec.t1 == 2.0
+        assert rec.duration == 1.0
+        assert rec.attrs == {"volume": 2.0, "speed": 90.0}
+        assert rec.parent_id is None
+
+    def test_nesting_links_parent(self):
+        log = SpanLog()
+        clock = FakeClock()
+        with log.span("outer", rank=0, clock=clock) as outer:
+            with log.span("inner", rank=0, clock=clock):
+                pass
+        inner, rec_outer = log.spans
+        assert inner.name == "inner"
+        assert inner.parent_id == rec_outer.span_id
+        assert log.children_of(rec_outer) == [inner]
+
+    def test_error_recorded_and_reraised(self):
+        log = SpanLog()
+        clock = FakeClock()
+        with pytest.raises(RuntimeError):
+            with log.span("repair", rank=1, clock=clock):
+                raise RuntimeError("boom")
+        assert len(log) == 1
+        assert log.spans[0].attrs["error"] == "RuntimeError"
+        assert log.spans[0].t1 > log.spans[0].t0
+
+    def test_span_ids_unique(self):
+        log = SpanLog()
+        clock = FakeClock()
+        for _ in range(5):
+            with log.span("op", rank=0, clock=clock):
+                pass
+        ids = [s.span_id for s in log.spans]
+        assert len(set(ids)) == 5
+
+
+class TestThreadIsolation:
+    def test_stacks_are_per_thread(self):
+        # Two "ranks" (threads) open spans concurrently; neither becomes
+        # the other's parent.
+        log = SpanLog()
+        barrier = threading.Barrier(2)
+
+        def worker(rank):
+            clock = FakeClock()
+            with log.span("op", rank=rank, clock=clock):
+                barrier.wait(timeout=5)
+                with log.span("child", rank=rank, clock=clock):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(r,)) for r in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(log) == 4
+        for rank in (0, 1):
+            child, parent = log.of_rank(rank)[1], log.of_rank(rank)[0]
+            by_name = {s.name: s for s in log.of_rank(rank)}
+            assert by_name["child"].parent_id == by_name["op"].span_id
+
+
+class TestQueries:
+    def test_by_name_and_of_rank(self):
+        log = SpanLog()
+        clock = FakeClock()
+        with log.span("a", rank=0, clock=clock):
+            pass
+        with log.span("b", rank=1, clock=clock):
+            pass
+        assert [s.name for s in log.by_name("a")] == ["a"]
+        assert [s.rank for s in log.of_rank(1)] == [1]
+
+    def test_as_dicts(self):
+        log = SpanLog()
+        clock = FakeClock()
+        with log.span("a", rank=0, clock=clock, gid=3):
+            pass
+        (d,) = log.as_dicts()
+        assert d["name"] == "a" and d["attrs"] == {"gid": 3}

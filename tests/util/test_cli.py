@@ -154,3 +154,47 @@ class TestCompileGating:
         """)
         assert main(["compile", str(f), "--bind", "p=4"]) == 0
         assert "consistent" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    def test_trace_writes_valid_chrome_json(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(["trace", "--out", str(out),
+                     "--metrics", str(metrics)]) == 0
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert len(doc["traceEvents"]) > 0
+        snap = json.loads(metrics.read_text())
+        names = {s["name"] for s in snap["metrics"]}
+        assert "hmpi.repairs" in names
+        assert "Perfetto" in capsys.readouterr().out
+
+    def test_trace_matmul_fault_free(self, tmp_path):
+        out = tmp_path / "mm.json"
+        assert main(["trace", "--app", "matmul", "--n", "9",
+                     "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "HMPI_Timeof" in names
+
+    def test_stats_prints_tables(self, capsys):
+        assert main(["stats", "--app", "matmul", "--n", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "Metrics snapshot" in out
+        assert "hmpi.selection.cache_misses" in out
+        assert "Timeof prediction accuracy" in out
+
+    def test_stats_json(self, capsys):
+        assert main(["stats", "--app", "matmul", "--n", "9", "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert "metrics" in snap and "accuracy" in snap
+        assert snap["accuracy"]["ParallelAxB"]["measured"] == 1
+
+    def test_fig11_prints_selection_stats(self, capsys):
+        assert main(["fig11", "--sizes", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "Selection engine" in out
+        assert "cache_misses" in out

@@ -1,0 +1,151 @@
+"""Direct unit tests for the text Gantt renderer and utilization.
+
+Unlike tests/mpi/test_tracing.py, these build Tracer contents by hand so
+every glyph, priority, and windowing rule is pinned without running the
+engine.
+"""
+
+import pytest
+
+from repro.mpi.tracing import TraceEvent, Tracer
+from repro.util.gantt import render_gantt, utilization
+
+
+def make_tracer(*events):
+    tracer = Tracer()
+    for e in events:
+        tracer.record(e)
+    return tracer
+
+
+class TestGlyphs:
+    def test_all_kinds_have_glyphs(self):
+        tracer = make_tracer(
+            TraceEvent(rank=0, kind="compute", t0=0.0, t1=1.0),
+            TraceEvent(rank=1, kind="send", t0=0.0, t1=1.0, peer=0),
+            TraceEvent(rank=2, kind="recv", t0=0.0, t1=1.0, peer=0),
+            TraceEvent(rank=3, kind="coll", t0=0.0, t1=1.0, label="barrier"),
+            TraceEvent(rank=4, kind="retransmit", t0=0.0, t1=1.0, peer=0),
+            TraceEvent(rank=5, kind="repair", t0=0.0, t1=1.0, label="gid 1"),
+            TraceEvent(rank=6, kind="death", t0=1.0, t1=1.0, label="m0"),
+        )
+        chart = render_gantt(tracer, width=20)
+        rows = chart.splitlines()
+        assert "#" in rows[0]
+        assert "s" in rows[1]
+        assert "." in rows[2]
+        assert "=" in rows[3]
+        assert "r" in rows[4]
+        assert "R" in rows[5]
+        assert "X" in rows[6]
+
+    def test_unknown_kind_ignored(self):
+        tracer = make_tracer(
+            TraceEvent(rank=0, kind="compute", t0=0.0, t1=1.0),
+            TraceEvent(rank=0, kind="martian", t0=0.0, t1=1.0),
+        )
+        chart = render_gantt(tracer, width=10)
+        assert chart.splitlines()[0].count("#") == 10
+
+    def test_legend_names_every_glyph(self):
+        tracer = make_tracer(TraceEvent(rank=0, kind="compute", t0=0.0, t1=1.0))
+        legend = render_gantt(tracer, width=10).splitlines()[-1]
+        for glyph in ("#", "s", ".", "=", "r", "R", "X"):
+            assert glyph in legend
+
+
+class TestPriorities:
+    def test_compute_beats_collective(self):
+        # A collective's extent covers a compute interval (e.g. reduce
+        # does local arithmetic): compute wins the overlapping cells.
+        tracer = make_tracer(
+            TraceEvent(rank=0, kind="coll", t0=0.0, t1=1.0, label="reduce"),
+            TraceEvent(rank=0, kind="compute", t0=0.0, t1=0.5),
+        )
+        row = render_gantt(tracer, width=10).splitlines()[0]
+        bar = row.split("|")[1]
+        assert bar[0] == "#"
+        assert bar[-1] == "="
+
+    def test_collective_fills_only_idle(self):
+        # recv-wait inside a collective keeps its "." over the "=".
+        tracer = make_tracer(
+            TraceEvent(rank=0, kind="coll", t0=0.0, t1=1.0, label="bcast"),
+            TraceEvent(rank=0, kind="recv", t0=0.5, t1=1.0, peer=1),
+        )
+        bar = render_gantt(tracer, width=10).splitlines()[0].split("|")[1]
+        assert bar[0] == "="
+        assert bar[-1] == "."
+
+    def test_death_beats_everything(self):
+        tracer = make_tracer(
+            TraceEvent(rank=0, kind="compute", t0=0.0, t1=1.0),
+            TraceEvent(rank=0, kind="death", t0=1.0, t1=1.0, label="m0"),
+            TraceEvent(rank=1, kind="compute", t0=0.0, t1=2.0),
+        )
+        row0 = render_gantt(tracer, width=10).splitlines()[0]
+        assert "X" in row0
+
+    def test_repair_beats_compute(self):
+        tracer = make_tracer(
+            TraceEvent(rank=0, kind="compute", t0=0.0, t1=1.0),
+            TraceEvent(rank=0, kind="repair", t0=0.0, t1=1.0, label="gid 0"),
+        )
+        bar = render_gantt(tracer, width=10).splitlines()[0].split("|")[1]
+        assert bar.count("R") == 10
+
+
+class TestWindowing:
+    def test_empty_trace(self):
+        assert "empty" in render_gantt(Tracer())
+
+    def test_zero_duration(self):
+        tracer = make_tracer(TraceEvent(rank=0, kind="compute", t0=1.0, t1=1.0))
+        assert "no duration" in render_gantt(tracer)
+
+    def test_window_starts_at_first_event(self):
+        # Activity from t=100 to t=101 should fill the whole row, not
+        # squash into the final cell of a 0..101 axis.
+        tracer = make_tracer(
+            TraceEvent(rank=0, kind="compute", t0=100.0, t1=101.0),
+        )
+        bar = render_gantt(tracer, width=10).splitlines()[0].split("|")[1]
+        assert bar.count("#") == 10
+
+
+class TestUtilization:
+    def test_full_utilization(self):
+        tracer = make_tracer(TraceEvent(rank=0, kind="compute", t0=0.0, t1=2.0))
+        assert utilization(tracer, 0) == pytest.approx(1.0)
+
+    def test_half_utilization(self):
+        tracer = make_tracer(
+            TraceEvent(rank=0, kind="compute", t0=0.0, t1=1.0),
+            TraceEvent(rank=1, kind="compute", t0=0.0, t1=2.0),
+        )
+        assert utilization(tracer, 0) == pytest.approx(0.5)
+
+    def test_excludes_pre_init_time(self):
+        # Both ranks start tracing at t=10 (setup before HMPI_Init is
+        # untraced); utilization is judged over [10, 12], not [0, 12].
+        tracer = make_tracer(
+            TraceEvent(rank=0, kind="compute", t0=10.0, t1=12.0),
+            TraceEvent(rank=1, kind="compute", t0=10.0, t1=11.0),
+        )
+        assert utilization(tracer, 0) == pytest.approx(1.0)
+        assert utilization(tracer, 1) == pytest.approx(0.5)
+
+    def test_explicit_t_end(self):
+        tracer = make_tracer(TraceEvent(rank=0, kind="compute", t0=0.0, t1=1.0))
+        assert utilization(tracer, 0, t_end=4.0) == pytest.approx(0.25)
+
+    def test_empty_trace_zero(self):
+        assert utilization(Tracer(), 0) == 0.0
+
+    def test_only_compute_counts(self):
+        tracer = make_tracer(
+            TraceEvent(rank=0, kind="compute", t0=0.0, t1=1.0),
+            TraceEvent(rank=0, kind="send", t0=1.0, t1=2.0, peer=1),
+            TraceEvent(rank=0, kind="coll", t0=2.0, t1=4.0, label="barrier"),
+        )
+        assert utilization(tracer, 0) == pytest.approx(0.25)
