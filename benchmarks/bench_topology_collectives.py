@@ -1,0 +1,123 @@
+"""Flat vs hierarchical collectives on a clusters-of-clusters topology.
+
+The two-site preset joins two equal-speed gigabit subnets with a slow
+wide-area link.  A topology-blind binomial tree routes edges across the
+WAN wherever the rank numbering happens to put them; the hierarchical
+algorithms cross it once per remote site and keep everything else inside
+the switches.  This bench sweeps message sizes for bcast and payload
+sizes for reduce/allgather and records the virtual makespan per
+algorithm, asserting the ISSUE's acceptance criteria:
+
+- hierarchical bcast and reduce beat the flat binomial tree;
+- ``algorithm="auto"`` never loses to the *worst* fixed choice (it is a
+  selector, so its cost must track the good region of the space).
+
+With ``--smoke`` the sweep shrinks to one size per collective (the CI
+topology-smoke job runs this).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import two_site_network
+from repro.mpi.launcher import run_mpi
+from repro.mpi.ops import SUM
+from repro.util.tables import Table
+
+BCAST_SIZES = (1 << 10, 1 << 16, 1 << 20)
+REDUCE_LENGTHS = (16, 256, 4096)
+SMOKE_BCAST_SIZES = (1 << 16,)
+SMOKE_REDUCE_LENGTHS = (256,)
+
+BCAST_ALGOS = ("binomial", "flat", "chain", "hierarchical", "auto")
+REDUCE_ALGOS = ("binomial", "flat", "hierarchical", "auto")
+ALLGATHER_ALGOS = ("ring", "hierarchical", "auto")
+
+
+# Root 2: with root 0 and power-of-two contiguous sites the binomial
+# tree happens to coincide with the hierarchical schedule; a rotated
+# root (the generic case) makes the tree's virtual ranks straddle the
+# site boundary and its WAN crossings multiply.
+ROOT = 2
+
+
+def _bcast_app(env, nbytes, algorithm):
+    payload = b"x" if env.rank == ROOT else None
+    env.comm_world.bcast(payload, root=ROOT, nbytes=nbytes, algorithm=algorithm)
+
+
+def _reduce_app(env, length, algorithm):
+    env.comm_world.reduce([float(env.rank)] * length, SUM, root=ROOT,
+                          algorithm=algorithm)
+
+
+def _allgather_app(env, length, algorithm):
+    env.comm_world.allgather([float(env.rank)] * length, algorithm=algorithm)
+
+
+def _sweep(cluster, app, sizes, algos):
+    """{size: {algorithm: virtual makespan}} for one collective."""
+    out: dict[int, dict[str, float]] = {}
+    for size in sizes:
+        out[size] = {
+            algo: run_mpi(app, cluster, args=(size, algo)).makespan
+            for algo in algos
+        }
+    return out
+
+
+def _table(title, col, results):
+    algos = list(next(iter(results.values())))
+    table = Table(col, *[f"t_{a} (s)" for a in algos], title=title)
+    for size, times in results.items():
+        table.add(size, *[f"{times[a]:.6f}" for a in algos])
+    return table.render()
+
+
+def _check_acceptance(results, hier="hierarchical", flat_tree="binomial"):
+    """Hierarchical beats the flat tree; auto never loses to the worst."""
+    for size, times in results.items():
+        fixed = {a: t for a, t in times.items() if a != "auto"}
+        worst = max(fixed.values())
+        assert times[hier] < times[flat_tree], (
+            f"hierarchical ({times[hier]:.6f}s) does not beat "
+            f"{flat_tree} ({times[flat_tree]:.6f}s) at size {size}"
+        )
+        assert times["auto"] <= worst + 1e-9, (
+            f"auto ({times['auto']:.6f}s) loses to the worst fixed "
+            f"algorithm ({worst:.6f}s) at size {size}"
+        )
+
+
+@pytest.mark.benchmark(group="topology-collectives")
+def test_topology_collectives(benchmark, smoke, report):
+    cluster = two_site_network()  # 2 sites x 4 machines, WAN between
+    bcast_sizes = SMOKE_BCAST_SIZES if smoke else BCAST_SIZES
+    reduce_lengths = SMOKE_REDUCE_LENGTHS if smoke else REDUCE_LENGTHS
+
+    def run():
+        return (
+            _sweep(cluster, _bcast_app, bcast_sizes, BCAST_ALGOS),
+            _sweep(cluster, _reduce_app, reduce_lengths, REDUCE_ALGOS),
+            _sweep(cluster, _allgather_app, reduce_lengths, ALLGATHER_ALGOS),
+        )
+
+    bcast_res, reduce_res, allgather_res = benchmark.pedantic(
+        run, rounds=1, iterations=1,
+    )
+
+    report.emit(_table(
+        "bcast on two_site (2x4, WAN between sites) — virtual makespan",
+        "nbytes", bcast_res))
+    report.emit(_table(
+        "reduce(SUM) on two_site — virtual makespan", "list length",
+        reduce_res))
+    report.emit(_table(
+        "allgather on two_site — virtual makespan", "list length",
+        allgather_res))
+
+    _check_acceptance(bcast_res)
+    _check_acceptance(reduce_res)
+    # Allgather has no binomial variant; hierarchical must beat the ring.
+    _check_acceptance(allgather_res, flat_tree="ring")

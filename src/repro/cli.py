@@ -18,6 +18,12 @@ Commands
 ``cluster``
     Print a preset cluster configuration as JSON (edit it, feed it back to
     experiments).
+``topology show`` / ``topology check``
+    Render a cluster's hierarchy tree (``show``) or run the topology
+    validation diagnostics (``check``; exits nonzero on errors).  Both
+    accept ``--preset`` (a topology preset name) or ``--file`` (a cluster
+    JSON produced by ``repro cluster``); ``check`` with neither validates
+    every topology preset.
 ``trace``
     Run an instrumented scenario (fault-tolerant Jacobi by default) and
     write its Chrome-trace JSON — load it in Perfetto or
@@ -286,12 +292,67 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .cluster import TOPOLOGY_PRESETS
+
     presets = {
         "paper": paper_network,
         "multiprotocol": multiprotocol_network,
+        **TOPOLOGY_PRESETS,
     }
     print(cluster_to_json(presets[args.preset]()))
     return 0
+
+
+def _topology_targets(args: argparse.Namespace) -> list[tuple[str, "object"]]:
+    """(name, cluster) pairs selected by --preset/--file flags."""
+    from .cluster import TOPOLOGY_PRESETS
+    from .cluster.serialize import cluster_from_json
+
+    targets: list[tuple[str, object]] = []
+    if args.preset:
+        factory = TOPOLOGY_PRESETS.get(args.preset)
+        if factory is None:
+            raise SystemExit(
+                f"unknown topology preset {args.preset!r}; available: "
+                f"{', '.join(sorted(TOPOLOGY_PRESETS))}"
+            )
+        targets.append((args.preset, factory()))
+    if args.file:
+        targets.append((args.file, cluster_from_json(open(args.file).read())))
+    return targets
+
+
+def _cmd_topology_show(args: argparse.Namespace) -> int:
+    targets = _topology_targets(args)
+    if not targets:
+        raise SystemExit("topology show needs --preset or --file")
+    for name, cluster in targets:
+        if cluster.topology is None:
+            print(f"{name}: no topology attached (flat pairwise mesh)")
+            continue
+        print(f"{name}:")
+        print(cluster.topology.render())
+    return 0
+
+
+def _cmd_topology_check(args: argparse.Namespace) -> int:
+    from .cluster import TOPOLOGY_PRESETS
+
+    targets = _topology_targets(args)
+    if not targets:
+        # Default: validate every topology preset (the CI smoke job).
+        targets = [(name, factory()) for name, factory
+                   in sorted(TOPOLOGY_PRESETS.items())]
+    worst = 0
+    for name, cluster in targets:
+        if cluster.topology is None:
+            print(f"{name}: no topology attached (flat pairwise mesh) — ok")
+            continue
+        report = cluster.topology.validate(cluster)
+        print(f"{name}: {report.render()}")
+        if not report.ok:
+            worst = 1
+    return worst
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -338,10 +399,30 @@ def build_parser() -> argparse.ArgumentParser:
                       help="machine-readable diagnostic reports")
     pchk.set_defaults(fn=_cmd_check)
 
+    from .cluster import TOPOLOGY_PRESETS
+
     pk = sub.add_parser("cluster", help="dump a preset cluster as JSON")
-    pk.add_argument("--preset", choices=["paper", "multiprotocol"],
+    pk.add_argument("--preset",
+                    choices=["paper", "multiprotocol",
+                             *sorted(TOPOLOGY_PRESETS)],
                     default="paper")
     pk.set_defaults(fn=_cmd_cluster)
+
+    ptopo = sub.add_parser(
+        "topology", help="inspect/validate hierarchical network topologies")
+    topo_sub = ptopo.add_subparsers(dest="topology_command", required=True)
+    for name, fn, help_text in (
+        ("show", _cmd_topology_show, "render the hierarchy tree"),
+        ("check", _cmd_topology_check,
+         "run validation diagnostics (default: all presets); "
+         "exits nonzero on errors"),
+    ):
+        sp = topo_sub.add_parser(name, help=help_text)
+        sp.add_argument("--preset", default=None,
+                        help=f"topology preset ({', '.join(sorted(TOPOLOGY_PRESETS))})")
+        sp.add_argument("--file", default=None,
+                        help="cluster JSON file (repro cluster output)")
+        sp.set_defaults(fn=fn)
 
     pt = sub.add_parser(
         "trace", help="run an instrumented scenario, write Chrome-trace JSON")

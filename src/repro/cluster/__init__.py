@@ -13,7 +13,15 @@ from .faults import (
     inject_faults,
     random_fault_schedule,
 )
-from .link import FAST_INTERCONNECT, SHARED_MEMORY, TCP_100MBIT, Link, Protocol
+from .link import (
+    FAST_INTERCONNECT,
+    GIGABIT_ETHERNET,
+    SHARED_MEMORY,
+    TCP_100MBIT,
+    WAN_10MBIT,
+    Link,
+    Protocol,
+)
 from .load import (
     NO_LOAD,
     ConstantLoad,
@@ -32,11 +40,21 @@ from .serialize import (
 )
 from .presets import (
     PAPER_SPEEDS,
+    TOPOLOGY_PRESETS,
+    clusters_of_clusters,
     homogeneous_network,
     multiprotocol_network,
     paper_network,
     random_network,
+    two_site_network,
     uniform_network,
+)
+from .topology import (
+    Topology,
+    TopologyNode,
+    TopologyReport,
+    topology_from_dict,
+    topology_to_dict,
 )
 
 __all__ = [
@@ -47,6 +65,8 @@ __all__ = [
     "TCP_100MBIT",
     "SHARED_MEMORY",
     "FAST_INTERCONNECT",
+    "GIGABIT_ETHERNET",
+    "WAN_10MBIT",
     "LoadModel",
     "ConstantLoad",
     "StepLoad",
@@ -69,4 +89,12 @@ __all__ = [
     "uniform_network",
     "random_network",
     "multiprotocol_network",
+    "two_site_network",
+    "clusters_of_clusters",
+    "TOPOLOGY_PRESETS",
+    "Topology",
+    "TopologyNode",
+    "TopologyReport",
+    "topology_to_dict",
+    "topology_from_dict",
 ]

@@ -20,7 +20,10 @@ from dataclasses import dataclass
 from ..util.errors import ClusterError
 from ..util.validate import check_nonnegative, check_positive
 
-__all__ = ["Protocol", "Link", "TCP_100MBIT", "SHARED_MEMORY", "FAST_INTERCONNECT"]
+__all__ = [
+    "Protocol", "Link", "TCP_100MBIT", "SHARED_MEMORY", "FAST_INTERCONNECT",
+    "GIGABIT_ETHERNET", "WAN_10MBIT",
+]
 
 
 @dataclass(frozen=True)
@@ -53,6 +56,10 @@ TCP_100MBIT = Protocol("tcp-100mbit", latency=1.5e-4, bandwidth=12.5e6)
 SHARED_MEMORY = Protocol("shm", latency=2.0e-6, bandwidth=1.0e9)
 # A faster pairwise interconnect for multi-protocol experiments.
 FAST_INTERCONNECT = Protocol("fast", latency=2.0e-5, bandwidth=1.0e8)
+# Gigabit switch within a subnet/site (hierarchical topologies).
+GIGABIT_ETHERNET = Protocol("tcp-1gbit", latency=5.0e-5, bandwidth=1.25e8)
+# A slow wide-area link between sites (clusters-of-clusters).
+WAN_10MBIT = Protocol("wan-10mbit", latency=5.0e-3, bandwidth=1.25e6)
 
 
 class Link:

@@ -15,10 +15,14 @@ the virtual-time engine treats links (one clock per directed pair).
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from ..util.errors import ClusterError
 from .link import SHARED_MEMORY, TCP_100MBIT, Link, Protocol
 from .machine import Machine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .topology import Topology
 
 __all__ = ["Cluster"]
 
@@ -46,6 +50,12 @@ class Cluster:
         a sender cannot overlap its own sends, so tree-shaped collectives
         beat flat fan-out.  Default False — the paper's switched network
         "enabling parallel communications between the computers".
+    topology:
+        Optional hierarchical :class:`~repro.cluster.topology.Topology`
+        (site → subnet → switch → machine).  When present, unconfigured
+        machine pairs derive their link from the pair's deepest common
+        ancestor level instead of ``default_protocols``; explicit links
+        (the ``links`` mapping and :meth:`set_link`) still take precedence.
     """
 
     def __init__(
@@ -55,11 +65,17 @@ class Cluster:
         default_protocols: Sequence[Protocol] = (TCP_100MBIT,),
         loopback: Link | None = None,
         single_port: bool = False,
+        topology: "Topology | None" = None,
     ):
         self.single_port = bool(single_port)
         #: Optional transient link-fault schedule (drop/delay of individual
         #: messages); attach via :func:`repro.cluster.faults.attach_transient_faults`.
         self.transient_faults = None
+        #: Optional hierarchical topology; install via set_topology.
+        self.topology: "Topology | None" = None
+        #: Cache of topology-derived links, kept separate from the explicit
+        #: `_links` so serialization only dumps what was configured.
+        self._topo_links: dict[tuple[int, int], Link] = {}
         if not machines:
             raise ClusterError("a cluster needs at least one machine")
         names = [m.name for m in machines]
@@ -80,6 +96,35 @@ class Cluster:
                         f"link ({i}, {j}) is a self-link; configure `loopback` instead"
                     )
                 self._links[(i, j)] = link
+        if topology is not None:
+            self.set_topology(topology)
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def set_topology(self, topology: "Topology | None") -> None:
+        """Install (or clear, with None) a hierarchical topology.
+
+        The topology is validated and bound against this cluster's machine
+        set; unconfigured pairs then derive their link from the pair's
+        deepest common ancestor level.  Raises :class:`ClusterError` when
+        the tree's leaves don't match the cluster machines exactly.
+        """
+        self._topo_links.clear()
+        if topology is None:
+            self.topology = None
+            return
+        topology.bind(self)
+        self.topology = topology
+
+    def machine_distance(self, src: int, dst: int) -> int:
+        """Tree distance between two machines (flat mesh: 0 or 1)."""
+        n = self.size
+        if not (0 <= src < n and 0 <= dst < n):
+            raise ClusterError(f"pair ({src}, {dst}) references unknown machine index")
+        if self.topology is not None:
+            return self.topology.distance(src, dst)
+        return 0 if src == dst else 1
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -118,9 +163,11 @@ class Cluster:
     def link(self, src: int, dst: int) -> Link:
         """The directed link from machine ``src`` to machine ``dst``.
 
-        For ``src == dst`` returns the loopback link.  Unconfigured pairs get
-        a lazily created link with the default protocol set (created once and
-        cached, so pinning it later is sticky).
+        For ``src == dst`` returns the loopback link.  Unconfigured pairs
+        derive their link from the topology's deepest-common-ancestor level
+        when a topology is attached, else get a lazily created link with
+        the default protocol set (created once and cached, so pinning it
+        later is sticky).
         """
         n = self.size
         if not (0 <= src < n and 0 <= dst < n):
@@ -129,6 +176,11 @@ class Cluster:
             return self.loopback
         key = (src, dst)
         found = self._links.get(key)
+        if found is None and self.topology is not None:
+            found = self._topo_links.get(key)
+            if found is None:
+                found = self.topology.pair_link(src, dst)
+                self._topo_links[key] = found
         if found is None:
             found = Link(list(self._default_protocols))
             self._links[key] = found
@@ -172,6 +224,8 @@ class Cluster:
     def unpin_all(self) -> None:
         """Re-enable fastest-protocol selection on every link."""
         for _, _, link in list(self.all_links()):
+            link.unpin()
+        for link in self._topo_links.values():
             link.unpin()
 
     def __repr__(self) -> str:

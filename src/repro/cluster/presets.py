@@ -18,9 +18,18 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from ..util.rng import make_rng
-from .link import FAST_INTERCONNECT, SHARED_MEMORY, TCP_100MBIT, Link, Protocol
+from .link import (
+    FAST_INTERCONNECT,
+    GIGABIT_ETHERNET,
+    SHARED_MEMORY,
+    TCP_100MBIT,
+    WAN_10MBIT,
+    Link,
+    Protocol,
+)
 from .machine import Machine
 from .network import Cluster
+from .topology import Topology, TopologyNode
 
 __all__ = [
     "PAPER_SPEEDS",
@@ -29,6 +38,9 @@ __all__ = [
     "uniform_network",
     "random_network",
     "multiprotocol_network",
+    "two_site_network",
+    "clusters_of_clusters",
+    "TOPOLOGY_PRESETS",
 ]
 
 #: Measured speeds of the paper's nine workstations (benchmark units / sec).
@@ -111,3 +123,101 @@ def multiprotocol_network(
     for i, j in fast_pairs:
         cluster.set_link(i, j, Link([TCP_100MBIT, FAST_INTERCONNECT]), symmetric=True)
     return cluster
+
+
+# ----------------------------------------------------------------------
+# hierarchical (multi-cluster) presets
+# ----------------------------------------------------------------------
+
+def two_site_network(
+    machines_per_site: int = 4,
+    speed: float = 100.0,
+    site_protocol: Protocol = GIGABIT_ETHERNET,
+    wan_protocol: Protocol = WAN_10MBIT,
+) -> Cluster:
+    """Two equal-speed sites (subnets) joined by a slow wide-area link.
+
+    The canonical clusters-of-clusters scenario (MPICH-G2's motivating
+    case): within a site machines talk over a fast switch, between sites
+    every message crosses the WAN.  Equal machine speeds isolate the
+    *communication* hierarchy — a compute-balancing mapper sees no
+    difference between machines, so only topology locality can make
+    ``HMPI_Group_create`` keep a group inside one site, and only
+    hierarchical collectives can avoid redundant WAN crossings.
+    """
+    if machines_per_site < 2:
+        raise ValueError("two_site_network needs >= 2 machines per site")
+    machines = [
+        Machine(name=f"s{s}m{i:02d}", speed=speed)
+        for s in range(2)
+        for i in range(machines_per_site)
+    ]
+    sites = [
+        TopologyNode(
+            name=f"site{s}", kind="subnet", protocols=(site_protocol,),
+            children=tuple(
+                TopologyNode.leaf(f"s{s}m{i:02d}")
+                for i in range(machines_per_site)
+            ),
+        )
+        for s in range(2)
+    ]
+    topo = Topology(TopologyNode(
+        name="wan", kind="site", protocols=(wan_protocol,),
+        children=tuple(sites),
+    ))
+    return Cluster(machines, default_protocols=(wan_protocol,), topology=topo)
+
+
+def clusters_of_clusters(
+    sites: int = 2,
+    subnets_per_site: int = 2,
+    machines_per_subnet: int = 2,
+    speeds: Sequence[float] | None = None,
+    switch_protocol: Protocol = GIGABIT_ETHERNET,
+    lan_protocol: Protocol = TCP_100MBIT,
+    wan_protocol: Protocol = WAN_10MBIT,
+) -> Cluster:
+    """A three-level hierarchy: WAN over sites, LAN over subnets, switches.
+
+    ``speeds``, when given, is one speed per machine in site-major order
+    (default: all 100).  Each deeper level is faster (WAN < LAN < switch),
+    the shape hierarchical algorithms assume.
+    """
+    n = sites * subnets_per_site * machines_per_subnet
+    if speeds is None:
+        speeds = [100.0] * n
+    if len(speeds) != n:
+        raise ValueError(f"need {n} speeds, got {len(speeds)}")
+    machines: list[Machine] = []
+    site_nodes: list[TopologyNode] = []
+    k = 0
+    for s in range(sites):
+        subnet_nodes: list[TopologyNode] = []
+        for b in range(subnets_per_site):
+            leaves: list[TopologyNode] = []
+            for _ in range(machines_per_subnet):
+                name = f"s{s}n{b}m{k:02d}"
+                machines.append(Machine(name=name, speed=float(speeds[k])))
+                leaves.append(TopologyNode.leaf(name))
+                k += 1
+            subnet_nodes.append(TopologyNode(
+                name=f"s{s}n{b}", kind="switch",
+                protocols=(switch_protocol,), children=tuple(leaves),
+            ))
+        site_nodes.append(TopologyNode(
+            name=f"site{s}", kind="subnet", protocols=(lan_protocol,),
+            children=tuple(subnet_nodes),
+        ))
+    topo = Topology(TopologyNode(
+        name="wan", kind="site", protocols=(wan_protocol,),
+        children=tuple(site_nodes),
+    ))
+    return Cluster(machines, default_protocols=(wan_protocol,), topology=topo)
+
+
+#: Topology-annotated presets by name (CLI `repro topology show/check`).
+TOPOLOGY_PRESETS = {
+    "two_site": two_site_network,
+    "clusters_of_clusters": clusters_of_clusters,
+}

@@ -21,6 +21,7 @@ from .link import Link, Protocol
 from .load import NO_LOAD, ConstantLoad, LoadModel, RandomWalkLoad, SquareWaveLoad, StepLoad
 from .machine import Machine
 from .network import Cluster
+from .topology import topology_from_dict, topology_to_dict
 
 __all__ = [
     "cluster_to_dict",
@@ -166,6 +167,8 @@ def cluster_to_dict(cluster: Cluster) -> dict[str, Any]:
     }
     if cluster.transient_faults is not None:
         blob["transient_faults"] = _transient_faults_to_dict(cluster.transient_faults)
+    if cluster.topology is not None:
+        blob["topology"] = topology_to_dict(cluster.topology)
     return blob
 
 
@@ -196,6 +199,9 @@ def cluster_from_dict(blob: dict[str, Any]) -> Cluster:
         attach_transient_faults(
             cluster, _transient_faults_from_dict(blob["transient_faults"])
         )
+    # Back-compat: blobs without a topology stay a flat pairwise mesh.
+    if "topology" in blob:
+        cluster.set_topology(topology_from_dict(blob["topology"]))
     return cluster
 
 

@@ -209,15 +209,21 @@ class ExhaustiveMapper(Mapper):
         for idx, proc in fixed.items():
             base[idx] = proc
 
-        # Speed-equivalence class per candidate process: permutations whose
+        # Equivalence class per candidate process: permutations whose
         # per-slot class sequence was already seen cannot price differently
-        # when links are uniform.
+        # when links are uniform.  With a topology attached, uniformity
+        # only holds among leaves of the same parent node (siblings see
+        # identical link costs to every other machine), so the class is
+        # refined by the machine's parent path.
         class_of: dict[int, int] = {}
         if self.reduce_symmetry:
-            classes: dict[float, int] = {}
+            topology = netmodel.cluster.topology
+            classes: dict[tuple, int] = {}
             for c in candidates:
-                speed = netmodel.speed_of_machine(netmodel.machine_of(c))
-                class_of[c] = classes.setdefault(speed, len(classes))
+                m = netmodel.machine_of(c)
+                speed = netmodel.speed_of_machine(m)
+                parent = topology.parent_key(m) if topology is not None else None
+                class_of[c] = classes.setdefault((speed, parent), len(classes))
 
         best_time = float("inf")
         best_procs: tuple[int, ...] | None = None
@@ -285,6 +291,14 @@ class GreedyMapper(Mapper):
     assigns each to the candidate process whose machine would finish its
     accumulated volume soonest, honouring speed sharing between co-located
     assignments.  Runs in O(n · |candidates|).
+
+    When the cluster carries a topology, ties on predicted finish time
+    break toward **locality**: the candidate whose machine is closest (by
+    topology-tree distance) to the machines already chosen.  On the
+    equal-speed two-site preset this keeps a group that fits in one site
+    inside that site instead of scattering it across the slow wide-area
+    link.  Without a topology the tie-break is inert and the selection is
+    exactly the historical one (first candidate with the minimal finish).
     """
 
     def select(
@@ -303,11 +317,18 @@ class GreedyMapper(Mapper):
         assignment: list[int | None] = [None] * n
         machine_load: Counter[int] = Counter()  # accumulated volume per machine
         used: set[int] = set()
+        used_machines: list[int] = []
+        topo_aware = netmodel.cluster.topology is not None
+
+        def claim(idx: int, proc: int) -> None:
+            assignment[idx] = proc
+            m = netmodel.machine_of(proc)
+            machine_load[m] += volumes[idx]
+            used.add(proc)
+            used_machines.append(m)
 
         for idx, proc in fixed.items():
-            assignment[idx] = proc
-            machine_load[netmodel.machine_of(proc)] += volumes[idx]
-            used.add(proc)
+            claim(idx, proc)
 
         order = sorted(
             (i for i in range(n) if i not in fixed),
@@ -315,19 +336,22 @@ class GreedyMapper(Mapper):
         )
         for i in order:
             best_proc = None
-            best_finish = None
-            for proc in candidates:
+            best_key = None
+            for pos, proc in enumerate(candidates):
                 if proc in used:
                     continue
                 m = netmodel.machine_of(proc)
                 finish = (machine_load[m] + volumes[i]) / netmodel.speed_of_machine(m)
-                if best_finish is None or finish < best_finish:
-                    best_finish = finish
+                locality = (
+                    sum(netmodel.machine_distance(m, um) for um in used_machines)
+                    if topo_aware else 0
+                )
+                key = (finish, locality, pos)
+                if best_key is None or key < best_key:
+                    best_key = key
                     best_proc = proc
             assert best_proc is not None  # _check_inputs guarantees capacity
-            assignment[i] = best_proc
-            machine_load[netmodel.machine_of(best_proc)] += volumes[i]
-            used.add(best_proc)
+            claim(i, best_proc)
 
         return _build_mapping(
             [p for p in assignment if p is not None], model, netmodel,

@@ -174,12 +174,31 @@ class NetworkModel:
     # communication costs
     # ------------------------------------------------------------------
     def transfer_time(self, machine_src: int, machine_dst: int, nbytes: float) -> float:
-        """Predicted seconds to move ``nbytes`` between two machines."""
+        """Predicted seconds to move ``nbytes`` between two machines.
+
+        Delegates to the cluster's link for the pair.  When the cluster
+        carries a :class:`~repro.cluster.topology.Topology`, that link is
+        derived from the deepest topology level spanning both machines —
+        two machines in one subnet cost the switch's protocol, machines in
+        different sites cost the wide-area level — so estimator and
+        execution engine see identical hierarchical costs.
+        """
         return self.cluster.link(machine_src, machine_dst).transfer_time(int(round(nbytes)))
 
     def latency(self, machine_src: int, machine_dst: int) -> float:
-        """Per-message CPU/network latency for the pair."""
+        """Per-message CPU/network latency for the pair (topology-derived
+        when the cluster has one, like :meth:`transfer_time`)."""
         return self.cluster.link(machine_src, machine_dst).effective_latency()
+
+    def machine_distance(self, machine_src: int, machine_dst: int) -> int:
+        """Topology-tree hop distance between two machines.
+
+        0 for the same machine; without a topology every distinct pair is
+        1 (flat mesh).  With one, the number of tree edges on the path
+        through the deepest common ancestor — mappers use it as a locality
+        measure (smaller = more co-located).
+        """
+        return self.cluster.machine_distance(machine_src, machine_dst)
 
     def __repr__(self) -> str:
         speeds = ", ".join(f"{s:g}" for s in self._speeds)

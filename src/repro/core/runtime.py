@@ -884,4 +884,5 @@ def run_hmpi(
     return run_mpi(
         wrapped, cluster, placement=placement,
         args=args, kwargs=kwargs, timeout=timeout, tracer=tracer, ft=ft,
+        metrics=obs.metrics if obs is not None else None,
     )

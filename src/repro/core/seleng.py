@@ -197,8 +197,13 @@ class TraceEvaluator:
     Holds the compiled trace plus a link-cost table keyed by
     ``(pair, machine_src, machine_dst)``, so candidates that route an
     abstract pair over the same physical link share the cost computation.
-    Create one per selection (the mappers do); the table assumes link
-    parameters and machine speeds are stable for the evaluator's lifetime.
+    The table is built through ``cluster.link``, so when the cluster has a
+    :class:`~repro.cluster.topology.Topology` each entry carries the
+    hierarchy-derived protocols of the pair's deepest common ancestor —
+    selection prices candidate mappings with the same site/subnet/switch
+    structure the execution engine charges.  Create one per selection
+    (the mappers do); the table assumes link parameters and machine
+    speeds are stable for the evaluator's lifetime.
     """
 
     def __init__(

@@ -251,22 +251,23 @@ class Comm:
                 t1=self._engine.vtime(self._world_rank), label=name,
             ))
 
-    def barrier(self) -> None:
+    def barrier(self, algorithm: str = "dissemination") -> None:
         with self._traced_coll("barrier"):
-            return _coll.barrier(self)
+            return _coll.barrier(self, algorithm)
 
     def bcast(self, obj: Any, root: int = 0, nbytes: int | None = None,
               algorithm: str = "binomial") -> Any:
         with self._traced_coll("bcast"):
             return _coll.bcast(self, obj, root, nbytes, algorithm)
 
-    def reduce(self, obj: Any, op: Op, root: int = 0) -> Any:
+    def reduce(self, obj: Any, op: Op, root: int = 0,
+               algorithm: str = "binomial") -> Any:
         with self._traced_coll("reduce"):
-            return _coll.reduce(self, obj, op, root)
+            return _coll.reduce(self, obj, op, root, algorithm)
 
-    def allreduce(self, obj: Any, op: Op) -> Any:
+    def allreduce(self, obj: Any, op: Op, algorithm: str = "binomial") -> Any:
         with self._traced_coll("allreduce"):
-            return _coll.allreduce(self, obj, op)
+            return _coll.allreduce(self, obj, op, algorithm)
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         with self._traced_coll("gather"):
@@ -276,9 +277,9 @@ class Comm:
         with self._traced_coll("scatter"):
             return _coll.scatter(self, objs, root)
 
-    def allgather(self, obj: Any) -> list[Any]:
+    def allgather(self, obj: Any, algorithm: str = "ring") -> list[Any]:
         with self._traced_coll("allgather"):
-            return _coll.allgather(self, obj)
+            return _coll.allgather(self, obj, algorithm)
 
     def alltoall(self, objs: list[Any]) -> list[Any]:
         with self._traced_coll("alltoall"):

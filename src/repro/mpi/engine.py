@@ -193,7 +193,8 @@ class Engine:
 
     def __init__(self, cluster: Cluster, placement: Sequence[int],
                  tracer: "object | None" = None,
-                 ft: FTConfig | None = None):
+                 ft: FTConfig | None = None,
+                 metrics: "object | None" = None):
         if not placement:
             raise MPIError("placement must map at least one rank")
         for m in placement:
@@ -201,6 +202,9 @@ class Engine:
                 raise MPIError(f"placement references unknown machine index {m}")
         self.cluster = cluster
         self.tracer = tracer
+        # Optional obs.MetricsRegistry; collectives count fired algorithms
+        # here when present.
+        self.metrics = metrics
         self.ft = ft if ft is not None else FTConfig()
         self.placement = list(placement)
         self.nprocs = len(placement)

@@ -144,6 +144,7 @@ def run_mpi(
     timeout: float | None = 120.0,
     tracer: Any = None,
     ft: FTConfig | None = None,
+    metrics: Any = None,
 ) -> MPIRunResult:
     """Run ``app(env, *args, **kwargs)`` SPMD over the cluster.
 
@@ -160,10 +161,13 @@ def run_mpi(
     ft:
         fault-tolerance knobs (retransmission budget/backoff, default
         receive timeout, fail-fast sends); default :class:`FTConfig`.
+    metrics:
+        optional :class:`repro.obs.MetricsRegistry`; collectives record
+        which algorithm fired (and at which topology level) into it.
     """
     if placement is None:
         placement = default_placement(cluster, nprocs)
-    engine = Engine(cluster, placement, tracer=tracer, ft=ft)
+    engine = Engine(cluster, placement, tracer=tracer, ft=ft, metrics=metrics)
     kw = kwargs or {}
 
     def target(rank: int) -> Any:

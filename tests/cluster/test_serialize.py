@@ -220,3 +220,62 @@ class TestFaultBlobs:
         assert restored.machine(0).load.share_at(1.0) == 0.5
         assert restored.machine(0).load.share_at(3.0) == 0.25
         assert restored.machine("m01").fail_at == 0.25
+
+
+class TestTopologyRoundTrip:
+    """Topology blocks in cluster blobs: round-trip + back-compat."""
+
+    def test_topology_round_trips(self):
+        from repro.cluster import two_site_network
+
+        original = two_site_network()
+        restored = cluster_from_dict(cluster_to_dict(original))
+        assert restored.topology is not None
+        assert restored.topology.leaf_names() == original.topology.leaf_names()
+        assert restored.topology.depth == original.topology.depth
+        for a, b in [(0, 1), (0, 4), (3, 7)]:
+            assert restored.transfer_time(a, b, 1 << 20) == pytest.approx(
+                original.transfer_time(a, b, 1 << 20)
+            )
+            assert restored.machine_distance(a, b) == original.machine_distance(a, b)
+
+    def test_three_level_json_round_trip(self):
+        from repro.cluster import clusters_of_clusters
+
+        original = clusters_of_clusters()
+        restored = cluster_from_json(cluster_to_json(original))
+        for a in range(original.size):
+            for b in range(original.size):
+                assert restored.transfer_time(a, b, 4096) == pytest.approx(
+                    original.transfer_time(a, b, 4096)
+                )
+
+    def test_double_round_trip_is_stable(self):
+        """Topology-derived links must not leak into the explicit link
+        list: serializing a restored cluster gives the same blob."""
+        from repro.cluster import two_site_network
+
+        original = two_site_network()
+        # Exercise the lazy topology-link cache before serializing.
+        original.transfer_time(0, 5, 1000)
+        blob1 = cluster_to_dict(original)
+        blob2 = cluster_to_dict(cluster_from_dict(blob1))
+        assert blob1 == blob2
+        assert blob1["links"] == []  # nothing explicit was configured
+
+    def test_absent_topology_stays_flat_mesh(self):
+        """Back-compat: blobs without a topology key build flat clusters."""
+        blob = cluster_to_dict(paper_network())
+        assert "topology" not in blob
+        restored = cluster_from_dict(blob)
+        assert restored.topology is None
+        assert restored.machine_distance(0, 5) == 1
+
+    def test_explicit_links_survive_alongside_topology(self):
+        from repro.cluster import FAST_INTERCONNECT, Link, two_site_network
+
+        original = two_site_network()
+        original.set_link(0, 1, Link([FAST_INTERCONNECT]), symmetric=True)
+        restored = cluster_from_dict(cluster_to_dict(original))
+        assert restored.link(0, 1).protocols[0].name == "fast"
+        assert restored.link(2, 3).protocols[0].name == "tcp-1gbit"

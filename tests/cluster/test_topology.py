@@ -1,0 +1,232 @@
+"""Hierarchical topology tree: structure, validation, pair-cost queries."""
+
+import pytest
+
+from repro.cluster import (
+    GIGABIT_ETHERNET,
+    TCP_100MBIT,
+    WAN_10MBIT,
+    Link,
+    Machine,
+    Cluster,
+    Topology,
+    TopologyNode,
+    clusters_of_clusters,
+    two_site_network,
+)
+from repro.cluster.presets import TOPOLOGY_PRESETS
+from repro.util.errors import ClusterError
+
+
+def small_topology():
+    """Two 2-machine switches under one WAN root (4 machines)."""
+    switches = [
+        TopologyNode(
+            name=f"sw{s}", kind="switch", protocols=(GIGABIT_ETHERNET,),
+            children=(TopologyNode.leaf(f"m{2 * s}"),
+                      TopologyNode.leaf(f"m{2 * s + 1}")),
+        )
+        for s in range(2)
+    ]
+    return Topology(TopologyNode(
+        name="wan", kind="site", protocols=(WAN_10MBIT,),
+        children=tuple(switches),
+    ))
+
+
+def small_cluster(topology=None):
+    machines = [Machine(name=f"m{i}", speed=100.0) for i in range(4)]
+    return Cluster(machines, default_protocols=(WAN_10MBIT,),
+                   topology=topology)
+
+
+class TestStructure:
+    def test_leaf_names_and_depth(self):
+        topo = small_topology()
+        assert topo.leaf_names() == ["m0", "m1", "m2", "m3"]
+        assert topo.depth == 2
+
+    def test_walk_paths(self):
+        topo = small_topology()
+        paths = {n.name: p for p, n in topo.root.walk()}
+        assert paths["wan"] == ()
+        assert paths["sw1"] == (1,)
+        assert paths["m3"] == (1, 1)
+
+    def test_render_mentions_levels_and_machines(self):
+        text = small_topology().render()
+        assert "wan" in text and "[switch]" in text and "m3" in text
+        assert "wan-10mbit" in text
+
+
+class TestValidation:
+    def test_valid_tree_is_ok(self):
+        report = small_topology().validate()
+        assert report.ok
+        assert report.render() == "ok"
+
+    def test_interior_without_protocols_is_error(self):
+        topo = Topology(TopologyNode(
+            name="root", children=(TopologyNode.leaf("a"),
+                                   TopologyNode.leaf("b")),
+        ))
+        report = topo.validate()
+        assert not report.ok
+        assert any("no protocols" in e for e in report.errors)
+
+    def test_duplicate_machine_is_error(self):
+        topo = Topology(TopologyNode(
+            name="root", protocols=(TCP_100MBIT,),
+            children=(TopologyNode.leaf("a"), TopologyNode.leaf("a")),
+        ))
+        report = topo.validate()
+        assert any("appears 2 times" in e for e in report.errors)
+
+    def test_leaf_with_children_is_error(self):
+        bad_leaf = TopologyNode(name="a", machine="a",
+                                children=(TopologyNode.leaf("b"),))
+        topo = Topology(TopologyNode(
+            name="root", protocols=(TCP_100MBIT,), children=(bad_leaf,)))
+        assert any("has children" in e for e in topo.validate().errors)
+
+    def test_single_child_level_warns(self):
+        topo = Topology(TopologyNode(
+            name="root", protocols=(TCP_100MBIT,),
+            children=(
+                TopologyNode(name="only", protocols=(GIGABIT_ETHERNET,),
+                             children=(TopologyNode.leaf("a"),
+                                       TopologyNode.leaf("b"))),
+            ),
+        ))
+        report = topo.validate()
+        assert report.ok
+        assert any("single child" in w for w in report.warnings)
+
+    def test_inverted_hierarchy_warns(self):
+        # Child level slower than its ancestor: works, but defeats the point.
+        topo = Topology(TopologyNode(
+            name="fast-top", protocols=(GIGABIT_ETHERNET,),
+            children=(
+                TopologyNode(name="slow-inner", protocols=(WAN_10MBIT,),
+                             children=(TopologyNode.leaf("a"),
+                                       TopologyNode.leaf("b"))),
+                TopologyNode.leaf("c"),
+            ),
+        ))
+        report = topo.validate()
+        assert report.ok
+        assert any("inverted" in w for w in report.warnings)
+
+    def test_cluster_mismatch_is_error(self):
+        topo = small_topology()
+        machines = [Machine(name=f"x{i}", speed=1.0) for i in range(2)]
+        cluster = Cluster(machines, default_protocols=(TCP_100MBIT,))
+        report = topo.validate(cluster)
+        assert any("does not appear in the topology" in e for e in report.errors)
+        assert any("is not in the cluster" in e for e in report.errors)
+
+    def test_bind_raises_on_errors(self):
+        topo = small_topology()
+        machines = [Machine(name="zz", speed=1.0)]
+        with pytest.raises(ClusterError, match="invalid topology"):
+            Cluster(machines, default_protocols=(TCP_100MBIT,), topology=topo)
+
+
+class TestPairQueries:
+    def test_distance(self):
+        cluster = small_cluster(small_topology())
+        topo = cluster.topology
+        assert topo.distance(0, 0) == 0
+        assert topo.distance(0, 1) == 2   # via the shared switch
+        assert topo.distance(0, 2) == 4   # via the WAN root
+        assert cluster.machine_distance(0, 2) == 4
+
+    def test_flat_cluster_distance(self):
+        cluster = small_cluster()
+        assert cluster.machine_distance(0, 0) == 0
+        assert cluster.machine_distance(0, 3) == 1
+
+    def test_dca_protocols(self):
+        topo = small_cluster(small_topology()).topology
+        assert topo.pair_protocols(0, 1)[0].name == GIGABIT_ETHERNET.name
+        assert topo.pair_protocols(1, 2)[0].name == WAN_10MBIT.name
+        with pytest.raises(ClusterError, match="loopback"):
+            topo.pair_protocols(2, 2)
+
+    def test_unbound_queries_raise(self):
+        topo = small_topology()
+        with pytest.raises(ClusterError, match="not bound"):
+            topo.distance(0, 1)
+
+    def test_split_levels(self):
+        topo = small_cluster(small_topology()).topology
+        keys, level = topo.split([0, 1, 2, 3])
+        assert level.name == "wan"
+        assert keys == [0, 0, 1, 1]
+        keys, level = topo.split([0, 1])
+        assert level.name == "sw0"
+        assert keys == [0, 1]
+        assert topo.split([2]) is None
+        assert topo.split([]) is None
+
+
+class TestClusterIntegration:
+    def test_topology_derives_links(self):
+        cluster = small_cluster(small_topology())
+        intra = cluster.transfer_time(0, 1, 1 << 20)
+        inter = cluster.transfer_time(0, 2, 1 << 20)
+        assert intra == pytest.approx(
+            GIGABIT_ETHERNET.transfer_time(1 << 20))
+        assert inter == pytest.approx(WAN_10MBIT.transfer_time(1 << 20))
+        assert inter > 50 * intra
+
+    def test_explicit_link_beats_topology(self):
+        cluster = small_cluster(small_topology())
+        cluster.set_link(0, 1, Link.single(TCP_100MBIT), symmetric=True)
+        assert cluster.link(0, 1).protocols[0].name == "tcp-100mbit"
+        # The other switch pair still derives from the topology.
+        assert cluster.link(2, 3).protocols[0].name == GIGABIT_ETHERNET.name
+
+    def test_set_topology_none_restores_flat(self):
+        cluster = small_cluster(small_topology())
+        assert cluster.transfer_time(0, 1, 1000) != pytest.approx(
+            WAN_10MBIT.transfer_time(1000))
+        cluster.set_topology(None)
+        assert cluster.topology is None
+        # Back to the default-protocol mesh.
+        assert cluster.transfer_time(0, 1, 1000) == pytest.approx(
+            WAN_10MBIT.transfer_time(1000))
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGY_PRESETS))
+    def test_presets_validate_clean(self, name):
+        cluster = TOPOLOGY_PRESETS[name]()
+        report = cluster.topology.validate(cluster)
+        assert report.ok
+        assert not report.warnings, report.render()
+
+    def test_two_site_shape(self):
+        cluster = two_site_network(machines_per_site=4)
+        assert cluster.size == 8
+        assert cluster.topology.depth == 2
+        assert cluster.machine_distance(0, 1) == 2
+        assert cluster.machine_distance(0, 4) == 4
+
+    def test_clusters_of_clusters_shape(self):
+        cluster = clusters_of_clusters(sites=2, subnets_per_site=2,
+                                       machines_per_subnet=2)
+        assert cluster.size == 8
+        topo = cluster.topology
+        assert topo.depth == 3
+        assert topo.distance(0, 1) == 2   # same switch
+        assert topo.distance(0, 2) == 4   # same site, different switch
+        assert topo.distance(0, 4) == 6   # different sites
+
+    def test_two_site_requires_two_machines(self):
+        with pytest.raises(ValueError):
+            two_site_network(machines_per_site=1)
+
+    def test_clusters_of_clusters_speed_length_checked(self):
+        with pytest.raises(ValueError):
+            clusters_of_clusters(speeds=[1.0, 2.0])

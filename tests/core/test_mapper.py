@@ -184,3 +184,42 @@ class TestColocation:
         # expected optimum: split volume 2:1 — machine 0 hosts more work.
         time = estimate_time(model, nm, m.machines)
         assert m.time == pytest.approx(time)
+
+
+class TestTopologyLocality:
+    """With a topology attached, the greedy mapper prefers co-located
+    machines when the compute-balance tie-break allows it."""
+
+    def test_four_process_group_stays_in_one_site(self):
+        from repro.cluster import two_site_network
+
+        cluster = two_site_network()  # 8 equal-speed machines, 2 sites
+        nm = NetworkModel(cluster, list(range(cluster.size)))
+        model = compute_model([1.0, 1.0, 1.0, 1.0], comm_bytes=1 << 16)
+        m = GreedyMapper().select(model, nm, list(range(cluster.size)))
+        distances = [
+            nm.machine_distance(a, b)
+            for a in m.machines for b in m.machines if a != b
+        ]
+        # Intra-site pairs are 2 apart; crossing the WAN costs 4.
+        assert max(distances) <= 2
+
+    def test_locality_does_not_override_speed(self):
+        from repro.cluster import clusters_of_clusters
+
+        # Site 1 (machines 4-7) is 4x faster: compute dominates, so the
+        # mapper must still pick the fast site even though rank-0 numbering
+        # starts in the slow one.
+        cluster = clusters_of_clusters(speeds=[25.0] * 4 + [100.0] * 4)
+        nm = NetworkModel(cluster, list(range(cluster.size)))
+        model = compute_model([100.0, 100.0, 100.0, 100.0])
+        m = GreedyMapper().select(model, nm, list(range(cluster.size)))
+        assert set(m.machines) <= {4, 5, 6, 7}
+
+    def test_flat_cluster_behavior_unchanged(self):
+        """Without a topology the tie-break key is inert: same mapping as
+        the historical first-strictly-better scan."""
+        nm = netmodel((100.0, 100.0, 100.0, 100.0))
+        model = compute_model([5.0, 4.0, 3.0, 2.0])
+        m = GreedyMapper().select(model, nm, [0, 1, 2, 3])
+        assert sorted(m.machines) == [0, 1, 2, 3]

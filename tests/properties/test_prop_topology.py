@@ -1,0 +1,152 @@
+"""Property-based tests of topology-derived communication costs.
+
+Two pinned invariants:
+
+- For every machine pair, the cluster's transfer time equals the cost of
+  the pair's **deepest common ancestor** level, computed by an
+  independent reference walk of the tree (exact float equality — both
+  sides run the same Hockney formula on the same protocol).
+- A degenerate one-level topology (root over machine leaves) reproduces
+  the flat default-protocol mesh bit-for-bit, down to engine makespans.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    Cluster,
+    Machine,
+    Protocol,
+    TCP_100MBIT,
+    Topology,
+    TopologyNode,
+    uniform_network,
+)
+from repro.core.netmodel import NetworkModel
+from repro.mpi import run_mpi
+
+NBYTES = st.sampled_from([0, 1, 1024, 1 << 16, 1 << 20])
+
+
+@st.composite
+def bound_topologies(draw, max_machines=8):
+    """A random protocol-annotated hierarchy bound to a cluster."""
+    n = draw(st.integers(2, max_machines))
+    names = [f"m{i}" for i in range(n)]
+    counter = [0]
+
+    def fresh_protocol():
+        counter[0] += 1
+        return Protocol(
+            f"p{counter[0]}",
+            latency=draw(st.floats(1e-6, 1e-3)),
+            bandwidth=draw(st.floats(1e6, 1e9)),
+        )
+
+    def build(group):
+        if len(group) == 1:
+            return TopologyNode.leaf(group[0])
+        parts_count = draw(st.integers(2, len(group)))
+        cuts = sorted(draw(st.sets(
+            st.integers(1, len(group) - 1),
+            min_size=parts_count - 1, max_size=parts_count - 1,
+        )))
+        bounds = [0, *cuts, len(group)]
+        children = tuple(
+            build(group[lo:hi]) for lo, hi in zip(bounds, bounds[1:])
+        )
+        counter[0] += 1
+        return TopologyNode(name=f"lvl{counter[0]}",
+                            protocols=(fresh_protocol(),),
+                            children=children)
+
+    topology = Topology(build(names))
+    machines = [Machine(name=name, speed=100.0) for name in names]
+    cluster = Cluster(machines, default_protocols=(TCP_100MBIT,),
+                      topology=topology)
+    return cluster
+
+
+def reference_dca_protocols(topology, a, b):
+    """Independent DCA walk: common prefix of the leaf paths by name."""
+    paths = {}
+    for path, node in topology.root.walk():
+        if node.is_leaf:
+            paths[node.machine] = path
+    pa, pb = paths[f"m{a}"], paths[f"m{b}"]
+    node = topology.root
+    for x, y in zip(pa, pb):
+        if x != y:
+            break
+        node = node.children[x]
+    return node.protocols
+
+
+class TestDCACost:
+    @given(cluster=bound_topologies(), nbytes=NBYTES)
+    @settings(max_examples=60, deadline=None)
+    def test_pair_cost_is_dca_level_cost(self, cluster, nbytes):
+        topology = cluster.topology
+        netmodel = NetworkModel(cluster, list(range(cluster.size)))
+        for a in range(cluster.size):
+            for b in range(cluster.size):
+                if a == b:
+                    continue
+                protocols = reference_dca_protocols(topology, a, b)
+                expected = min(p.transfer_time(nbytes) for p in protocols)
+                assert cluster.transfer_time(a, b, nbytes) == expected
+                assert netmodel.transfer_time(a, b, nbytes) == expected
+
+    @given(cluster=bound_topologies())
+    @settings(max_examples=30, deadline=None)
+    def test_distance_is_a_metric_on_leaves(self, cluster):
+        topology = cluster.topology
+        for a in range(cluster.size):
+            assert topology.distance(a, a) == 0
+            for b in range(cluster.size):
+                assert topology.distance(a, b) == topology.distance(b, a)
+                if a != b:
+                    assert topology.distance(a, b) >= 2
+
+
+def one_level_topology(n):
+    return Topology(TopologyNode(
+        name="lan", kind="subnet", protocols=(TCP_100MBIT,),
+        children=tuple(TopologyNode.leaf(f"m{i:02d}") for i in range(n)),
+    ))
+
+
+class TestDegenerateFlatEquivalence:
+    @given(n=st.integers(2, 9), nbytes=NBYTES)
+    @settings(max_examples=40, deadline=None)
+    def test_one_level_equals_flat_mesh_exactly(self, n, nbytes):
+        flat = uniform_network([100.0] * n)
+        hier = uniform_network([100.0] * n)
+        hier.set_topology(one_level_topology(n))
+        for a in range(n):
+            for b in range(n):
+                assert hier.transfer_time(a, b, nbytes) == \
+                    flat.transfer_time(a, b, nbytes)
+                assert hier.link(a, b).effective_latency() == \
+                    flat.link(a, b).effective_latency()
+
+    @pytest.mark.parametrize("algorithm", ["binomial", "hierarchical", "auto"])
+    def test_engine_makespans_identical(self, algorithm):
+        """Virtual time of a bcast is bit-identical on the degenerate
+        topology — including the hierarchical algorithm, which finds no
+        split and degrades to one binomial tree."""
+        def app(env):
+            value = "x" if env.rank == 1 else None
+            env.comm_world.bcast(value, root=1, nbytes=1 << 16,
+                                 algorithm=algorithm)
+            return env.wtime()
+
+        n = 6
+        flat = uniform_network([100.0] * n)
+        hier = uniform_network([100.0] * n)
+        hier.set_topology(one_level_topology(n))
+        res_flat = run_mpi(app, flat, timeout=30)
+        res_hier = run_mpi(app, hier, timeout=30)
+        assert res_flat.results == res_hier.results
+        assert res_flat.makespan == res_hier.makespan
