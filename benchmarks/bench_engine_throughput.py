@@ -1,0 +1,122 @@
+"""Engine throughput — events/sec of the two scheduling backends.
+
+The single-threaded discrete-event core exists so the simulator's
+capacity is set by the cost model, not by OS thread context-switching.
+This bench pins that claim on the workload where scheduling overhead
+cannot hide: a token circulating a 1024-rank ring, where every receive
+blocks and every event therefore costs the thread backend a context
+switch plus a stall scan.  The event core must run ≥ 10× more message
+events per second under ``engine="events"`` than under
+``engine="threads"``, and a 10k-rank scenario must complete at all
+(the thread backend cannot be asked to).
+
+(A neighbour-exchange ring would flatter the thread backend: under GIL
+time-slicing most receives find their message already queued and never
+block, so the OS-scheduling cost the refactor removes never shows.)
+
+With ``--smoke``, a quick regression check compares the event backend's
+events/sec against the recorded baseline in
+``benchmarks/baselines/engine_smoke.json`` (fails below half the
+recorded throughput, with a generous floor for slow shared runners) and
+runs the 10k-rank completion check.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.cluster import uniform_network
+from repro.mpi import run_mpi
+from repro.util.tables import Table
+
+RANKS = 1024
+ROUNDS = 4
+MACHINES = 64  # ranks wrap round-robin; links are created lazily
+SCALE_RANKS = 10_000
+BASELINE_PATH = pathlib.Path(__file__).parent / "baselines" / "engine_smoke.json"
+
+
+def ring_app(env, laps):
+    """Token ring: one message circulates; every receive must block.
+
+    2 message events (send + recv) per rank per lap, and a strict
+    dependency chain — rank r cannot run until rank r-1 forwards, so
+    each event forces a full scheduler handoff on either backend.
+    """
+    comm = env.comm_world
+    nxt = (env.rank + 1) % env.size
+    prv = (env.rank - 1) % env.size
+    if env.rank == 0:
+        for i in range(laps):
+            comm.send(i, nxt, nbytes=64)
+            comm.recv(prv)
+    else:
+        for i in range(laps):
+            comm.send(comm.recv(prv), nxt, nbytes=64)
+    return None
+
+
+def _throughput(backend: str, nranks: int, rounds: int = ROUNDS):
+    """(events/sec, wall seconds) for one ring run."""
+    cluster = uniform_network([100.0] * MACHINES)
+    t0 = time.perf_counter()
+    result = run_mpi(ring_app, cluster, nprocs=nranks, args=(rounds,),
+                     engine=backend, timeout=600.0)
+    wall = time.perf_counter() - t0
+    assert not result.failed and all(e is None for e in result.exceptions)
+    events = nranks * rounds * 2
+    return events / wall, wall
+
+
+def test_engine_throughput(report):
+    """Events/sec at 1024 ranks: the event core must win by ≥ 10×."""
+    rows = [(backend, *_throughput(backend, RANKS))
+            for backend in ("threads", "events")]
+
+    t = Table("backend", "events/sec", "wall (s)",
+              title=f"Engine throughput — {RANKS}-rank token ring, "
+                    f"{ROUNDS} laps ({RANKS * ROUNDS * 2} events)")
+    for backend, eps, wall in rows:
+        t.add(backend, f"{eps:,.0f}", f"{wall:.2f}")
+    by_name = dict((b, eps) for b, eps, _ in rows)
+    t.add("speedup (x)", f"{by_name['events'] / by_name['threads']:.1f}", "")
+    report.emit(t.render())
+
+    assert by_name["events"] >= 10.0 * by_name["threads"], (
+        f"events backend {by_name['events']:,.0f} ev/s is less than 10x "
+        f"the thread backend's {by_name['threads']:,.0f} ev/s"
+    )
+
+
+def test_engine_scale_10k(smoke, report):
+    """The event core completes a 10k-rank ring (thread backend need not
+    apply: 10k OS threads is exactly the wall this refactor removes)."""
+    if not smoke:
+        pytest.skip("10k-rank completion check runs with --smoke")
+    eps, wall = _throughput("events", SCALE_RANKS, rounds=1)
+    t = Table("scenario", "events/sec", "wall (s)",
+              title="Engine scale smoke")
+    t.add(f"{SCALE_RANKS}-rank token ring, 1 lap", f"{eps:,.0f}", f"{wall:.2f}")
+    report.emit(t.render())
+    assert wall < 300.0
+
+
+def test_engine_throughput_smoke(smoke):
+    """Fail if event-core throughput regressed >2x vs the baseline."""
+    if not smoke:
+        pytest.skip("smoke regression check runs with --smoke")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    best = 0.0
+    for _ in range(3):
+        eps, _ = _throughput("events", RANKS)
+        best = max(best, eps)
+    # Generous floor keeps slow shared CI machines from flaking; beyond
+    # that, falling below half the recorded throughput is a regression.
+    floor = min(0.5 * baseline["events_per_sec"], 20_000.0)
+    assert best >= floor, (
+        f"event core ran {best:,.0f} events/sec, floor {floor:,.0f} "
+        f"(baseline {baseline['events_per_sec']:,.0f} recorded "
+        f"{baseline['recorded']})"
+    )

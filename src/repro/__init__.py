@@ -39,11 +39,19 @@ Quickstart::
             hmpi.group_free(gid)
 
     result = run_hmpi(app, paper_network())
+
+or, with the session facade (:mod:`repro.hmpi`) holding launch options::
+
+    from repro.hmpi import session
+
+    with session(paper_network(), mapper="greedy", engine="events") as s:
+        result = s.run(app)
 """
 
-from . import apps, cluster, core, mpi, perfmodel, util
+from . import apps, cluster, core, hmpi, mpi, perfmodel, util
 from .cluster import Cluster, Machine, paper_network
 from .core import HMPI, run_hmpi
+from .hmpi import HMPISession
 from .mpi import run_mpi
 from .perfmodel import CallableModel, PerformanceModel, compile_model
 
@@ -56,6 +64,8 @@ __all__ = [
     "core",
     "apps",
     "util",
+    "hmpi",
+    "HMPISession",
     "Cluster",
     "Machine",
     "paper_network",

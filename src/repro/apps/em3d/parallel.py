@@ -129,6 +129,8 @@ def run_em3d_mpi(
     niter: int,
     k: int,
     timeout: float | None = 120.0,
+    *,
+    engine: str | None = None,
 ) -> EM3DRunResult:
     """The standard-MPI baseline of the paper's Figure 3.
 
@@ -151,7 +153,7 @@ def run_em3d_mpi(
         em3dcomm.free()
         return (total, elapsed, ranks)
 
-    result = run_mpi(app, cluster, timeout=timeout)
+    result = run_mpi(app, cluster, timeout=timeout, engine=engine)
     total, elapsed, ranks = result.results[0]
     return EM3DRunResult(
         algorithm_time=elapsed,
@@ -172,6 +174,8 @@ def run_em3d_hmpi(
     procs_per_machine: int = 1,
     timeout: float | None = 120.0,
     obs=None,
+    *,
+    engine: str | None = None,
 ) -> EM3DRunResult:
     """The HMPI version of the paper's Figure 5.
 
@@ -216,7 +220,7 @@ def run_em3d_hmpi(
 
     placement = [m for m in range(cluster.size) for _ in range(procs_per_machine)]
     result = run_hmpi(app, cluster, placement=placement, mapper=mapper,
-                      timeout=timeout, obs=obs)
+                      timeout=timeout, obs=obs, engine=engine)
     total, elapsed, ranks, predicted, machines = result.results[0]
     return EM3DRunResult(
         algorithm_time=elapsed,

@@ -168,6 +168,8 @@ def run_jacobi_ft(
     max_repairs: int = 8,
     timeout: float | None = 120.0,
     obs=None,
+    *,
+    engine: str | None = None,
 ) -> JacobiFTResult:
     """Run the Jacobi solver to completion through machine failures.
 
@@ -233,7 +235,8 @@ def run_jacobi_ft(
                     pass
             return ("failed", repairs, str(exc))
 
-    result = run_hmpi(app, cluster, timeout=timeout, ft=ft, obs=obs)
+    result = run_hmpi(app, cluster, timeout=timeout, ft=ft, obs=obs,
+                      engine=engine)
     host_out = result.results[0]
     dead: list[int] = []
     for r, exc in enumerate(result.exceptions):

@@ -141,6 +141,8 @@ def run_jacobi_mpi(
     k: int = 100,
     seed: int = 0,
     timeout: float | None = 120.0,
+    *,
+    engine: str | None = None,
 ) -> JacobiRunResult:
     """Uniform row panels on the first ``p`` world processes."""
     if p > cluster.size:
@@ -157,7 +159,7 @@ def run_jacobi_mpi(
         comm.free()
         return (grid, elapsed, ranks)
 
-    result = run_mpi(app, cluster, timeout=timeout)
+    result = run_mpi(app, cluster, timeout=timeout, engine=engine)
     grid, elapsed, ranks = result.results[0]
     return JacobiRunResult(
         algorithm_time=elapsed, makespan=result.makespan, grid=grid,
@@ -175,6 +177,8 @@ def run_jacobi_hmpi(
     mapper: Mapper | None = None,
     recon: bool = True,
     timeout: float | None = 120.0,
+    *,
+    engine: str | None = None,
 ) -> JacobiRunResult:
     """Speed-proportional panels on an HMPI-selected group.
 
@@ -219,7 +223,8 @@ def run_jacobi_hmpi(
             hmpi.group_free(gid)
         return out
 
-    result = run_hmpi(app, cluster, mapper=mapper, timeout=timeout)
+    result = run_hmpi(app, cluster, mapper=mapper, timeout=timeout,
+                      engine=engine)
     grid, elapsed, ranks, predicted, rows = result.results[0]
     return JacobiRunResult(
         algorithm_time=elapsed, makespan=result.makespan, grid=grid,

@@ -93,6 +93,8 @@ def run_matmul_mpi(
     m: int = 3,
     seed: int = 0,
     timeout: float | None = 300.0,
+    *,
+    engine: str | None = None,
 ) -> MatmulRunResult:
     """Homogeneous 2D block-cyclic baseline on the first m² processes."""
     if m * m > cluster.size:
@@ -111,7 +113,7 @@ def run_matmul_mpi(
         grid_comm.free()
         return (total, elapsed, ranks)
 
-    result = run_mpi(app, cluster, timeout=timeout)
+    result = run_mpi(app, cluster, timeout=timeout, engine=engine)
     total, elapsed, ranks = result.results[0]
     return MatmulRunResult(
         algorithm_time=elapsed,
@@ -134,6 +136,8 @@ def run_matmul_hmpi(
     recon: bool = True,
     timeout: float | None = 300.0,
     obs=None,
+    *,
+    engine: str | None = None,
 ) -> MatmulRunResult:
     """The HMPI version of Figure 8.
 
@@ -190,7 +194,8 @@ def run_matmul_hmpi(
             hmpi.group_free(gid)
         return out
 
-    result = run_hmpi(app, cluster, mapper=mapper, timeout=timeout, obs=obs)
+    result = run_hmpi(app, cluster, mapper=mapper, timeout=timeout, obs=obs,
+                      engine=engine)
     total, elapsed, ranks, chosen_l, predicted, dist = result.results[0]
     return MatmulRunResult(
         algorithm_time=elapsed,

@@ -54,9 +54,11 @@ def _cmd_fig09(args: argparse.Namespace) -> int:
                   title="Figure 9 — EM3D, HMPI vs MPI (virtual seconds)")
     for total in args.sizes:
         problem = generate_problem(p=9, total_nodes=total, seed=args.seed)
-        mpi = run_em3d_mpi(paper_network(), problem, niter=args.niter, k=100)
+        mpi = run_em3d_mpi(paper_network(), problem, niter=args.niter, k=100,
+                           engine=args.engine)
         hmpi = run_em3d_hmpi(paper_network(), problem, niter=args.niter,
-                             k=100, procs_per_machine=args.slots)
+                             k=100, procs_per_machine=args.slots,
+                             engine=args.engine)
         table.add(total, mpi.algorithm_time, hmpi.algorithm_time,
                   mpi.algorithm_time / hmpi.algorithm_time)
     print(table.render())
@@ -64,13 +66,15 @@ def _cmd_fig09(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig10(args: argparse.Namespace) -> int:
-    mpi = run_matmul_mpi(paper_network(), n=args.n, r=8, m=3, seed=args.seed)
+    mpi = run_matmul_mpi(paper_network(), n=args.n, r=8, m=3, seed=args.seed,
+                         engine=args.engine)
     table = Table("l", "t_MPI (s)", "t_HMPI (s)",
                   title=f"Figure 10 — MM time vs generalized block size "
                         f"(n={args.n}, r=8)")
     for l in candidate_block_sizes(args.n, 3):
         hmpi = run_matmul_hmpi(paper_network(), n=args.n, r=8, m=3, l=l,
-                               seed=args.seed, mapper=GreedyMapper())
+                               seed=args.seed, mapper=GreedyMapper(),
+                               engine=args.engine)
         table.add(l, mpi.algorithm_time, hmpi.algorithm_time)
     print(table.render())
     return 0
@@ -83,9 +87,11 @@ def _cmd_fig11(args: argparse.Namespace) -> int:
     table = Table("n (blocks)", "t_MPI (s)", "t_HMPI (s)", "speedup",
                   title="Figure 11 — MM, HMPI vs MPI (r = l = 9)")
     for n in args.sizes:
-        mpi = run_matmul_mpi(paper_network(), n=n, r=9, m=3, seed=args.seed)
+        mpi = run_matmul_mpi(paper_network(), n=n, r=9, m=3, seed=args.seed,
+                             engine=args.engine)
         hmpi = run_matmul_hmpi(paper_network(), n=n, r=9, m=3, l=9,
-                               seed=args.seed, mapper=GreedyMapper(), obs=obs)
+                               seed=args.seed, mapper=GreedyMapper(), obs=obs,
+                               engine=args.engine)
         table.add(n, mpi.algorithm_time, hmpi.algorithm_time,
                   mpi.algorithm_time / hmpi.algorithm_time)
     print(table.render())
@@ -131,7 +137,8 @@ def _run_observed(args: argparse.Namespace):
         if args.fail:
             inject_faults(cluster, FaultSchedule(_parse_fail(args.fail)))
         result = run_jacobi_ft(cluster, n=args.n, p=args.p, niter=args.niter,
-                               k=50, seed=args.seed, obs=obs)
+                               k=50, seed=args.seed, obs=obs,
+                               engine=args.engine)
         if result.error is not None:
             raise SystemExit(f"jacobi run failed: {result.error}")
         outcome = (f"jacobi n={args.n} p={args.p} niter={args.niter}: "
@@ -141,15 +148,24 @@ def _run_observed(args: argparse.Namespace):
     else:
         result = run_matmul_hmpi(paper_network(), n=args.n, r=9, m=3,
                                  seed=args.seed, mapper=GreedyMapper(),
-                                 obs=obs)
+                                 obs=obs, engine=args.engine)
         outcome = (f"matmul n={args.n} l={result.block_size_l}: "
                    f"algorithm {result.algorithm_time:.3f}s, "
                    f"makespan {result.makespan:.3f}s")
     return obs, outcome
 
 
+def _engine_flag(sub) -> None:
+    from .mpi.scheduler import ENGINE_BACKENDS
+
+    sub.add_argument("--engine", choices=list(ENGINE_BACKENDS), default=None,
+                     help="scheduling backend (default: events, or the "
+                          "REPRO_ENGINE environment variable)")
+
+
 def _scenario_flags(sub) -> None:
     sub.add_argument("--app", choices=["jacobi", "matmul"], default="jacobi")
+    _engine_flag(sub)
     sub.add_argument("--n", type=int, default=30,
                      help="problem size (grid rows / blocks)")
     sub.add_argument("--p", type=int, default=4,
@@ -369,16 +385,19 @@ def build_parser() -> argparse.ArgumentParser:
     p09.add_argument("--seed", type=int, default=42)
     p09.add_argument("--slots", type=int, default=2,
                      help="HMPI process slots per machine")
+    _engine_flag(p09)
     p09.set_defaults(fn=_cmd_fig09)
 
     p10 = sub.add_parser("fig10", help="MM time vs generalized block size")
     p10.add_argument("--n", type=int, default=24)
     p10.add_argument("--seed", type=int, default=10)
+    _engine_flag(p10)
     p10.set_defaults(fn=_cmd_fig10)
 
     p11 = sub.add_parser("fig11", help="MM, HMPI vs MPI")
     p11.add_argument("--sizes", type=int, nargs="+", default=[9, 18, 27])
     p11.add_argument("--seed", type=int, default=11)
+    _engine_flag(p11)
     p11.set_defaults(fn=_cmd_fig11)
 
     pc = sub.add_parser("compile", help="compile + lint a PMDL model file")

@@ -113,9 +113,9 @@ class HMPIRuntimeState:
         self.free: set[int] = set(range(netmodel.nprocs)) - {HOST_RANK}
         self.creation_counter = 0
         self.dead: set[int] = set()  # world ranks on failed machines
-        # Real-time rendezvous counters for group_free (gid -> arrivals).
+        # Rendezvous counters for group_free (gid -> arrivals); waiters
+        # block in the engine (wait_until), not on a real-time condition.
         self.free_rendezvous: dict[int, int] = {}
-        self.free_cond = threading.Condition(self.lock)
         self.selection_stats = SelectionStats()
         # key -> (Mapping, model ref, mapper ref); the refs keep the ids in
         # the key stable for the entry's lifetime.
@@ -610,15 +610,29 @@ class HMPI:
             gid = group.gid
             group.comm.barrier()
             state = self.state
-            with state.free_cond:
+            engine = self.comm_world._engine
+            with state.lock:
                 if self.rank != HOST_RANK:
                     state.free.add(self.rank)
                 state.free_rendezvous[gid] = state.free_rendezvous.get(gid, 0) + 1
-                if state.free_rendezvous[gid] >= size:
-                    state.free_cond.notify_all()
-                else:
-                    while state.free_rendezvous.get(gid, 0) < size:
-                        state.free_cond.wait()
+                arrived = state.free_rendezvous[gid]
+            if arrived >= size:
+                # Last member in: wake the engine-blocked early arrivers.
+                engine.poke()
+            else:
+                # Engine-level wait (not a real-time condition), so the
+                # rendezvous participates in stall/failure accounting and
+                # cooperative backends can schedule other ranks meanwhile.
+                # The predicate reads the counter without state.lock: it
+                # runs under the engine lock, and lock-ordering with
+                # paths that hold state.lock while poking the engine
+                # forbids taking state.lock here.  The counter only grows
+                # (per gid), so a lock-free read is safe.
+                engine.wait_until(
+                    self.rank,
+                    lambda: state.free_rendezvous.get(gid, 0) >= size,
+                    label=f"group_free({gid}) rendezvous",
+                )
         group._mark_freed()
 
     # ------------------------------------------------------------------
@@ -843,6 +857,7 @@ def run_hmpi(
     app: Callable[..., Any],
     cluster: Cluster,
     placement: Sequence[int] | None = None,
+    *,
     nprocs: int | None = None,
     args: tuple = (),
     kwargs: dict | None = None,
@@ -850,23 +865,30 @@ def run_hmpi(
     initial_speeds: Sequence[float] | None = None,
     timeout: float | None = 120.0,
     tracer: Any = None,
-    ft: "FTConfig | None" = None,
+    ft: "FTConfig | dict | None" = None,
     obs: "Observability | None" = None,
+    engine: str | None = None,
 ) -> MPIRunResult:
     """Run ``app(hmpi, *args, **kwargs)`` SPMD with the HMPI runtime.
 
     This brackets the application with ``HMPI_Init``/``HMPI_Finalize``: it
     builds the shared runtime state (network model seeded with nominal
     machine speeds unless ``initial_speeds`` is given) and hands every rank
-    an :class:`HMPI` environment.  ``mapper`` may be a :class:`Mapper`
-    instance or a registry string such as ``"default"`` or ``"greedy"``.
-    ``tracer`` and ``ft`` (fault-tolerance knobs) are forwarded to the
-    engine (see :class:`repro.mpi.tracing.Tracer`,
-    :class:`repro.mpi.engine.FTConfig`).  ``obs`` turns on the unified
-    observability layer (:class:`repro.obs.Observability`): runtime spans,
-    metrics, and prediction-accuracy tracking record into it, and its
-    tracer (when it has one) collects the engine events unless an explicit
-    ``tracer`` is also given.
+    an :class:`HMPI` environment.  Options after ``placement`` are
+    keyword-only and uniform across entry points (``run_mpi``,
+    ``run_hmpi``, the session facade, the CLI); bad registry strings raise
+    :class:`~repro.util.errors.OptionError` (engine backends) or the
+    owning layer's established error type (mappers, algorithms).
+    ``mapper`` may be a :class:`Mapper` instance or a registry string such
+    as ``"default"`` or ``"greedy"``.  ``tracer`` and ``ft``
+    (fault-tolerance knobs; an :class:`FTConfig` or a dict of its fields)
+    are forwarded to the engine (see :class:`repro.mpi.tracing.Tracer`,
+    :class:`repro.mpi.engine.FTConfig`), as is ``engine`` — the
+    scheduling backend, ``"events"`` or ``"threads"``.  ``obs`` turns on
+    the unified observability layer (:class:`repro.obs.Observability`):
+    runtime spans, metrics, and prediction-accuracy tracking record into
+    it, and its tracer (when it has one) collects the engine events
+    unless an explicit ``tracer`` is also given.
     """
     if placement is None:
         placement = default_placement(cluster, nprocs)
@@ -885,4 +907,5 @@ def run_hmpi(
         wrapped, cluster, placement=placement,
         args=args, kwargs=kwargs, timeout=timeout, tracer=tracer, ft=ft,
         metrics=obs.metrics if obs is not None else None,
+        engine=engine,
     )

@@ -2,8 +2,11 @@
 
 Provides groups with the full MPI-1 algebra, communicators with
 point-to-point and collective operations, nonblocking requests, and an
-SPMD launcher running each rank as a thread with a logical clock charged
-against a :class:`~repro.cluster.Cluster`.
+SPMD launcher running each rank with a logical clock charged against a
+:class:`~repro.cluster.Cluster`.  Rank scheduling is pluggable
+(``engine="events"`` — single-threaded discrete-event core, the default
+— or ``engine="threads"``; see :mod:`repro.mpi.scheduler` and
+docs/ENGINE.md).
 """
 
 from . import ops
@@ -28,6 +31,14 @@ from .launcher import MPIEnv, MPIRunResult, default_placement, run_mpi
 from .pool import Task, WorkerPool, run_task_pool
 from .ops import BAND, BOR, LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, Op
 from .request import RecvRequest, Request, SendRequest, testall, waitall
+from .scheduler import (
+    DEFAULT_ENGINE,
+    ENGINE_BACKENDS,
+    EventScheduler,
+    Scheduler,
+    ThreadScheduler,
+    resolve_engine,
+)
 from .status import ANY_SOURCE, ANY_TAG, PROC_NULL, UNDEFINED, Status
 from .tracing import TraceEvent, Tracer
 
@@ -45,6 +56,12 @@ __all__ = [
     "MPIRunResult",
     "run_mpi",
     "default_placement",
+    "Scheduler",
+    "ThreadScheduler",
+    "EventScheduler",
+    "ENGINE_BACKENDS",
+    "DEFAULT_ENGINE",
+    "resolve_engine",
     "Status",
     "Tracer",
     "TraceEvent",

@@ -49,6 +49,7 @@ from collections.abc import Sequence
 from typing import TYPE_CHECKING, Any
 
 from ..util.errors import MPICommError
+from ..util.options import check_choice
 from .ops import Op
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -84,12 +85,9 @@ def _check_root(comm: "Comm", root: int) -> None:
 
 def _check_algorithm(coll: str, algorithm: str, allowed: Sequence[str]) -> None:
     """Uniform validation: every ``algorithm=`` accepting collective raises
-    the same typed error for unknown names."""
-    if algorithm not in allowed:
-        raise MPICommError(
-            f"unknown {coll} algorithm {algorithm!r}; "
-            f"expected one of {', '.join(allowed)}"
-        )
+    the same typed error (message shape shared with every registry-string
+    option via :func:`repro.util.options.check_choice`)."""
+    check_choice(f"{coll} algorithm", algorithm, allowed, exc=MPICommError)
 
 
 # ----------------------------------------------------------------------

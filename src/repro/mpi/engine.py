@@ -15,10 +15,15 @@ virtual time (per-pair arrival monotonisation), matching MPI's
 non-overtaking guarantee.  Links are contention-free across distinct pairs,
 matching the paper's switched Ethernet "enabling parallel communications".
 
-Blocking receives block the *thread*, so algorithm-level blocking structure
-is mirrored exactly and no global clock synchronisation is needed.  A
-deterministic stall detector fires when every live rank is blocked: with
-eager sends nothing can ever unblock them.
+Blocking receives block the rank's *task*, so algorithm-level blocking
+structure is mirrored exactly and no global clock synchronisation is
+needed.  *When* rank tasks run is delegated to a pluggable
+:class:`~repro.mpi.scheduler.Scheduler` (``engine="events"`` runs one
+cooperatively scheduled task at a time off a virtual-time event heap —
+the default; ``engine="threads"`` is the original preemptive
+one-OS-thread-per-rank backend).  A deterministic stall detector fires
+when every live rank is blocked: with eager sends nothing can ever
+unblock them.  See ``docs/ENGINE.md`` for the event model.
 
 **Failure semantics.**  Machine failures (fault injection) surface as
 :class:`MachineFailure` in the affected ranks.  Survivors do not share that
@@ -52,6 +57,7 @@ from ..util.errors import (
     RankFailedError,
 )
 from .datatypes import decode_payload, encode_payload
+from .scheduler import make_scheduler, resolve_engine, resolve_ft
 from .status import ANY_SOURCE, ANY_TAG, Status
 
 __all__ = ["Message", "PostedRecv", "ProcessState", "Engine", "FTConfig",
@@ -189,12 +195,17 @@ class Engine:
     placement:
         ``placement[world_rank]`` is the machine index the rank runs on.
         Several ranks may share a machine; they then share its speed.
+    engine:
+        scheduling backend name (``"events"`` or ``"threads"``); None
+        resolves through :func:`repro.mpi.scheduler.resolve_engine`
+        (``REPRO_ENGINE`` environment override, then the default).
     """
 
     def __init__(self, cluster: Cluster, placement: Sequence[int],
                  tracer: "object | None" = None,
-                 ft: FTConfig | None = None,
-                 metrics: "object | None" = None):
+                 ft: "FTConfig | dict | None" = None,
+                 metrics: "object | None" = None,
+                 engine: str | None = None):
         if not placement:
             raise MPIError("placement must map at least one rank")
         for m in placement:
@@ -205,6 +216,7 @@ class Engine:
         # Optional obs.MetricsRegistry; collectives count fired algorithms
         # here when present.
         self.metrics = metrics
+        ft = resolve_ft(ft)
         self.ft = ft if ft is not None else FTConfig()
         self.placement = list(placement)
         self.nprocs = len(placement)
@@ -216,9 +228,22 @@ class Engine:
         self._started = False
         self.deadlocked = False
         self.failures: list[MachineFailure] = []
+        #: World ranks currently blocked in :meth:`wait_until`.  External
+        #: predicates are the one wait class that out-of-band state (a
+        #: rank finishing, runtime bookkeeping) can satisfy without a
+        #: message delivery, so schedulers re-check exactly these — and
+        #: only these — at each rank finish.
+        self.ext_waiters: set[int] = set()
         self._context_registry: dict[tuple, int] = {}
         self._next_context = WORLD_CONTEXT + 1
         self._sync_seq = 0
+        self.backend = resolve_engine(engine)
+        self.scheduler = make_scheduler(self.backend, self)
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether rank interleaving is virtual-time ordered (no OS races)."""
+        return self.scheduler.deterministic
 
     # ------------------------------------------------------------------
     # context allocation (deterministic across ranks)
@@ -406,10 +431,11 @@ class Engine:
                 dproc.posted.remove(pr)
                 pr.message = msg
                 pr.done = True
-                dproc.cond.notify_all()
+                self.scheduler.wake(dproc, at=msg.arrival)
                 return
         dproc.unexpected.append(msg)
-        dproc.cond.notify_all()  # wake iprobe/probe waiters
+        # Wake iprobe/probe (and wildcard recv) waiters.
+        self.scheduler.wake(dproc, at=msg.arrival)
 
     def post_recv(self, dst: int, context: int, src: int, tag: int) -> PostedRecv:
         """Post a receive; matches an unexpected message immediately if any.
@@ -453,12 +479,7 @@ class Engine:
             proc.waiting = ("recv", pr, deadline)
             try:
                 while not pr.done:
-                    self._raise_if_woken(proc)
-                    self._check_stall()
-                    self._raise_if_woken(proc)
-                    if self.deadlocked:
-                        raise self._deadlock_error()
-                    proc.cond.wait()
+                    self._wait_step(proc)
                 # The receive was satisfied: a collateral wake planted
                 # concurrently (stall resolution racing with the message
                 # that saved us) is moot and must not leak into the next
@@ -472,6 +493,8 @@ class Engine:
                 raise
             finally:
                 proc.waiting = None
+            if pr.src == ANY_SOURCE and self.scheduler.deterministic:
+                self._settle_wildcard(proc, pr)
             msg = pr.message
         assert msg is not None
         wait_from = proc.clock
@@ -510,6 +533,10 @@ class Engine:
         if timeout is None:
             timeout = self.ft.default_recv_timeout
         deadline = None if timeout is None else proc.clock + timeout
+        if not block:
+            # Cooperative backends: let ready peers run so a polling loop
+            # observes progress between probes (no-op under "threads").
+            self.scheduler.yield_now(proc)
         with self.lock:
             try:
                 while True:
@@ -525,12 +552,7 @@ class Engine:
                     if not block:
                         return None
                     proc.waiting = ("probe", (context, src, tag), deadline)
-                    self._raise_if_woken(proc)
-                    self._check_stall()
-                    self._raise_if_woken(proc)
-                    if self.deadlocked:
-                        raise self._deadlock_error()
-                    proc.cond.wait()
+                    self._wait_step(proc)
             finally:
                 proc.waiting = None
 
@@ -553,16 +575,13 @@ class Engine:
         proc = self.procs[world_rank]
         with self.lock:
             proc.waiting = ("ext", predicate, None)
+            self.ext_waiters.add(world_rank)
             try:
                 while not predicate():
-                    self._raise_if_woken(proc)
-                    self._check_stall()
-                    self._raise_if_woken(proc)
-                    if self.deadlocked:
-                        raise self._deadlock_error()
-                    proc.cond.wait()
+                    self._wait_step(proc)
             finally:
                 proc.waiting = None
+                self.ext_waiters.discard(world_rank)
 
     def poke(self) -> None:
         """Wake every blocked rank to re-evaluate its wait condition.
@@ -571,12 +590,85 @@ class Engine:
         marking ranks free/dead) that external-wait predicates observe.
         """
         with self.lock:
-            for p in self.procs:
-                p.cond.notify_all()
+            self.scheduler.wake_all()
+
+    def progress(self, world_rank: int) -> None:
+        """Give other ready ranks a chance to run, without charging time.
+
+        Nonblocking polls (``iprobe``, ``Request.test``) call this so a
+        poll loop observes peer progress under cooperative backends; a
+        no-op under the preemptive thread backend.
+        """
+        self.scheduler.yield_now(self.procs[world_rank])
 
     # ------------------------------------------------------------------
     # stall / failure accounting
     # ------------------------------------------------------------------
+    def _wait_step(self, proc: ProcessState) -> None:
+        """One blocking step of a wait loop (lock held, ``waiting`` set).
+
+        Raises any planted wake exception (or the terminal deadlock) and
+        parks the rank via the scheduler.  Backends that rely on eager
+        stall detection (``threads``: every blocked rank must re-check
+        global progress, since blocking order is an OS accident) run
+        :meth:`_check_stall` before parking; the event backend detects
+        stalls centrally when its ready heap runs dry.
+        """
+        self._raise_if_woken(proc)
+        if self.scheduler.eager_stall:
+            self._check_stall()
+            self._raise_if_woken(proc)
+        if self.deadlocked:
+            raise self._deadlock_error()
+        self.scheduler.block(proc)
+
+    def _settle_wildcard(self, proc: ProcessState, pr: PostedRecv) -> None:
+        """Commit a wildcard receive at its true virtual completion time.
+
+        Deterministic backend only (lock held).  The receive completes at
+        ``T = max(clock, arrival)`` — but a rank that is *ready to run
+        before T* may still deliver a virtually earlier match.  (The
+        classic case is a self-scheduling pool: the master drains a wave
+        of queued slow-worker results while the fastest worker, whose
+        next result would arrive far earlier, sits ready in the heap.)
+        Let every such rank run first, then take the earliest-arriving
+        match among everything delivered.  The loop terminates because
+        the candidate arrival never increases while the heap minimum
+        only advances.
+        """
+        while True:
+            if proc.unexpected:
+                self._prefer_earliest(proc, pr)
+            assert pr.message is not None
+            t = pr.message.arrival
+            if t < proc.clock:
+                t = proc.clock
+            if not self.scheduler.ready_before(proc, t):
+                return
+            self.scheduler.wait_upto(proc, t)
+
+    def _prefer_earliest(self, proc: ProcessState, pr: PostedRecv) -> None:
+        """Swap a completed wildcard receive to the earliest-arriving match.
+
+        Deterministic backend only (lock held).  A wildcard receive is
+        matched at *delivery* time, but the receiver dispatches at the
+        virtual time of that arrival — by which every sender with an
+        earlier clock has already run.  If one of them delivered a
+        virtually earlier match meanwhile, take that one instead, exactly
+        as the min-arrival rule in :meth:`post_recv` would have.  The
+        displaced message returns to the head of the unexpected queue:
+        any message of its (context, src, tag) class still queued was
+        delivered after it, so per-pair order is preserved.
+        """
+        best = pr.message
+        assert best is not None
+        for m in proc.unexpected:
+            if pr.accepts(m) and m.arrival < best.arrival:
+                best = m
+        if best is not pr.message:
+            proc.unexpected.remove(best)
+            proc.unexpected.appendleft(pr.message)
+            pr.message = best
     def _raise_if_woken(self, proc: ProcessState) -> None:
         """Raise and clear the exception planted by the stall resolver."""
         exc = proc.wake_exc
@@ -709,7 +801,7 @@ class Engine:
         if victims:
             for p, exc in victims:
                 p.wake_exc = exc
-                p.cond.notify_all()
+                self.scheduler.wake(p)
             return
         # Nothing typed to report: either a pure deadlock among engine
         # waiters, or only external waiters are left with no rank able to
@@ -730,8 +822,7 @@ class Engine:
 
     def _declare_deadlock(self) -> None:
         self.deadlocked = True
-        for p in self.procs:
-            p.cond.notify_all()
+        self.scheduler.wake_all()
 
     def _deadlock_error(self) -> DeadlockError:
         if self.failures:
@@ -745,14 +836,16 @@ class Engine:
     # SPMD run driver
     # ------------------------------------------------------------------
     def run(self, target: Callable[[int], Any], timeout: float | None = 120.0) -> None:
-        """Run ``target(world_rank)`` on a thread per rank and join all.
+        """Run ``target(world_rank)`` on every rank to completion.
 
-        Exceptions are captured per rank; :class:`MachineFailure` is
-        recorded in :attr:`failures` and fault fallout at survivors
-        (:class:`RankFailedError`, :class:`LinkFaultError`,
-        :class:`OperationTimeoutError`) stays in the per-rank ``exception``
-        slots (fault injection is an expected outcome); any other exception
-        re-raises after the join from the lowest failing rank.
+        Task lifecycle (thread-per-rank or cooperative handoff) belongs to
+        the scheduler.  Exceptions are captured per rank;
+        :class:`MachineFailure` is recorded in :attr:`failures` and fault
+        fallout at survivors (:class:`RankFailedError`,
+        :class:`LinkFaultError`, :class:`OperationTimeoutError`) stays in
+        the per-rank ``exception`` slots (fault injection is an expected
+        outcome); any other exception re-raises after the run from the
+        lowest failing rank.
         """
 
         def runner(rank: int) -> None:
@@ -777,29 +870,11 @@ class Engine:
             finally:
                 with self.lock:
                     proc.finished = True
-                    # A rank ending (cleanly or not) can stall peers waiting
-                    # on it, and can satisfy external-wait predicates; both
-                    # need the blocked threads to re-examine the world.
-                    self._check_stall()
-                    for p in self.procs:
-                        p.cond.notify_all()
+                    self.scheduler.on_finish(proc)
 
         with self.lock:
             self._started = True
-        for proc in self.procs:
-            proc.thread = threading.Thread(
-                target=runner, args=(proc.rank,), daemon=True,
-                name=f"mpi-rank-{proc.rank}",
-            )
-        for proc in self.procs:
-            proc.thread.start()
-        for proc in self.procs:
-            proc.thread.join(timeout)
-            if proc.thread.is_alive():
-                self._declare_deadlock()
-                raise DeadlockError(
-                    f"rank {proc.rank} did not finish within {timeout}s of real time"
-                )
+        self.scheduler.run_all(runner, timeout)
         # Re-raise the first program bug.  Fault fallout (MachineFailure at
         # the victim; RankFailedError / LinkFaultError /
         # OperationTimeoutError at survivors) is an expected outcome of

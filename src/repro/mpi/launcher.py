@@ -34,10 +34,16 @@ __all__ = ["MPIEnv", "MPIRunResult", "run_mpi", "default_placement"]
 class MPIEnv:
     """Per-rank execution environment passed to the application function."""
 
-    def __init__(self, engine: Engine, world_rank: int):
+    def __init__(self, engine: Engine, world_rank: int,
+                 world_group: Group | None = None):
         self._engine = engine
         self._world_rank = world_rank
-        world_group = Group(range(engine.nprocs))
+        # The world group is immutable and identical for every rank; the
+        # launcher passes one shared instance so setup stays O(n), not
+        # O(n²) (building a fresh n-member group per rank dominates
+        # start-up beyond ~1k ranks).
+        if world_group is None:
+            world_group = Group(range(engine.nprocs))
         self.comm_world = Comm(engine, world_group, WORLD_CONTEXT, world_rank)
 
     @property
@@ -138,15 +144,21 @@ def run_mpi(
     app: Callable[..., Any],
     cluster: Cluster,
     placement: Sequence[int] | None = None,
+    *,
     nprocs: int | None = None,
     args: tuple = (),
     kwargs: dict | None = None,
     timeout: float | None = 120.0,
     tracer: Any = None,
-    ft: FTConfig | None = None,
+    ft: "FTConfig | dict | None" = None,
     metrics: Any = None,
+    engine: str | None = None,
 ) -> MPIRunResult:
     """Run ``app(env, *args, **kwargs)`` SPMD over the cluster.
+
+    Options after ``placement`` are keyword-only and uniform across entry
+    points (``run_mpi``, ``run_hmpi``, the session facade, the CLI); bad
+    values raise :class:`~repro.util.errors.OptionError`.
 
     Parameters
     ----------
@@ -160,18 +172,25 @@ def run_mpi(
         compute/send/recv events for Gantt rendering and validation.
     ft:
         fault-tolerance knobs (retransmission budget/backoff, default
-        receive timeout, fail-fast sends); default :class:`FTConfig`.
+        receive timeout, fail-fast sends): an :class:`FTConfig`, or a dict
+        of its fields; default :class:`FTConfig`.
     metrics:
         optional :class:`repro.obs.MetricsRegistry`; collectives record
         which algorithm fired (and at which topology level) into it.
+    engine:
+        scheduling backend, ``"events"`` (single-threaded discrete-event
+        core, the default) or ``"threads"`` (preemptive thread per rank);
+        None resolves via ``REPRO_ENGINE`` / the library default.
     """
     if placement is None:
         placement = default_placement(cluster, nprocs)
-    engine = Engine(cluster, placement, tracer=tracer, ft=ft, metrics=metrics)
+    engine = Engine(cluster, placement, tracer=tracer, ft=ft, metrics=metrics,
+                    engine=engine)
     kw = kwargs or {}
+    world_group = Group(range(engine.nprocs))
 
     def target(rank: int) -> Any:
-        env = MPIEnv(engine, rank)
+        env = MPIEnv(engine, rank, world_group)
         return app(env, *args, **kw)
 
     engine.run(target, timeout=timeout)

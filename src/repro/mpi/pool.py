@@ -100,14 +100,17 @@ class WorkerPool:
 
         for worker in range(1, min(nworkers, len(tasks)) + 1):
             dispatch(worker)
+        # Under the preemptive thread backend, give worker threads a
+        # real-time window to enqueue their results, so the wildcard
+        # receive's minimum-virtual-arrival matching services the worker
+        # that *virtually* finished first rather than whichever thread
+        # the OS happened to schedule.  The event backend orders ranks by
+        # virtual time already — no real-time aid needed (or wanted: it
+        # would cost 12ms per 40-task bag for nothing).
+        fidelity_sleep = not getattr(comm._engine, "deterministic", False)
         while in_flight > 0:
-            # Simulation-fidelity aid: give worker threads a real-time
-            # window to enqueue their results, so the wildcard receive's
-            # minimum-virtual-arrival matching services the worker that
-            # *virtually* finished first rather than whichever thread the
-            # OS happened to schedule.  (Real MPI self-scheduling has the
-            # same nondeterminism; this only sharpens the simulation.)
-            time.sleep(0.0003)
+            if fidelity_sleep:
+                time.sleep(0.0003)
             status = Status()
             index, value = comm.recv(ANY_SOURCE, _TAG_RESULT, status=status)
             results[index] = value

@@ -75,6 +75,9 @@ class RecvRequest(Request):
     def test(self) -> tuple[bool, Any, Status | None]:
         if self._consumed:
             return True, self._value, self._status
+        # Let ready peers run first so a test/poll loop observes progress
+        # under cooperative backends (no-op under "threads").
+        self._comm._engine.progress(self._comm._world_rank)
         if self._posted.done:
             self._finish()
             return True, self._value, self._status

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "OptionError",
     "ClusterError",
     "MPIError",
     "MPICommError",
@@ -35,6 +36,19 @@ __all__ = [
 
 class ReproError(Exception):
     """Base class for every error raised by the ``repro`` package."""
+
+
+class OptionError(ReproError):
+    """An entry-point option (``engine=``, ``ft=``, ...) has an unknown or
+    malformed value.
+
+    Raised by the shared option resolvers (see :mod:`repro.util.options`)
+    so every entry point — ``run_mpi``, ``run_hmpi``, the session facade,
+    the CLI — reports bad configuration the same way.  Domain-specific
+    selectors keep their established types (``mapper=`` raises
+    :class:`MappingError`, collective ``algorithm=`` raises
+    :class:`MPICommError`) but share the same message shape.
+    """
 
 
 class ClusterError(ReproError):

@@ -1,0 +1,35 @@
+"""Uniform option validation for library entry points.
+
+Every entry point that accepts a named strategy — ``engine=`` on the
+launcher, ``algorithm=`` on collectives, ``mapper=`` on the HMPI runtime —
+validates it the same way: membership in a closed registry, and one
+error message shape naming the option, the bad value, and the choices.
+:func:`check_choice` is that single implementation; callers pick the
+exception type their layer's contract promises (``OptionError`` for
+engine/launcher options, ``MPICommError`` for collective algorithms, and
+so on), so established ``except`` clauses keep working.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .errors import OptionError
+
+__all__ = ["check_choice"]
+
+
+def check_choice(kind: str, value: str, choices: Sequence[str],
+                 exc: type[Exception] = OptionError) -> str:
+    """Validate a registry-string option; returns ``value`` when known.
+
+    ``kind`` names the option in the error (``"bcast algorithm"``,
+    ``"engine backend"``); ``exc`` is the exception type raised for an
+    unknown value.
+    """
+    if value not in choices:
+        raise exc(
+            f"unknown {kind} {value!r}; "
+            f"expected one of {', '.join(choices)}"
+        )
+    return value
