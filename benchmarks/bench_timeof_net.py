@@ -1,0 +1,119 @@
+"""Timeof backends — repeated-candidate pricing, interp vs trace vs net.
+
+``HMPI_Timeof`` is called once per candidate group, and a selection
+prices hundreds of candidates against one model: per-candidate cost is
+what bounds the mapper.  The ``"interp"`` backend re-walks the scheme
+through the TimelineVisitor for every candidate; the ``"net"`` backend
+unrolls the scheme once, topologically sorts the resulting timing DAG
+once per (model, shape), and then prices each candidate with a single
+longest-path sweep over pre-resolved dependencies.  All backends return
+**identical** predictions (the property suite pins net bitwise to
+trace), so this bench measures pure pricing throughput across group
+sizes — construction included, since amortising it is the point.
+
+The headline assertion: on repeated-candidate evaluation the net backend
+is **≥ 2×** the interpreter.  With ``--smoke``, a quick regression check
+compares net-backend evaluations/sec against the recorded baseline in
+``benchmarks/baselines/timeof_net_smoke.json`` (fails below half the
+recorded rate, with a generous floor for slow shared runners).
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi import bind_jacobi_model
+from repro.cluster import paper_network
+from repro.core.netmodel import NetworkModel
+from repro.core.seleng import make_evaluator
+from repro.util.tables import Table
+
+GROUP_SIZES = (4, 6, 8)
+NCANDIDATES = 240
+N = 240  # grid size; volumes don't affect pricing cost
+K = 100
+BASELINE_PATH = (
+    pathlib.Path(__file__).parent / "baselines" / "timeof_net_smoke.json"
+)
+SPEEDUP_FLOOR = 2.0
+
+
+def _bound(p: int):
+    rows = [N // p] * p
+    rows[-1] += N - sum(rows)
+    return bind_jacobi_model(p, K, N, rows)
+
+
+def _mappings(rng, p: int, nmachines: int):
+    return [
+        tuple(int(m) for m in rng.integers(0, nmachines, size=p))
+        for _ in range(NCANDIDATES)
+    ]
+
+
+def _time_backend(backend: str, bound, netmodel, mappings):
+    """(wall seconds, evals/sec) to build the evaluator and price all
+    candidates one by one (the mapper's repeated-Timeof access pattern)."""
+    t0 = time.perf_counter()
+    evaluator = make_evaluator(bound, netmodel, None, backend)
+    times = [evaluator.evaluate(m) for m in mappings]
+    wall = time.perf_counter() - t0
+    return wall, len(mappings) / wall, times
+
+
+def test_timeof_net_speedup(report):
+    """Net-backend pricing must be ≥ 2× the interpreter at every size."""
+    cluster = paper_network()
+    netmodel = NetworkModel(cluster, list(range(cluster.size)))
+    rng = np.random.default_rng(0)
+
+    t = Table("group size", "interp (s)", "trace (s)", "net (s)",
+              "net speedup (x)",
+              title=f"Timeof backends — {NCANDIDATES} candidates, "
+                    "jacobi model, paper cluster")
+    worst = float("inf")
+    for p in GROUP_SIZES:
+        bound = _bound(p)
+        mappings = _mappings(rng, p, cluster.size)
+        w_interp, _, v_interp = _time_backend("interp", bound, netmodel, mappings)
+        w_trace, _, v_trace = _time_backend("trace", bound, netmodel, mappings)
+        w_net, _, v_net = _time_backend("net", bound, netmodel, mappings)
+        assert v_net == v_trace  # bitwise: same floats, any group size
+        assert np.allclose(v_net, v_interp, rtol=1e-9, atol=0.0)
+        speedup = w_interp / w_net
+        worst = min(worst, speedup)
+        t.add(str(p), f"{w_interp:.3f}", f"{w_trace:.3f}", f"{w_net:.3f}",
+              f"{speedup:.1f}")
+    report.emit(t.render())
+
+    assert worst >= SPEEDUP_FLOOR, (
+        f"net backend only {worst:.2f}x the interpreter on repeated-"
+        f"candidate evaluation; the DAG amortisation should buy ≥ "
+        f"{SPEEDUP_FLOOR}x"
+    )
+
+
+def test_timeof_net_smoke(smoke):
+    """Fail if net-backend pricing throughput regressed >2x vs baseline."""
+    if not smoke:
+        pytest.skip("smoke regression check runs with --smoke")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    cluster = paper_network()
+    netmodel = NetworkModel(cluster, list(range(cluster.size)))
+    rng = np.random.default_rng(0)
+    bound = _bound(8)
+    mappings = _mappings(rng, 8, cluster.size)
+    best = 0.0
+    for _ in range(3):
+        _, eps, _ = _time_backend("net", bound, netmodel, mappings)
+        best = max(best, eps)
+    # Generous floor keeps slow shared CI machines from flaking; beyond
+    # that, falling below half the recorded rate is a regression.
+    floor = min(0.5 * baseline["evals_per_sec"], 2_000.0)
+    assert best >= floor, (
+        f"net backend priced {best:,.0f} candidates/sec, floor "
+        f"{floor:,.0f} (baseline {baseline['evals_per_sec']:,.0f})"
+    )

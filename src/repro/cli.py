@@ -280,31 +280,139 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_check(args: argparse.Namespace) -> int:
-    from .perfmodel import check_source
+def _check_targets(args: argparse.Namespace) -> list[tuple[str, str, dict | None]]:
+    """(name, source, externals) triples for ``check``/``net`` targets.
 
-    targets: list[tuple[str, str]] = []
+    The built-in app targets carry their real external functions so the
+    net checks can unroll their schemes (matmul's ``GetProcessor``).
+    """
+    targets: list[tuple[str, str, dict | None]] = []
     for path in args.files:
-        targets.append((path, open(path).read()))
+        targets.append((path, open(path).read(), None))
     if args.apps:
         from .apps.em3d.model import EM3D_MODEL_SOURCE
         from .apps.jacobi.model import JACOBI_MODEL_SOURCE
-        from .apps.matmul.model import MM_MODEL_SOURCE
-        targets += [("<app:em3d>", EM3D_MODEL_SOURCE),
-                    ("<app:matmul>", MM_MODEL_SOURCE),
-                    ("<app:jacobi>", JACOBI_MODEL_SOURCE)]
+        from .apps.matmul.model import MM_MODEL_SOURCE, make_get_processor
+        targets += [("<app:em3d>", EM3D_MODEL_SOURCE, None),
+                    ("<app:matmul>", MM_MODEL_SOURCE,
+                     {"GetProcessor": make_get_processor()}),
+                    ("<app:jacobi>", JACOBI_MODEL_SOURCE, None)]
+    return targets
+
+
+def _net_dots(targets: list[tuple[str, str, dict | None]]) -> str:
+    """Concatenated DOT digraphs of every target's unrolled net.
+
+    Targets that cannot be unrolled (parse errors, unbound externals,
+    failing probe binding) contribute a comment instead of a graph —
+    mirroring the PM084 skip semantics of the checks themselves.
+    """
+    from .perfmodel import compile_source, lower_model
+    from .perfmodel.netcheck import probe_bindings
+    from .util.errors import PMDLError
+
+    chunks: list[str] = []
+    for name, source, externals in targets:
+        try:
+            models = compile_source(source, externals=externals, analyze=False)
+            for mname, model in models.items():
+                bound = model.bind(**probe_bindings(model))
+                chunks.append(f"// {name}: {mname}")
+                chunks.append(lower_model(bound).to_dot(title=mname))
+        except PMDLError as exc:
+            chunks.append(f"// {name}: net unavailable: {exc}")
+    return "\n".join(chunks) + "\n"
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .perfmodel import check_source
+
+    targets = _check_targets(args)
     if not targets:
         print("nothing to check: pass model files and/or --apps",
               file=sys.stderr)
         return 2
 
-    reports = [check_source(source, target=name) for name, source in targets]
+    net = args.net or args.net_dot is not None
+    reports = [
+        check_source(source, target=name, net=net, externals=externals)
+        for name, source, externals in targets
+    ]
+    # One exit computation shared by both output paths: warnings-only
+    # stays 0, --strict promotes warnings — identically for JSON and text.
+    exit_code = max(r.exit_code(strict=args.strict) for r in reports)
     if args.json:
         print(json.dumps([r.to_dict() for r in reports], indent=2))
     else:
         for report in reports:
             print(report.render())
-    return max(r.exit_code(strict=args.strict) for r in reports)
+    if args.net_dot is not None:
+        with open(args.net_dot, "w") as fh:
+            fh.write(_net_dots(targets))
+    return exit_code
+
+
+def _cmd_net(args: argparse.Namespace) -> int:
+    from .perfmodel import compile_source, lower_model
+    from .perfmodel.netcheck import check_net, probe_bindings
+    from .util.errors import PMDLError
+
+    args.files = [args.file] if args.file else []
+    args.apps = args.app is not None
+    targets = _check_targets(args)
+    if args.app is not None:
+        targets = [t for t in targets if t[0] == f"<app:{args.app}>"]
+    if not targets:
+        print("nothing to unroll: pass FILE or --app", file=sys.stderr)
+        return 2
+
+    bindings = _parse_bindings(args.bind) if args.bind else None
+    exit_code = 0
+    dot_chunks: list[str] = []
+    traced = False
+    for name, source, externals in targets:
+        try:
+            models = compile_source(source, externals=externals, analyze=False)
+        except PMDLError as exc:
+            print(f"error: {name}: {exc}", file=sys.stderr)
+            return 1
+        for mname, model in models.items():
+            try:
+                # User bindings override the probe defaults per parameter,
+                # so `--bind p=6` works without spelling out every value.
+                wanted = ({p: v for p, v in bindings.items()
+                           if p in model.param_names} if bindings else None)
+                bound = model.bind(**probe_bindings(model, wanted))
+            except PMDLError as exc:
+                print(f"error binding {mname}: {exc}", file=sys.stderr)
+                return 1
+            net = lower_model(bound)
+            print(f"{mname}: {net.summary()}")
+            for diag in check_net(bound, model.algorithm):
+                print(f"  {diag.render()}")
+                if diag.severity.name == "ERROR":
+                    exit_code = 1
+            if args.dot is not None:
+                dot_chunks.append(f"// {name}: {mname}")
+                dot_chunks.append(net.to_dot(title=mname))
+            if args.trace is not None and not traced:
+                from .core.netmodel import NetworkModel
+                from .obs.chrometrace import write_chrome_trace
+                from .obs.netexport import net_chrome_trace
+
+                cluster = paper_network()
+                netmodel = NetworkModel(cluster, list(range(cluster.size)))
+                machines = [i % cluster.size for i in range(bound.nproc)]
+                doc = net_chrome_trace(bound, netmodel, machines, net=net)
+                write_chrome_trace(args.trace, doc)
+                print(f"{mname}: predicted schedule written to {args.trace} "
+                      f"(machines {machines})")
+                traced = True
+    if args.dot is not None:
+        with open(args.dot, "w") as fh:
+            fh.write("\n".join(dot_chunks) + "\n")
+        print(f"net DOT written to {args.dot}")
+    return exit_code
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
@@ -416,7 +524,32 @@ def build_parser() -> argparse.ArgumentParser:
                       help="exit nonzero on warnings, not just errors")
     pchk.add_argument("--json", action="store_true",
                       help="machine-readable diagnostic reports")
+    pchk.add_argument("--net", action="store_true",
+                      help="also unroll each scheme into its communication "
+                           "net and run the PM08x structural checks "
+                           "(deadlock, orphan messages, multiplicity, "
+                           "unreachable transitions)")
+    pchk.add_argument("--net-dot", default=None, metavar="FILE",
+                      help="write the unrolled nets as Graphviz DOT "
+                           "(implies --net)")
     pchk.set_defaults(fn=_cmd_check)
+
+    pn = sub.add_parser(
+        "net", help="unroll a PMDL scheme into its communication net")
+    pn.add_argument("file", nargs="?", default=None, metavar="FILE")
+    pn.add_argument("--app", choices=["em3d", "matmul", "jacobi"],
+                    default=None,
+                    help="unroll a built-in application model instead")
+    pn.add_argument("--bind", nargs="+", metavar="NAME=VALUE", default=None,
+                    help="bind parameters (JSON values); default is the "
+                         "automatic probe binding")
+    pn.add_argument("--dot", default=None, metavar="FILE",
+                    help="write the net as Graphviz DOT")
+    pn.add_argument("--trace", default=None, metavar="FILE",
+                    help="write the predicted firing schedule as "
+                         "Chrome-trace JSON (paper cluster, round-robin "
+                         "mapping)")
+    pn.set_defaults(fn=_cmd_net)
 
     from .cluster import TOPOLOGY_PRESETS
 

@@ -49,7 +49,7 @@ import numpy as np
 from ..perfmodel.model import AbstractBoundModel
 from ..util.errors import MappingError
 from .netmodel import NetworkModel
-from .seleng import SelectionStats, TraceEvaluator
+from .seleng import InterpEvaluator, SelectionStats, TraceEvaluator, make_evaluator
 
 __all__ = [
     "Mapping",
@@ -82,11 +82,11 @@ def _build_mapping(
     processes: Sequence[int],
     model: AbstractBoundModel,
     netmodel: NetworkModel,
-    evaluator: TraceEvaluator | None = None,
+    evaluator: TraceEvaluator | InterpEvaluator | None = None,
 ) -> Mapping:
     machines = tuple(netmodel.machine_of(p) for p in processes)
     if evaluator is None:
-        evaluator = TraceEvaluator(model, netmodel)
+        evaluator = TraceEvaluator(model, netmodel)  # default backend
     return Mapping(tuple(processes), machines, evaluator.evaluate(machines))
 
 
@@ -125,11 +125,15 @@ class Mapper(ABC):
         fixed: MappingABC[int, int] | None = None,
         *,
         stats: SelectionStats | None = None,
+        backend: str | None = None,
     ) -> Mapping:
         """Choose a process per abstract processor minimising predicted time.
 
         ``stats``, when given, receives the engine's evaluation counters
         (and any mapper-specific counts such as symmetry pruning).
+        ``backend`` names the Timeof backend used to price candidates
+        (one of :data:`repro.core.seleng.TIMEOF_BACKENDS`; ``None`` means
+        the default compiled trace).
         """
 
 
@@ -145,6 +149,19 @@ def _supports_stats(mapper: Mapper) -> bool:
         return False
 
 
+def _supports_backend(mapper: Mapper) -> bool:
+    """Whether a mapper's ``select`` accepts the ``backend`` keyword.
+
+    Same compatibility probe as :func:`_supports_stats`: mappers written
+    before the Timeof backends existed silently keep their default
+    pricing.
+    """
+    try:
+        return "backend" in inspect.signature(mapper.select).parameters
+    except (TypeError, ValueError):
+        return False
+
+
 def _seed_select(
     seed: Mapper,
     model: AbstractBoundModel,
@@ -152,10 +169,14 @@ def _seed_select(
     candidates: Sequence[int],
     fixed: MappingABC[int, int],
     stats: SelectionStats | None,
+    backend: str | None = None,
 ) -> Mapping:
+    kwargs: dict = {}
     if stats is not None and _supports_stats(seed):
-        return seed.select(model, netmodel, candidates, fixed, stats=stats)
-    return seed.select(model, netmodel, candidates, fixed)
+        kwargs["stats"] = stats
+    if backend is not None and _supports_backend(seed):
+        kwargs["backend"] = backend
+    return seed.select(model, netmodel, candidates, fixed, **kwargs)
 
 
 class ExhaustiveMapper(Mapper):
@@ -197,13 +218,14 @@ class ExhaustiveMapper(Mapper):
         fixed: MappingABC[int, int] | None = None,
         *,
         stats: SelectionStats | None = None,
+        backend: str | None = None,
     ) -> Mapping:
         fixed = dict(fixed or {})
         _check_inputs(model, candidates, fixed)
         n = model.nproc
         free_slots = [i for i in range(n) if i not in fixed]
         pool = [c for c in candidates if c not in set(fixed.values())]
-        evaluator = TraceEvaluator(model, netmodel, stats)
+        evaluator = make_evaluator(model, netmodel, stats, backend)
 
         base = [0] * n
         for idx, proc in fixed.items():
@@ -309,6 +331,7 @@ class GreedyMapper(Mapper):
         fixed: MappingABC[int, int] | None = None,
         *,
         stats: SelectionStats | None = None,
+        backend: str | None = None,
     ) -> Mapping:
         fixed = dict(fixed or {})
         _check_inputs(model, candidates, fixed)
@@ -355,7 +378,7 @@ class GreedyMapper(Mapper):
 
         return _build_mapping(
             [p for p in assignment if p is not None], model, netmodel,
-            evaluator=TraceEvaluator(model, netmodel, stats),
+            evaluator=make_evaluator(model, netmodel, stats, backend),
         )
 
 
@@ -381,12 +404,15 @@ class RefineMapper(Mapper):
         fixed: MappingABC[int, int] | None = None,
         *,
         stats: SelectionStats | None = None,
+        backend: str | None = None,
     ) -> Mapping:
         fixed = dict(fixed or {})
-        current = _seed_select(self.seed, model, netmodel, candidates, fixed, stats)
+        current = _seed_select(
+            self.seed, model, netmodel, candidates, fixed, stats, backend
+        )
         n = model.nproc
         pinned = set(fixed.keys())
-        evaluator = TraceEvaluator(model, netmodel, stats)
+        evaluator = make_evaluator(model, netmodel, stats, backend)
 
         for _ in range(self.max_rounds):
             assignment = list(current.processes)
@@ -441,8 +467,11 @@ class DefaultMapper(Mapper):
         fixed: MappingABC[int, int] | None = None,
         *,
         stats: SelectionStats | None = None,
+        backend: str | None = None,
     ) -> Mapping:
-        return self._impl.select(model, netmodel, candidates, fixed, stats=stats)
+        return self._impl.select(
+            model, netmodel, candidates, fixed, stats=stats, backend=backend
+        )
 
 
 # ----------------------------------------------------------------------

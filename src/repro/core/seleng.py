@@ -43,8 +43,9 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from ..perfmodel.model import AbstractBoundModel
-from ..util.errors import HMPIError
-from .estimator import record_trace
+from ..util.errors import HMPIError, OptionError
+from ..util.options import check_choice
+from .estimator import TimelineVisitor, _effective_speeds, record_trace
 from .netmodel import NetworkModel
 
 __all__ = [
@@ -52,9 +53,23 @@ __all__ = [
     "CompiledTrace",
     "compile_trace",
     "TraceEvaluator",
+    "NetEvaluator",
+    "InterpEvaluator",
+    "TimingDag",
+    "compile_timing_dag",
+    "make_evaluator",
+    "TIMEOF_BACKENDS",
     "evaluate_mapping",
     "evaluate_mappings",
 ]
+
+#: Candidate-evaluation backends selectable at runtime entry points via
+#: ``timeof_backend=``: ``"trace"`` (default) replays the compiled event
+#: arrays, ``"net"`` runs longest-path over the precomputed timing DAG of
+#: the unrolled communication net, ``"interp"`` re-interprets the scheme
+#: through :class:`repro.core.estimator.TimelineVisitor` per candidate
+#: (the semantic oracle — slow, for differential checks).
+TIMEOF_BACKENDS = ("trace", "net", "interp")
 
 #: Batches at least this large take the numpy-vectorised replay path;
 #: smaller ones loop the scalar replay (lower constant overhead).  The
@@ -279,6 +294,12 @@ class TraceEvaluator:
         return self._evaluate_one(machines)
 
     def _evaluate_one(self, machines: Sequence[int]) -> float:
+        return self._replay_scalar(*self._fill_costs(machines))
+
+    def _fill_costs(
+        self, machines: Sequence[int]
+    ) -> tuple[list[float], list[float]]:
+        """Per-event (duration, cpu-latency) arrays for one candidate."""
         ct = self.trace
         if len(machines) != ct.nproc:
             raise HMPIError(
@@ -299,7 +320,7 @@ class TraceEvaluator:
             for pos, s in zip(ct.pair_event_pos[k], sec_list):
                 dur[pos] = s
                 lat[pos] = cpu_lat
-        return self._replay_scalar(dur, lat)
+        return dur, lat
 
     def _replay_scalar(self, dur: list[float], lat: list[float]) -> float:
         ct = self.trace
@@ -416,6 +437,225 @@ class TraceEvaluator:
                 cpu[:, a] = finish
                 ready[:, a] = finish
         return np.max(np.maximum(cpu, ready), axis=1)
+
+
+class TimingDag:
+    """Per-event dependency structure of a compiled trace.
+
+    The trace's clock semantics make every event's timestamps a function
+    of a *fixed* set of earlier events — which events is a property of
+    the (model, shape) alone, not of the candidate mapping:
+
+    - every event departs from the value its processor's **last CPU
+      writer** left (``cpu_pred``; -1 means the zero clock);
+    - a transfer also waits for the **previous transfer on its abstract
+      pair** (``busy_pred``);
+    - a compute also waits for its processor's **data-ready** value: the
+      previous compute on the processor plus every arrival recorded
+      since it (``ready_preds``).
+
+    Because the trace is emitted in interpretation order, each
+    predecessor index is strictly smaller than its event's — the event
+    arrays *are* a topological order of the unrolled communication net
+    (see :mod:`repro.perfmodel.net`), so one forward pass evaluates the
+    whole DAG.  Built once per (model, shape) and cached on the model.
+    """
+
+    __slots__ = ("cpu_pred", "busy_pred", "ready_preds")
+
+    def __init__(self, ct: CompiledTrace):
+        nproc, npairs = ct.nproc, ct.npairs
+        last_cpu = [-1] * nproc   # last event that wrote the proc's cpu clock
+        last_pair = [-1] * npairs
+        last_comp = [-1] * nproc
+        pending: list[list[int]] = [[] for _ in range(nproc)]
+        cpu_pred: list[int] = []
+        busy_pred: list[int] = []
+        ready_preds: list[tuple[int, ...] | None] = []
+        for i, (is_transfer, a, b, k) in enumerate(ct.ops):
+            cpu_pred.append(last_cpu[a])
+            if is_transfer:
+                busy_pred.append(last_pair[k])
+                ready_preds.append(None)
+                last_pair[k] = i
+                pending[b].append(i)
+            else:
+                busy_pred.append(-1)
+                preds = [last_comp[a]] if last_comp[a] >= 0 else []
+                preds += pending[a]
+                pending[a].clear()
+                ready_preds.append(tuple(preds))
+                last_comp[a] = i
+            last_cpu[a] = i
+        self.cpu_pred = cpu_pred
+        self.busy_pred = busy_pred
+        self.ready_preds = ready_preds
+
+
+def compile_timing_dag(model: AbstractBoundModel, ct: CompiledTrace) -> TimingDag:
+    """Build (and cache on the model) the trace's timing DAG."""
+    cached = getattr(model, "_repro_timing_dag", None)
+    if cached is None:
+        cached = TimingDag(ct)
+        try:
+            model._repro_timing_dag = cached  # type: ignore[attr-defined]
+        except AttributeError:  # models with __slots__ just skip the cache
+            pass
+    return cached
+
+
+class NetEvaluator(TraceEvaluator):
+    """Longest-path candidate pricing over the precomputed timing DAG.
+
+    The ``"net"`` Timeof backend: instead of replaying resource clocks,
+    each event's time is computed directly from its DAG predecessors in
+    one topological pass, and the makespan is the longest path (every
+    clock is monotone, so the maximum over all event values equals the
+    maximum over the final clocks).  The arithmetic reproduces
+    :meth:`TraceEvaluator._replay_scalar` operation-for-operation, so
+    predictions are **bitwise identical** to the trace backend and the
+    :class:`~repro.core.estimator.TimelineVisitor` oracle; what changes
+    is the shape of the per-candidate work — a single pre-resolved
+    dependency sweep, with the DAG construction amortised across every
+    candidate and selection for the (model, shape).
+
+    Batches always take the scalar DAG pass (no vectorised fallback):
+    the point of the backend is that per-candidate evaluation *is* the
+    precomputed structure.
+    """
+
+    def __init__(
+        self,
+        model: AbstractBoundModel,
+        netmodel: NetworkModel,
+        stats: SelectionStats | None = None,
+    ):
+        super().__init__(model, netmodel, stats)
+        self._dag = compile_timing_dag(model, self.trace)
+
+    def _evaluate_one(self, machines: Sequence[int]) -> float:
+        return self._longest_path(*self._fill_costs(machines))
+
+    def _longest_path(self, dur: list[float], lat: list[float]) -> float:
+        ct = self.trace
+        dag = self._dag
+        cpu_pred, busy_pred, ready_preds = (
+            dag.cpu_pred, dag.busy_pred, dag.ready_preds,
+        )
+        single_port = self.single_port
+        val = [0.0] * ct.nevents   # arrival (transfer) / finish (compute)
+        out = [0.0] * ct.nevents   # cpu-clock value the event leaves behind
+        best = 0.0
+        for i, (is_transfer, a, b, k) in enumerate(ct.ops):
+            cp = cpu_pred[i]
+            depart = out[cp] if cp >= 0 else 0.0
+            if is_transfer:
+                bp = busy_pred[i]
+                start = val[bp] if bp >= 0 else 0.0
+                if depart > start:
+                    start = depart
+                arrival = start + dur[i]
+                val[i] = arrival
+                o = arrival if single_port else depart + lat[i]
+                out[i] = o
+                if arrival > best:
+                    best = arrival
+                if o > best:
+                    best = o
+            else:
+                r = 0.0
+                for p in ready_preds[i]:
+                    v = val[p]
+                    if v > r:
+                        r = v
+                finish = (depart if depart >= r else r) + dur[i]
+                val[i] = finish
+                out[i] = finish
+                if finish > best:
+                    best = finish
+        return best
+
+    def evaluate_batch(self, mappings: Sequence[Sequence[int]]) -> np.ndarray:
+        nmappings = len(mappings)
+        if self.stats is not None:
+            self.stats.evaluations += nmappings
+            self.stats.batches += 1
+        if nmappings == 0:
+            return np.empty(0)
+        return np.asarray([self._evaluate_one(m) for m in mappings])
+
+
+class InterpEvaluator:
+    """Per-candidate scheme re-interpretation (the ``"interp"`` backend).
+
+    Walks the model's scheme through the
+    :class:`~repro.core.estimator.TimelineVisitor` oracle for every
+    candidate — no compiled trace, no shared link-cost table.  This is
+    the honest pre-engine cost model: differential tests pin the other
+    backends to it, and the timeof-net benchmark measures the compiled
+    backends' speedup against it.
+    """
+
+    def __init__(
+        self,
+        model: AbstractBoundModel,
+        netmodel: NetworkModel,
+        stats: SelectionStats | None = None,
+    ):
+        self.model = model
+        self.netmodel = netmodel
+        self.stats = stats
+
+    def _evaluate_one(self, machines: Sequence[int]) -> float:
+        model = self.model
+        if len(machines) != model.nproc:
+            raise HMPIError(
+                f"mapping length {len(machines)} != model nproc {model.nproc}"
+            )
+        visitor = TimelineVisitor(
+            node_volumes=model.node_volumes(),
+            link_volumes=model.link_volumes(),
+            speeds=_effective_speeds(self.netmodel, machines),
+            netmodel=self.netmodel,
+            machines=list(machines),
+        )
+        model.walk_scheme(visitor)
+        return visitor.makespan
+
+    def evaluate(self, machines: Sequence[int]) -> float:
+        if self.stats is not None:
+            self.stats.evaluations += 1
+        return self._evaluate_one(machines)
+
+    def evaluate_batch(self, mappings: Sequence[Sequence[int]]) -> np.ndarray:
+        if self.stats is not None:
+            self.stats.evaluations += len(mappings)
+            self.stats.batches += 1
+        if not len(mappings):
+            return np.empty(0)
+        return np.asarray([self._evaluate_one(m) for m in mappings])
+
+
+def make_evaluator(
+    model: AbstractBoundModel,
+    netmodel: NetworkModel,
+    stats: SelectionStats | None = None,
+    backend: str | None = None,
+) -> TraceEvaluator | InterpEvaluator:
+    """Construct the candidate evaluator for a Timeof backend name.
+
+    ``None`` means the default ``"trace"`` backend; unknown names raise
+    :class:`~repro.util.errors.OptionError` (uniform with every other
+    registry-string option).
+    """
+    backend = check_choice(
+        "timeof backend", backend or "trace", TIMEOF_BACKENDS, OptionError
+    )
+    if backend == "net":
+        return NetEvaluator(model, netmodel, stats)
+    if backend == "interp":
+        return InterpEvaluator(model, netmodel, stats)
+    return TraceEvaluator(model, netmodel, stats)
 
 
 def evaluate_mapping(

@@ -23,6 +23,7 @@ from .chrometrace import (
     write_chrome_trace,
 )
 from .core import Observability
+from .netexport import net_chrome_trace, schedule_net
 from .metrics import (
     Counter,
     Gauge,
@@ -47,6 +48,8 @@ __all__ = [
     "chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "net_chrome_trace",
+    "schedule_net",
     "RANKS_PID",
     "RUNTIME_PID",
 ]

@@ -19,6 +19,8 @@ from .model import (
     PerformanceModel,
     default_scheme_walk,
 )
+from .net import CommNet, NetEvent, ParInstance, lower_model
+from .netcheck import check_model_net, check_net, probe_bindings
 from .parser import parse, parse_expression
 from .printer import (
     format_algorithm,
@@ -54,6 +56,13 @@ __all__ = [
     "default_scheme_walk",
     "CallableModel",
     "MatrixModel",
+    "CommNet",
+    "NetEvent",
+    "ParInstance",
+    "lower_model",
+    "check_net",
+    "check_model_net",
+    "probe_bindings",
     "ActionVisitor",
     "Interpreter",
     "Environment",

@@ -1185,13 +1185,21 @@ def analyze_algorithm(
     return _Analyzer(alg, dict(structs or {})).run()
 
 
-def check_source(source: str, target: str = "<source>") -> DiagnosticReport:
+def check_source(source: str, target: str = "<source>", *,
+                 net: bool = False,
+                 externals: dict | None = None) -> DiagnosticReport:
     """Full static check of PMDL source text, never raising for model bugs.
 
     Parser and semantic failures become ``PM001``/``PM002`` error
     diagnostics; otherwise every algorithm in the unit is analyzed.  External
     functions called by schemes are assumed declared (the CLI has no
     bindings at check time).
+
+    With ``net=True`` each clean algorithm is additionally unrolled into
+    its communication net at an automatic probe binding and the PM08x
+    structural checks run (:mod:`repro.perfmodel.netcheck`); ``externals``
+    supplies real implementations of called functions so schemes using
+    them can unroll (otherwise they skip with PM084).
     """
     from .parser import parse
     from .semantics import check_algorithm
@@ -1236,6 +1244,9 @@ def check_source(source: str, target: str = "<source>") -> DiagnosticReport:
                 report.add(PM002.at(line, message))
             continue
         report.extend(analyze_algorithm(alg, structs))
+        if net:
+            from .netcheck import check_algorithm_net
+            report.extend(check_algorithm_net(alg, structs, externals))
     report.sort()
     return report
 

@@ -34,6 +34,7 @@ def compile_source(
     source: str,
     externals: dict[str, Callable[..., Any]] | None = None,
     analyze: bool = True,
+    net_check: bool = False,
 ) -> dict[str, PerformanceModel]:
     """Compile PMDL source, returning every algorithm it defines by name.
 
@@ -41,6 +42,12 @@ def compile_source(
     call (the paper's ``GetProcessor``); the semantic checker requires every
     called name to be bound.  Pass ``analyze=False`` to skip the static
     analyzer (e.g. when compiling a deliberately-defective model).
+
+    ``net_check=True`` additionally unrolls each algorithm's scheme into
+    its communication net at an automatic probe binding and runs the
+    PM08x structural checks (:mod:`repro.perfmodel.netcheck`): a proven
+    structural deadlock aborts compilation exactly like an analyzer
+    error; warnings join the model's ``diagnostics``.
     """
     externals = dict(externals or {})
     items = parse(source)
@@ -55,7 +62,10 @@ def compile_source(
             if item.name in models:
                 raise PMDLSemanticError(f"duplicate algorithm definition {item.name!r}")
             check_algorithm(item, structs, frozenset(externals))
-            diags = analyze_algorithm(item, structs) if analyze else []
+            diags = list(analyze_algorithm(item, structs)) if analyze else []
+            if net_check:
+                from .netcheck import check_algorithm_net
+                diags += check_algorithm_net(item, structs, externals)
             errors = [d for d in diags if d.severity >= Severity.ERROR]
             if errors:
                 details = "\n  ".join(d.render() for d in errors)
@@ -76,9 +86,11 @@ def compile_model(
     externals: dict[str, Callable[..., Any]] | None = None,
     name: str | None = None,
     analyze: bool = True,
+    net_check: bool = False,
 ) -> PerformanceModel:
     """Compile PMDL source expected to define one algorithm (or pick by name)."""
-    models = compile_source(source, externals, analyze=analyze)
+    models = compile_source(source, externals, analyze=analyze,
+                            net_check=net_check)
     if name is not None:
         try:
             return models[name]

@@ -117,6 +117,15 @@ class ActionVisitor:
     Coordinates arrive as raw tuples of coordinate values; translation to
     linear processor indices is the caller's concern (see
     :meth:`repro.perfmodel.model.BoundModel.walk_scheme`).
+
+    Besides the two actions, the interpreter reports the scheme's
+    *structure* through four optional hooks, all no-ops by default:
+    ``enter_par``/``next_par_branch``/``exit_par`` bracket each dynamic
+    ``par`` loop instance and its iterations (``for`` loops stay
+    sequential and silent), and ``at_line`` fires just before each action
+    with its source line.  The net lowering pass
+    (:mod:`repro.perfmodel.net`) is the consumer; visitors that only care
+    about the action stream inherit the no-ops.
     """
 
     def compute(self, percent: float, coords: tuple[int, ...]) -> None:  # pragma: no cover - interface
@@ -124,6 +133,18 @@ class ActionVisitor:
 
     def transfer(self, percent: float, src: tuple[int, ...], dst: tuple[int, ...]) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def enter_par(self, line: int) -> None:
+        """A dynamic ``par`` loop instance begins (fork)."""
+
+    def next_par_branch(self, line: int) -> None:
+        """The next iteration (= parallel branch) of the current ``par``."""
+
+    def exit_par(self, line: int) -> None:
+        """The current ``par`` loop instance ends (join)."""
+
+    def at_line(self, line: int) -> None:
+        """The next action originates from this source line."""
 
 
 def _c_div(a: Any, b: Any) -> Any:
@@ -365,8 +386,11 @@ class Interpreter:
         elif s.otherwise is not None:
             self.exec(s.otherwise, env, visitor)
 
-    def _run_loop(self, s: ast.For | ast.Par, env: Environment, visitor: ActionVisitor) -> None:
+    def _run_loop(self, s: ast.For | ast.Par, env: Environment, visitor: ActionVisitor,
+                  par: bool = False) -> None:
         env.push()
+        if par:
+            visitor.enter_par(s.line)
         try:
             if isinstance(s.init, ast.VarDecl):
                 self._exec_VarDecl(s.init, env, visitor)
@@ -374,6 +398,8 @@ class Interpreter:
                 self.eval(s.init, env)
             iterations = 0
             while s.cond is None or self.eval(s.cond, env):
+                if par:
+                    visitor.next_par_branch(s.line)
                 self.exec(s.body, env, visitor)
                 if s.update is not None:
                     self.eval(s.update, env)
@@ -387,6 +413,8 @@ class Interpreter:
                         f"loop with no condition and no update never terminates (line {s.line})"
                     )
         finally:
+            if par:
+                visitor.exit_par(s.line)
             env.pop()
 
     def _exec_For(self, s: ast.For, env: Environment, visitor: ActionVisitor) -> None:
@@ -396,8 +424,9 @@ class Interpreter:
         # Under the resource-clock timeline model (see repro.core.estimator)
         # parallel composition is implicit: actions on disjoint resources
         # never serialise, so `par` executes like `for` while retaining its
-        # documentary meaning.
-        self._run_loop(s, env, visitor)
+        # documentary meaning.  The fork/join structure is still reported
+        # through the visitor hooks so the net lowering can reconstruct it.
+        self._run_loop(s, env, visitor, par=True)
 
     def _exec_While(self, s: ast.While, env: Environment, visitor: ActionVisitor) -> None:
         iterations = 0
@@ -413,6 +442,7 @@ class Interpreter:
                             visitor: ActionVisitor) -> None:
         percent = self.eval(s.percent, env)
         coords = tuple(int(self.eval(c, env)) for c in s.coords)
+        visitor.at_line(s.line)
         visitor.compute(float(percent), coords)
 
     def _exec_TransferAction(self, s: ast.TransferAction, env: Environment,
@@ -420,4 +450,5 @@ class Interpreter:
         percent = self.eval(s.percent, env)
         src = tuple(int(self.eval(c, env)) for c in s.src)
         dst = tuple(int(self.eval(c, env)) for c in s.dst)
+        visitor.at_line(s.line)
         visitor.transfer(float(percent), src, dst)

@@ -70,13 +70,29 @@ class AbstractBoundModel(ABC):
 
 
 class LinearActionVisitor:
-    """Visitor over *linear* processor indices (coords already resolved)."""
+    """Visitor over *linear* processor indices (coords already resolved).
+
+    The structural hooks mirror :class:`~repro.perfmodel.interp.ActionVisitor`
+    and default to no-ops; the net lowering pass overrides them.
+    """
 
     def compute(self, percent: float, proc: int) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
     def transfer(self, percent: float, src: int, dst: int) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def enter_par(self, line: int) -> None:
+        """A dynamic ``par`` loop instance begins (fork)."""
+
+    def next_par_branch(self, line: int) -> None:
+        """The next iteration (= parallel branch) of the current ``par``."""
+
+    def exit_par(self, line: int) -> None:
+        """The current ``par`` loop instance ends (join)."""
+
+    def at_line(self, line: int) -> None:
+        """The next action originates from this source line."""
 
 
 class _CoordTranslator(ActionVisitor):
@@ -93,16 +109,34 @@ class _CoordTranslator(ActionVisitor):
         self.inner.transfer(percent, self.model.linear_index(src),
                             self.model.linear_index(dst))
 
+    def enter_par(self, line: int) -> None:
+        self.inner.enter_par(line)
+
+    def next_par_branch(self, line: int) -> None:
+        self.inner.next_par_branch(line)
+
+    def exit_par(self, line: int) -> None:
+        self.inner.exit_par(line)
+
+    def at_line(self, line: int) -> None:
+        self.inner.at_line(line)
+
 
 def default_scheme_walk(model: AbstractBoundModel, visitor: LinearActionVisitor) -> None:
     """Canonical interaction for scheme-less models: all transfers in
     parallel, then all computations in parallel (the EM3D pattern)."""
     links = model.link_volumes()
     srcs, dsts = np.nonzero(links)
+    visitor.enter_par(0)
     for s, d in zip(srcs.tolist(), dsts.tolist()):
+        visitor.next_par_branch(0)
         visitor.transfer(100.0, s, d)
+    visitor.exit_par(0)
+    visitor.enter_par(0)
     for p in range(model.nproc):
+        visitor.next_par_branch(0)
         visitor.compute(100.0, p)
+    visitor.exit_par(0)
 
 
 class BoundModel(AbstractBoundModel):

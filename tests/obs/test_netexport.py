@@ -1,0 +1,65 @@
+"""Net-schedule export: predicted traces through the existing pipeline."""
+
+import pytest
+
+from repro.apps.jacobi import bind_jacobi_model
+from repro.cluster import paper_network
+from repro.core.netmodel import NetworkModel
+from repro.core.seleng import NetEvaluator
+from repro.obs import net_chrome_trace, schedule_net, validate_chrome_trace
+from repro.util.gantt import render_gantt, utilization
+
+
+@pytest.fixture
+def setup():
+    p, k, n = 4, 100, 64
+    bound = bind_jacobi_model(p, k, n, [n // p] * p)
+    cluster = paper_network()
+    netmodel = NetworkModel(cluster, list(range(cluster.size)))
+    return bound, netmodel, [0, 1, 2, 3]
+
+
+class TestScheduleNet:
+    def test_makespan_bitwise_matches_evaluator(self, setup):
+        bound, netmodel, machines = setup
+        tracer = schedule_net(bound, netmodel, machines)
+        assert tracer.makespan() == NetEvaluator(bound, netmodel).evaluate(machines)
+
+    def test_one_lane_per_abstract_processor(self, setup):
+        bound, netmodel, machines = setup
+        tracer = schedule_net(bound, netmodel, machines)
+        assert tracer.nranks() == bound.nproc
+        for rank in range(bound.nproc):
+            assert tracer.of_rank(rank), f"processor {rank} has no events"
+
+    def test_transfers_appear_on_both_endpoints(self, setup):
+        bound, netmodel, machines = setup
+        tracer = schedule_net(bound, netmodel, machines)
+        sends = tracer.by_kind("send")
+        recvs = tracer.by_kind("recv")
+        assert sends and len(sends) == len(recvs)
+        assert all(e.label for e in sends)  # transition labels carried
+
+    def test_feeds_existing_gantt_pipeline(self, setup):
+        bound, netmodel, machines = setup
+        tracer = schedule_net(bound, netmodel, machines)
+        chart = render_gantt(tracer, width=40)
+        assert "rank  0" in chart and "#" in chart
+        assert 0.0 < utilization(tracer, 0) <= 1.0
+
+
+class TestNetChromeTrace:
+    def test_document_validates(self, setup):
+        bound, netmodel, machines = setup
+        doc = net_chrome_trace(bound, netmodel, machines)
+        assert validate_chrome_trace(doc) == []
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+    def test_metadata_carries_net_shape(self, setup):
+        bound, netmodel, machines = setup
+        doc = net_chrome_trace(bound, netmodel, machines,
+                               metadata={"note": "test"})
+        meta = doc["metadata"] if "metadata" in doc else doc.get("otherData")
+        assert meta["exporter"] == "repro.obs.netexport"
+        assert meta["transitions"] > 0 and meta["places"] > 0
+        assert meta["note"] == "test"

@@ -1,0 +1,147 @@
+"""Differential properties of the Timeof backends.
+
+The ``"net"`` backend (longest-path over the precomputed timing DAG)
+must be **bitwise identical** to the default compiled-trace backend, and
+both must match the ``"interp"`` backend (per-candidate scheme
+re-interpretation) and the TimelineVisitor oracle to relative 1e-9 —
+across random models, random clusters, single- and multi-port, scalar
+and batched evaluation.  A separate test pins the runtime contract from
+the issue: selecting with ``timeof_backend="net"`` hits the *same*
+selection-cache keys as the default backend.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.netmodel import NetworkModel
+from repro.core.runtime import HMPIRuntimeState
+from repro.core.seleng import (
+    InterpEvaluator,
+    NetEvaluator,
+    TraceEvaluator,
+    make_evaluator,
+)
+from repro.util.errors import OptionError
+
+from .test_prop_seleng import oracle_time, random_cluster, random_model
+
+TOL = 1e-9
+
+
+def _rel_close(a, b):
+    return abs(a - b) <= TOL * max(1.0, abs(a), abs(b))
+
+
+class TestNetBackendMatches:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        nproc=st.integers(1, 6),
+        kind=st.integers(0, 2),
+        single_port=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_net_bitwise_equals_trace(self, seed, nproc, kind, single_port):
+        rng = np.random.default_rng(seed)
+        cluster = random_cluster(rng, kind, single_port)
+        netmodel = NetworkModel(cluster, list(range(cluster.size)))
+        model = random_model(rng, nproc)
+        trace = TraceEvaluator(model, netmodel)
+        net = NetEvaluator(model, netmodel)
+
+        mappings = [
+            tuple(int(m) for m in rng.integers(0, cluster.size, size=nproc))
+            for _ in range(4)
+        ]
+        for mapping in mappings:
+            assert net.evaluate(mapping) == trace.evaluate(mapping)
+        assert np.array_equal(
+            net.evaluate_batch(mappings), trace.evaluate_batch(mappings)
+        )
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        nproc=st.integers(1, 5),
+        kind=st.integers(0, 2),
+        single_port=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_net_matches_interp_and_oracle(self, seed, nproc, kind,
+                                           single_port):
+        rng = np.random.default_rng(seed)
+        cluster = random_cluster(rng, kind, single_port)
+        netmodel = NetworkModel(cluster, list(range(cluster.size)))
+        model = random_model(rng, nproc)
+        net = NetEvaluator(model, netmodel)
+        interp = InterpEvaluator(model, netmodel)
+
+        for _ in range(3):
+            mapping = tuple(
+                int(m) for m in rng.integers(0, cluster.size, size=nproc)
+            )
+            n = net.evaluate(mapping)
+            assert _rel_close(n, interp.evaluate(mapping))
+            assert _rel_close(n, oracle_time(model, netmodel, mapping))
+
+    @given(seed=st.integers(0, 2**31 - 1), nproc=st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_timing_dag_is_cached_per_model(self, seed, nproc):
+        rng = np.random.default_rng(seed)
+        cluster = random_cluster(rng, 0, True)
+        netmodel = NetworkModel(cluster, list(range(cluster.size)))
+        model = random_model(rng, nproc)
+        a = NetEvaluator(model, netmodel)
+        b = NetEvaluator(model, netmodel)
+        assert a._dag is b._dag  # one DAG per (model, shape)
+
+
+class TestMakeEvaluator:
+    def test_backend_registry(self):
+        rng = np.random.default_rng(0)
+        cluster = random_cluster(rng, 0, True)
+        netmodel = NetworkModel(cluster, list(range(cluster.size)))
+        model = random_model(rng, 3)
+        assert type(make_evaluator(model, netmodel)) is TraceEvaluator
+        assert type(make_evaluator(model, netmodel, None, "trace")) is TraceEvaluator
+        assert type(make_evaluator(model, netmodel, None, "net")) is NetEvaluator
+        assert type(make_evaluator(model, netmodel, None, "interp")) is InterpEvaluator
+        with np.testing.assert_raises(OptionError):
+            make_evaluator(model, netmodel, None, "bogus")
+
+
+class TestRuntimeCacheContract:
+    def _state_and_model(self, backend):
+        rng = np.random.default_rng(7)
+        cluster = random_cluster(rng, 0, True)
+        netmodel = NetworkModel(cluster, list(range(cluster.size)))
+        model = random_model(rng, 3)
+        state = HMPIRuntimeState(netmodel, timeof_backend=backend)
+        return state, model
+
+    def test_net_backend_hits_same_cache_keys(self):
+        """The backend is state-constant, so it must not change cache keys:
+        selections made under ``"net"`` produce keys identical to the
+        default backend's, and repeats hit the cache."""
+        state_net, model = self._state_and_model("net")
+        state_trace, _ = self._state_and_model("trace")
+
+        m1 = state_net.select(model)
+        assert state_net.selection_stats.cache_misses == 1
+        m2 = state_net.select(model)  # same key -> hit
+        assert state_net.selection_stats.cache_hits == 1
+        assert m1 is m2
+
+        # Key equality across backends: same (model-id-shape) tuple parts.
+        key_net = next(iter(state_net._selection_cache))
+        m3 = state_trace.select(model)
+        key_trace = next(iter(state_trace._selection_cache))
+        assert key_net[2:] == key_trace[2:]  # epoch, candidates, pins
+        assert m1.processes == m3.processes
+        assert m1.time == m3.time  # bitwise-identical pricing
+
+    def test_backend_validated_eagerly(self):
+        rng = np.random.default_rng(7)
+        cluster = random_cluster(rng, 0, True)
+        netmodel = NetworkModel(cluster, list(range(cluster.size)))
+        with np.testing.assert_raises(OptionError):
+            HMPIRuntimeState(netmodel, timeof_backend="bogus")

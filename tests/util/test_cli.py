@@ -123,6 +123,128 @@ class TestCheckCommand:
         assert main(["check"]) == 2
 
 
+class TestCheckExitCodeParity:
+    """`check --json` must gate exactly like the text path (issue fix):
+    warnings-only exits 0, `--strict` promotes warnings to 1 — in both
+    output modes."""
+
+    WARN = """
+    algorithm Warn(int p, int q) {
+      coord I=p;
+      node {I>=0: bench*(1);};
+    }
+    """
+
+    def test_json_warnings_only_exits_zero(self, tmp_path, capsys):
+        f = tmp_path / "warn.pmdl"
+        f.write_text(self.WARN)
+        assert main(["check", str(f), "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob[0]["errors"] == 0 and blob[0]["warnings"] >= 1
+
+    def test_json_strict_promotes_warnings(self, tmp_path, capsys):
+        f = tmp_path / "warn.pmdl"
+        f.write_text(self.WARN)
+        assert main(["check", str(f), "--json", "--strict"]) == 1
+        json.loads(capsys.readouterr().out)  # still valid JSON on stdout
+
+    def test_json_and_text_exits_agree(self, tmp_path, capsys):
+        f = tmp_path / "warn.pmdl"
+        f.write_text(self.WARN)
+        for strict in (False, True):
+            flags = ["--strict"] if strict else []
+            text_exit = main(["check", str(f), *flags])
+            json_exit = main(["check", str(f), "--json", *flags])
+            capsys.readouterr()
+            assert text_exit == json_exit
+
+
+class TestCheckNet:
+    FIXTURES = __import__("pathlib").Path(__file__).parent.parent \
+        / "perfmodel" / "fixtures"
+
+    def test_net_flag_reports_deadlock(self, capsys):
+        f = self.FIXTURES / "net_deadlock.pmdl"
+        assert main(["check", str(f), "--net"]) == 1
+        out = capsys.readouterr().out
+        assert "PM080" in out
+
+    def test_without_net_flag_fixture_passes(self, capsys):
+        f = self.FIXTURES / "net_deadlock.pmdl"
+        assert main(["check", str(f)]) == 0
+
+    def test_net_json_orphan_warning_gates_consistently(self, capsys):
+        f = self.FIXTURES / "net_orphan.pmdl"
+        assert main(["check", str(f), "--net", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob[0]["diagnostics"][0]["code"] == "PM081"
+        assert main(["check", str(f), "--net", "--json", "--strict"]) == 1
+
+    def test_apps_clean_under_strict_net(self, capsys):
+        assert main(["check", "--apps", "--strict", "--net"]) == 0
+
+    def test_net_dot_writes_graphs_and_implies_net(self, tmp_path, capsys):
+        f = self.FIXTURES / "net_orphan.pmdl"
+        dot = tmp_path / "net.dot"
+        assert main(["check", str(f), "--net-dot", str(dot), "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "PM081" in out  # --net implied
+        text = dot.read_text()
+        assert "digraph" in text and "->" in text
+
+
+class TestNetCommand:
+    FIXTURES = __import__("pathlib").Path(__file__).parent.parent \
+        / "perfmodel" / "fixtures"
+
+    def test_summary_and_deadlock_exit(self, capsys):
+        f = self.FIXTURES / "net_deadlock.pmdl"
+        assert main(["net", str(f)]) == 1
+        out = capsys.readouterr().out
+        assert "transitions" in out and "PM080" in out
+
+    def test_app_matmul_unrolls(self, capsys):
+        assert main(["net", "--app", "matmul"]) == 0
+        out = capsys.readouterr().out
+        assert "ParallelAxB" in out and "transitions" in out
+
+    def test_dot_output(self, tmp_path, capsys):
+        dot = tmp_path / "em3d.dot"
+        assert main(["net", "--app", "em3d", "--dot", str(dot)]) == 0
+        assert "digraph" in dot.read_text()
+
+    def test_trace_output_is_valid_chrome_json(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace
+        out = tmp_path / "net_trace.json"
+        assert main(["net", "--app", "jacobi", "--trace", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+    def test_bind_overrides_probe(self, tmp_path, capsys):
+        src = tmp_path / "ring.pmdl"
+        src.write_text("""
+        algorithm Ring(int p) {
+          coord I=p;
+          node {I>=0: bench*(1);};
+          link (L=p) { L == (I+1)%p : length*(64) [I]->[L]; };
+          scheme {
+            int i;
+            par (i = 0; i < p; i++) {
+              100%%[i]->[(i+1)%p];
+              100%%[i];
+            }
+          };
+        }
+        """)
+        assert main(["net", str(src), "--bind", "p=6"]) == 0
+        out = capsys.readouterr().out
+        assert "6 processors" in out
+
+    def test_no_target_is_usage_error(self, capsys):
+        assert main(["net"]) == 2
+
+
 class TestCompileGating:
     def test_analysis_error_exits_nonzero(self, tmp_path, capsys):
         f = tmp_path / "oob.pmdl"
