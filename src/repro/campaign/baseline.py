@@ -1,0 +1,134 @@
+"""Regression baselines for campaign results.
+
+A baseline file snapshots the per-cell metrics of a known-good campaign
+run plus per-metric relative tolerances::
+
+    {
+      "schema_version": 1,
+      "tolerances": {"makespan": 0.05},
+      "cells": [{"cell": {...}, "status": "ok", "metrics": {...}}, ...]
+    }
+
+:func:`check_against_baseline` compares fresh result rows against it:
+cells are matched by their canonical cell JSON; numeric metrics compare
+under a relative tolerance (the baseline's per-metric override, then
+:data:`DEFAULT_TOLERANCES`, then exact-to-rounding); booleans, strings,
+lists, and null compare by equality (a bool is an ``int`` in Python —
+it must *not* fall into the relative-tolerance path, where ``False``
+vs ``True`` would pass any tolerance ≥ 1).  A baseline cell with no
+matching result, a status flip, or a missing metric is a failure — a
+shrunk sweep must not pass silently.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from ..util.errors import CampaignError
+from .results import SCHEMA_VERSION, canonical_json
+
+__all__ = [
+    "DEFAULT_TOLERANCES",
+    "check_against_baseline",
+    "baseline_from_rows",
+    "load_baseline",
+]
+
+#: Fallback relative tolerances by metric name.  ``makespan`` gets slack
+#: for intentional engine-cost recalibrations; everything else numeric
+#: is expected to reproduce bit-for-bit (tolerance ~ rounding only).
+DEFAULT_TOLERANCES = {"makespan": 0.02}
+
+_EXACT = 1e-9
+
+
+def load_baseline(path) -> dict:
+    """Read and structurally validate a baseline file."""
+    p = pathlib.Path(path)
+    if not p.exists():
+        raise CampaignError(f"no baseline file at {p}")
+    try:
+        baseline = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise CampaignError(f"{p}: not valid JSON: {exc}") from exc
+    if not isinstance(baseline, dict) or "cells" not in baseline:
+        raise CampaignError(f"{p}: baseline needs a 'cells' list")
+    if baseline.get("schema_version") != SCHEMA_VERSION:
+        raise CampaignError(
+            f"{p}: baseline schema v{baseline.get('schema_version')} != "
+            f"supported v{SCHEMA_VERSION}"
+        )
+    return baseline
+
+
+def _tolerance_for(metric: str, baseline: dict) -> float:
+    tolerances = baseline.get("tolerances", {})
+    if metric in tolerances:
+        return float(tolerances[metric])
+    return DEFAULT_TOLERANCES.get(metric, _EXACT)
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _compare_metric(metric: str, expected, actual, rel: float) -> "str | None":
+    """A failure description, or None when the metric matches."""
+    if _is_number(expected) and _is_number(actual):
+        scale = max(abs(expected), abs(actual), 1e-30)
+        if abs(actual - expected) <= rel * scale:
+            return None
+        return (f"{metric}: {actual!r} deviates from baseline {expected!r} "
+                f"by {abs(actual - expected) / scale:.1%} "
+                f"(tolerance {rel:.1%})")
+    if expected != actual:
+        return f"{metric}: {actual!r} != baseline {expected!r}"
+    return None
+
+
+def check_against_baseline(rows: list[dict], baseline: dict) -> list[str]:
+    """Compare result rows to a baseline; returns failure descriptions.
+
+    Empty list means the results are within tolerance of the baseline.
+    """
+    by_cell = {canonical_json(r["cell"]): r for r in rows}
+    failures: list[str] = []
+    for entry in baseline["cells"]:
+        cell_key = canonical_json(entry["cell"])
+        row = by_cell.pop(cell_key, None)
+        if row is None:
+            failures.append(f"cell {cell_key}: missing from results")
+            continue
+        if row["status"] != entry["status"]:
+            failures.append(
+                f"cell {cell_key}: status {row['status']!r} != "
+                f"baseline {entry['status']!r}"
+            )
+            continue
+        for metric, expected in entry["metrics"].items():
+            if metric not in row["metrics"]:
+                failures.append(f"cell {cell_key}: metric {metric!r} missing")
+                continue
+            problem = _compare_metric(
+                metric, expected, row["metrics"][metric],
+                _tolerance_for(metric, baseline),
+            )
+            if problem is not None:
+                failures.append(f"cell {cell_key}: {problem}")
+    for cell_key in by_cell:
+        failures.append(f"cell {cell_key}: not covered by the baseline")
+    return failures
+
+
+def baseline_from_rows(rows: list[dict],
+                       tolerances: "dict | None" = None) -> dict:
+    """Snapshot result rows as a baseline document (for committing)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tolerances": dict(tolerances or {}),
+        "cells": [
+            {"cell": r["cell"], "status": r["status"], "metrics": r["metrics"]}
+            for r in rows
+        ],
+    }

@@ -1,0 +1,183 @@
+"""Structured campaign results: JSONL rows + a summary JSON.
+
+Every run of a campaign produces exactly one **result row** — a JSON
+object with a fixed, versioned field set (:data:`RESULT_FIELDS`,
+:data:`SCHEMA_VERSION`) — appended to ``results.jsonl`` in canonical
+form (sorted keys, compact separators).  Because every quantity a driver
+reports is a *virtual-time* or selection-level measurement, rows are
+bitwise reproducible: the same config and seed produce the identical
+byte stream, which the property tests and the golden-file test assert.
+
+The companion ``summary.json`` aggregates the rows (counts, per-cell
+metrics) and stamps the schema version plus a digest of the expanded
+config, so a regression baseline can later verify it is being compared
+against the campaign it was recorded from.
+
+**Schema evolution contract:** adding, removing, or renaming a field in
+:data:`RESULT_FIELDS` or :data:`SUMMARY_FIELDS` MUST bump
+:data:`SCHEMA_VERSION`.  ``tests/campaign/test_golden.py`` keeps a
+fingerprint of the field sets per version and fails loudly when the
+fields change under an unbumped version.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Any
+
+from ..util.errors import CampaignError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RESULT_FIELDS",
+    "SUMMARY_FIELDS",
+    "canonical_json",
+    "ResultsWriter",
+    "read_rows",
+]
+
+#: Version of the result-row and summary schemas (see module docstring).
+SCHEMA_VERSION = 1
+
+#: Exact field set of one result row, in canonical (sorted) order.
+#: ``cell`` identifies the run (axis name -> value), ``metrics`` holds the
+#: driver's deterministic measurements, ``error`` is None unless
+#: ``status == "error"`` (then it names the typed failure).
+RESULT_FIELDS = ("cell", "error", "metrics", "run", "schema", "seed", "status")
+
+#: Exact field set of the summary document.
+SUMMARY_FIELDS = ("cells", "config_digest", "errors", "name", "ok", "runs",
+                  "schema_version")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, compact separators)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def config_digest(config_dict: dict) -> str:
+    """Stable digest of a campaign config (identifies what was swept)."""
+    return hashlib.sha256(canonical_json(config_dict).encode()).hexdigest()
+
+
+class ResultsWriter:
+    """Collects result rows; writes canonical JSONL and a summary JSON.
+
+    Use in-memory (``out_dir=None``) for tests, or with a directory to
+    stream ``results.jsonl`` as runs complete (a crashed campaign leaves
+    the completed rows behind).
+    """
+
+    def __init__(self, out_dir: "str | pathlib.Path | None" = None):
+        self.out_dir = pathlib.Path(out_dir) if out_dir is not None else None
+        self.rows: list[dict] = []
+        self._fh = None
+        if self.out_dir is not None:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.out_dir / "results.jsonl", "w")
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        run: int,
+        seed: int,
+        cell: dict,
+        metrics: dict,
+        status: str = "ok",
+        error: "str | None" = None,
+    ) -> dict:
+        """Append one result row (validated against the schema)."""
+        row = {
+            "schema": SCHEMA_VERSION,
+            "run": run,
+            "seed": seed,
+            "cell": cell,
+            "status": status,
+            "metrics": metrics,
+            "error": error,
+        }
+        if tuple(sorted(row)) != RESULT_FIELDS:
+            raise CampaignError(
+                f"result row fields {sorted(row)} do not match schema "
+                f"v{SCHEMA_VERSION} fields {list(RESULT_FIELDS)}"
+            )
+        if status not in ("ok", "error"):
+            raise CampaignError(f"unknown result status {status!r}")
+        if (error is not None) != (status == "error"):
+            raise CampaignError(
+                "error text is required exactly when status == 'error'"
+            )
+        self.rows.append(row)
+        if self._fh is not None:
+            self._fh.write(canonical_json(row) + "\n")
+            self._fh.flush()
+        return row
+
+    # ------------------------------------------------------------------
+    def summary(self, name: str, config_dict: dict) -> dict:
+        """Aggregate the collected rows into the summary document."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": name,
+            "config_digest": config_digest(config_dict),
+            "runs": len(self.rows),
+            "ok": sum(1 for r in self.rows if r["status"] == "ok"),
+            "errors": sum(1 for r in self.rows if r["status"] == "error"),
+            "cells": [
+                {"cell": r["cell"], "status": r["status"],
+                 "metrics": r["metrics"]}
+                for r in self.rows
+            ],
+        }
+
+    def finish(self, name: str, config_dict: dict) -> dict:
+        """Close the JSONL stream and (when writing) emit summary.json."""
+        summary = self.summary(name, config_dict)
+        if tuple(sorted(summary)) != SUMMARY_FIELDS:
+            raise CampaignError(
+                f"summary fields {sorted(summary)} do not match schema "
+                f"v{SCHEMA_VERSION} fields {list(SUMMARY_FIELDS)}"
+            )
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if self.out_dir is not None:
+            with open(self.out_dir / "summary.json", "w") as fh:
+                json.dump(summary, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        return summary
+
+    # ------------------------------------------------------------------
+    def jsonl(self) -> str:
+        """The canonical JSONL byte-for-byte content of the rows."""
+        return "".join(canonical_json(r) + "\n" for r in self.rows)
+
+
+def read_rows(path: "str | pathlib.Path") -> list[dict]:
+    """Read result rows from a ``results.jsonl`` file (or its directory).
+
+    Rows from a newer schema than this library understands are rejected
+    loudly rather than misinterpreted.
+    """
+    p = pathlib.Path(path)
+    if p.is_dir():
+        p = p / "results.jsonl"
+    if not p.exists():
+        raise CampaignError(f"no results file at {p}")
+    rows = []
+    for i, line in enumerate(p.read_text().splitlines()):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise CampaignError(f"{p}:{i + 1}: not valid JSON: {exc}") from exc
+        if row.get("schema") != SCHEMA_VERSION:
+            raise CampaignError(
+                f"{p}:{i + 1}: result schema v{row.get('schema')} != "
+                f"supported v{SCHEMA_VERSION}"
+            )
+        rows.append(row)
+    return rows

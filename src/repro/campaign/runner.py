@@ -1,0 +1,56 @@
+"""Execute a campaign: every cell through its driver, into results.
+
+The runner is deliberately dumb: expansion and seeding live in
+:mod:`repro.campaign.config`, scenario construction in the drivers.  It
+walks the expanded runs in order, gives each its own
+``np.random.default_rng(spec.seed)`` stream, and records one result row
+per run.  A run that ends in a typed library error
+(:class:`~repro.util.errors.ReproError`) becomes a ``status="error"``
+row naming the exception — the campaign completes with a typed result
+for every cell, never a crash half-way through the sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.errors import ReproError
+from .config import CampaignConfig, RunSpec
+from .drivers import resolve_driver
+from .results import ResultsWriter
+
+__all__ = ["run_campaign", "run_one"]
+
+
+def run_one(config: CampaignConfig, spec: RunSpec) -> dict:
+    """Execute a single expanded run; returns the driver's metrics dict."""
+    driver = resolve_driver(config.driver)
+    rng = np.random.default_rng(spec.seed)
+    return driver.run(spec.params, rng)
+
+
+def run_campaign(
+    config: CampaignConfig,
+    out_dir=None,
+    *,
+    progress=None,
+) -> ResultsWriter:
+    """Run every cell of ``config``; returns the filled ResultsWriter.
+
+    ``progress`` is an optional callable ``(spec, row)`` invoked after
+    each run (the CLI uses it to print one line per cell).
+    """
+    writer = ResultsWriter(out_dir)
+    for spec in config.expand():
+        try:
+            metrics = run_one(config, spec)
+            row = writer.add(spec.index, spec.seed, spec.cell, metrics)
+        except ReproError as exc:
+            row = writer.add(
+                spec.index, spec.seed, spec.cell, {},
+                status="error", error=f"{type(exc).__name__}: {exc}",
+            )
+        if progress is not None:
+            progress(spec, row)
+    writer.finish(config.name, config.to_dict())
+    return writer

@@ -1,0 +1,282 @@
+"""Build simulation scenarios from declarative campaign specs.
+
+A campaign cell describes its world as plain JSON values — a cluster
+preset name or constructor dict, a per-machine load-model spec, machine
+deaths, transient link faults, and administrative churn events — and the
+builders here turn those into live objects.  Everything is validated
+eagerly with :class:`~repro.util.errors.CampaignError` so a typo in a
+campaign file fails at config load (exit code 2 from the CLI), not ten
+cells into a sweep.
+
+Stochastic pieces (``random_walk`` loads, transient fault schedules)
+take their seeds from the per-run RNG when the spec does not pin one, so
+the whole scenario stays a deterministic function of the run's derived
+seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..cluster.faults import (
+    FaultSchedule,
+    TransientFaultConfig,
+    TransientLinkFaults,
+    attach_transient_faults,
+    inject_faults,
+)
+from ..cluster.load import (
+    ConstantLoad,
+    LoadModel,
+    RandomWalkLoad,
+    SquareWaveLoad,
+    StepLoad,
+)
+from ..cluster.network import Cluster
+from ..cluster.presets import (
+    clusters_of_clusters,
+    homogeneous_network,
+    multiprotocol_network,
+    paper_network,
+    random_network,
+    two_site_network,
+    uniform_network,
+)
+from ..util.errors import CampaignError, ClusterError, ReproError
+
+__all__ = [
+    "CLUSTER_PRESETS",
+    "LOAD_KINDS",
+    "CHURN_OPS",
+    "build_cluster",
+    "build_load_model",
+    "apply_scenario",
+    "normalize_churn",
+    "ChurnEvent",
+]
+
+#: Cluster presets addressable by name in a campaign spec.
+CLUSTER_PRESETS = {
+    "paper": paper_network,
+    "multiprotocol": multiprotocol_network,
+    "two_site": two_site_network,
+    "clusters_of_clusters": clusters_of_clusters,
+}
+
+#: Constructor-dict cluster kinds (parameterized, so not bare presets).
+_CLUSTER_KINDS = ("uniform", "homogeneous", "random")
+
+#: Load-model kinds accepted in per-machine load specs.  The first three
+#: mirror :mod:`repro.cluster.serialize`; ``random_walk`` is additional
+#: (it is seed-reconstructed, which a campaign can do and a snapshot
+#: cannot).
+LOAD_KINDS = ("constant", "step", "square", "random_walk")
+
+#: Administrative churn operations.
+CHURN_OPS = ("leave", "join")
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise CampaignError(msg)
+
+
+# ----------------------------------------------------------------------
+# clusters
+# ----------------------------------------------------------------------
+
+def build_cluster(spec) -> Cluster:
+    """Construct the cluster a cell runs on.
+
+    ``spec`` is a preset name from :data:`CLUSTER_PRESETS` or a dict —
+    ``{"kind": "uniform", "speeds": [...]}``,
+    ``{"kind": "homogeneous", "n": 4, "speed": 100}``, or
+    ``{"kind": "random", "n": 6, "seed": 0}``.
+    """
+    if isinstance(spec, str):
+        _require(spec in CLUSTER_PRESETS,
+                 f"unknown cluster preset {spec!r}; "
+                 f"expected one of {', '.join(sorted(CLUSTER_PRESETS))}")
+        return CLUSTER_PRESETS[spec]()
+    _require(isinstance(spec, dict),
+             f"cluster spec must be a preset name or a dict, got {spec!r}")
+    kind = spec.get("kind")
+    _require(kind in _CLUSTER_KINDS,
+             f"unknown cluster kind {kind!r}; "
+             f"expected one of {', '.join(_CLUSTER_KINDS)}")
+    try:
+        if kind == "uniform":
+            speeds = spec.get("speeds")
+            _require(isinstance(speeds, list) and speeds,
+                     "uniform cluster needs a non-empty 'speeds' list")
+            return uniform_network([float(s) for s in speeds])
+        if kind == "homogeneous":
+            return homogeneous_network(int(spec.get("n", 4)),
+                                       float(spec.get("speed", 100.0)))
+        return random_network(int(spec.get("n", 6)),
+                              seed=int(spec.get("seed", 0)))
+    except (ReproError, ValueError, TypeError) as exc:
+        raise CampaignError(f"bad cluster spec {spec!r}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# load models
+# ----------------------------------------------------------------------
+
+def build_load_model(spec: dict, rng: np.random.Generator) -> LoadModel:
+    """Construct one machine's load model from its spec dict.
+
+    A ``random_walk`` spec without an explicit ``seed`` draws one from
+    ``rng`` (the per-run stream), keeping the scenario deterministic per
+    run while varying across runs of a seed sweep.
+    """
+    _require(isinstance(spec, dict), f"load spec must be a dict, got {spec!r}")
+    kind = spec.get("kind")
+    _require(kind in LOAD_KINDS,
+             f"unknown load model kind {kind!r}; "
+             f"expected one of {', '.join(LOAD_KINDS)}")
+    try:
+        if kind == "constant":
+            return ConstantLoad(float(spec.get("share", 1.0)))
+        if kind == "step":
+            return StepLoad([(float(t), float(s)) for t, s in spec["steps"]],
+                            initial=float(spec.get("initial", 1.0)))
+        if kind == "square":
+            return SquareWaveLoad(
+                period=float(spec["period"]),
+                high=float(spec.get("high", 1.0)),
+                low=float(spec.get("low", 0.5)),
+                phase=float(spec.get("phase", 0.0)),
+            )
+        seed = spec.get("seed")
+        if seed is None:
+            seed = int(rng.integers(0, 2**63 - 1))
+        return RandomWalkLoad(
+            interval=float(spec["interval"]),
+            seed=int(seed),
+            start=float(spec.get("start", 1.0)),
+            step=float(spec.get("step", 0.2)),
+            floor=float(spec.get("floor", 0.05)),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise CampaignError(f"bad load spec {spec!r}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# churn events
+# ----------------------------------------------------------------------
+
+class ChurnEvent:
+    """One administrative membership change: machine leaves or joins."""
+
+    __slots__ = ("t", "op", "machine")
+
+    def __init__(self, t: float, op: str, machine: int):
+        self.t = float(t)
+        self.op = op
+        self.machine = int(machine)
+
+    def __repr__(self) -> str:
+        return f"ChurnEvent(t={self.t:g}, op={self.op!r}, machine={self.machine})"
+
+
+def normalize_churn(spec, n_machines: int) -> list[ChurnEvent]:
+    """Validate a churn spec — a list of ``{"t", "op", "machine"}`` dicts.
+
+    Machine 0 hosts the HMPI host process under the default placement and
+    may not churn; events are returned sorted by time (ties keep spec
+    order, so a leave-then-join pair at one instant stays ordered).
+    """
+    if spec is None:
+        return []
+    _require(isinstance(spec, list),
+             f"churn spec must be a list of events, got {spec!r}")
+    events = []
+    for i, ev in enumerate(spec):
+        _require(isinstance(ev, dict) and set(ev) == {"t", "op", "machine"},
+                 f"churn event #{i} must be a dict with keys t/op/machine, "
+                 f"got {ev!r}")
+        op = ev["op"]
+        _require(op in CHURN_OPS,
+                 f"churn event #{i}: unknown op {op!r}; "
+                 f"expected one of {', '.join(CHURN_OPS)}")
+        try:
+            machine = int(ev["machine"])
+            t = float(ev["t"])
+        except (ValueError, TypeError) as exc:
+            raise CampaignError(f"churn event #{i}: {exc}") from exc
+        _require(0 <= machine < n_machines,
+                 f"churn event #{i}: machine {machine} out of range "
+                 f"(cluster has {n_machines})")
+        _require(machine != 0,
+                 f"churn event #{i}: machine 0 hosts the HMPI host process "
+                 f"and cannot churn")
+        _require(t >= 0.0 and math.isfinite(t),
+                 f"churn event #{i}: t must be finite and >= 0, got {t}")
+        events.append(ChurnEvent(t, op, machine))
+    events.sort(key=lambda e: e.t)
+    return events
+
+
+# ----------------------------------------------------------------------
+# whole-scenario application
+# ----------------------------------------------------------------------
+
+def apply_scenario(
+    cluster: Cluster,
+    rng: np.random.Generator,
+    *,
+    deaths: dict | None = None,
+    transient: dict | None = None,
+    loads: dict | None = None,
+) -> Cluster:
+    """Apply deaths / transient faults / load models to ``cluster`` in place.
+
+    ``deaths`` maps machine index (JSON string or int) to fail vtime;
+    ``transient`` is a :class:`TransientFaultConfig` field dict plus an
+    optional ``seed`` (drawn from ``rng`` when absent); ``loads`` maps
+    machine index to a load spec for :func:`build_load_model`.
+    """
+    def machine_index(key) -> int:
+        try:
+            m = int(key)
+        except (ValueError, TypeError) as exc:
+            raise CampaignError(f"machine index {key!r} is not an integer") from exc
+        _require(0 <= m < cluster.size,
+                 f"machine index {m} out of range (cluster has {cluster.size})")
+        return m
+
+    if deaths:
+        _require(isinstance(deaths, dict),
+                 f"deaths must map machine index to vtime, got {deaths!r}")
+        try:
+            schedule = FaultSchedule({
+                cluster.machines[machine_index(m)].name: float(t)
+                for m, t in deaths.items()
+            })
+            inject_faults(cluster, schedule)
+        except (ClusterError, ValueError, TypeError) as exc:
+            raise CampaignError(f"bad deaths spec {deaths!r}: {exc}") from exc
+    if transient:
+        _require(isinstance(transient, dict),
+                 f"transient spec must be a dict, got {transient!r}")
+        blob = dict(transient)
+        seed = blob.pop("seed", None)
+        if seed is None:
+            seed = int(rng.integers(0, 2**63 - 1))
+        try:
+            config = TransientFaultConfig(**blob)
+        except (ClusterError, TypeError) as exc:
+            raise CampaignError(
+                f"bad transient spec {transient!r}: {exc}") from exc
+        attach_transient_faults(
+            cluster, TransientLinkFaults(config, seed=int(seed)))
+    if loads:
+        _require(isinstance(loads, dict),
+                 f"loads must map machine index to a load spec, got {loads!r}")
+        for m, load_spec in sorted(loads.items(), key=lambda kv: int(kv[0])):
+            idx = machine_index(m)
+            cluster.machines[idx].load = build_load_model(load_spec, rng)
+    return cluster

@@ -31,6 +31,15 @@ Commands
 ``stats``
     Run the same scenarios and print the metrics snapshot, selection-
     cache statistics, and the Timeof prediction-accuracy table.
+``campaign run/check/list``
+    Declarative scenario campaigns (see ``docs/CAMPAIGNS.md``): ``run``
+    executes every cell of a campaign JSON and writes ``results.jsonl``
+    + ``summary.json``; ``check`` compares results against a committed
+    regression baseline (nonzero on drift); ``list`` shows the expanded
+    runs of a config, or the driver catalogue without one.
+
+Option errors (unknown campaign axis, bad registry string, malformed
+config) exit with code 2 and a one-line message — never a traceback.
 """
 
 from __future__ import annotations
@@ -479,6 +488,65 @@ def _cmd_topology_check(args: argparse.Namespace) -> int:
     return worst
 
 
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .campaign import load_config, run_campaign
+
+    config = load_config(args.config)
+    print(f"campaign {config.name!r}: driver {config.driver.name}, "
+          f"{config.n_runs} run(s), seed {config.seed}")
+
+    def progress(spec, row) -> None:
+        cell = ", ".join(f"{k}={v}" for k, v in sorted(spec.cell.items()))
+        if row["status"] == "ok":
+            print(f"  [{spec.index + 1}/{config.n_runs}] {cell}: ok")
+        else:
+            print(f"  [{spec.index + 1}/{config.n_runs}] {cell}: "
+                  f"ERROR {row['error']}")
+
+    writer = run_campaign(config, args.out,
+                          progress=None if args.quiet else progress)
+    errors = sum(1 for r in writer.rows if r["status"] == "error")
+    where = f" -> {args.out}/results.jsonl" if args.out else ""
+    print(f"{len(writer.rows)} run(s), {errors} error(s){where}")
+    return 1 if errors else 0
+
+
+def _cmd_campaign_check(args: argparse.Namespace) -> int:
+    from .campaign import check_against_baseline, load_baseline, read_rows
+
+    rows = read_rows(args.results)
+    failures = check_against_baseline(rows, load_baseline(args.baseline))
+    if failures:
+        print(f"{len(failures)} regression(s) vs {args.baseline}:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"{len(rows)} run(s) within tolerance of {args.baseline}")
+    return 0
+
+
+def _cmd_campaign_list(args: argparse.Namespace) -> int:
+    from .campaign import DRIVERS, load_config
+
+    if args.config is None:
+        table = Table("driver", "parameters", title="Campaign drivers")
+        for name, driver in sorted(DRIVERS.items()):
+            table.add(name, ", ".join(driver.params))
+        print(table.render())
+        return 0
+    config = load_config(args.config)
+    print(f"campaign {config.name!r}: driver {config.driver.name}, "
+          f"seed {config.seed}")
+    table = Table("run", "seed", "cell",
+                  title=f"{config.n_runs} expanded run(s)")
+    for spec in config.expand():
+        cell = ", ".join(f"{k}={v}" for k, v in sorted(spec.cell.items()))
+        table.add(spec.index, spec.seed, cell)
+    print(table.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -591,12 +659,43 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--json", action="store_true",
                     help="print the raw snapshot JSON instead of tables")
     ps.set_defaults(fn=_cmd_stats)
+
+    pcamp = sub.add_parser(
+        "campaign", help="declarative scenario campaigns (docs/CAMPAIGNS.md)")
+    camp_sub = pcamp.add_subparsers(dest="campaign_command", required=True)
+    cr = camp_sub.add_parser(
+        "run", help="run every cell of a campaign JSON")
+    cr.add_argument("config", metavar="CONFIG", help="campaign JSON file")
+    cr.add_argument("--out", default=None, metavar="DIR",
+                    help="write results.jsonl + summary.json here")
+    cr.add_argument("--quiet", action="store_true",
+                    help="no per-run progress lines")
+    cr.set_defaults(fn=_cmd_campaign_run)
+    cc = camp_sub.add_parser(
+        "check", help="compare results against a regression baseline")
+    cc.add_argument("results", metavar="RESULTS",
+                    help="results.jsonl file (or the --out directory)")
+    cc.add_argument("--baseline", required=True, metavar="FILE",
+                    help="committed baseline JSON")
+    cc.set_defaults(fn=_cmd_campaign_check)
+    cl = camp_sub.add_parser(
+        "list", help="list a config's expanded runs, or all drivers")
+    cl.add_argument("config", nargs="?", default=None, metavar="CONFIG")
+    cl.set_defaults(fn=_cmd_campaign_list)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    from .util.errors import OptionError
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except OptionError as exc:
+        # Usage errors (bad registry strings, malformed campaign configs,
+        # CampaignError) exit like argparse does: message + code 2.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -47,6 +47,8 @@ __all__ = [
     "HMPI_Is_member",
     "HMPI_Wtime",
     "HMPI_Release_free",
+    "HMPI_Depart_machine",
+    "HMPI_Admit_machine",
 ]
 
 #: Sentinel for membership tests against the predefined world group
@@ -214,3 +216,15 @@ def HMPI_Release_free(hmpi: HMPI) -> None:
     """Dismiss the free processes waiting in ``HMPI_Group_create`` (host
     only); each receives None from its pending create call."""
     hmpi.release_free()
+
+
+def HMPI_Depart_machine(hmpi: HMPI, machine_index: int) -> None:
+    """Withdraw a healthy machine from future selections (churn "leave");
+    its parked ranks stay alive and can be readmitted."""
+    hmpi.depart_machine(machine_index)
+
+
+def HMPI_Admit_machine(hmpi: HMPI, machine_index: int) -> None:
+    """Readmit a departed machine (churn "join"); bumps the speed epoch
+    so no cached selection predates the membership change."""
+    hmpi.admit_machine(machine_index)

@@ -151,6 +151,23 @@ class NetworkModel:
             self._dead_machines.add(machine_index)
             self._speed_epoch += 1
 
+    def admit_machine(self, machine_index: int) -> None:
+        """Readmit a machine to the model of the network (churn "join").
+
+        The exact counterpart of :meth:`mark_machine_dead`: the machine is
+        unflagged and the speed epoch bumps, so every cached selection and
+        ``HMPI_Timeof`` answer is recomputed over the widened machine set.
+        Used by the runtime's administrative churn operations
+        (``HMPI.admit_machine``) — a machine that *joins* the network
+        mid-run, as opposed to one resurrected after a hardware death
+        (which the simulator does not model).
+        """
+        if not 0 <= machine_index < self.cluster.size:
+            raise HMPIError(f"unknown machine index {machine_index}")
+        if machine_index in self._dead_machines:
+            self._dead_machines.discard(machine_index)
+            self._speed_epoch += 1
+
     def machine_dead(self, machine_index: int) -> bool:
         """Whether a machine has been marked failed."""
         return machine_index in self._dead_machines

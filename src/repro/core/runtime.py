@@ -131,6 +131,11 @@ class HMPIRuntimeState:
         self.free: set[int] = set(range(netmodel.nprocs)) - {HOST_RANK}
         self.creation_counter = 0
         self.dead: set[int] = set()  # world ranks on failed machines
+        # World ranks administratively withdrawn (machine churn "leave"):
+        # excluded from selection like dead ranks, but their machines are
+        # healthy and they can be readmitted (churn "join") — see
+        # HMPI.depart_machine / HMPI.admit_machine.
+        self.departed: set[int] = set()
         # Rendezvous counters for group_free (gid -> arrivals); waiters
         # block in the engine (wait_until), not on a real-time condition.
         self.free_rendezvous: dict[int, int] = {}
@@ -146,9 +151,9 @@ class HMPIRuntimeState:
             obs.attach_selection_stats(self.selection_stats)
 
     def participants(self) -> list[int]:
-        """Host plus free processes, excluding known-dead ranks."""
+        """Host plus free processes, excluding dead and departed ranks."""
         with self.lock:
-            alive_free = sorted(self.free - self.dead)
+            alive_free = sorted(self.free - self.dead - self.departed)
         return [HOST_RANK] + alive_free
 
     # ------------------------------------------------------------------
@@ -454,12 +459,20 @@ class HMPI:
 
     # -- creation/repair exchange internals ----------------------------
 
-    def _free_pool(self) -> list[int]:
-        """Free, alive, still-running ranks able to join a new group."""
+    def _free_pool(self, include_departed: bool = False) -> list[int]:
+        """Free, alive, still-running ranks able to join a new group.
+
+        Departed ranks (administrative churn "leave") are excluded from
+        selection exchanges; ``release_free`` passes
+        ``include_departed=True`` so ranks parked through an absence still
+        receive their release sentinel at the end of the run.
+        """
         engine = self.comm_world._engine
         with self.state.lock:
-            pool = sorted(self.state.free - self.state.dead)
-        return [r for r in pool if not engine.procs[r].finished]
+            pool = self.state.free - self.state.dead
+            if not include_departed:
+                pool -= self.state.departed
+        return [r for r in sorted(pool) if not engine.procs[r].finished]
 
     def _host_distribute(
         self,
@@ -682,6 +695,65 @@ class HMPI:
         for r in sorted(ranks):
             self.mark_dead(r)
 
+    # ------------------------------------------------------------------
+    # machine churn (administrative join/leave, beyond FT deaths)
+    # ------------------------------------------------------------------
+    def depart_machine(self, machine_index: int) -> None:
+        """Withdraw a healthy machine from the network (churn "leave").
+
+        Administrative counterpart of a failure: every free rank placed on
+        the machine is excluded from future selections and the machine is
+        flagged in the network model — bumping the speed epoch, so cached
+        selections and ``HMPI_Timeof`` answers are recomputed over the
+        remaining machines.  Unlike :meth:`mark_dead` the ranks stay
+        alive: they keep waiting in ``HMPI_Group_create``, still receive
+        the final ``release_free``, and :meth:`admit_machine` brings them
+        back.  Ranks currently busy in a group are not interrupted; the
+        withdrawal takes effect at the next selection.
+
+        The host's machine cannot depart (the paper's host-processor is
+        the permanent parent of every group).
+        """
+        with self.state.lock:
+            host_machine = self.state.netmodel.machine_of(HOST_RANK)
+            if machine_index == host_machine:
+                raise HMPIStateError(
+                    f"machine {machine_index} hosts the HMPI host process "
+                    f"and cannot depart"
+                )
+            for r in range(self.state.netmodel.nprocs):
+                if self.state.netmodel.machine_of(r) == machine_index:
+                    self.state.departed.add(r)
+            self.state.netmodel.mark_machine_dead(machine_index)
+        self._count("hmpi.churn.departs")
+        self.comm_world._engine.poke()
+
+    def admit_machine(self, machine_index: int) -> None:
+        """Readmit a departed machine to the network (churn "join").
+
+        The counterpart of :meth:`depart_machine` (and, at the network-
+        model level, of ``mark_machine_dead``): the machine is unflagged —
+        bumping the speed epoch so stale cached selections can never be
+        served — and its parked ranks rejoin the candidate pool for the
+        next ``HMPI_Group_create``.  An FT death is permanent: admitting
+        a machine whose ranks actually died (:meth:`mark_dead`) raises
+        :class:`HMPIStateError` rather than resurrecting it.
+        """
+        with self.state.lock:
+            for r in range(self.state.netmodel.nprocs):
+                if (self.state.netmodel.machine_of(r) == machine_index
+                        and r in self.state.dead):
+                    raise HMPIStateError(
+                        f"machine {machine_index} has failed and cannot "
+                        f"be readmitted"
+                    )
+            self.state.netmodel.admit_machine(machine_index)
+            for r in range(self.state.netmodel.nprocs):
+                if self.state.netmodel.machine_of(r) == machine_index:
+                    self.state.departed.discard(r)
+        self._count("hmpi.churn.admits")
+        self.comm_world._engine.poke()
+
     def _raise_if_doomed(self) -> None:
         """Die of :class:`MachineFailure` if this process has been marked
         dead — its machine is scheduled to fail before it could make any
@@ -862,7 +934,7 @@ class HMPI:
         if not self.is_host():
             raise HMPIStateError("release_free may only be called by the host")
         world = self.comm_world
-        for r in self._free_pool():
+        for r in self._free_pool(include_departed=True):
             try:
                 world._send_internal(("release",), r, _TAG_GROUP_CREATE)
             except RankFailedError:

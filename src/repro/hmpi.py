@@ -31,6 +31,8 @@ from typing import Any
 
 from .core.api import (  # noqa: F401  (re-exported: flat C-style API)
     HMPI_COMM_WORLD_GROUP,
+    HMPI_Admit_machine,
+    HMPI_Depart_machine,
     HMPI_Get_comm,
     HMPI_Group_create,
     HMPI_Group_free,
@@ -72,6 +74,8 @@ __all__ = [
     "HMPI_Is_member",
     "HMPI_Wtime",
     "HMPI_Release_free",
+    "HMPI_Depart_machine",
+    "HMPI_Admit_machine",
 ]
 
 #: Options a session holds; exactly run_hmpi's keyword-only surface, so

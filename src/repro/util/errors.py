@@ -31,6 +31,7 @@ __all__ = [
     "HMPIStateError",
     "HMPIRepairError",
     "MappingError",
+    "CampaignError",
 ]
 
 
@@ -178,3 +179,9 @@ class HMPIRepairError(HMPIError):
 
 class MappingError(HMPIError):
     """No feasible mapping of abstract processors to machines exists."""
+
+
+class CampaignError(OptionError):
+    """A campaign config/spec is malformed (unknown axis, bad driver,
+    invalid scenario).  Subclasses :class:`OptionError` so CLI entry
+    points surface it as a usage error (exit code 2), not a traceback."""

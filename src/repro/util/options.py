@@ -25,11 +25,17 @@ def check_choice(kind: str, value: str, choices: Sequence[str],
 
     ``kind`` names the option in the error (``"bcast algorithm"``,
     ``"engine backend"``); ``exc`` is the exception type raised for an
-    unknown value.
+    unknown value.  The error lists the valid choices in their
+    declaration order (the order of ``choices``), deduplicated; unordered
+    containers (sets) are sorted so the message is deterministic.
     """
     if value not in choices:
+        if isinstance(choices, (set, frozenset)):
+            listed: Sequence[str] = sorted(choices)
+        else:
+            listed = list(dict.fromkeys(choices))
         raise exc(
             f"unknown {kind} {value!r}; "
-            f"expected one of {', '.join(choices)}"
+            f"expected one of {', '.join(listed)}"
         )
     return value

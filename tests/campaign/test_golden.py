@@ -1,0 +1,71 @@
+"""Golden results and the schema-version bump guard.
+
+Two freezes protect downstream consumers of campaign results:
+
+* a byte-for-byte golden JSONL for the shipped mapper-ablation campaign
+  (any drift in selection, seeding, or serialization shows up here), and
+* a fingerprint of the row/summary field sets per schema version —
+  changing the shape of a result without bumping ``SCHEMA_VERSION``
+  fails loudly instead of silently breaking saved baselines.
+"""
+
+import pathlib
+
+from repro.campaign import (
+    RESULT_FIELDS,
+    SCHEMA_VERSION,
+    SUMMARY_FIELDS,
+    load_config,
+    run_campaign,
+)
+
+HERE = pathlib.Path(__file__).parent
+GOLDEN = HERE / "golden" / "mapper_ablation.jsonl"
+CONFIG = HERE.parent.parent / "examples" / "campaigns" / "mapper_ablation.json"
+
+# Frozen field sets per schema version.  If the assertion below fires you
+# changed the shape of results: bump SCHEMA_VERSION in
+# src/repro/campaign/results.py, add the new fingerprint here, and
+# regenerate golden files and committed baselines.
+SCHEMA_FINGERPRINTS = {
+    1: {
+        "row": ("cell", "error", "metrics", "run", "schema", "seed",
+                "status"),
+        "summary": ("cells", "config_digest", "errors", "name", "ok",
+                    "runs", "schema_version"),
+    },
+}
+
+
+class TestSchemaGuard:
+    def test_current_version_has_a_fingerprint(self):
+        assert SCHEMA_VERSION in SCHEMA_FINGERPRINTS, (
+            f"results schema version {SCHEMA_VERSION} has no frozen "
+            f"fingerprint: record its field sets in SCHEMA_FINGERPRINTS "
+            f"and regenerate golden files and committed baselines"
+        )
+
+    def test_fields_match_the_frozen_fingerprint(self):
+        frozen = SCHEMA_FINGERPRINTS[SCHEMA_VERSION]
+        assert (RESULT_FIELDS, SUMMARY_FIELDS) == (
+            frozen["row"], frozen["summary"]), (
+            f"result/summary fields changed without a schema bump: "
+            f"saved baselines and golden files written as schema "
+            f"{SCHEMA_VERSION} would silently mismatch.  Bump "
+            f"SCHEMA_VERSION in src/repro/campaign/results.py, freeze "
+            f"the new fingerprint in SCHEMA_FINGERPRINTS, and "
+            f"regenerate the golden files"
+        )
+
+
+class TestGoldenResults:
+    def test_mapper_ablation_matches_golden_bytes(self):
+        writer = run_campaign(load_config(CONFIG))
+        assert writer.jsonl() == GOLDEN.read_text(), (
+            "campaign results drifted from the committed golden file; "
+            "if the change is intentional, regenerate it with: "
+            "PYTHONPATH=src python -m repro campaign run "
+            "examples/campaigns/mapper_ablation.json --out /tmp/g && "
+            "cp /tmp/g/results.jsonl tests/campaign/golden/"
+            "mapper_ablation.jsonl"
+        )

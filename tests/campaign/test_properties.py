@@ -1,0 +1,102 @@
+"""Property tests: campaign results are a pure function of config + seed.
+
+The harness's whole value is that a (config, seed) pair names one exact
+set of results — across reruns, across simulation engines, and
+regardless of cosmetic config layout.  Hypothesis searches for configs
+that break that.
+"""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import CampaignConfig, derive_seed, run_campaign
+
+slow = settings(max_examples=5, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def jsonl_of(raw):
+    return run_campaign(CampaignConfig(raw)).jsonl()
+
+
+# Cheap selection-only campaigns: every axis combination is valid.
+timeof_configs = st.fixed_dictionaries({
+    "name": st.just("prop"),
+    "app": st.just("timeof_em3d"),
+    "seed": st.integers(0, 2**31 - 1),
+    "fixed": st.fixed_dictionaries({
+        "total_nodes": st.sampled_from([300, 600]),
+        "boundary_fraction": st.sampled_from([0.2, 0.4]),
+    }),
+    "axes": st.fixed_dictionaries({
+        "mapper": st.permutations(["greedy", "default"]),
+        "p": st.lists(st.sampled_from([3, 4]), min_size=1, max_size=2,
+                      unique=True),
+    }),
+})
+
+
+class TestBitwiseDeterminism:
+    @slow
+    @given(timeof_configs)
+    def test_same_config_and_seed_rerun_is_bitwise_identical(self, raw):
+        assert jsonl_of(raw) == jsonl_of(raw)
+
+    @slow
+    @given(policy=st.sampled_from(["never", "periodic"]),
+           niter=st.sampled_from([8, 12]),
+           seed=st.integers(0, 2**31 - 1))
+    def test_events_and_threads_engines_agree_bitwise(
+            self, policy, niter, seed):
+        # engine is an execution axis: it chooses how to simulate, never
+        # what happens — so the JSONL must match byte for byte.
+        def raw(engine):
+            return {
+                "name": "prop", "app": "iterative", "seed": seed,
+                "fixed": {
+                    "cluster": {"kind": "uniform", "speeds": [100.0] * 4},
+                    "n": 16, "niter": niter, "p": 3, "chunk": 4,
+                    "engine": engine,
+                    "churn": [{"t": 0.01, "op": "leave", "machine": 3},
+                              {"t": 0.03, "op": "join", "machine": 3}],
+                },
+                "axes": {"policy": [policy]},
+            }
+
+        assert jsonl_of(raw("events")) == jsonl_of(raw("threads"))
+
+
+scenario_values = st.one_of(
+    st.integers(0, 1000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(string.ascii_lowercase, max_size=8),
+    st.booleans(),
+    st.none(),
+)
+scenarios = st.dictionaries(
+    st.text(string.ascii_lowercase, min_size=1, max_size=8),
+    scenario_values, min_size=1, max_size=6)
+
+
+class TestSeedDerivation:
+    @given(seed=st.integers(0, 2**31 - 1), scenario=scenarios,
+           data=st.data())
+    def test_key_order_never_changes_the_seed(self, seed, scenario, data):
+        # Axis declaration order, JSON key order, fixed-vs-axis layout:
+        # all cosmetic.  Only the scenario's *content* may matter.
+        items = data.draw(st.permutations(sorted(scenario.items(),
+                                                 key=repr)))
+        assert derive_seed(seed, dict(items)) == derive_seed(seed, scenario)
+
+    @given(seed=st.integers(0, 2**31 - 1), scenario=scenarios,
+           key=st.text(string.ascii_lowercase, min_size=1, max_size=8),
+           value=scenario_values)
+    def test_content_change_changes_the_seed(self, seed, scenario, key,
+                                             value):
+        changed = dict(scenario)
+        changed[key] = value
+        if changed == scenario:
+            return
+        assert derive_seed(seed, changed) != derive_seed(seed, scenario)

@@ -1,0 +1,147 @@
+"""Result rows, canonical JSONL, summaries, and the baseline checker."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    SCHEMA_VERSION,
+    ResultsWriter,
+    baseline_from_rows,
+    canonical_json,
+    check_against_baseline,
+    load_baseline,
+    read_rows,
+)
+from repro.util.errors import CampaignError
+
+
+def writer_with(*metricses):
+    w = ResultsWriter()
+    for i, metrics in enumerate(metricses):
+        w.add(i, 1000 + i, {"x": i}, metrics)
+    return w
+
+
+class TestResultsWriter:
+    def test_row_shape(self):
+        w = writer_with({"makespan": 1.0})
+        (row,) = w.rows
+        assert row["schema"] == SCHEMA_VERSION
+        assert row["status"] == "ok" and row["error"] is None
+        assert row["cell"] == {"x": 0} and row["seed"] == 1000
+
+    def test_error_rows_need_error_text(self):
+        w = ResultsWriter()
+        with pytest.raises(CampaignError):
+            w.add(0, 1, {}, {}, status="error", error=None)
+        with pytest.raises(CampaignError):
+            w.add(0, 1, {}, {}, status="ok", error="boom")
+        with pytest.raises(CampaignError):
+            w.add(0, 1, {}, {}, status="weird", error=None)
+
+    def test_jsonl_is_canonical(self):
+        w = writer_with({"b": 2, "a": 1})
+        line = w.jsonl().splitlines()[0]
+        assert line == canonical_json(json.loads(line))
+        assert '"a":1,"b":2' in line  # sorted keys, compact separators
+
+    def test_streams_to_disk_and_summary(self, tmp_path):
+        w = ResultsWriter(tmp_path / "out")
+        w.add(0, 1, {"x": 0}, {"m": 1.5})
+        w.add(1, 2, {"x": 1}, {}, status="error", error="boom")
+        summary = w.finish("camp", {"name": "camp"})
+        assert summary["runs"] == 2 and summary["ok"] == 1
+        assert summary["errors"] == 1
+        assert summary["schema_version"] == SCHEMA_VERSION
+        on_disk = json.loads((tmp_path / "out" / "summary.json").read_text())
+        assert on_disk == summary
+        assert len(read_rows(tmp_path / "out")) == 2
+
+    def test_read_rows_rejects_other_schema(self, tmp_path):
+        d = tmp_path / "out"
+        d.mkdir()
+        row = {"schema": SCHEMA_VERSION + 1, "run": 0, "seed": 1, "cell": {},
+               "status": "ok", "metrics": {}, "error": None}
+        (d / "results.jsonl").write_text(json.dumps(row) + "\n")
+        with pytest.raises(CampaignError, match="schema"):
+            read_rows(d)
+
+    def test_read_rows_missing_file(self, tmp_path):
+        with pytest.raises(CampaignError, match="no results"):
+            read_rows(tmp_path / "nope.jsonl")
+
+
+class TestBaselineChecker:
+    def rows(self, makespan=1.0, ok=True, extra=None):
+        metrics = {"makespan": makespan, "recovered": ok,
+                   "repairs": 2, "tag": "x"}
+        if extra:
+            metrics.update(extra)
+        return writer_with(metrics).rows
+
+    def test_identical_rows_pass(self):
+        rows = self.rows()
+        assert check_against_baseline(rows, baseline_from_rows(rows)) == []
+
+    def test_within_tolerance_passes(self):
+        baseline = baseline_from_rows(self.rows(makespan=1.0),
+                                      tolerances={"makespan": 0.05})
+        assert check_against_baseline(self.rows(makespan=1.03), baseline) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        baseline = baseline_from_rows(self.rows(makespan=1.0),
+                                      tolerances={"makespan": 0.02})
+        failures = check_against_baseline(self.rows(makespan=1.05), baseline)
+        assert failures and "makespan" in failures[0]
+
+    def test_bool_metric_compares_by_equality_not_tolerance(self):
+        # bool is an int subclass: under a relative tolerance False->True
+        # would "pass" any tolerance >= 1.  It must not.
+        baseline = baseline_from_rows(self.rows(ok=True),
+                                      tolerances={"recovered": 10.0})
+        failures = check_against_baseline(self.rows(ok=False), baseline)
+        assert failures and "recovered" in failures[0]
+
+    def test_exact_default_for_unlisted_numeric_metric(self):
+        baseline = baseline_from_rows(self.rows())
+        drifted = self.rows()
+        drifted[0]["metrics"]["repairs"] = 3
+        assert check_against_baseline(drifted, baseline)
+
+    def test_missing_cell_fails(self):
+        baseline = baseline_from_rows(self.rows())
+        failures = check_against_baseline([], baseline)
+        assert failures and "missing from results" in failures[0]
+
+    def test_uncovered_result_cell_fails(self):
+        rows = self.rows()
+        baseline = baseline_from_rows([])
+        failures = check_against_baseline(rows, baseline)
+        assert failures and "not covered" in failures[0]
+
+    def test_status_flip_fails(self):
+        rows = self.rows()
+        baseline = baseline_from_rows(rows)
+        flipped = [dict(rows[0], status="error", error="boom")]
+        failures = check_against_baseline(flipped, baseline)
+        assert failures and "status" in failures[0]
+
+    def test_missing_metric_fails(self):
+        rows = self.rows()
+        baseline = baseline_from_rows(rows)
+        stripped = [dict(rows[0], metrics={"makespan": 1.0})]
+        assert check_against_baseline(stripped, baseline)
+
+    def test_load_baseline_validates(self, tmp_path):
+        p = tmp_path / "b.json"
+        with pytest.raises(CampaignError, match="no baseline"):
+            load_baseline(p)
+        p.write_text("{broken")
+        with pytest.raises(CampaignError, match="not valid JSON"):
+            load_baseline(p)
+        p.write_text(json.dumps({"schema_version": 99, "cells": []}))
+        with pytest.raises(CampaignError, match="schema"):
+            load_baseline(p)
+        p.write_text(json.dumps(baseline_from_rows(self.rows())))
+        assert load_baseline(p)["cells"]

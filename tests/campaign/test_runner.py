@@ -1,0 +1,199 @@
+"""The campaign runner and the three shipped drivers, end to end."""
+
+import pathlib
+
+import pytest
+
+from repro.campaign import CampaignConfig, load_config, run_campaign
+
+CAMPAIGNS = pathlib.Path(__file__).parent.parent.parent \
+    / "examples" / "campaigns"
+
+
+def run(raw):
+    return run_campaign(CampaignConfig(raw))
+
+
+class TestRunner:
+    def test_every_cell_gets_a_row(self):
+        w = run({
+            "name": "t", "app": "timeof_em3d",
+            "fixed": {"p": 3, "total_nodes": 600},
+            "axes": {"mapper": ["greedy", "default"]},
+        })
+        assert len(w.rows) == 2
+        assert all(r["status"] == "ok" for r in w.rows)
+        assert all(r["metrics"]["predicted_time"] > 0 for r in w.rows)
+
+    def test_library_error_becomes_typed_error_row(self):
+        # p larger than the cluster is a scenario-level CampaignError
+        # raised inside the driver: the sweep records it and continues.
+        w = run({
+            "name": "t", "app": "iterative",
+            "fixed": {"cluster": {"kind": "uniform", "speeds": [100.0] * 3},
+                      "n": 12, "niter": 4, "chunk": 4},
+            "axes": {"p": [2, 99]},
+        })
+        by_p = {r["cell"]["p"]: r for r in w.rows}
+        assert by_p[2]["status"] == "ok"
+        assert by_p[99]["status"] == "error"
+        assert "CampaignError" in by_p[99]["error"]
+
+    def test_writes_jsonl_and_summary(self, tmp_path):
+        cfg = CampaignConfig({
+            "name": "t", "app": "timeof_em3d",
+            "fixed": {"p": 3, "total_nodes": 600},
+            "axes": {"mapper": ["greedy"]},
+        })
+        run_campaign(cfg, tmp_path / "out")
+        assert (tmp_path / "out" / "results.jsonl").exists()
+        assert (tmp_path / "out" / "summary.json").exists()
+
+
+class TestJacobiFTDriver:
+    def test_fault_free_and_death_cells(self):
+        w = run({
+            "name": "t", "app": "jacobi_ft",
+            "fixed": {"cluster": {"kind": "uniform", "speeds": [100.0] * 4},
+                      "n": 18, "niter": 12},
+            "axes": {"deaths": [None, {"2": 0.04}]},
+        })
+        free, dead = w.rows
+        assert free["metrics"]["repairs"] == 0
+        assert free["metrics"]["bitwise_ok"] is True
+        assert dead["metrics"]["repairs"] >= 1
+        assert dead["metrics"]["bitwise_ok"] is True
+        assert 2 in dead["metrics"]["dead_ranks"]
+
+    def test_host_death_is_typed_not_a_crash(self):
+        w = run({
+            "name": "t", "app": "jacobi_ft",
+            "fixed": {"cluster": {"kind": "uniform", "speeds": [100.0] * 4},
+                      "n": 18, "niter": 12},
+            "axes": {"deaths": [{"0": 0.03}]},
+        })
+        (row,) = w.rows
+        assert row["status"] == "ok"          # run completed, outcome typed
+        assert row["metrics"]["recovered"] is False
+        assert row["metrics"]["error"]
+
+
+class TestIterativeDriver:
+    CHURN_FIXED = {
+        "cluster": {"kind": "uniform", "speeds": [100, 40, 40, 40, 40, 400]},
+        "n": 24, "niter": 24, "p": 4, "chunk": 4,
+        "churn": [{"t": 0.0, "op": "leave", "machine": 5},
+                  {"t": 0.02, "op": "join", "machine": 5}],
+    }
+
+    def test_churn_campaign_completes_typed_for_every_policy(self):
+        w = run({
+            "name": "t", "app": "iterative", "fixed": self.CHURN_FIXED,
+            "axes": {"policy": ["never", "on-failure", "periodic"]},
+        })
+        assert len(w.rows) == 3
+        for r in w.rows:
+            assert r["status"] == "ok"
+            assert r["metrics"]["outcome"] == "done"
+            assert r["metrics"]["iterations"] == 24
+            assert r["metrics"]["churn_applied"] == 2
+
+    def test_periodic_reselection_beats_never_under_churn(self):
+        # The dynamic-world acceptance scenario: a 4x-fast machine is
+        # absent at the initial selection and joins early.  Periodic
+        # re-selection drafts it; "never" is stuck with the slow group.
+        w = run({
+            "name": "t", "app": "iterative", "fixed": self.CHURN_FIXED,
+            "axes": {"policy": ["never", "periodic"]},
+        })
+        by = {r["cell"]["policy"]: r["metrics"] for r in w.rows}
+        assert by["periodic"]["reselections"] > 0
+        assert by["never"]["reselections"] == 0
+        assert by["periodic"]["makespan"] < by["never"]["makespan"]
+        assert 5 in (by["periodic"]["final_group"] or [])
+        assert 5 not in (by["never"]["final_group"] or [])
+
+    def test_on_failure_policy_repairs_through_a_death(self):
+        w = run({
+            "name": "t", "app": "iterative",
+            "fixed": {"cluster": {"kind": "uniform", "speeds": [100.0] * 5},
+                      "n": 18, "niter": 12, "p": 4, "chunk": 4,
+                      "deaths": {"2": 0.05}},
+            "axes": {"policy": ["on-failure", "never"]},
+        })
+        by = {r["cell"]["policy"]: r["metrics"] for r in w.rows}
+        assert by["on-failure"]["outcome"] == "done"
+        assert by["on-failure"]["repairs"] >= 1
+        # "never" hits the same death and ends with a typed failure.
+        assert by["never"]["outcome"] == "failed"
+        assert by["never"]["error"]
+
+    def test_join_of_failed_machine_is_skipped_typed(self):
+        # Machine 2 dies, then is scheduled to "join": impossible now —
+        # the event must be skipped (counted), never crash the cell.
+        w = run({
+            "name": "t", "app": "iterative",
+            "fixed": {"cluster": {"kind": "uniform", "speeds": [100.0] * 5},
+                      "n": 18, "niter": 12, "p": 3, "chunk": 4,
+                      "deaths": {"2": 0.02},
+                      "churn": [{"t": 0.05, "op": "join", "machine": 2}]},
+            "axes": {"policy": ["on-failure"]},
+        })
+        (row,) = w.rows
+        assert row["status"] == "ok"
+        assert row["metrics"]["outcome"] == "done"
+        assert row["metrics"]["churn_skipped"] == 1
+
+    def test_time_varying_load_slows_the_never_policy(self):
+        # A heavy square-wave load on a selected machine: the world got
+        # slower than the initial selection assumed.
+        base = {"cluster": {"kind": "uniform", "speeds": [100.0] * 4},
+                "n": 24, "niter": 16, "p": 4, "chunk": 4}
+        quiet = run({"name": "t", "app": "iterative", "fixed": base,
+                     "axes": {"policy": ["never"]}})
+        loaded = run({"name": "t", "app": "iterative",
+                      "fixed": {**base, "loads": {
+                          "1": {"kind": "constant", "share": 0.25}}},
+                      "axes": {"policy": ["never"]}})
+        assert loaded.rows[0]["metrics"]["makespan"] \
+            > quiet.rows[0]["metrics"]["makespan"]
+
+
+class TestShippedCampaignFiles:
+    @pytest.mark.parametrize("name", [
+        "mapper_ablation", "ft_sweep", "churn_reselect", "ci_smoke"])
+    def test_configs_load_and_expand(self, name):
+        cfg = load_config(CAMPAIGNS / f"{name}.json")
+        specs = cfg.expand()
+        assert len(specs) == cfg.n_runs > 1
+
+    def test_mapper_ablation_matches_the_bench_bitwise(self):
+        # The campaign port of benchmarks/bench_ablation_mapper.py must
+        # reproduce its predicted times exactly.
+        cfg = load_config(CAMPAIGNS / "mapper_ablation.json")
+        w = run_campaign(cfg)
+        by = {r["cell"]["mapper"]: r["metrics"]["predicted_time"]
+              for r in w.rows}
+        from repro.apps.em3d import bind_em3d_model, generate_problem
+        from repro.cluster import paper_network
+        from repro.core import NetworkModel
+        from repro.core.mapper import resolve_mapper
+        problem = generate_problem(p=7, total_nodes=21_000, seed=5,
+                                   boundary_fraction=0.3)
+        model = bind_em3d_model(problem, 100)
+        cluster = paper_network()
+        netmodel = NetworkModel(cluster, list(range(cluster.size)))
+        for name in ("greedy", "refine", "default", "exhaustive"):
+            mapping = resolve_mapper(name).select(
+                model, netmodel, list(range(cluster.size)),
+                {model.parent_index(): 0})
+            assert by[name] == mapping.time, name
+
+    def test_ci_smoke_matches_committed_baseline(self):
+        from repro.campaign import check_against_baseline, load_baseline
+        cfg = load_config(CAMPAIGNS / "ci_smoke.json")
+        w = run_campaign(cfg)
+        baseline = load_baseline(
+            CAMPAIGNS.parent.parent / "benchmarks" / "baselines"
+            / "campaign_smoke.json")
+        assert check_against_baseline(w.rows, baseline) == []

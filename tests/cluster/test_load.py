@@ -115,3 +115,68 @@ class TestRandomWalkLoad:
         early = load.share_at(2.5)
         assert load.share_at(10.5) == late
         assert load.share_at(2.5) == early
+
+
+class TestEdgeCases:
+    """Boundary behaviour the compute-time integrator relies on."""
+
+    def test_mean_share_zero_length_interval(self):
+        load = StepLoad([(5.0, 0.5)], initial=1.0)
+        # Degenerate interval: defined as the instantaneous share at t0,
+        # on both sides of the breakpoint.
+        assert load.mean_share(3.0, 3.0) == 1.0
+        assert load.mean_share(5.0, 5.0) == 0.5
+
+    def test_mean_share_inverted_interval_matches_instant(self):
+        load = StepLoad([(5.0, 0.5)], initial=1.0)
+        assert load.mean_share(7.0, 3.0) == load.share_at(7.0)
+
+    def test_mean_share_straddles_single_step(self):
+        load = StepLoad([(2.0, 0.5)], initial=1.0)
+        # [1, 3]: 1s at 1.0 + 1s at 0.5.
+        assert load.mean_share(1.0, 3.0) == pytest.approx(0.75)
+
+    def test_mean_share_straddles_many_steps_exactly(self):
+        load = StepLoad([(1.0, 0.8), (2.0, 0.4), (3.0, 0.2)], initial=1.0)
+        # [0.5, 3.5]: 0.5*1.0 + 1*0.8 + 1*0.4 + 0.5*0.2.
+        expected = (0.5 * 1.0 + 1.0 * 0.8 + 1.0 * 0.4 + 0.5 * 0.2) / 3.0
+        assert load.mean_share(0.5, 3.5) == pytest.approx(expected, abs=1e-12)
+
+    def test_mean_share_interval_ending_on_breakpoint(self):
+        load = StepLoad([(2.0, 0.5)], initial=1.0)
+        # The closed end sits exactly on the change point: only the
+        # pre-change share contributes (zero-measure boundary).
+        assert load.mean_share(0.0, 2.0) == pytest.approx(1.0)
+
+    def test_step_next_change_exactly_at_breakpoint(self):
+        load = StepLoad([(1.0, 0.8), (2.0, 0.2)])
+        # "Strictly after": querying at a breakpoint yields the next one,
+        # never the breakpoint itself (the integrator would spin).
+        assert load.next_change_after(1.0) == 2.0
+        assert load.next_change_after(2.0) == math.inf
+
+    def test_square_next_change_exactly_at_boundary(self):
+        load = SquareWaveLoad(period=2.0)
+        t = load.next_change_after(0.0)
+        for _ in range(8):
+            nxt = load.next_change_after(t)
+            assert nxt > t
+            t = nxt
+
+    def test_random_walk_next_change_exactly_at_boundary(self):
+        load = RandomWalkLoad(interval=2.0, seed=4)
+        assert load.next_change_after(4.0) == pytest.approx(6.0)
+        assert load.next_change_after(6.0 - 1e-12) == pytest.approx(6.0)
+
+    def test_random_walk_determinism_is_query_order_free(self):
+        a = RandomWalkLoad(interval=1.0, seed=7)
+        b = RandomWalkLoad(interval=1.0, seed=7)
+        ts = [9.5, 0.5, 4.5, 2.5, 9.5]
+        fwd = [a.share_at(t) for t in ts]
+        rev = [b.share_at(t) for t in reversed(ts)]
+        assert fwd == list(reversed(rev))
+
+    def test_random_walk_mean_share_straddles_intervals(self):
+        load = RandomWalkLoad(interval=1.0, seed=13)
+        shares = [load.share_at(k + 0.5) for k in range(3)]
+        assert load.mean_share(0.0, 3.0) == pytest.approx(sum(shares) / 3.0)

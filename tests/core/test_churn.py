@@ -1,0 +1,174 @@
+"""Administrative machine churn: depart_machine / admit_machine.
+
+Churn is the runtime counterpart of the campaign harness's dynamic-world
+scenarios: machines leave and join the network at virtual times without
+dying.  Departed ranks are parked (excluded from selection, still
+releasable); admitted machines rejoin the candidate pool with the speed
+epoch bumped so no stale selection survives.
+"""
+
+import pytest
+
+from repro.cluster import uniform_network
+from repro.core import NetworkModel
+from repro.core.runtime import run_hmpi
+from repro.hmpi import HMPI_Admit_machine, HMPI_Depart_machine
+from repro.perfmodel.builder import MatrixModel
+from repro.util.errors import HMPIStateError
+
+
+def model_for(size):
+    return MatrixModel([100.0] * size, [[0.0] * size for _ in range(size)])
+
+
+class TestNetmodelAdmit:
+    def test_unflags_and_bumps_epoch(self):
+        nm = NetworkModel(uniform_network([100.0] * 3), [0, 1, 2])
+        nm.mark_machine_dead(1)
+        epoch = nm.speed_epoch
+        nm.admit_machine(1)
+        assert not nm.machine_dead(1)
+        assert nm.speed_epoch == epoch + 1
+        assert nm.alive_world_ranks() == [0, 1, 2]
+
+    def test_admitting_an_alive_machine_is_a_no_op(self):
+        nm = NetworkModel(uniform_network([100.0] * 3), [0, 1, 2])
+        epoch = nm.speed_epoch
+        nm.admit_machine(1)
+        assert nm.speed_epoch == epoch
+
+    def test_unknown_index_rejected(self):
+        from repro.util.errors import HMPIError
+        nm = NetworkModel(uniform_network([100.0] * 3), [0, 1, 2])
+        with pytest.raises(HMPIError):
+            nm.admit_machine(9)
+
+
+class TestDepart:
+    def test_departed_machine_is_excluded_from_selection(self):
+        # Machine 3 is 10x faster than the rest: any sane selection takes
+        # it — unless it has departed.
+        cluster = uniform_network([100.0, 100.0, 100.0, 1000.0])
+
+        def app(hmpi):
+            if not hmpi.is_host():
+                while True:
+                    g = hmpi.group_create(None)
+                    if g is None:
+                        return None
+                    if g.is_member:
+                        hmpi.group_free(g)
+            HMPI_Depart_machine(hmpi, 3)
+            g = hmpi.group_create(lambda navail: model_for(2))
+            members = [int(r) for r in g.world_ranks]
+            hmpi.group_free(g)
+            hmpi.release_free()
+            return members
+
+        res = run_hmpi(app, cluster)
+        assert 3 not in res.results[0]
+
+    def test_departed_ranks_leave_participants(self):
+        cluster = uniform_network([100.0] * 4)
+
+        def app(hmpi):
+            if not hmpi.is_host():
+                return hmpi.group_create(None)
+            before = hmpi.state.participants()
+            hmpi.depart_machine(2)
+            after = hmpi.state.participants()
+            hmpi.release_free()
+            return before, after
+
+        res = run_hmpi(app, cluster)
+        before, after = res.results[0]
+        assert 2 in before and 2 not in after
+
+    def test_host_machine_cannot_depart(self):
+        cluster = uniform_network([100.0] * 3)
+
+        def app(hmpi):
+            if not hmpi.is_host():
+                return hmpi.group_create(None)
+            with pytest.raises(HMPIStateError, match="host"):
+                hmpi.depart_machine(0)
+            hmpi.release_free()
+            return "checked"
+
+        assert run_hmpi(app, cluster).results[0] == "checked"
+
+    def test_release_frees_parked_ranks_without_hanging(self):
+        # The end-of-run handshake must reach departed (parked) ranks
+        # too, or the run would never terminate.
+        cluster = uniform_network([100.0] * 4)
+
+        def app(hmpi):
+            if not hmpi.is_host():
+                return hmpi.group_create(None)
+            hmpi.depart_machine(1)
+            hmpi.depart_machine(2)
+            hmpi.release_free()
+            return "released"
+
+        res = run_hmpi(app, cluster, timeout=30.0)
+        assert res.results[0] == "released"
+        assert all(r is None for r in res.results[1:])
+
+
+class TestAdmit:
+    def test_admit_restores_the_machine_to_selection(self):
+        cluster = uniform_network([100.0, 100.0, 100.0, 1000.0])
+
+        def app(hmpi):
+            if not hmpi.is_host():
+                while True:
+                    g = hmpi.group_create(None)
+                    if g is None:
+                        return None
+                    if g.is_member:
+                        hmpi.group_free(g)
+            hmpi.depart_machine(3)
+            g = hmpi.group_create(lambda navail: model_for(2))
+            without = [int(r) for r in g.world_ranks]
+            hmpi.group_free(g)
+            HMPI_Admit_machine(hmpi, 3)
+            g = hmpi.group_create(lambda navail: model_for(2))
+            with_back = [int(r) for r in g.world_ranks]
+            hmpi.group_free(g)
+            hmpi.release_free()
+            return without, with_back
+
+        res = run_hmpi(app, cluster)
+        without, with_back = res.results[0]
+        assert 3 not in without
+        assert 3 in with_back  # the fast machine wins again once back
+
+    def test_admit_bumps_epoch_in_the_runtime(self):
+        cluster = uniform_network([100.0] * 3)
+
+        def app(hmpi):
+            if not hmpi.is_host():
+                return hmpi.group_create(None)
+            hmpi.depart_machine(1)
+            e0 = hmpi.state.netmodel.speed_epoch
+            hmpi.admit_machine(1)
+            e1 = hmpi.state.netmodel.speed_epoch
+            hmpi.release_free()
+            return e1 > e0
+
+        assert run_hmpi(app, cluster).results[0] is True
+
+    def test_ft_dead_machine_cannot_be_readmitted(self):
+        # An FT death is permanent; churn "join" must not resurrect it.
+        cluster = uniform_network([100.0] * 3)
+
+        def app(hmpi):
+            if not hmpi.is_host():
+                return hmpi.group_create(None)
+            hmpi.mark_dead(2)
+            with pytest.raises(HMPIStateError, match="failed"):
+                hmpi.admit_machine(2)
+            hmpi.release_free()
+            return "checked"
+
+        assert run_hmpi(app, cluster).results[0] == "checked"

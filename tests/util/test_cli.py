@@ -278,6 +278,143 @@ class TestCompileGating:
         assert "consistent" in capsys.readouterr().out
 
 
+class TestCampaignCommands:
+    CONFIG = {
+        "name": "cli-test",
+        "app": "timeof_em3d",
+        "fixed": {"p": 3, "total_nodes": 600},
+        "axes": {"mapper": ["greedy", "default"]},
+    }
+
+    def write_config(self, tmp_path, raw=None):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps(raw or self.CONFIG))
+        return path
+
+    def test_run_writes_results_and_exits_zero(self, tmp_path, capsys):
+        cfg = self.write_config(tmp_path)
+        out = tmp_path / "out"
+        assert main(["campaign", "run", str(cfg), "--out", str(out)]) == 0
+        assert (out / "results.jsonl").exists()
+        assert (out / "summary.json").exists()
+        assert "2 run(s), 0 error(s)" in capsys.readouterr().out
+
+    def test_check_passes_against_own_baseline(self, tmp_path, capsys):
+        from repro.campaign import baseline_from_rows, read_rows
+        cfg = self.write_config(tmp_path)
+        out = tmp_path / "out"
+        main(["campaign", "run", str(cfg), "--out", str(out), "--quiet"])
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(baseline_from_rows(read_rows(out))))
+        capsys.readouterr()
+        assert main(["campaign", "check", str(out),
+                     "--baseline", str(baseline)]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_check_flags_regression_with_exit_one(self, tmp_path, capsys):
+        from repro.campaign import baseline_from_rows, read_rows
+        cfg = self.write_config(tmp_path)
+        out = tmp_path / "out"
+        main(["campaign", "run", str(cfg), "--out", str(out), "--quiet"])
+        rows = read_rows(out)
+        baseline = baseline_from_rows(rows)
+        for cell in baseline["cells"]:
+            cell["metrics"]["predicted_time"] *= 1.05  # inject >2% drift
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline))
+        capsys.readouterr()
+        assert main(["campaign", "check", str(out),
+                     "--baseline", str(path)]) == 1
+        assert "predicted_time" in capsys.readouterr().err
+
+    def test_list_without_config_shows_drivers(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("timeof_em3d", "jacobi_ft", "iterative"):
+            assert name in out
+
+    def test_list_with_config_shows_expanded_runs(self, tmp_path, capsys):
+        cfg = self.write_config(tmp_path)
+        assert main(["campaign", "list", str(cfg)]) == 0
+        out = capsys.readouterr().out
+        assert "greedy" in out and "default" in out
+
+
+class TestCampaignUsageErrors:
+    """Every malformed invocation exits 2 with a one-line error on
+    stderr — never a traceback (the CampaignError -> OptionError ->
+    exit-2 contract)."""
+
+    def check(self, capsys, argv):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+        return err
+
+    def test_missing_config_file(self, tmp_path, capsys):
+        err = self.check(capsys, ["campaign", "run",
+                                  str(tmp_path / "nope.json")])
+        assert "no campaign file" in err
+
+    def test_invalid_json_config(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        self.check(capsys, ["campaign", "run", str(bad)])
+
+    def test_unknown_driver(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "app": "nope",
+                                   "axes": {"p": [1]}}))
+        err = self.check(capsys, ["campaign", "run", str(bad)])
+        assert "nope" in err and "timeof_em3d" in err
+
+    def test_unknown_axis_parameter(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "app": "timeof_em3d",
+                                   "axes": {"warp_factor": [9]}}))
+        err = self.check(capsys, ["campaign", "run", str(bad)])
+        assert "warp_factor" in err
+
+    def test_check_missing_baseline(self, tmp_path, capsys):
+        cfg = tmp_path / "c.json"
+        cfg.write_text(json.dumps(TestCampaignCommands.CONFIG))
+        out = tmp_path / "out"
+        main(["campaign", "run", str(cfg), "--out", str(out), "--quiet"])
+        capsys.readouterr()
+        err = self.check(capsys, ["campaign", "check", str(out),
+                                  "--baseline", str(tmp_path / "nope.json")])
+        assert "no baseline" in err
+
+    def test_check_missing_results(self, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        baseline.write_text(json.dumps(
+            {"schema_version": 1, "tolerances": {}, "cells": []}))
+        err = self.check(capsys, ["campaign", "check",
+                                  str(tmp_path / "missing"),
+                                  "--baseline", str(baseline)])
+        assert "no results" in err
+
+
+class TestCheckChoice:
+    def test_choices_listed_in_declaration_order(self):
+        from repro.util.errors import OptionError
+        from repro.util.options import check_choice
+        with pytest.raises(OptionError) as exc:
+            check_choice("policy", "bogus",
+                         ("never", "on-failure", "periodic"), OptionError)
+        msg = str(exc.value)
+        assert msg.index("never") < msg.index("on-failure") \
+            < msg.index("periodic")
+
+    def test_valid_choice_passes_through(self):
+        from repro.util.errors import OptionError
+        from repro.util.options import check_choice
+        assert check_choice("policy", "periodic",
+                            ("never", "on-failure", "periodic"),
+                            OptionError) == "periodic"
+
+
 class TestObservabilityCommands:
     def test_trace_writes_valid_chrome_json(self, tmp_path, capsys):
         from repro.obs import validate_chrome_trace
