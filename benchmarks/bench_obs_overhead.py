@@ -1,0 +1,125 @@
+"""Telemetry overhead — instrumentation must never tax the simulator.
+
+The observability layer is opt-in at two levels: no registry/bus means
+zero hooks on the hot path, and an attached bus costs one dict build +
+ring append per event.  This bench pins both budgets on the workload
+where per-event overhead cannot hide: the 1024-rank token ring from
+``bench_engine_throughput`` (a strict dependency chain, so every event
+passes through the scheduler with nothing to amortize against).
+
+Budgets (asserted):
+
+* **disabled** (no metrics, no bus — the default every experiment gets)
+  must sit within run-to-run noise of the plain baseline;
+* **enabled** (MetricsRegistry + EventBus streaming JSONL to disk) must
+  cost <= 10% wall over the plain baseline (plus the observed noise
+  spread, so slow shared runners don't flake).
+
+With ``--smoke``, the same interleaved comparison runs at a reduced
+ring size (256 ranks).
+"""
+
+import os
+import tempfile
+import time
+
+from repro.cluster import uniform_network
+from repro.mpi import run_mpi
+from repro.obs import EventBus, MetricsRegistry
+from repro.util.tables import Table
+
+RANKS = 1024
+ROUNDS = 4
+MACHINES = 64
+REPEATS = 3
+OVERHEAD_BUDGET = 0.10  # enabled-mode wall-clock tax over plain
+
+
+def ring_app(env, laps):
+    """Token ring (see bench_engine_throughput): every receive blocks."""
+    comm = env.comm_world
+    nxt = (env.rank + 1) % env.size
+    prv = (env.rank - 1) % env.size
+    if env.rank == 0:
+        for i in range(laps):
+            comm.send(i, nxt, nbytes=64)
+            comm.recv(prv)
+    else:
+        for i in range(laps):
+            comm.send(comm.recv(prv), nxt, nbytes=64)
+    return None
+
+
+def _run(nranks, rounds, *, metrics=None, telemetry=None):
+    """Wall seconds for one ring run with the given instrumentation."""
+    cluster = uniform_network([100.0] * MACHINES)
+    t0 = time.perf_counter()
+    result = run_mpi(ring_app, cluster, nprocs=nranks, args=(rounds,),
+                     engine="events", timeout=600.0,
+                     metrics=metrics, telemetry=telemetry)
+    wall = time.perf_counter() - t0
+    assert not result.failed and all(e is None for e in result.exceptions)
+    return wall
+
+
+def test_obs_overhead(smoke, report):
+    """Disabled at noise; enabled streaming within the 10% budget."""
+    nranks = 256 if smoke else RANKS
+
+    # Warm-up run absorbs import/alloc one-offs before anything is timed.
+    _run(nranks, 1)
+
+    fd, sink_path = tempfile.mkstemp(suffix=".jsonl", prefix="obs_bench_")
+    os.close(fd)
+    walls: dict[str, list] = {"plain": [], "disabled": [], "enabled": []}
+    try:
+        def instrumented():
+            bus = EventBus(capacity=4096, sink=sink_path)
+            try:
+                return _run(nranks, ROUNDS,
+                            metrics=MetricsRegistry(), telemetry=bus)
+            finally:
+                bus.close()
+
+        # Interleave the three modes across rounds so slow machine-level
+        # drift (GC pressure, CPU frequency) biases none of them.
+        for _ in range(REPEATS):
+            walls["plain"].append(_run(nranks, ROUNDS))
+            walls["disabled"].append(_run(nranks, ROUNDS))
+            walls["enabled"].append(instrumented())
+        sink_bytes = os.path.getsize(sink_path)
+    finally:
+        os.unlink(sink_path)
+
+    plain_best = min(walls["plain"])
+    noise = max(walls["plain"]) - plain_best
+    disabled_best = min(walls["disabled"])
+    enabled_best = min(walls["enabled"])
+
+    events = nranks * ROUNDS * 2
+    t = Table("mode", "wall (s)", "ev/s", "tax vs plain",
+              title=f"Telemetry overhead — {nranks}-rank token ring, "
+                    f"{ROUNDS} laps ({events} events), best of {REPEATS}")
+    for mode, wall in (("plain", plain_best),
+                       ("disabled (default)", disabled_best),
+                       ("enabled (metrics + JSONL bus)", enabled_best)):
+        t.add(mode, f"{wall:.3f}", f"{events / wall:,.0f}",
+              f"{(wall / plain_best - 1.0) * 100:+.1f}%")
+    t.add("run-to-run noise", f"{noise:.3f}", "", "")
+    t.add("JSONL sink", f"{sink_bytes} bytes", "", "")
+    report.emit(t.render())
+
+    # Disabled mode has no hooks at all: anything beyond measured noise
+    # (plus a small floor for timer jitter on near-zero-noise runs)
+    # means a hook leaked onto the default path.
+    assert disabled_best <= plain_best + max(noise, 0.05 * plain_best), (
+        f"disabled-mode run {disabled_best:.3f}s exceeds plain "
+        f"{plain_best:.3f}s beyond noise {noise:.3f}s — the default "
+        f"path grew an instrumentation hook"
+    )
+    budget = plain_best * (1.0 + OVERHEAD_BUDGET) + noise
+    assert enabled_best <= budget, (
+        f"enabled-mode run {enabled_best:.3f}s exceeds the "
+        f"{OVERHEAD_BUDGET:.0%} budget over plain {plain_best:.3f}s "
+        f"(+ noise {noise:.3f}s = {budget:.3f}s)"
+    )

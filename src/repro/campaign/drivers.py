@@ -28,6 +28,14 @@ Three drivers ship:
     (initial selection runs to completion), ``"on-failure"`` (repair
     after typed failures only), or ``"periodic"`` (re-select at every
     chunk boundary, picking up churn and load changes).
+
+``em3d_recon``
+    End-to-end recon ablation: runs the same EM3D instance as the MPI
+    baseline and as HMPI with ``recon`` on or off (the natural axis)
+    under per-machine external load — the campaign port of
+    ``benchmarks/bench_ablation_recon.py``.  Both variants of a cell
+    see the *identical* scenario: the per-run rng contributes one
+    scenario seed, re-expanded per variant.
 """
 
 from __future__ import annotations
@@ -37,7 +45,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..apps.em3d import bind_em3d_model, generate_problem
+from ..apps.em3d import (
+    bind_em3d_model,
+    generate_problem,
+    run_em3d_hmpi,
+    run_em3d_mpi,
+)
 from ..apps.jacobi import jacobi_reference, run_jacobi_ft
 from ..apps.jacobi.model import bind_jacobi_model
 from ..apps.jacobi.solver import partition_rows
@@ -304,6 +317,51 @@ def _iterative(params: dict, rng: np.random.Generator) -> dict:
 
 
 # ----------------------------------------------------------------------
+# em3d_recon — end-to-end recon ablation (mirrors bench_ablation_recon)
+# ----------------------------------------------------------------------
+
+def _em3d_recon(params: dict, rng: np.random.Generator) -> dict:
+    problem = generate_problem(
+        p=int(params["p"]),
+        total_nodes=int(params["total_nodes"]),
+        seed=int(params["problem_seed"]),
+        boundary_fraction=float(params["boundary_fraction"]),
+    )
+    niter = int(params["niter"])
+    k = int(params["k"])
+    # One scenario seed per cell, re-expanded for each variant: the MPI
+    # baseline and the HMPI run face bit-identical load models even when
+    # the load spec is stochastic.
+    scenario_seed = int(rng.integers(0, 2**63 - 1))
+
+    def world():
+        cluster = build_cluster(params["cluster"])
+        apply_scenario(
+            cluster, np.random.default_rng(scenario_seed),
+            deaths=params["deaths"], transient=params["transient"],
+            loads=params["loads"],
+        )
+        return cluster
+
+    mpi = run_em3d_mpi(world(), problem, niter=niter, k=k,
+                       timeout=params["timeout"], engine=params["engine"])
+    hmpi = run_em3d_hmpi(
+        world(), problem, niter=niter, k=k,
+        mapper=params["mapper"], recon=bool(params["recon"]),
+        procs_per_machine=int(params["procs_per_machine"]),
+        timeout=params["timeout"], engine=params["engine"],
+    )
+    return {
+        "mpi_time": float(mpi.algorithm_time),
+        "hmpi_time": float(hmpi.algorithm_time),
+        "predicted_time": float(hmpi.predicted_time),
+        "speedup": float(mpi.algorithm_time / hmpi.algorithm_time),
+        "checksum_ok": bool(mpi.checksum == hmpi.checksum),
+        "group_machines": [int(m) for m in hmpi.group_machines],
+    }
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 
@@ -360,6 +418,20 @@ DRIVERS: dict[str, Driver] = {
             "n": 24, "p": 4, "niter": 24, "k": 100, "chunk": 4,
             "policy": "never", "mapper": None, "max_repairs": 8,
             "timeout": 60.0, "churn": None,
+        },
+    ),
+    "em3d_recon": Driver(
+        name="em3d_recon",
+        fn=_em3d_recon,
+        params=("cluster", "p", "total_nodes", "problem_seed",
+                "boundary_fraction", "k", "niter", "recon",
+                "procs_per_machine", "mapper", "timeout", "engine",
+                "deaths", "transient", "loads"),
+        defaults={
+            **_SCENARIO_DEFAULTS, **_EXEC_DEFAULTS,
+            "p": 9, "total_nodes": 18_000, "problem_seed": 8,
+            "boundary_fraction": 0.3, "k": 100, "niter": 6,
+            "recon": True, "procs_per_machine": 2, "mapper": None,
         },
     ),
 }

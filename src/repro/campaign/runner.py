@@ -8,9 +8,20 @@ per run.  A run that ends in a typed library error
 (:class:`~repro.util.errors.ReproError`) becomes a ``status="error"``
 row naming the exception — the campaign completes with a typed result
 for every cell, never a crash half-way through the sweep.
+
+Live progress goes to the **telemetry side channel** only: pass an
+:class:`~repro.obs.telemetry.EventBus` and the runner streams
+``campaign.start`` / ``cell.start`` / ``cell.finish`` (with per-cell
+wall time, done/total counts and an ETA extrapolated from completed
+cells) / ``campaign.finish`` events.  Wall-clock data never enters the
+:class:`ResultsWriter` — result rows stay a pure function of
+``(config, seed)``, bitwise-reproducible with or without a monitor
+attached.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -34,14 +45,32 @@ def run_campaign(
     out_dir=None,
     *,
     progress=None,
+    telemetry=None,
 ) -> ResultsWriter:
     """Run every cell of ``config``; returns the filled ResultsWriter.
 
     ``progress`` is an optional callable ``(spec, row)`` invoked after
     each run (the CLI uses it to print one line per cell).
+    ``telemetry`` is an optional :class:`~repro.obs.telemetry.EventBus`
+    receiving campaign progress events (see module docstring); it never
+    influences the written results.
     """
     writer = ResultsWriter(out_dir)
-    for spec in config.expand():
+    specs = config.expand()
+    total = len(specs)
+    if telemetry is not None:
+        telemetry.emit("campaign", "start", campaign=config.name,
+                       driver=resolve_driver(config.driver).name,
+                       total=total)
+    done = 0
+    errors = 0
+    cell_walls: list[float] = []
+    for spec in specs:
+        if telemetry is not None:
+            telemetry.emit("campaign", "cell.start", index=spec.index,
+                           seed=spec.seed, cell=spec.cell,
+                           done=done, total=total)
+        t0 = time.perf_counter()
         try:
             metrics = run_one(config, spec)
             row = writer.add(spec.index, spec.seed, spec.cell, metrics)
@@ -50,7 +79,23 @@ def run_campaign(
                 spec.index, spec.seed, spec.cell, {},
                 status="error", error=f"{type(exc).__name__}: {exc}",
             )
+        wall = time.perf_counter() - t0
+        done += 1
+        if row["status"] != "ok":
+            errors += 1
+        if telemetry is not None:
+            cell_walls.append(wall)
+            remaining = total - done
+            eta = remaining * (sum(cell_walls) / len(cell_walls))
+            telemetry.emit("campaign", "cell.finish", index=spec.index,
+                           seed=spec.seed, cell=spec.cell,
+                           status=row["status"], wall_seconds=wall,
+                           done=done, total=total, eta_seconds=eta)
         if progress is not None:
             progress(spec, row)
     writer.finish(config.name, config.to_dict())
+    if telemetry is not None:
+        telemetry.emit("campaign", "finish", campaign=config.name,
+                       runs=total, errors=errors,
+                       wall_seconds=sum(cell_walls))
     return writer

@@ -28,7 +28,9 @@ from ..cluster.faults import (
     inject_faults,
 )
 from ..cluster.load import (
+    DIURNAL_PROFILE,
     ConstantLoad,
+    DiurnalLoad,
     LoadModel,
     RandomWalkLoad,
     SquareWaveLoad,
@@ -71,8 +73,9 @@ _CLUSTER_KINDS = ("uniform", "homogeneous", "random")
 #: Load-model kinds accepted in per-machine load specs.  The first three
 #: mirror :mod:`repro.cluster.serialize`; ``random_walk`` is additional
 #: (it is seed-reconstructed, which a campaign can do and a snapshot
-#: cannot).
-LOAD_KINDS = ("constant", "step", "square", "random_walk")
+#: cannot), and ``diurnal`` is the named daily cycle preset
+#: (:class:`repro.cluster.load.DiurnalLoad`).
+LOAD_KINDS = ("constant", "step", "square", "random_walk", "diurnal")
 
 #: Administrative churn operations.
 CHURN_OPS = ("leave", "join")
@@ -148,6 +151,13 @@ def build_load_model(spec: dict, rng: np.random.Generator) -> LoadModel:
                 period=float(spec["period"]),
                 high=float(spec.get("high", 1.0)),
                 low=float(spec.get("low", 0.5)),
+                phase=float(spec.get("phase", 0.0)),
+            )
+        if kind == "diurnal":
+            profile = spec.get("profile", DIURNAL_PROFILE)
+            return DiurnalLoad(
+                day=float(spec.get("day", 24.0)),
+                profile=[(float(f), float(s)) for f, s in profile],
                 phase=float(spec.get("phase", 0.0)),
             )
         seed = spec.get("seed")

@@ -36,7 +36,15 @@ Commands
     executes every cell of a campaign JSON and writes ``results.jsonl``
     + ``summary.json``; ``check`` compares results against a committed
     regression baseline (nonzero on drift); ``list`` shows the expanded
-    runs of a config, or the driver catalogue without one.
+    runs of a config, or the driver catalogue without one.  ``run
+    --live`` streams done/total + ETA status lines and ``--telemetry``
+    appends the event stream as JSONL — both side channels, the results
+    files stay byte-identical.
+``monitor CONFIG``
+    Run a campaign behind a live HTTP endpoint (``/metrics`` in
+    OpenMetrics text, ``/snapshot``, ``/events``, ``/healthz``); see
+    ``docs/OBSERVABILITY.md``.  ``--hold`` keeps serving after the last
+    cell so scrapers can collect the final state.
 
 Option errors (unknown campaign axis, bad registry string, malformed
 config) exit with code 2 and a one-line message — never a traceback.
@@ -488,6 +496,40 @@ def _cmd_topology_check(args: argparse.Namespace) -> int:
     return worst
 
 
+def _fmt_eta(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+def _campaign_telemetry(args: argparse.Namespace):
+    """Build the side-channel EventBus for ``--live``/``--telemetry``.
+
+    Returns None when neither flag asks for one.  The bus never touches
+    the canonical results — progress/ETA lines come from subscriber
+    callbacks on campaign events, results.jsonl stays byte-identical.
+    """
+    from .obs import EventBus
+
+    live = getattr(args, "live", False)
+    sink = getattr(args, "telemetry", None)
+    if not live and sink is None:
+        return None
+    bus = EventBus(capacity=4096, sink=sink)
+    if live:
+        def status_line(event) -> None:
+            if (event.category, event.name) != ("campaign", "cell.finish"):
+                return
+            p = event.payload
+            print(f"  live: {p['done']}/{p['total']} cells, "
+                  f"last {p['wall_seconds']:.2f}s, "
+                  f"ETA {_fmt_eta(p['eta_seconds'])}", flush=True)
+        bus.subscribe(status_line)
+    return bus
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from .campaign import load_config, run_campaign
 
@@ -503,12 +545,65 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             print(f"  [{spec.index + 1}/{config.n_runs}] {cell}: "
                   f"ERROR {row['error']}")
 
-    writer = run_campaign(config, args.out,
-                          progress=None if args.quiet else progress)
+    bus = _campaign_telemetry(args)
+    try:
+        writer = run_campaign(config, args.out,
+                              progress=None if args.quiet else progress,
+                              telemetry=bus)
+    finally:
+        if bus is not None:
+            bus.close()
     errors = sum(1 for r in writer.rows if r["status"] == "error")
     where = f" -> {args.out}/results.jsonl" if args.out else ""
     print(f"{len(writer.rows)} run(s), {errors} error(s){where}")
     return 1 if errors else 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from .campaign import load_config, run_campaign
+    from .obs import EventBus, MetricsRegistry, MonitorServer
+
+    config = load_config(args.config)
+    registry = MetricsRegistry()
+    bus = EventBus(capacity=4096, sink=args.telemetry)
+
+    def progress_gauges(event) -> None:
+        # Fold campaign progress into scrapeable series so /metrics shows
+        # done/total/ETA alongside whatever the run itself records.
+        if event.category != "campaign":
+            return
+        p = event.payload
+        if event.name == "start":
+            registry.gauge("campaign.cells.total").set(float(p["total"]))
+            registry.gauge("campaign.cells.done").set(0.0)
+        elif event.name == "cell.finish":
+            registry.gauge("campaign.cells.done").set(float(p["done"]))
+            registry.gauge("campaign.eta_seconds").set(
+                float(p["eta_seconds"]))
+            if p["status"] != "ok":
+                registry.counter("campaign.cell.errors").inc()
+
+    bus.subscribe(progress_gauges)
+    server = MonitorServer(metrics=registry, telemetry=bus,
+                           host=args.host, port=args.port).start()
+    print(f"campaign {config.name!r}: monitoring at {server.url} "
+          f"(/metrics /snapshot /events /healthz)", flush=True)
+    try:
+        writer = run_campaign(config, args.out, telemetry=bus)
+        errors = sum(1 for r in writer.rows if r["status"] == "error")
+        where = f" -> {args.out}/results.jsonl" if args.out else ""
+        print(f"{len(writer.rows)} run(s), {errors} error(s){where}",
+              flush=True)
+        if args.hold > 0:
+            import time as _time
+
+            print(f"holding the endpoint for {args.hold:g}s "
+                  f"(ctrl-c to stop)", flush=True)
+            _time.sleep(args.hold)
+        return 1 if errors else 0
+    finally:
+        server.stop()
+        bus.close()
 
 
 def _cmd_campaign_check(args: argparse.Namespace) -> int:
@@ -670,6 +765,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write results.jsonl + summary.json here")
     cr.add_argument("--quiet", action="store_true",
                     help="no per-run progress lines")
+    cr.add_argument("--live", action="store_true",
+                    help="stream done/total + ETA status lines "
+                         "(side channel; results are unchanged)")
+    cr.add_argument("--telemetry", default=None, metavar="FILE",
+                    help="append campaign telemetry events as JSONL")
     cr.set_defaults(fn=_cmd_campaign_run)
     cc = camp_sub.add_parser(
         "check", help="compare results against a regression baseline")
@@ -682,6 +782,22 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="list a config's expanded runs, or all drivers")
     cl.add_argument("config", nargs="?", default=None, metavar="CONFIG")
     cl.set_defaults(fn=_cmd_campaign_list)
+
+    pm = sub.add_parser(
+        "monitor", help="run a campaign behind a live HTTP monitoring "
+                        "endpoint (docs/OBSERVABILITY.md)")
+    pm.add_argument("config", metavar="CONFIG", help="campaign JSON file")
+    pm.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default 127.0.0.1)")
+    pm.add_argument("--port", type=int, default=0,
+                    help="bind port (default 0 = ephemeral)")
+    pm.add_argument("--out", default=None, metavar="DIR",
+                    help="write results.jsonl + summary.json here")
+    pm.add_argument("--telemetry", default=None, metavar="FILE",
+                    help="append telemetry events as JSONL")
+    pm.add_argument("--hold", type=float, default=0.0, metavar="SECONDS",
+                    help="keep serving this long after the campaign ends")
+    pm.set_defaults(fn=_cmd_monitor)
     return parser
 
 

@@ -25,6 +25,7 @@ from .link import (
 from .load import (
     NO_LOAD,
     ConstantLoad,
+    DiurnalLoad,
     LoadModel,
     RandomWalkLoad,
     SquareWaveLoad,
@@ -72,6 +73,7 @@ __all__ = [
     "StepLoad",
     "SquareWaveLoad",
     "RandomWalkLoad",
+    "DiurnalLoad",
     "NO_LOAD",
     "FaultSchedule",
     "TransientFaultConfig",

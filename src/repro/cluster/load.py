@@ -29,6 +29,8 @@ __all__ = [
     "StepLoad",
     "SquareWaveLoad",
     "RandomWalkLoad",
+    "DiurnalLoad",
+    "DIURNAL_PROFILE",
     "NO_LOAD",
 ]
 
@@ -192,3 +194,86 @@ class RandomWalkLoad(LoadModel):
             k += 1
             boundary = (k + 1) * self.interval
         return boundary
+
+
+#: Default diurnal profile: fraction-of-day -> share.  Nearly idle
+#: workstations overnight, contended through office hours, easing off in
+#: the evening — the classic shape of the paper's multi-user HNOC.
+DIURNAL_PROFILE = (
+    (0.0, 0.95),        # 00:00  overnight, machine almost dedicated
+    (1.0 / 3.0, 0.40),  # 08:00  owners arrive
+    (0.5, 0.25),        # 12:00  peak interactive load
+    (0.75, 0.55),       # 18:00  evening tail
+    (11.0 / 12.0, 0.85),  # 22:00  winding down
+)
+
+
+class DiurnalLoad(LoadModel):
+    """A daily cycle of external load (the multi-user workstation day).
+
+    ``profile`` maps fractions of the day (in ``[0, 1)``, first entry
+    must be 0.0 so the whole cycle is covered) to CPU shares; the share
+    holds until the next breakpoint and the profile repeats every
+    ``day`` virtual-time units.  ``phase`` shifts where in the day
+    ``t=0`` falls (``phase=0.5`` starts a run at noon).
+
+    Piecewise-constant like every load model, so compute-time
+    integration stays exact, and purely deterministic — a natural demo
+    workload for live campaign ETAs, where the same cell is reproducible
+    but runs predictably slower at simulated midday.
+    """
+
+    def __init__(self, day: float = 24.0,
+                 profile: Sequence[tuple[float, float]] = DIURNAL_PROFILE,
+                 phase: float = 0.0):
+        check_positive(day, "day")
+        profile = [(float(f), float(s)) for f, s in profile]
+        if not profile or profile[0][0] != 0.0:
+            raise ValueError(
+                "diurnal profile must start at day-fraction 0.0")
+        fracs = [f for f, _ in profile]
+        if any(b <= a for a, b in zip(fracs, fracs[1:])) or fracs[-1] >= 1.0:
+            raise ValueError(
+                "diurnal profile fractions must be strictly increasing "
+                "and < 1.0")
+        for _, s in profile:
+            if not 0.0 < s <= 1.0:
+                raise ValueError(f"share must be in (0, 1], got {s}")
+        self.day = float(day)
+        self.phase = float(phase)
+        self._fracs = fracs
+        self._shares = [s for _, s in profile]
+
+    def _day_fraction(self, t: float) -> float:
+        frac = (t / self.day + self.phase) % 1.0
+        # Snap onto the breakpoint lattice: for t exactly on a boundary,
+        # t/day can land an ulp *below* the stored fraction and misfile
+        # the query into the previous segment.
+        i = bisect_right(self._fracs, frac)
+        if i < len(self._fracs) and self._fracs[i] - frac < 1e-9:
+            frac = self._fracs[i]
+        return frac
+
+    def share_at(self, t: float) -> float:
+        i = bisect_right(self._fracs, self._day_fraction(t))
+        # i >= 1 always: the profile starts at 0.0 and fractions are >= 0.
+        return self._shares[i - 1]
+
+    def next_change_after(self, t: float) -> float:
+        if len(self._fracs) == 1:
+            return math.inf  # single segment: the share never changes
+        pos = t / self.day + self.phase  # absolute position, in days
+        day_idx = math.floor(pos)
+        i = bisect_right(self._fracs, pos - day_idx)
+        while True:
+            if i >= len(self._fracs):
+                day_idx += 1
+                i = 0
+            boundary = (day_idx + self._fracs[i] - self.phase) * self.day
+            if boundary > t:  # strict: skip float-fuzz landings at t
+                return boundary
+            i += 1
+
+    def __repr__(self) -> str:
+        return (f"DiurnalLoad(day={self.day}, phase={self.phase}, "
+                f"{len(self._fracs)} breakpoints)")

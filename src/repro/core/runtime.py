@@ -150,6 +150,17 @@ class HMPIRuntimeState:
             # re-publish its live totals as hmpi.selection.* series.
             obs.attach_selection_stats(self.selection_stats)
 
+    def _emit(self, category: str, name: str, **payload: Any) -> None:
+        """Stream a telemetry event when the obs bundle carries a bus.
+
+        Costs two attribute checks when telemetry is off; hot categories
+        (``selection``) are tamed by the bus's per-category sampling, not
+        by the emitter.
+        """
+        obs = self.obs
+        if obs is not None and obs.telemetry is not None:
+            obs.telemetry.emit(category, name, **payload)
+
     def participants(self) -> list[int]:
         """Host plus free processes, excluding dead and departed ranks."""
         with self.lock:
@@ -204,8 +215,13 @@ class HMPIRuntimeState:
                 if info is not None:
                     info["cache"] = "hit"
                     info["evaluations"] = 0
+                self._emit("selection", "cache.hit",
+                           candidates=len(candidates))
                 return entry[0]
             self.selection_stats.cache_misses += 1
+            self._emit("selection", "cache.miss",
+                       candidates=len(candidates),
+                       epoch=netmodel.speed_epoch)
             stats = self.selection_stats
             evals_before = stats.evaluations
             if info is not None:
@@ -688,6 +704,8 @@ class HMPI:
                 self.state.netmodel.machine_of(world_rank)
             )
         self._count("hmpi.ranks.dead")
+        self.state._emit("fault", "rank.dead", rank=world_rank,
+                         vtime=self.env.wtime())
         # Blocked ranks (external waits in particular) may care.
         self.comm_world._engine.poke()
 
@@ -726,6 +744,8 @@ class HMPI:
                     self.state.departed.add(r)
             self.state.netmodel.mark_machine_dead(machine_index)
         self._count("hmpi.churn.departs")
+        self.state._emit("churn", "machine.depart", machine=machine_index,
+                         vtime=self.env.wtime())
         self.comm_world._engine.poke()
 
     def admit_machine(self, machine_index: int) -> None:
@@ -752,6 +772,8 @@ class HMPI:
                 if self.state.netmodel.machine_of(r) == machine_index:
                     self.state.departed.discard(r)
         self._count("hmpi.churn.admits")
+        self.state._emit("churn", "machine.join", machine=machine_index,
+                         vtime=self.env.wtime())
         self.comm_world._engine.poke()
 
     def _raise_if_doomed(self) -> None:
@@ -829,6 +851,9 @@ class HMPI:
                 repaired = self._group_repair_exchange(broken, model, mapper,
                                                        dead, sp)
                 self._count("hmpi.repairs")
+                self.state._emit(
+                    "fault", "group.repair", gid=broken.gid, rank=self.rank,
+                    reported_dead=len(dead), vtime=self.env.wtime())
                 return repaired
         finally:
             if engine.tracer is not None:
@@ -1008,4 +1033,5 @@ def run_hmpi(
         args=args, kwargs=kwargs, timeout=timeout, tracer=tracer, ft=ft,
         metrics=obs.metrics if obs is not None else None,
         engine=engine,
+        telemetry=obs.telemetry if obs is not None else None,
     )

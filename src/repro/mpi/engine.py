@@ -205,7 +205,8 @@ class Engine:
                  tracer: "object | None" = None,
                  ft: "FTConfig | dict | None" = None,
                  metrics: "object | None" = None,
-                 engine: str | None = None):
+                 engine: str | None = None,
+                 telemetry: "object | None" = None):
         if not placement:
             raise MPIError("placement must map at least one rank")
         for m in placement:
@@ -216,6 +217,10 @@ class Engine:
         # Optional obs.MetricsRegistry; collectives count fired algorithms
         # here when present.
         self.metrics = metrics
+        # Optional obs.telemetry.EventBus; run() streams lifecycle events
+        # (engine.run.start/finish with the scheduler self-profile) into
+        # it when present.
+        self.telemetry = telemetry
         ft = resolve_ft(ft)
         self.ft = ft if ft is not None else FTConfig()
         self.placement = list(placement)
@@ -874,7 +879,19 @@ class Engine:
 
         with self.lock:
             self._started = True
-        self.scheduler.run_all(runner, timeout)
+        if self.telemetry is not None:
+            self.telemetry.emit("engine", "run.start",
+                                backend=self.backend, nprocs=self.nprocs)
+        try:
+            self.scheduler.run_all(runner, timeout)
+        finally:
+            profile = self.scheduler.profile
+            if self.metrics is not None:
+                profile.publish(self.metrics)
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "engine", "run.finish", nprocs=self.nprocs,
+                    failures=len(self.failures), **profile.as_dict())
         # Re-raise the first program bug.  Fault fallout (MachineFailure at
         # the victim; RankFailedError / LinkFaultError /
         # OperationTimeoutError at survivors) is an expected outcome of

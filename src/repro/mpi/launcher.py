@@ -153,6 +153,7 @@ def run_mpi(
     ft: "FTConfig | dict | None" = None,
     metrics: Any = None,
     engine: str | None = None,
+    telemetry: Any = None,
 ) -> MPIRunResult:
     """Run ``app(env, *args, **kwargs)`` SPMD over the cluster.
 
@@ -181,11 +182,15 @@ def run_mpi(
         scheduling backend, ``"events"`` (single-threaded discrete-event
         core, the default) or ``"threads"`` (preemptive thread per rank);
         None resolves via ``REPRO_ENGINE`` / the library default.
+    telemetry:
+        optional :class:`repro.obs.EventBus`; the engine streams
+        lifecycle events (``engine.run.start``/``run.finish`` with the
+        scheduler's host-side self-profile) into it.
     """
     if placement is None:
         placement = default_placement(cluster, nprocs)
     engine = Engine(cluster, placement, tracer=tracer, ft=ft, metrics=metrics,
-                    engine=engine)
+                    engine=engine, telemetry=telemetry)
     kw = kwargs or {}
     world_group = Group(range(engine.nprocs))
 

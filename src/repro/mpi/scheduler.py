@@ -32,8 +32,9 @@ from __future__ import annotations
 import heapq
 import os
 import threading
+import time
 from collections.abc import Callable
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from ..util.errors import DeadlockError, OptionError
 from ..util.options import check_choice
@@ -45,6 +46,7 @@ __all__ = [
     "ENGINE_BACKENDS",
     "DEFAULT_ENGINE",
     "Scheduler",
+    "SchedulerProfile",
     "ThreadScheduler",
     "EventScheduler",
     "resolve_engine",
@@ -118,6 +120,55 @@ def make_scheduler(backend: str, engine: "Engine") -> "Scheduler":
     return EventScheduler(engine)
 
 
+class SchedulerProfile:
+    """Host-side self-profile of one scheduler run.
+
+    These are **wall-clock** numbers about the simulator itself — how
+    fast the scheduler hands the baton around, how deep its ready heap
+    gets — deliberately distinct from the virtual-time metrics the
+    simulation produces.  They are the quantity
+    ``benchmarks/bench_engine_throughput.py`` regresses on, and the
+    ROADMAP's scale goals are held to.
+
+    Updates are plain attribute arithmetic on the scheduler's hot path
+    (one int compare in ``_push``, one increment per dispatch), so
+    profiling is always on and costs noise.
+    """
+
+    __slots__ = ("backend", "task_switches", "heap_high_water",
+                 "wall_seconds")
+
+    def __init__(self, backend: str):
+        self.backend = backend
+        self.task_switches = 0      # baton handoffs / blocking waits
+        self.heap_high_water = 0    # peak ready-heap depth (events only)
+        self.wall_seconds = 0.0     # real time inside run_all
+
+    @property
+    def switches_per_sec(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.task_switches / self.wall_seconds
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "task_switches": self.task_switches,
+            "heap_high_water": self.heap_high_water,
+            "wall_seconds": self.wall_seconds,
+            "switches_per_sec": self.switches_per_sec,
+        }
+
+    def publish(self, metrics: Any) -> None:
+        """Expose the profile as ``engine.sched.*`` gauges (labelled with
+        the backend) on a :class:`~repro.obs.metrics.MetricsRegistry`."""
+        for field in ("task_switches", "heap_high_water", "wall_seconds",
+                      "switches_per_sec"):
+            metrics.gauge(f"engine.sched.{field}",
+                          backend=self.backend).set(
+                float(getattr(self, field)))
+
+
 class Scheduler:
     """Contract between the engine and a rank-scheduling backend.
 
@@ -130,6 +181,9 @@ class Scheduler:
 
     #: Backend name the scheduler implements.
     name: str = "?"
+    #: Host-side self-profile, populated by :meth:`run_all` (see
+    #: :class:`SchedulerProfile`); always present, always cheap.
+    profile: "SchedulerProfile"
     #: Whether engine wait loops must run stall detection eagerly on every
     #: blocking step.  True for preemptive backends (any rank may block at
     #: any real moment, so each blocker re-checks global progress); False
@@ -208,8 +262,10 @@ class ThreadScheduler(Scheduler):
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
+        self.profile = SchedulerProfile(self.name)
 
     def block(self, proc: "ProcessState") -> None:
+        self.profile.task_switches += 1
         proc.cond.wait()
 
     def wake(self, proc: "ProcessState", at: float | None = None) -> None:
@@ -233,22 +289,26 @@ class ThreadScheduler(Scheduler):
     def run_all(self, runner: Callable[[int], None],
                 timeout: float | None) -> None:
         engine = self.engine
-        for proc in engine.procs:
-            proc.thread = threading.Thread(
-                target=runner, args=(proc.rank,), daemon=True,
-                name=f"mpi-rank-{proc.rank}",
-            )
-        for proc in engine.procs:
-            proc.thread.start()
-        for proc in engine.procs:
-            proc.thread.join(timeout)
-            if proc.thread.is_alive():
-                with engine.lock:
-                    engine._declare_deadlock()
-                raise DeadlockError(
-                    f"rank {proc.rank} did not finish within {timeout}s "
-                    f"of real time"
+        t0 = time.perf_counter()
+        try:
+            for proc in engine.procs:
+                proc.thread = threading.Thread(
+                    target=runner, args=(proc.rank,), daemon=True,
+                    name=f"mpi-rank-{proc.rank}",
                 )
+            for proc in engine.procs:
+                proc.thread.start()
+            for proc in engine.procs:
+                proc.thread.join(timeout)
+                if proc.thread.is_alive():
+                    with engine.lock:
+                        engine._declare_deadlock()
+                    raise DeadlockError(
+                        f"rank {proc.rank} did not finish within {timeout}s "
+                        f"of real time"
+                    )
+        finally:
+            self.profile.wall_seconds = time.perf_counter() - t0
 
 
 class EventScheduler(Scheduler):
@@ -282,6 +342,7 @@ class EventScheduler(Scheduler):
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
+        self.profile = SchedulerProfile(self.name)
         n = engine.nprocs
         self._state = [self._PARKED] * n
         self._resume = [threading.Event() for _ in range(n)]
@@ -296,8 +357,11 @@ class EventScheduler(Scheduler):
     def _push(self, key: float, rank: int) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (key, self._seq, rank))
+        if len(self._heap) > self.profile.heap_high_water:
+            self.profile.heap_high_water = len(self._heap)
 
     def _dispatch(self, rank: int) -> None:
+        self.profile.task_switches += 1
         self._state[rank] = self._RUNNING
         self._resume[rank].set()
 
@@ -493,6 +557,7 @@ class EventScheduler(Scheduler):
         engine = self.engine
         n = engine.nprocs
         self._running = True
+        t0 = time.perf_counter()
         old_stack = None
         if n > _SMALL_STACK_THRESHOLD:
             try:
@@ -518,14 +583,18 @@ class EventScheduler(Scheduler):
             nxt = self._next_ready()
             if nxt is not None:
                 self._dispatch(nxt)
-        finished = self._done.wait(timeout)
-        if self._internal is not None:
-            raise self._internal
-        if not finished:
-            with engine.lock:
-                engine._declare_deadlock()
-            stuck = next(
-                (p.rank for p in engine.procs if not p.finished), 0)
-            raise DeadlockError(
-                f"rank {stuck} did not finish within {timeout}s of real time"
-            )
+        try:
+            finished = self._done.wait(timeout)
+            if self._internal is not None:
+                raise self._internal
+            if not finished:
+                with engine.lock:
+                    engine._declare_deadlock()
+                stuck = next(
+                    (p.rank for p in engine.procs if not p.finished), 0)
+                raise DeadlockError(
+                    f"rank {stuck} did not finish within {timeout}s "
+                    f"of real time"
+                )
+        finally:
+            self.profile.wall_seconds = time.perf_counter() - t0

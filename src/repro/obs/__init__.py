@@ -25,21 +25,32 @@ from .chrometrace import (
 from .core import Observability
 from .netexport import net_chrome_trace, schedule_net
 from .metrics import (
+    METRICS_SCHEMA_VERSION,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     publish_selection_stats,
 )
+from .openmetrics import parse_openmetrics, render_openmetrics
+from .server import MonitorServer
 from .spans import Span, SpanLog
+from .telemetry import TELEMETRY_SCHEMA_VERSION, EventBus, TelemetryEvent
 
 __all__ = [
     "Observability",
     "MetricsRegistry",
+    "METRICS_SCHEMA_VERSION",
     "Counter",
     "Gauge",
     "Histogram",
     "publish_selection_stats",
+    "EventBus",
+    "TelemetryEvent",
+    "TELEMETRY_SCHEMA_VERSION",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "MonitorServer",
     "Span",
     "SpanLog",
     "PredictionTracker",

@@ -31,6 +31,7 @@ from .chrometrace import chrome_trace as _chrome_trace
 from .chrometrace import write_chrome_trace
 from .metrics import MetricsRegistry
 from .spans import SpanLog
+from .telemetry import EventBus
 
 __all__ = ["Observability"]
 
@@ -42,9 +43,15 @@ class Observability:
     existing :class:`Tracer` to share one, or ``tracer=None`` for
     runtime-only observability (spans/metrics/accuracy without per-rank
     substrate events).
+
+    ``telemetry`` is the streaming side channel: ``None`` (default)
+    keeps it off, ``True`` creates a default :class:`EventBus`, or pass
+    a configured bus (custom capacity/sink/sampling) to share one — the
+    engine, runtime, and campaign layers all emit into it when present.
     """
 
-    def __init__(self, tracer: "Tracer | bool | None" = True):
+    def __init__(self, tracer: "Tracer | bool | None" = True,
+                 telemetry: "EventBus | bool | None" = None):
         self.metrics = MetricsRegistry()
         self.spans = SpanLog()
         self.accuracy = PredictionTracker()
@@ -53,6 +60,11 @@ class Observability:
         elif tracer is False:
             tracer = None
         self.tracer: Tracer | None = tracer
+        if telemetry is True:
+            telemetry = EventBus()
+        elif telemetry is False:
+            telemetry = None
+        self.telemetry: EventBus | None = telemetry
         # Live cumulative stats objects re-published at snapshot time:
         # list of (stats, labels).
         self._selection_stats: list[tuple[Any, dict[str, Any]]] = []
@@ -91,6 +103,8 @@ class Observability:
         snap["accuracy"] = self.accuracy.report()
         snap["spans"] = len(self.spans)
         snap["trace_events"] = 0 if self.tracer is None else len(self.tracer)
+        if self.telemetry is not None:
+            snap["telemetry"] = self.telemetry.stats()
         return snap
 
     def chrome_trace(self, metadata: dict[str, Any] | None = None) -> dict[str, Any]:

@@ -33,9 +33,17 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "METRICS_SCHEMA_VERSION",
     "MetricsRegistry",
     "publish_selection_stats",
 ]
+
+#: Version of the ``snapshot()`` document shape.  Bump whenever the set
+#: of top-level keys or per-series fields changes, and freeze the new
+#: fingerprint in tests/obs/test_metrics.py — mirrors the
+#: ``campaign/results.py`` schema contract so ``/snapshot`` consumers
+#: and archived dumps can rely on field sets.
+METRICS_SCHEMA_VERSION = 1
 
 #: Default histogram bucket upper bounds: half-decade log scale covering
 #: microseconds to hours of virtual time (and doubling fine for bytes).
@@ -156,6 +164,11 @@ class Histogram:
             "mean": self.mean,
             "p50": self.quantile(0.5) if self.count else None,
             "p95": self.quantile(0.95) if self.count else None,
+            # Cumulative <= bound pairs (the +Inf bucket is ``count``),
+            # so exposition formats can be rendered from a snapshot
+            # alone — no live Histogram object needed.
+            "buckets": [[bound, cum] for bound, cum
+                        in zip(self.bounds, self.bucket_counts)],
         }
 
 
@@ -222,6 +235,7 @@ class MetricsRegistry:
                                       key=lambda kv: kv[0])
             ]
             return {
+                "schema_version": METRICS_SCHEMA_VERSION,
                 "vtime": {"min": self._vtime_min, "max": self._vtime_max},
                 "metrics": series,
             }

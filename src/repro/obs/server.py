@@ -1,0 +1,163 @@
+"""Live monitoring endpoint over the metrics registry and event bus.
+
+:class:`MonitorServer` wraps a stdlib :class:`ThreadingHTTPServer` in a
+daemon thread and serves four read-only views of a *running* session or
+campaign — the ops surface the ROADMAP's HMPI-as-a-service item asks
+for, built so the future job server lands on live telemetry:
+
+========== =============================================================
+Endpoint   Serves
+========== =============================================================
+/metrics   OpenMetrics text of the current metrics snapshot
+/snapshot  The raw snapshot as JSON (schema-versioned, see
+           ``METRICS_SCHEMA_VERSION``)
+/events    NDJSON tail of the telemetry ring buffer (``?n=50`` caps it)
+/healthz   ``{"status": "ok", "uptime_seconds": ...}`` liveness probe
+========== =============================================================
+
+Everything is pull-based and lock-light: a scrape calls the snapshot
+function / bus tail under their own locks, so attaching a monitor to a
+hot simulation never blocks the simulated ranks for longer than one
+snapshot.  Port 0 (the default) lets the OS pick a free port —
+``server.port`` reports the bound one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+from urllib.parse import parse_qs, urlparse
+
+from .openmetrics import render_openmetrics
+
+__all__ = ["MonitorServer"]
+
+_OPENMETRICS_CTYPE = ("application/openmetrics-text; version=1.0.0; "
+                      "charset=utf-8")
+
+
+class MonitorServer:
+    """Serve ``/metrics``, ``/snapshot``, ``/events``, ``/healthz``.
+
+    Parameters
+    ----------
+    metrics:
+        A :class:`MetricsRegistry` (or anything with ``snapshot()``).
+        Ignored when ``snapshot_fn`` is given.
+    telemetry:
+        An :class:`~repro.obs.telemetry.EventBus`; ``/events`` returns
+        its tail as NDJSON.  Optional — without it ``/events`` is 404.
+    snapshot_fn:
+        0-arg callable returning the snapshot dict; overrides
+        ``metrics`` (e.g. ``Observability.snapshot`` to fold selection
+        stats in).
+    host / port:
+        Bind address.  ``port=0`` picks a free port.
+    """
+
+    def __init__(self, *, metrics: Any = None,
+                 telemetry: Any = None,
+                 snapshot_fn: Callable[[], dict[str, Any]] | None = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        if snapshot_fn is None and metrics is not None:
+            snapshot_fn = metrics.snapshot
+        if snapshot_fn is None and telemetry is None:
+            raise ValueError(
+                "MonitorServer needs metrics, snapshot_fn, or telemetry")
+        self._snapshot_fn = snapshot_fn
+        self._telemetry = telemetry
+        self._started = time.monotonic()
+        self._thread: threading.Thread | None = None
+
+        monitor = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, *args: Any) -> None:  # silence stderr
+                pass
+
+            def _send(self, status: int, ctype: str, body: str) -> None:
+                payload = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+                try:
+                    url = urlparse(self.path)
+                    route = url.path.rstrip("/") or "/"
+                    if route == "/healthz":
+                        self._send(200, "application/json", json.dumps({
+                            "status": "ok",
+                            "uptime_seconds": round(
+                                time.monotonic() - monitor._started, 3),
+                        }) + "\n")
+                    elif route == "/metrics" and monitor._snapshot_fn:
+                        self._send(200, _OPENMETRICS_CTYPE,
+                                   render_openmetrics(monitor._snapshot_fn()))
+                    elif route == "/snapshot" and monitor._snapshot_fn:
+                        self._send(200, "application/json",
+                                   json.dumps(monitor._snapshot_fn(),
+                                              sort_keys=True) + "\n")
+                    elif route == "/events" and monitor._telemetry is not None:
+                        qs = parse_qs(url.query)
+                        n = None
+                        if "n" in qs:
+                            try:
+                                n = max(0, int(qs["n"][0]))
+                            except ValueError:
+                                self._send(400, "text/plain",
+                                           "bad ?n= parameter\n")
+                                return
+                        events = monitor._telemetry.tail(n)
+                        body = "".join(e.to_json() + "\n" for e in events)
+                        self._send(200, "application/x-ndjson", body)
+                    else:
+                        self._send(404, "text/plain", "not found\n")
+                except BrokenPipeError:  # client went away mid-scrape
+                    pass
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MonitorServer":
+        if self._thread is not None:
+            raise RuntimeError("MonitorServer already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-monitor", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join(timeout=5.0)
+        self._server.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "MonitorServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

@@ -11,6 +11,7 @@ from repro.campaign import (
 )
 from repro.cluster.load import (
     ConstantLoad,
+    DiurnalLoad,
     RandomWalkLoad,
     SquareWaveLoad,
     StepLoad,
@@ -65,6 +66,23 @@ class TestBuildLoadModel:
             build_load_model({"kind": "random_walk", "interval": 1.0,
                               "seed": 3}, rng()),
             RandomWalkLoad)
+        assert isinstance(
+            build_load_model({"kind": "diurnal"}, rng()),
+            DiurnalLoad)
+
+    def test_diurnal_spec_fields(self):
+        load = build_load_model(
+            {"kind": "diurnal", "day": 12.0, "phase": 0.5,
+             "profile": [[0.0, 1.0], [0.5, 0.5]]}, rng())
+        assert load.day == 12.0
+        assert load.share_at(0.0) == 0.5   # phase=0.5 starts mid-day
+        assert load.share_at(6.0) == 1.0
+
+    def test_diurnal_is_deterministic_without_rng(self):
+        a = build_load_model({"kind": "diurnal"}, np.random.default_rng(1))
+        b = build_load_model({"kind": "diurnal"}, np.random.default_rng(2))
+        assert [a.share_at(t) for t in (0.0, 9.0, 13.0)] \
+            == [b.share_at(t) for t in (0.0, 9.0, 13.0)]
 
     def test_random_walk_seed_from_run_rng_is_deterministic(self):
         a = build_load_model({"kind": "random_walk", "interval": 1.0},
@@ -79,6 +97,8 @@ class TestBuildLoadModel:
         {"kind": "square"},                      # missing period
         {"kind": "random_walk"},                 # missing interval
         {"kind": "constant", "share": 2.0},
+        {"kind": "diurnal", "day": -1.0},
+        {"kind": "diurnal", "profile": [[0.2, 0.5]]},
         "not-a-dict",
     ])
     def test_bad_specs_raise(self, bad):

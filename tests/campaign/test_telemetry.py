@@ -1,0 +1,73 @@
+"""Campaign telemetry is a pure side channel: identical results bytes
+with or without a bus attached, progress events carry done/total/ETA."""
+
+from repro.campaign import CampaignConfig, run_campaign
+from repro.obs import EventBus
+
+RAW = {
+    "name": "t", "app": "timeof_em3d",
+    "fixed": {"p": 3, "total_nodes": 600},
+    "axes": {"mapper": ["greedy", "default"]},
+}
+
+
+class TestResultsPurity:
+    def test_results_bytes_identical_with_and_without_bus(self):
+        plain = run_campaign(CampaignConfig(RAW))
+        bus = EventBus()
+        monitored = run_campaign(CampaignConfig(RAW), telemetry=bus)
+        bus.close()
+        assert monitored.jsonl() == plain.jsonl(), (
+            "attaching a telemetry bus changed the canonical results — "
+            "wall-clock or monitor state leaked into a result row"
+        )
+
+    def test_written_results_file_identical(self, tmp_path):
+        run_campaign(CampaignConfig(RAW), tmp_path / "plain")
+        bus = EventBus()
+        run_campaign(CampaignConfig(RAW), tmp_path / "mon", telemetry=bus)
+        bus.close()
+        assert (tmp_path / "plain" / "results.jsonl").read_bytes() == \
+            (tmp_path / "mon" / "results.jsonl").read_bytes()
+
+
+class TestProgressEvents:
+    def run_with_bus(self):
+        bus = EventBus()
+        run_campaign(CampaignConfig(RAW), telemetry=bus)
+        events = bus.tail()
+        bus.close()
+        return events
+
+    def test_event_sequence(self):
+        names = [(e.category, e.name) for e in self.run_with_bus()]
+        assert names == [
+            ("campaign", "start"),
+            ("campaign", "cell.start"), ("campaign", "cell.finish"),
+            ("campaign", "cell.start"), ("campaign", "cell.finish"),
+            ("campaign", "finish"),
+        ]
+
+    def test_start_event_names_campaign_and_driver(self):
+        start = self.run_with_bus()[0]
+        assert start.payload["campaign"] == "t"
+        assert start.payload["driver"] == "timeof_em3d"
+        assert start.payload["total"] == 2
+
+    def test_cell_finish_carries_wall_and_eta(self):
+        events = self.run_with_bus()
+        finishes = [e for e in events if e.name == "cell.finish"]
+        first, last = finishes
+        assert first.payload["done"] == 1 and first.payload["total"] == 2
+        assert first.payload["status"] == "ok"
+        assert first.payload["wall_seconds"] > 0.0
+        # One cell left, mean wall == the one sample.
+        assert first.payload["eta_seconds"] > 0.0
+        assert last.payload["done"] == 2
+        assert last.payload["eta_seconds"] == 0.0
+
+    def test_finish_event_totals(self):
+        finish = self.run_with_bus()[-1]
+        assert finish.payload["runs"] == 2
+        assert finish.payload["errors"] == 0
+        assert finish.payload["wall_seconds"] > 0.0

@@ -7,6 +7,7 @@ import pytest
 from repro.cluster.load import (
     NO_LOAD,
     ConstantLoad,
+    DiurnalLoad,
     RandomWalkLoad,
     SquareWaveLoad,
     StepLoad,
@@ -180,3 +181,82 @@ class TestEdgeCases:
         load = RandomWalkLoad(interval=1.0, seed=13)
         shares = [load.share_at(k + 0.5) for k in range(3)]
         assert load.mean_share(0.0, 3.0) == pytest.approx(sum(shares) / 3.0)
+
+
+class TestDiurnalLoad:
+    def test_default_profile_shape(self):
+        load = DiurnalLoad(day=24.0)
+        assert load.share_at(0.0) == 0.95        # midnight: nearly idle
+        assert load.share_at(9.0) == 0.40        # morning: owners arrive
+        assert load.share_at(13.0) == 0.25       # after noon: peak load
+        assert load.share_at(19.0) == 0.55       # evening tail
+        assert load.share_at(23.0) == 0.85       # winding down
+
+    def test_repeats_every_day(self):
+        load = DiurnalLoad(day=24.0)
+        for t in (0.5, 9.0, 13.0, 23.0):
+            assert load.share_at(t) == load.share_at(t + 24.0)
+            assert load.share_at(t) == load.share_at(t + 24_000.0)
+
+    def test_phase_shifts_the_day(self):
+        base = DiurnalLoad(day=24.0)
+        noon_start = DiurnalLoad(day=24.0, phase=0.5)
+        assert noon_start.share_at(0.0) == base.share_at(12.0)
+        assert noon_start.share_at(1.0) == base.share_at(13.0)
+
+    def test_next_change_walks_breakpoints(self):
+        load = DiurnalLoad(day=24.0)
+        assert load.next_change_after(0.0) == pytest.approx(8.0)
+        assert load.next_change_after(8.0) == pytest.approx(12.0)
+        assert load.next_change_after(12.0) == pytest.approx(18.0)
+        assert load.next_change_after(18.0) == pytest.approx(22.0)
+        # The last segment wraps to the next day's first breakpoint.
+        assert load.next_change_after(22.0) == pytest.approx(24.0)
+        assert load.next_change_after(23.9) == pytest.approx(24.0)
+        assert load.next_change_after(25.0) == pytest.approx(32.0)
+
+    def test_next_change_is_strictly_after_t(self):
+        load = DiurnalLoad(day=24.0)
+        t = 0.0
+        for _ in range(20):
+            nxt = load.next_change_after(t)
+            assert nxt > t
+            t = nxt
+
+    def test_single_segment_profile_never_changes(self):
+        load = DiurnalLoad(day=24.0, profile=[(0.0, 0.7)])
+        assert load.share_at(5.0) == 0.7
+        assert load.next_change_after(5.0) == math.inf
+
+    def test_mean_share_over_full_day_is_weighted_average(self):
+        load = DiurnalLoad(day=24.0)
+        expected = (8 * 0.95 + 4 * 0.40 + 6 * 0.25 + 4 * 0.55
+                    + 2 * 0.85) / 24.0
+        assert load.mean_share(0.0, 24.0) == pytest.approx(expected)
+        assert load.mean_share(12.0, 36.0) == pytest.approx(expected)
+
+    def test_custom_day_length_scales(self):
+        load = DiurnalLoad(day=2.0, profile=[(0.0, 1.0), (0.5, 0.5)])
+        assert load.share_at(0.5) == 1.0
+        assert load.share_at(1.5) == 0.5
+        assert load.next_change_after(0.0) == pytest.approx(1.0)
+
+    def test_profile_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="start at day-fraction 0.0"):
+            DiurnalLoad(profile=[(0.1, 0.5)])
+
+    def test_fractions_must_increase_below_one(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            DiurnalLoad(profile=[(0.0, 0.5), (0.5, 0.6), (0.5, 0.7)])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            DiurnalLoad(profile=[(0.0, 0.5), (1.0, 0.6)])
+
+    def test_shares_validated(self):
+        with pytest.raises(ValueError, match="share"):
+            DiurnalLoad(profile=[(0.0, 0.0)])
+        with pytest.raises(ValueError, match="share"):
+            DiurnalLoad(profile=[(0.0, 0.5), (0.5, 1.5)])
+
+    def test_day_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DiurnalLoad(day=0.0)

@@ -187,3 +187,58 @@ class TestFTCampaignRoundTrip:
         assert repair_ids
         # Both pids present: engine lanes and runtime lanes.
         assert {e["pid"] for e in events} >= {RANKS_PID, RUNTIME_PID}
+
+
+class TestValidatorEdgeCases:
+    def ok(self, **ev):
+        return {"ph": "X", "name": "e", "pid": 0, "tid": 0,
+                "ts": 0.0, "dur": 1.0, **ev}
+
+    def test_empty_event_list_is_valid(self):
+        assert validate_chrome_trace({"traceEvents": []}) == []
+
+    def test_non_dict_document(self):
+        (problem,) = validate_chrome_trace([])
+        assert "JSON object" in problem
+
+    def test_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents must be a list"]
+
+    def test_unknown_phase_flagged(self):
+        doc = {"traceEvents": [self.ok(ph="Z")]}
+        (problem,) = validate_chrome_trace(doc)
+        assert "bad phase 'Z'" in problem
+
+    def test_missing_phase_flagged(self):
+        ev = self.ok()
+        del ev["ph"]
+        (problem,) = validate_chrome_trace({"traceEvents": [ev]})
+        assert "bad phase None" in problem
+
+    def test_out_of_order_timestamps_are_legal(self):
+        # The Trace Event Format is order-independent (Perfetto sorts by
+        # ts on load), so a document whose events go backwards in time
+        # must validate clean — only *negative* timestamps are broken.
+        doc = {"traceEvents": [self.ok(ts=50.0), self.ok(ts=3.0),
+                               self.ok(ts=20.0)]}
+        assert validate_chrome_trace(doc) == []
+
+    def test_negative_timestamp_flagged(self):
+        doc = {"traceEvents": [self.ok(ts=-1.0)]}
+        (problem,) = validate_chrome_trace(doc)
+        assert "non-negative" in problem
+
+    def test_inverted_duration_flagged(self):
+        doc = {"traceEvents": [self.ok(dur=-2.0)]}
+        (problem,) = validate_chrome_trace(doc)
+        assert "non-negative dur" in problem
+
+    def test_each_bad_event_reported_once(self):
+        doc = {"traceEvents": [self.ok(ph="Q"), self.ok(ts=-1.0),
+                               self.ok()]}
+        assert len(validate_chrome_trace(doc)) == 2
+
+    def test_write_rejects_invalid_document(self, tmp_path):
+        doc = {"traceEvents": [self.ok(ph="Z")]}
+        with pytest.raises(ValueError):
+            write_chrome_trace(str(tmp_path / "bad.json"), doc)

@@ -148,3 +148,53 @@ class TestSelectionStatsBridge:
             obs.attach_selection_stats(stats)
         obs.snapshot()
         assert obs.metrics.get_value("hmpi.selection.cache_hits") == 7.0
+
+
+# Frozen field sets per snapshot schema version (mirrors the campaign
+# results guard in tests/campaign/test_golden.py).  /snapshot consumers,
+# the OpenMetrics renderer, and saved snapshot files all key off these.
+METRICS_SCHEMA_FINGERPRINTS = {
+    1: {
+        "top": ("metrics", "schema_version", "vtime"),
+        "counter": ("labels", "name", "type", "value"),
+        "gauge": ("labels", "name", "type", "value", "vtime"),
+        "histogram": ("buckets", "count", "labels", "max", "mean", "min",
+                      "name", "p50", "p95", "sum", "type"),
+    },
+}
+
+
+class TestSnapshotSchemaGuard:
+    def test_current_version_has_a_fingerprint(self):
+        from repro.obs import METRICS_SCHEMA_VERSION
+
+        assert METRICS_SCHEMA_VERSION in METRICS_SCHEMA_FINGERPRINTS, (
+            f"metrics schema version {METRICS_SCHEMA_VERSION} has no "
+            f"frozen fingerprint: record its field sets in "
+            f"METRICS_SCHEMA_FINGERPRINTS"
+        )
+
+    def test_fields_match_the_frozen_fingerprint(self):
+        from repro.obs import METRICS_SCHEMA_VERSION
+
+        reg = MetricsRegistry()
+        reg.counter("c", a=1).inc()
+        reg.gauge("g").set(1.0, vtime=2.0)
+        reg.histogram("h").observe(0.5)
+        snap = reg.snapshot()
+        frozen = METRICS_SCHEMA_FINGERPRINTS[METRICS_SCHEMA_VERSION]
+        seen = {"top": tuple(sorted(snap))}
+        for series in snap["metrics"]:
+            seen[series["type"]] = tuple(sorted(series))
+        assert seen == frozen, (
+            f"snapshot fields changed without a schema bump: saved "
+            f"snapshots and /snapshot consumers written as schema "
+            f"{METRICS_SCHEMA_VERSION} would silently mismatch.  Bump "
+            f"METRICS_SCHEMA_VERSION in src/repro/obs/metrics.py and "
+            f"freeze the new fingerprint here"
+        )
+
+    def test_snapshot_leads_with_schema_version(self):
+        snap = MetricsRegistry().snapshot()
+        assert next(iter(snap)) == "schema_version"
+        assert snap["schema_version"] == 1

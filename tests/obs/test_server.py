@@ -1,0 +1,140 @@
+"""MonitorServer: every endpoint over real HTTP on an ephemeral port."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    EventBus,
+    MetricsRegistry,
+    MonitorServer,
+    Observability,
+    parse_openmetrics,
+)
+
+
+def get(url: str):
+    """(status, content-type, body text) for a GET, 4xx included."""
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as resp:
+            return resp.status, resp.headers["Content-Type"], \
+                resp.read().decode()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers["Content-Type"], err.read().decode()
+
+
+@pytest.fixture()
+def stack():
+    """(server, registry, bus) — server started, torn down after."""
+    registry = MetricsRegistry()
+    registry.counter("hmpi.repairs").inc(2)
+    registry.gauge("engine.heap").set(5.0, vtime=1.5)
+    bus = EventBus()
+    bus.emit("fault", "rank.dead", rank=3)
+    bus.emit("campaign", "cell.finish", done=1, total=4)
+    with MonitorServer(metrics=registry, telemetry=bus) as server:
+        yield server, registry, bus
+    bus.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, stack):
+        server, _, _ = stack
+        status, ctype, body = get(server.url + "/healthz")
+        assert status == 200 and ctype == "application/json"
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["uptime_seconds"] >= 0.0
+
+    def test_metrics_serves_valid_openmetrics(self, stack):
+        server, _, _ = stack
+        status, ctype, body = get(server.url + "/metrics")
+        assert status == 200
+        assert ctype.startswith("application/openmetrics-text")
+        families = parse_openmetrics(body)
+        assert families["hmpi_repairs"]["samples"] == [
+            ("hmpi_repairs_total", {}, 2.0)]
+
+    def test_metrics_reflects_live_updates(self, stack):
+        server, registry, _ = stack
+        registry.counter("hmpi.repairs").inc(5)
+        _, _, body = get(server.url + "/metrics")
+        assert "hmpi_repairs_total 7.0" in body
+
+    def test_snapshot_is_schema_versioned_json(self, stack):
+        server, _, _ = stack
+        status, ctype, body = get(server.url + "/snapshot")
+        assert status == 200 and ctype == "application/json"
+        snap = json.loads(body)
+        assert snap["schema_version"] == 1
+        assert {m["name"] for m in snap["metrics"]} == {
+            "hmpi.repairs", "engine.heap"}
+
+    def test_events_ndjson_tail(self, stack):
+        server, _, _ = stack
+        status, ctype, body = get(server.url + "/events")
+        assert status == 200 and ctype == "application/x-ndjson"
+        events = [json.loads(line) for line in body.strip().splitlines()]
+        assert [e["name"] for e in events] == ["rank.dead", "cell.finish"]
+        assert events[0]["rank"] == 3
+
+    def test_events_n_caps_the_tail(self, stack):
+        server, _, bus = stack
+        bus.emit("fault", "rank.dead", rank=4)
+        _, _, body = get(server.url + "/events?n=1")
+        events = body.strip().splitlines()
+        assert len(events) == 1
+        assert json.loads(events[0])["rank"] == 4
+
+    def test_events_bad_n_is_400(self, stack):
+        server, _, _ = stack
+        status, _, _ = get(server.url + "/events?n=wat")
+        assert status == 400
+
+    def test_unknown_route_is_404(self, stack):
+        server, _, _ = stack
+        assert get(server.url + "/nope")[0] == 404
+
+
+class TestConfiguration:
+    def test_requires_some_source(self):
+        with pytest.raises(ValueError, match="metrics, snapshot_fn"):
+            MonitorServer()
+
+    def test_metrics_only_has_no_events_endpoint(self):
+        with MonitorServer(metrics=MetricsRegistry()) as server:
+            assert get(server.url + "/events")[0] == 404
+            assert get(server.url + "/metrics")[0] == 200
+
+    def test_telemetry_only_has_no_metrics_endpoint(self):
+        bus = EventBus()
+        with MonitorServer(telemetry=bus) as server:
+            assert get(server.url + "/metrics")[0] == 404
+            assert get(server.url + "/events")[0] == 200
+        bus.close()
+
+    def test_snapshot_fn_overrides_metrics(self):
+        obs = Observability(telemetry=True)
+        obs.metrics.counter("c").inc()
+        with MonitorServer(snapshot_fn=obs.snapshot,
+                           telemetry=obs.telemetry) as server:
+            snap = json.loads(get(server.url + "/snapshot")[2])
+        # The Observability snapshot folds extra sections in.
+        assert "telemetry" in snap and "spans" in snap
+
+    def test_ephemeral_port_bound_and_reported(self, stack):
+        server, _, _ = stack
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_double_start_rejected(self, stack):
+        server, _, _ = stack
+        with pytest.raises(RuntimeError, match="already started"):
+            server.start()
+
+    def test_stop_is_idempotent(self):
+        server = MonitorServer(metrics=MetricsRegistry()).start()
+        server.stop()
+        server.stop()

@@ -1,0 +1,178 @@
+"""EventBus: ring, sink, subscribers, sampling, stats, schema guard."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import EventBus, TELEMETRY_SCHEMA_VERSION, TelemetryEvent
+
+
+def fixed_clock():
+    t = [100.0]
+
+    def clock():
+        t[0] += 1.0
+        return t[0]
+
+    return clock
+
+
+class TestTelemetryEvent:
+    def test_to_dict_flattens_payload_under_envelope(self):
+        event = TelemetryEvent(7, "fault", "rank.dead", 42.5,
+                               {"rank": 3, "vtime": 9.0})
+        d = event.to_dict()
+        assert d == {
+            "schema": TELEMETRY_SCHEMA_VERSION,
+            "seq": 7,
+            "category": "fault",
+            "name": "rank.dead",
+            "wall": 42.5,
+            "rank": 3,
+            "vtime": 9.0,
+        }
+
+    def test_to_json_is_compact_sorted_and_parseable(self):
+        event = TelemetryEvent(1, "c", "n", 0.0, {"z": 1, "a": 2})
+        line = event.to_json()
+        assert " " not in line
+        parsed = json.loads(line)
+        assert list(parsed) == sorted(parsed)
+        assert parsed["a"] == 2
+
+    def test_to_json_stringifies_non_json_payload(self):
+        event = TelemetryEvent(1, "c", "n", 0.0, {"obj": object()})
+        assert "object object" in json.loads(event.to_json())["obj"]
+
+
+class TestEmit:
+    def test_emit_returns_event_with_monotonic_seq(self):
+        bus = EventBus(clock=fixed_clock())
+        e1 = bus.emit("engine", "run.start", nprocs=4)
+        e2 = bus.emit("engine", "run.finish")
+        assert (e1.seq, e2.seq) == (1, 2)
+        assert e1.payload == {"nprocs": 4}
+        assert e2.wall == e1.wall + 1.0
+
+    def test_reserved_payload_keys_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ValueError, match="shadow event envelope"):
+            bus.emit("campaign", "start", name="oops")
+        with pytest.raises(ValueError, match="shadow event envelope"):
+            bus.emit("campaign", "start", seq=1, wall=2.0)
+
+    def test_ring_keeps_newest_and_counts_dropped(self):
+        bus = EventBus(capacity=3)
+        for i in range(5):
+            bus.emit("c", f"e{i}")
+        assert [e.name for e in bus.tail()] == ["e2", "e3", "e4"]
+        assert bus.dropped == 2
+        assert bus.emitted == 5
+        assert len(bus) == 3
+
+    def test_tail_n_returns_newest_oldest_first(self):
+        bus = EventBus()
+        for i in range(4):
+            bus.emit("c", f"e{i}")
+        assert [e.name for e in bus.tail(2)] == ["e2", "e3"]
+        assert bus.tail(0) == []
+        assert len(bus.tail(99)) == 4
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventBus(capacity=0)
+
+
+class TestSampling:
+    def test_keeps_first_of_every_n(self):
+        bus = EventBus(sample={"selection": 3})
+        kept = [bus.emit("selection", "cache.hit") for _ in range(7)]
+        assert [e is not None for e in kept] == [
+            True, False, False, True, False, False, True]
+        assert bus.sampled_out == 4
+        assert bus.emitted == 3
+
+    def test_sampled_out_events_consume_no_seq(self):
+        bus = EventBus(sample={"noisy": 2})
+        bus.emit("noisy", "a")      # kept, seq 1
+        bus.emit("noisy", "b")      # sampled out
+        event = bus.emit("quiet", "c")
+        assert event.seq == 2
+
+    def test_unlisted_categories_never_sampled(self):
+        bus = EventBus(sample={"noisy": 10})
+        assert all(bus.emit("other", "e") is not None for _ in range(5))
+
+    def test_bad_sample_rate_rejected(self):
+        with pytest.raises(ValueError, match="sample rate"):
+            EventBus(sample={"c": 0})
+        with pytest.raises(ValueError, match="sample rate"):
+            EventBus(sample={"c": 1.5})
+
+
+class TestSinkAndSubscribers:
+    def test_sink_receives_one_json_line_per_event(self):
+        sink = io.StringIO()
+        bus = EventBus(sink=sink, clock=fixed_clock())
+        bus.emit("a", "x", k=1)
+        bus.emit("b", "y")
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["k"] == 1
+        assert json.loads(lines[1])["category"] == "b"
+
+    def test_path_sink_is_owned_appended_and_closed(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventBus(sink=str(path)) as bus:
+            bus.emit("a", "first")
+        with EventBus(sink=str(path)) as bus:
+            bus.emit("a", "second")
+        names = [json.loads(l)["name"] for l in path.read_text().splitlines()]
+        assert names == ["first", "second"]
+
+    def test_close_leaves_caller_owned_streams_open(self):
+        sink = io.StringIO()
+        bus = EventBus(sink=sink)
+        bus.emit("a", "x")
+        bus.close()
+        assert not sink.closed
+
+    def test_subscribers_see_events_and_can_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("a", "one")
+        bus.unsubscribe(seen.append)
+        bus.emit("a", "two")
+        assert [e.name for e in seen] == ["one"]
+
+    def test_raising_subscriber_is_counted_not_propagated(self):
+        bus = EventBus()
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        seen = []
+        bus.subscribe(bad)
+        bus.subscribe(seen.append)
+        event = bus.emit("a", "x")
+        assert event is not None
+        assert bus.subscriber_errors == 1
+        assert len(seen) == 1  # later subscribers still run
+
+
+class TestStats:
+    def test_stats_summarizes_counters(self):
+        bus = EventBus(capacity=2, sample={"noisy": 2})
+        for _ in range(3):
+            bus.emit("noisy", "n")
+        for _ in range(3):
+            bus.emit("quiet", "q")
+        stats = bus.stats()
+        assert stats["schema"] == TELEMETRY_SCHEMA_VERSION
+        assert stats["emitted"] == 5
+        assert stats["sampled_out"] == 1
+        assert stats["dropped"] == 3
+        assert stats["retained"] == 2
+        assert stats["subscriber_errors"] == 0

@@ -149,3 +149,47 @@ class TestUtilization:
             TraceEvent(rank=0, kind="coll", t0=2.0, t1=4.0, label="barrier"),
         )
         assert utilization(tracer, 0) == pytest.approx(0.25)
+
+
+class TestZeroEventWindows:
+    def test_rank_with_no_events_is_idle_zero(self):
+        # Rank 1 exists in the world but never traced an event: its
+        # utilization window is still [t0, makespan] and its share is 0.
+        tracer = make_tracer(
+            TraceEvent(rank=0, kind="compute", t0=0.0, t1=2.0),
+            TraceEvent(rank=2, kind="compute", t0=0.0, t1=1.0),
+        )
+        assert utilization(tracer, 1) == 0.0
+        assert utilization(tracer, 2) == pytest.approx(0.5)
+
+    def test_zero_width_window_is_zero_not_nan(self):
+        # All events instantaneous at the same t: the window has no
+        # duration, so utilization must come back 0.0, not divide by 0.
+        tracer = make_tracer(
+            TraceEvent(rank=0, kind="death", t0=5.0, t1=5.0),
+        )
+        assert utilization(tracer, 0) == 0.0
+
+    def test_t_end_before_first_event_is_zero(self):
+        tracer = make_tracer(
+            TraceEvent(rank=0, kind="compute", t0=10.0, t1=12.0),
+        )
+        assert utilization(tracer, 0, t_end=4.0) == 0.0
+
+    def test_empty_trace_renders_placeholder(self):
+        assert render_gantt(Tracer()) == "(empty trace)"
+
+    def test_zero_duration_trace_renders_placeholder(self):
+        tracer = make_tracer(
+            TraceEvent(rank=0, kind="death", t0=5.0, t1=5.0),
+        )
+        assert render_gantt(tracer) == "(trace has no duration)"
+
+    def test_rank_with_no_events_renders_blank_lane(self):
+        tracer = make_tracer(
+            TraceEvent(rank=0, kind="compute", t0=0.0, t1=2.0),
+            TraceEvent(rank=2, kind="compute", t0=0.0, t1=2.0),
+        )
+        lane = render_gantt(tracer, width=10).splitlines()[1]
+        assert lane.startswith("rank  1 |")
+        assert set(lane.split("|")[1]) == {" "}
