@@ -36,6 +36,14 @@ Three drivers ship:
     ``benchmarks/bench_ablation_recon.py``.  Both variants of a cell
     see the *identical* scenario: the per-run rng contributes one
     scenario seed, re-expanded per variant.
+
+``groupsize_amdahl``
+    Automatic group sizing on an Amdahl-style workload (divisible work
+    plus a serial per-member combine at the root) — the campaign port of
+    ``benchmarks/bench_ablation_groupsize.py``.  Sweeping the
+    ``combine_cost`` axis shows the tuned group shrinking as the serial
+    fraction grows; the cell also executes the tuned group and reports
+    the measured virtual time against the prediction.
 """
 
 from __future__ import annotations
@@ -54,9 +62,11 @@ from ..apps.em3d import (
 from ..apps.jacobi import jacobi_reference, run_jacobi_ft
 from ..apps.jacobi.model import bind_jacobi_model
 from ..apps.jacobi.solver import partition_rows
+from ..core.autotune import auto_create, tune_group_size
 from ..core.mapper import resolve_mapper
 from ..core.netmodel import NetworkModel
 from ..core.runtime import HMPI, run_hmpi
+from ..perfmodel import CallableModel
 from ..mpi.ops import SUM
 from ..mpi.scheduler import resolve_ft
 from ..util.errors import (
@@ -362,6 +372,89 @@ def _em3d_recon(params: dict, rng: np.random.Generator) -> dict:
 
 
 # ----------------------------------------------------------------------
+# groupsize_amdahl — automatic group sizing (mirrors bench_ablation_groupsize)
+# ----------------------------------------------------------------------
+
+def _amdahl_family(total_work: float, partial_bytes: float,
+                   combine_cost: float):
+    def family(p):
+        def node_volume(i):
+            base = total_work / p
+            return base + (combine_cost * (p - 1) if i == 0 else 0.0)
+
+        return CallableModel(
+            p,
+            node_volume=node_volume,
+            link_volume=lambda s, d: partial_bytes if d == 0 else 0.0,
+            name=f"amdahl-{p}",
+        )
+
+    return family
+
+
+def _groupsize_amdahl(params: dict, rng: np.random.Generator) -> dict:
+    total_work = float(params["total_work"])
+    partial_bytes = float(params["partial_bytes"])
+    combine_cost = float(params["combine_cost"])
+    mapper = params["mapper"]
+    cluster = build_cluster(params["cluster"])
+    apply_scenario(
+        cluster, rng,
+        deaths=params["deaths"], transient=params["transient"],
+        loads=params["loads"],
+    )
+    max_p = int(params["max_p"]) or cluster.size
+    if max_p < 1 or max_p > cluster.size:
+        raise CampaignError(
+            f"max_p must be in [1, {cluster.size}], got {max_p}")
+    sizes = range(1, max_p + 1)
+    family = _amdahl_family(total_work, partial_bytes, combine_cost)
+
+    def app(hmpi: HMPI):
+        if hmpi.is_host():
+            sweep = tune_group_size(hmpi, family, sizes, mapper)
+            info = (sweep.best_p, sweep.best_time,
+                    sweep.predictions.get(max_p))
+        else:
+            info = None
+        best_p, best_time, all_machines = hmpi.comm_world.bcast(info, root=0)
+
+        gid, chosen = auto_create(hmpi, family, sizes, mapper)
+        measured = None
+        if gid.is_member:
+            comm = gid.comm
+            conc = gid.my_concurrency
+            comm.barrier()
+            t0 = comm.wtime()
+            # the modelled pattern: partials to the root, root combines
+            if comm.rank != 0:
+                comm.send(b"", 0, tag=0, nbytes=int(partial_bytes))
+            hmpi.compute(total_work / chosen, conc)
+            if comm.rank == 0:
+                for s in range(1, comm.size):
+                    comm.recv(s, tag=0)
+                hmpi.compute(combine_cost * (chosen - 1), conc)
+            comm.barrier()
+            measured = comm.wtime() - t0
+            hmpi.group_free(gid)
+        return best_p, best_time, all_machines, measured
+
+    res = run_hmpi(
+        app, cluster, timeout=params["timeout"],
+        engine=params["engine"], timeof_backend=params["timeof_backend"],
+    )
+    best_p, best_time, all_machines, _ = res.results[0]
+    measured = max(m for *_, m in res.results if m is not None)
+    return {
+        "tuned_p": int(best_p),
+        "predicted_time": float(best_time),
+        "all_machines_time": float(all_machines),
+        "measured_time": float(measured),
+        "makespan": float(res.makespan),
+    }
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 
@@ -418,6 +511,19 @@ DRIVERS: dict[str, Driver] = {
             "n": 24, "p": 4, "niter": 24, "k": 100, "chunk": 4,
             "policy": "never", "mapper": None, "max_repairs": 8,
             "timeout": 60.0, "churn": None,
+        },
+    ),
+    "groupsize_amdahl": Driver(
+        name="groupsize_amdahl",
+        fn=_groupsize_amdahl,
+        params=("cluster", "combine_cost", "total_work", "partial_bytes",
+                "max_p", "mapper", "timeout", "engine", "timeof_backend",
+                "deaths", "transient", "loads"),
+        defaults={
+            **_SCENARIO_DEFAULTS, **_EXEC_DEFAULTS,
+            "combine_cost": 0.0, "total_work": 900.0,
+            "partial_bytes": 64 * 1024, "max_p": 0, "mapper": None,
+            "timeout": 60.0,
         },
     ),
     "em3d_recon": Driver(

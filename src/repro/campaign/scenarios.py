@@ -38,6 +38,7 @@ from ..cluster.load import (
 )
 from ..cluster.network import Cluster
 from ..cluster.presets import (
+    TOPOLOGY_PRESETS,
     clusters_of_clusters,
     homogeneous_network,
     multiprotocol_network,
@@ -68,7 +69,16 @@ CLUSTER_PRESETS = {
 }
 
 #: Constructor-dict cluster kinds (parameterized, so not bare presets).
-_CLUSTER_KINDS = ("uniform", "homogeneous", "random")
+_CLUSTER_KINDS = ("uniform", "homogeneous", "random", "topology")
+
+#: Keyword arguments a ``topology`` cluster spec may forward to its
+#: preset factory — the JSON-representable shape/speed parameters only
+#: (protocol objects stay code-side).
+_TOPOLOGY_SPEC_KEYS = {
+    "two_site": ("machines_per_site", "speed"),
+    "clusters_of_clusters": ("sites", "subnets_per_site",
+                             "machines_per_subnet", "speeds"),
+}
 
 #: Load-model kinds accepted in per-machine load specs.  The first three
 #: mirror :mod:`repro.cluster.serialize`; ``random_walk`` is additional
@@ -95,8 +105,13 @@ def build_cluster(spec) -> Cluster:
 
     ``spec`` is a preset name from :data:`CLUSTER_PRESETS` or a dict —
     ``{"kind": "uniform", "speeds": [...]}``,
-    ``{"kind": "homogeneous", "n": 4, "speed": 100}``, or
-    ``{"kind": "random", "n": 6, "seed": 0}``.
+    ``{"kind": "homogeneous", "n": 4, "speed": 100}``,
+    ``{"kind": "random", "n": 6, "seed": 0}``, or
+    ``{"kind": "topology", "preset": "two_site", ...}`` where ``preset``
+    names a :data:`~repro.cluster.presets.TOPOLOGY_PRESETS` factory and
+    the remaining keys are its shape/speed parameters — which makes
+    *topology itself* a sweepable campaign axis (flat mesh vs
+    ``two_site`` vs ``clusters_of_clusters``).
     """
     if isinstance(spec, str):
         _require(spec in CLUSTER_PRESETS,
@@ -118,6 +133,31 @@ def build_cluster(spec) -> Cluster:
         if kind == "homogeneous":
             return homogeneous_network(int(spec.get("n", 4)),
                                        float(spec.get("speed", 100.0)))
+        if kind == "topology":
+            preset = spec.get("preset")
+            _require(preset in TOPOLOGY_PRESETS,
+                     f"unknown topology preset {preset!r}; expected one of "
+                     f"{', '.join(sorted(TOPOLOGY_PRESETS))}")
+            allowed = _TOPOLOGY_SPEC_KEYS[preset]
+            extra = set(spec) - {"kind", "preset"} - set(allowed)
+            _require(not extra,
+                     f"topology preset {preset!r} does not accept "
+                     f"{', '.join(sorted(extra))}; "
+                     f"allowed: {', '.join(allowed)}")
+            kwargs = {}
+            for key in allowed:
+                if key not in spec:
+                    continue
+                value = spec[key]
+                if key == "speeds":
+                    _require(isinstance(value, list) and value,
+                             "topology 'speeds' must be a non-empty list")
+                    kwargs[key] = [float(s) for s in value]
+                elif key == "speed":
+                    kwargs[key] = float(value)
+                else:
+                    kwargs[key] = int(value)
+            return TOPOLOGY_PRESETS[preset](**kwargs)
         return random_network(int(spec.get("n", 6)),
                               seed=int(spec.get("seed", 0)))
     except (ReproError, ValueError, TypeError) as exc:

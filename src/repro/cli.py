@@ -606,6 +606,34 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         bus.close()
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .obs import EventBus
+    from .serve import ServeServer
+
+    bus = EventBus(capacity=4096, sink=args.telemetry)
+    server = ServeServer(
+        host=args.host, port=args.port, workers=args.workers,
+        telemetry=bus,
+        max_inflight_per_tenant=args.tenant_quota,
+        max_inflight_total=args.max_inflight,
+    )
+
+    def announce(srv) -> None:
+        print(f"serving HMPI jobs at {srv.url} "
+              f"(POST /v1/jobs; /metrics /healthz; "
+              f"{args.workers or 'inline'} worker(s))", flush=True)
+
+    try:
+        asyncio.run(server.run(on_ready=announce))
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        bus.close()
+    return 0
+
+
 def _cmd_campaign_check(args: argparse.Namespace) -> int:
     from .campaign import check_against_baseline, load_baseline, read_rows
 
@@ -798,6 +826,24 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--hold", type=float, default=0.0, metavar="SECONDS",
                     help="keep serving this long after the campaign ends")
     pm.set_defaults(fn=_cmd_monitor)
+
+    psv = sub.add_parser(
+        "serve", help="multi-tenant HMPI prediction/selection server "
+                      "(docs/SERVING.md)")
+    psv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    psv.add_argument("--port", type=int, default=0,
+                     help="bind port (default 0 = ephemeral)")
+    psv.add_argument("--workers", type=int, default=0,
+                     help="worker processes sharding the worlds "
+                          "(default 0 = inline threads)")
+    psv.add_argument("--tenant-quota", type=int, default=64,
+                     help="max in-flight jobs per tenant before 429")
+    psv.add_argument("--max-inflight", type=int, default=1024,
+                     help="max in-flight jobs server-wide before 429")
+    psv.add_argument("--telemetry", default=None, metavar="FILE",
+                     help="append serve telemetry events as JSONL")
+    psv.set_defaults(fn=_cmd_serve)
     return parser
 
 

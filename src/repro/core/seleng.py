@@ -61,6 +61,7 @@ __all__ = [
     "TIMEOF_BACKENDS",
     "evaluate_mapping",
     "evaluate_mappings",
+    "EvaluatorPool",
 ]
 
 #: Candidate-evaluation backends selectable at runtime entry points via
@@ -673,11 +674,79 @@ def evaluate_mappings(
     netmodel: NetworkModel,
     candidate_mappings: Sequence[Sequence[int]],
     stats: SelectionStats | None = None,
+    backend: str | None = None,
+    pool: "EvaluatorPool | None" = None,
 ) -> np.ndarray:
-    """Predicted makespans of many candidate mappings (one-shot evaluator).
+    """Predicted makespans of many candidate mappings (batch entry point).
 
     ``candidate_mappings[j][i]`` is the machine index abstract processor
     ``i`` runs on under candidate ``j``.  Returns one predicted time per
-    candidate, in order.
+    candidate, in order.  ``backend`` selects the Timeof backend
+    (default compiled trace); ``pool`` reuses a shared evaluator (and
+    its compiled link tables) instead of building one per call — the
+    serve layer batches coalesced Timeof requests through here.
     """
-    return TraceEvaluator(model, netmodel, stats).evaluate_batch(candidate_mappings)
+    if pool is not None:
+        evaluator = pool.get(model, netmodel, stats=stats, backend=backend)
+    else:
+        evaluator = make_evaluator(model, netmodel, stats, backend)
+    return evaluator.evaluate_batch(candidate_mappings)
+
+
+class EvaluatorPool:
+    """Cross-call evaluator cache — the engine's cache-sharing hook.
+
+    Evaluator construction re-derives per-(model, cluster) state that is
+    invariant across calls: the compiled event trace and the
+    machine-pair link-cost tables.  A long-lived embedder (the job
+    server prices many requests against few distinct worlds) keeps one
+    pool and calls :meth:`get` instead of :func:`make_evaluator`; the
+    returned evaluator is shared by ``(model, netmodel, backend)``
+    identity and stays correct across speed updates because evaluators
+    read machine speeds live from the network model at evaluation time.
+
+    ``stats`` is rebound on every :meth:`get`, so each caller's counters
+    receive that caller's evaluations even on a shared instance.  Not
+    thread-safe for concurrent *evaluation* of one entry — the serve
+    workers each own a pool, which is the intended deployment.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise OptionError("EvaluatorPool capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[tuple, TraceEvaluator | InterpEvaluator] = {}
+        self._order: list[tuple] = []
+
+    def get(
+        self,
+        model: AbstractBoundModel,
+        netmodel: NetworkModel,
+        stats: SelectionStats | None = None,
+        backend: str | None = None,
+    ) -> TraceEvaluator | InterpEvaluator:
+        backend = check_choice(
+            "timeof backend", backend or "trace", TIMEOF_BACKENDS, OptionError
+        )
+        key = (id(model), id(netmodel), backend)
+        evaluator = self._entries.get(key)
+        if evaluator is None:
+            self.misses += 1
+            evaluator = make_evaluator(model, netmodel, stats, backend)
+            self._entries[key] = evaluator
+            self._order.append(key)
+            while len(self._order) > self.capacity:
+                evicted = self._order.pop(0)
+                self._entries.pop(evicted, None)
+        else:
+            self.hits += 1
+            self._order.remove(key)
+            self._order.append(key)
+            evaluator.stats = stats
+        return evaluator
+
+    def stats_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._entries)}

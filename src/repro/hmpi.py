@@ -57,6 +57,7 @@ from .util.options import check_choice
 __all__ = [
     "HMPISession",
     "session",
+    "connect",
     "HMPI",
     "run_hmpi",
     # flat C-style API, re-exported for one-import convenience
@@ -201,3 +202,18 @@ class HMPISession:
 def session(cluster: Any, **options: Any) -> HMPISession:
     """Open an :class:`HMPISession` (readable spelling for ``with`` use)."""
     return HMPISession(cluster, **options)
+
+
+def connect(url: str, *, tenant: str = "anonymous", timeout: float = 60.0):
+    """Open a client for a running ``repro serve`` endpoint.
+
+    The served counterpart of :func:`session`: instead of owning a
+    cluster in-process, predictions and selections are answered by a job
+    server — bitwise-identical to the local calls (docs/SERVING.md)::
+
+        client = connect("http://127.0.0.1:8080", tenant="team-a")
+        t = client.timeof(MODEL_SOURCE, params={...}, cluster="paper")
+    """
+    from .serve.client import ServeClient
+
+    return ServeClient(url, tenant=tenant, timeout=timeout)

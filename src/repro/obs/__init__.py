@@ -33,7 +33,7 @@ from .metrics import (
     publish_selection_stats,
 )
 from .openmetrics import parse_openmetrics, render_openmetrics
-from .server import MonitorServer
+from .server import EVENTS_TAIL_CAP, MonitorRoutes, MonitorServer
 from .spans import Span, SpanLog
 from .telemetry import TELEMETRY_SCHEMA_VERSION, EventBus, TelemetryEvent
 
@@ -51,6 +51,8 @@ __all__ = [
     "render_openmetrics",
     "parse_openmetrics",
     "MonitorServer",
+    "MonitorRoutes",
+    "EVENTS_TAIL_CAP",
     "Span",
     "SpanLog",
     "PredictionTracker",

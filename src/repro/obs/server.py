@@ -20,6 +20,11 @@ function / bus tail under their own locks, so attaching a monitor to a
 hot simulation never blocks the simulated ranks for longer than one
 snapshot.  Port 0 (the default) lets the OS pick a free port —
 ``server.port`` reports the bound one.
+
+The route logic itself lives in :class:`MonitorRoutes`, transport-free,
+so the asyncio job server (:mod:`repro.serve`) serves the identical
+``/metrics``/``/snapshot``/``/events``/``/healthz`` surface without a
+second ThreadingHTTPServer.
 """
 
 from __future__ import annotations
@@ -33,10 +38,71 @@ from urllib.parse import parse_qs, urlparse
 
 from .openmetrics import render_openmetrics
 
-__all__ = ["MonitorServer"]
+__all__ = ["MonitorRoutes", "MonitorServer", "EVENTS_TAIL_CAP"]
 
 _OPENMETRICS_CTYPE = ("application/openmetrics-text; version=1.0.0; "
                       "charset=utf-8")
+
+#: Largest accepted ``/events?n=`` value.  The ring buffer is far smaller
+#: (default 4096), so anything beyond this is a malformed scrape, not a
+#: bigger tail — reject it instead of materialising a huge request.
+EVENTS_TAIL_CAP = 1_000_000
+
+
+class MonitorRoutes:
+    """Transport-free monitoring routes: path → ``(status, ctype, body)``.
+
+    Shared by :class:`MonitorServer` (threaded, stdlib http.server) and
+    the asyncio job server in :mod:`repro.serve`, so both expose the
+    same scrape surface with the same parsing and error behaviour.
+    """
+
+    def __init__(self, *,
+                 snapshot_fn: Callable[[], dict[str, Any]] | None = None,
+                 telemetry: Any = None,
+                 started: float | None = None,
+                 health_extra: Callable[[], dict[str, Any]] | None = None):
+        self.snapshot_fn = snapshot_fn
+        self.telemetry = telemetry
+        self.started = time.monotonic() if started is None else started
+        self.health_extra = health_extra
+
+    def handle(self, path: str) -> tuple[int, str, str] | None:
+        """Serve ``path`` (with query string); None when unrouted."""
+        url = urlparse(path)
+        route = url.path.rstrip("/") or "/"
+        if route == "/healthz":
+            doc = {
+                "status": "ok",
+                "uptime_seconds": round(time.monotonic() - self.started, 3),
+            }
+            if self.health_extra is not None:
+                doc.update(self.health_extra())
+            return 200, "application/json", json.dumps(doc) + "\n"
+        if route == "/metrics" and self.snapshot_fn is not None:
+            return (200, _OPENMETRICS_CTYPE,
+                    render_openmetrics(self.snapshot_fn()))
+        if route == "/snapshot" and self.snapshot_fn is not None:
+            return (200, "application/json",
+                    json.dumps(self.snapshot_fn(), sort_keys=True) + "\n")
+        if route == "/events" and self.telemetry is not None:
+            qs = parse_qs(url.query, keep_blank_values=True)
+            n = None
+            if "n" in qs:
+                # Strict: non-integer, negative, or absurdly huge values
+                # are a client error, reported as 400 — never an
+                # exception in the handler thread.
+                try:
+                    n = int(qs["n"][0])
+                except ValueError:
+                    return 400, "text/plain", "bad ?n= parameter\n"
+                if n < 0 or n > EVENTS_TAIL_CAP:
+                    return (400, "text/plain",
+                            f"?n= must be in [0, {EVENTS_TAIL_CAP}]\n")
+            events = self.telemetry.tail(n)
+            body = "".join(e.to_json() + "\n" for e in events)
+            return 200, "application/x-ndjson", body
+        return None
 
 
 class MonitorServer:
@@ -67,9 +133,8 @@ class MonitorServer:
         if snapshot_fn is None and telemetry is None:
             raise ValueError(
                 "MonitorServer needs metrics, snapshot_fn, or telemetry")
-        self._snapshot_fn = snapshot_fn
-        self._telemetry = telemetry
-        self._started = time.monotonic()
+        self._routes = MonitorRoutes(
+            snapshot_fn=snapshot_fn, telemetry=telemetry)
         self._thread: threading.Thread | None = None
 
         monitor = self
@@ -90,36 +155,11 @@ class MonitorServer:
 
             def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
                 try:
-                    url = urlparse(self.path)
-                    route = url.path.rstrip("/") or "/"
-                    if route == "/healthz":
-                        self._send(200, "application/json", json.dumps({
-                            "status": "ok",
-                            "uptime_seconds": round(
-                                time.monotonic() - monitor._started, 3),
-                        }) + "\n")
-                    elif route == "/metrics" and monitor._snapshot_fn:
-                        self._send(200, _OPENMETRICS_CTYPE,
-                                   render_openmetrics(monitor._snapshot_fn()))
-                    elif route == "/snapshot" and monitor._snapshot_fn:
-                        self._send(200, "application/json",
-                                   json.dumps(monitor._snapshot_fn(),
-                                              sort_keys=True) + "\n")
-                    elif route == "/events" and monitor._telemetry is not None:
-                        qs = parse_qs(url.query)
-                        n = None
-                        if "n" in qs:
-                            try:
-                                n = max(0, int(qs["n"][0]))
-                            except ValueError:
-                                self._send(400, "text/plain",
-                                           "bad ?n= parameter\n")
-                                return
-                        events = monitor._telemetry.tail(n)
-                        body = "".join(e.to_json() + "\n" for e in events)
-                        self._send(200, "application/x-ndjson", body)
-                    else:
+                    handled = monitor._routes.handle(self.path)
+                    if handled is None:
                         self._send(404, "text/plain", "not found\n")
+                    else:
+                        self._send(*handled)
                 except BrokenPipeError:  # client went away mid-scrape
                     pass
 

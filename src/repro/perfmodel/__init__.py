@@ -7,7 +7,14 @@ model description into the set of functions used by the HMPI runtime.
 
 from .analyze import analyze_algorithm, check_source
 from .builder import CallableModel, MatrixModel
-from .compiler import compile_model, compile_source
+from .compiler import (
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_model,
+    compile_source,
+    compile_source_cached,
+    source_digest,
+)
 from .diagnostics import RULES, Diagnostic, DiagnosticReport, Severity
 from .lint import LintReport, lint_model
 from .interp import ActionVisitor, Environment, Interpreter, Ref, StructValue
@@ -46,6 +53,10 @@ __all__ = [
     "format_struct",
     "format_unit",
     "compile_source",
+    "compile_source_cached",
+    "source_digest",
+    "compile_cache_stats",
+    "clear_compile_cache",
     "parse",
     "parse_expression",
     "tokenize",

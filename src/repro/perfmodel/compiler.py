@@ -16,6 +16,9 @@ attached to the resulting model's ``diagnostics`` tuple.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from collections.abc import Callable
 from typing import Any
 
@@ -27,7 +30,14 @@ from .model import PerformanceModel
 from .parser import parse
 from .semantics import check_algorithm
 
-__all__ = ["compile_source", "compile_model"]
+__all__ = [
+    "compile_source",
+    "compile_model",
+    "compile_source_cached",
+    "source_digest",
+    "compile_cache_stats",
+    "clear_compile_cache",
+]
 
 
 def compile_source(
@@ -79,6 +89,87 @@ def compile_source(
     if not models:
         raise PMDLSemanticError("source defines no algorithm")
     return models
+
+
+# ----------------------------------------------------------------------
+# compile-by-digest memoisation
+# ----------------------------------------------------------------------
+# The job server (and any long-lived embedder) compiles the same PMDL
+# source over and over — every tenant resubmits its model text with each
+# request.  Compilation is pure in (source, externals, flags), so the
+# result is memoised under the source digest.  Returned models are
+# SHARED instances: callers must treat them as immutable handles (which
+# the rest of the stack already does — `bind` never mutates the model).
+
+_COMPILE_CACHE_CAPACITY = 128
+_compile_cache: OrderedDict[tuple, dict[str, PerformanceModel]] = OrderedDict()
+_compile_cache_lock = threading.Lock()
+_compile_cache_hits = 0
+_compile_cache_misses = 0
+
+
+def source_digest(source: str) -> str:
+    """Canonical digest of PMDL source text (sha256 hex).
+
+    Line endings are normalised so the same model pasted from different
+    platforms digests identically; no other canonicalisation is applied
+    (whitespace differences are different sources).
+    """
+    canonical = source.replace("\r\n", "\n").replace("\r", "\n")
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def compile_source_cached(
+    source: str,
+    externals: dict[str, Callable[..., Any]] | None = None,
+    analyze: bool = True,
+    net_check: bool = False,
+) -> dict[str, PerformanceModel]:
+    """Memoised :func:`compile_source` keyed by source digest + options.
+
+    Externals participate in the key by (name, identity) so rebinding a
+    name to a different callable recompiles; callers wanting cache hits
+    should pass stable callables (the serve layer memoises its stubs).
+    Compilation errors are not cached — a failing source re-raises on
+    every call.
+    """
+    global _compile_cache_hits, _compile_cache_misses
+    ext_key = tuple(sorted(
+        (name, id(fn)) for name, fn in (externals or {}).items()))
+    key = (source_digest(source), ext_key, bool(analyze), bool(net_check))
+    with _compile_cache_lock:
+        cached = _compile_cache.get(key)
+        if cached is not None:
+            _compile_cache.move_to_end(key)
+            _compile_cache_hits += 1
+            return cached
+    models = compile_source(source, externals, analyze=analyze,
+                            net_check=net_check)
+    with _compile_cache_lock:
+        _compile_cache_misses += 1
+        _compile_cache[key] = models
+        while len(_compile_cache) > _COMPILE_CACHE_CAPACITY:
+            _compile_cache.popitem(last=False)
+    return models
+
+
+def compile_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters for the compile-by-digest cache."""
+    with _compile_cache_lock:
+        return {
+            "hits": _compile_cache_hits,
+            "misses": _compile_cache_misses,
+            "size": len(_compile_cache),
+        }
+
+
+def clear_compile_cache() -> None:
+    """Drop every memoised compilation (tests and long-lived servers)."""
+    global _compile_cache_hits, _compile_cache_misses
+    with _compile_cache_lock:
+        _compile_cache.clear()
+        _compile_cache_hits = 0
+        _compile_cache_misses = 0
 
 
 def compile_model(

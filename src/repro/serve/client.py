@@ -1,0 +1,151 @@
+"""Thin stdlib client for the HMPI job server.
+
+::
+
+    from repro.hmpi import connect
+
+    client = connect("http://127.0.0.1:8080", tenant="team-a")
+    t = client.timeof(MODEL_SOURCE, params={"p": 4, ...}, cluster="paper")
+    group = client.group_create(MODEL_SOURCE, params=..., cluster="paper")
+
+Every helper is a thin wrapper over :meth:`ServeClient.submit`; the
+server's JSON floats round-trip through ``repr`` so a served prediction
+compares bitwise-equal to the in-process call.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from .protocol import DEFAULT_TENANT, ServeError
+
+__all__ = ["ServeClient", "ServeHTTPError", "connect"]
+
+
+class ServeHTTPError(ServeError):
+    """A non-2xx server response, carrying status and decoded payload."""
+
+    def __init__(self, status: int, payload: Any):
+        self.status = status
+        self.payload = payload
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class ServeClient:
+    """Synchronous client over ``urllib`` (no dependencies).
+
+    ``tenant`` stamps every submitted job for quota accounting;
+    ``timeout`` is the socket timeout of each HTTP call (distinct from
+    the protocol's ``wait``/``timeout`` job fields).
+    """
+
+    def __init__(self, url: str, *, tenant: str = DEFAULT_TENANT,
+                 timeout: float = 60.0):
+        self.url = url.rstrip("/")
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- low-level -----------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> Any:
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return self._decode(resp.read(), resp.headers.get_content_type())
+        except urllib.error.HTTPError as exc:
+            payload = self._decode(exc.read(),
+                                   exc.headers.get_content_type()
+                                   if exc.headers else "text/plain")
+            raise ServeHTTPError(exc.code, payload) from None
+
+    @staticmethod
+    def _decode(raw: bytes, ctype: str) -> Any:
+        text = raw.decode("utf-8")
+        if ctype == "application/json":
+            return json.loads(text)
+        return text
+
+    # -- jobs ----------------------------------------------------------
+    def submit(self, request: dict, *, wait: float | None = None) -> dict:
+        """POST one job; returns the server's response document."""
+        body = {"tenant": self.tenant, **request}
+        if wait is not None:
+            body["wait"] = wait
+        return self._request("POST", "/v1/jobs", body)
+
+    def job(self, job_id: str) -> dict:
+        """Poll a job's status/result."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def wait(self, job_id: str, *, timeout: float = 60.0,
+             poll: float = 0.05) -> dict:
+        """Poll until the job is terminal; raises on client-side expiry."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc["status"] not in ("queued", "running"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {doc['status']} after {timeout}s")
+            time.sleep(poll)
+
+    def trace(self, job_id: str) -> dict:
+        """Chrome-trace document of a finished selection job."""
+        return self._request("GET", f"/v1/jobs/{job_id}/trace")
+
+    # -- op helpers ----------------------------------------------------
+    def _run_op(self, request: dict) -> dict:
+        doc = self.submit(request)
+        if doc.get("status") != "done":
+            raise ServeError(
+                f"job {doc.get('id')} finished {doc.get('status')!r}: "
+                f"{doc.get('error')}")
+        return doc["result"]
+
+    def timeof(self, model: str, *, params: Any = None, cluster: Any,
+               **options: Any) -> float:
+        """Served ``HMPI_Timeof``: the predicted time, bitwise-equal to
+        the in-process call."""
+        result = self._run_op({"op": "timeof", "model": model,
+                               "params": params, "cluster": cluster,
+                               **options})
+        return result["predicted_time"]
+
+    def group_create(self, model: str, *, params: Any = None, cluster: Any,
+                     **options: Any) -> dict:
+        """Served ``HMPI_Group_create``: the selected mapping."""
+        result = self._run_op({"op": "group_create", "model": model,
+                               "params": params, "cluster": cluster,
+                               **options})
+        return result["mapping"]
+
+    def check(self, model: str, *, net: bool = False,
+              strict: bool = False, **options: Any) -> dict:
+        """Served ``repro check``: the diagnostic report document."""
+        return self._run_op({"op": "check", "model": model,
+                             "net": net, "strict": strict, **options})
+
+    # -- ops surface ---------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metrics")
+
+
+def connect(url: str, *, tenant: str = DEFAULT_TENANT,
+            timeout: float = 60.0) -> ServeClient:
+    """Open a client for a running ``repro serve`` endpoint."""
+    return ServeClient(url, tenant=tenant, timeout=timeout)

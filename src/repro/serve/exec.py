@@ -1,0 +1,364 @@
+"""Pure request execution — the part of the server that computes.
+
+:class:`Executor` turns a validated job request into its result dict.
+It is transport-free and deterministic: the HTTP layer, the worker
+processes, *and the differential tests* all call the same
+:meth:`Executor.execute`, which is how the server guarantees a served
+result is bitwise-identical to the direct in-process API — there is one
+code path, not two kept in sync.
+
+State an executor accumulates is pure cache, keyed by digests:
+
+- compiled models via :func:`repro.perfmodel.compile_source_cached`
+  (compile-by-digest memoisation);
+- one :class:`WorldContext` per cluster digest — the ``NetworkModel``,
+  a speed-epoch-keyed selection cache shared across tenants, and the
+  engine's :class:`~repro.core.seleng.EvaluatorPool`;
+- lowered communication nets per model digest (trace export).
+
+Selection replicates :meth:`repro.core.runtime.HMPIRuntimeState.select`
+exactly — same candidate order (all world ranks), same host pin
+(``{model.parent_index(): HOST_RANK}``), same mapper resolution and
+keyword threading — so the cached mapping equals what ``HMPI_Timeof`` /
+``HMPI_Group_create`` compute inside a run.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import OrderedDict
+from typing import Any
+
+from ..core.mapper import _supports_backend, _supports_stats, resolve_mapper
+from ..core.netmodel import NetworkModel
+from ..core.runtime import HOST_RANK
+from ..core.seleng import EvaluatorPool, SelectionStats, evaluate_mappings
+from ..util.errors import OptionError, PMDLError, ReproError
+from .protocol import PROTOCOL_VERSION, BadRequest, JobRequest
+
+__all__ = ["Executor", "WorldContext", "stub_externals"]
+
+#: PMDL keywords that look like calls to the externals regex.
+_PMDL_KEYWORDS = frozenset({
+    "algorithm", "coord", "node", "link", "parent", "scheme",
+    "sizeof", "par", "for", "if", "while", "bench", "length",
+})
+
+# Stable stub per external name: compile-by-digest keys externals by
+# (name, identity), so handing the same callable back for a name makes
+# resubmitted sources cache hits instead of recompiles.
+_STUBS: dict[str, Any] = {}
+
+
+def stub_externals(source: str) -> dict[str, Any]:
+    """Declare every called name in ``source`` as a no-op external.
+
+    The server has no way to receive Python callables over the wire (by
+    design — requests are data, not code), so models whose *volumes*
+    depend on externals should inline them; schemes may still name them.
+    """
+    called = set(re.findall(r"\b([A-Za-z_]\w*)\s*\(", source))
+    externals = {}
+    for name in sorted(called - _PMDL_KEYWORDS):
+        fn = _STUBS.get(name)
+        if fn is None:
+            fn = _STUBS[name] = (lambda *a: None)
+        externals[name] = fn
+    return externals
+
+
+class WorldContext:
+    """Everything the server knows about one cluster digest.
+
+    The selection cache is shared across tenants and keyed by
+    ``(model digest, shape digest, speed epoch)`` — the served analogue
+    of the runtime's per-run cache, with digests standing in for object
+    identity so it survives across requests and processes agree on keys.
+    """
+
+    CACHE_SIZE = 256
+
+    def __init__(self, digest: str, cluster: Any):
+        self.digest = digest
+        self.cluster = cluster
+        self.netmodel = NetworkModel(cluster, list(range(cluster.size)))
+        self.pool = EvaluatorPool()
+        self.cache: OrderedDict[tuple, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def apply_speeds(self, speeds: list[float] | None) -> None:
+        """Install request speed estimates (a served ``HMPI_Recon``).
+
+        Only *changed* values bump the speed epoch: resubmitting the
+        same speeds leaves the epoch — and therefore every cached
+        selection for this world — intact.
+        """
+        if speeds is None:
+            return
+        if len(speeds) != self.cluster.size:
+            raise BadRequest(
+                f"'speeds' needs one entry per machine "
+                f"({self.cluster.size}), got {len(speeds)}")
+        for i, s in enumerate(speeds):
+            if self.netmodel.speed_of_machine(i) != s:
+                self.netmodel.update_speed(i, s)
+
+    def select(self, model: Any, req: JobRequest,
+               stats: SelectionStats) -> tuple[Any, str]:
+        """The runtime's selection, cached by digest; returns (mapping, how)."""
+        self.apply_speeds(req.speeds)
+        key = (req.model_digest, req.shape_digest, self.netmodel.speed_epoch)
+        mapping = self.cache.get(key)
+        if mapping is not None:
+            self.cache.move_to_end(key)
+            self.hits += 1
+            stats.cache_hits += 1
+            return mapping, "hit"
+        self.misses += 1
+        stats.cache_misses += 1
+        mapper = resolve_mapper(req.mapper)
+        kwargs: dict[str, Any] = {}
+        if _supports_stats(mapper):
+            kwargs["stats"] = stats
+        backend = req.timeof_backend
+        if backend is not None and backend != "trace" and _supports_backend(mapper):
+            kwargs["backend"] = backend
+        candidates = list(range(self.netmodel.nprocs))
+        fixed = {model.parent_index(): HOST_RANK}
+        mapping = mapper.select(model, self.netmodel, candidates, fixed,
+                                **kwargs)
+        self.cache[key] = mapping
+        while len(self.cache) > self.CACHE_SIZE:
+            self.cache.popitem(last=False)
+        return mapping, "miss"
+
+
+class Executor:
+    """Execute validated job requests against digest-keyed caches."""
+
+    WORLD_CAPACITY = 32
+
+    def __init__(self) -> None:
+        self.worlds: OrderedDict[str, WorldContext] = OrderedDict()
+        self.stats = SelectionStats()
+        self._models: dict[tuple, Any] = {}
+        self._nets: dict[str, Any] = {}
+        self.jobs_executed = 0
+
+    # -- building blocks ----------------------------------------------
+    def world(self, req: JobRequest) -> WorldContext:
+        digest = req.world_digest
+        assert digest is not None
+        ctx = self.worlds.get(digest)
+        if ctx is None:
+            ctx = WorldContext(digest, self._build_cluster(req.cluster))
+            self.worlds[digest] = ctx
+            while len(self.worlds) > self.WORLD_CAPACITY:
+                self.worlds.popitem(last=False)
+        else:
+            self.worlds.move_to_end(digest)
+        return ctx
+
+    @staticmethod
+    def _build_cluster(spec: Any) -> Any:
+        from ..campaign.scenarios import build_cluster
+        from ..cluster.serialize import cluster_from_dict
+        from ..util.errors import CampaignError
+
+        try:
+            if isinstance(spec, dict) and "machines" in spec:
+                return cluster_from_dict(spec)
+            return build_cluster(spec)
+        except (CampaignError, ReproError, ValueError, TypeError, KeyError) as exc:
+            raise BadRequest(f"bad cluster spec: {exc}") from exc
+
+    def model_for(self, req: JobRequest) -> Any:
+        """Compile (memoised) and bind the request's model."""
+        from ..perfmodel import compile_source_cached
+
+        assert req.model is not None
+        try:
+            models = compile_source_cached(
+                req.model, stub_externals(req.model))
+        except PMDLError as exc:
+            raise BadRequest(f"model does not compile: {exc}") from exc
+        if req.algorithm is not None:
+            pmodel = models.get(req.algorithm)
+            if pmodel is None:
+                raise BadRequest(
+                    f"source defines no algorithm named {req.algorithm!r}; "
+                    f"found {sorted(models)}")
+        elif len(models) == 1:
+            pmodel = next(iter(models.values()))
+        else:
+            raise BadRequest(
+                f"source defines {len(models)} algorithms "
+                f"{sorted(models)}; pass 'algorithm' to choose one")
+
+        bind_key = (req.model_digest, req.algorithm,
+                    None if req.params is None
+                    else json.dumps(req.params, sort_keys=True))
+        bound = self._models.get(bind_key)
+        if bound is None:
+            try:
+                if req.params is None:
+                    bound = pmodel.bind()
+                elif isinstance(req.params, dict):
+                    bound = pmodel.bind(**req.params)
+                else:
+                    bound = pmodel.bind(*req.params)
+            except (PMDLError, TypeError) as exc:
+                raise BadRequest(f"cannot bind model: {exc}") from exc
+            self._models[bind_key] = bound
+            while len(self._models) > 256:
+                self._models.pop(next(iter(self._models)))
+        return bound
+
+    # -- operations ----------------------------------------------------
+    def execute(self, req: JobRequest) -> dict[str, Any]:
+        """Run one job; returns its JSON-safe result dict."""
+        self.jobs_executed += 1
+        if req.op == "timeof" or req.op == "group_create":
+            return self._execute_selection(req)
+        if req.op == "check":
+            return self._execute_check(req)
+        if req.op == "campaign_cell":
+            return self._execute_campaign_cell(req)
+        raise BadRequest(f"unknown op {req.op!r}")  # pragma: no cover
+
+    def _execute_selection(self, req: JobRequest) -> dict[str, Any]:
+        model = self.model_for(req)
+        ctx = self.world(req)
+        try:
+            mapping, how = ctx.select(model, req, self.stats)
+        except (OptionError, ReproError) as exc:
+            raise BadRequest(f"selection failed: {exc}") from exc
+        result: dict[str, Any] = {
+            "op": req.op,
+            "protocol": PROTOCOL_VERSION,
+            "model_digest": req.model_digest,
+            "cluster_digest": req.world_digest,
+            "cache": how,
+            "speed_epoch": ctx.netmodel.speed_epoch,
+            "mapping": {
+                "processes": list(mapping.processes),
+                "machines": list(mapping.machines),
+                "time": mapping.time,
+            },
+        }
+        if req.op == "timeof":
+            # Exactly HMPI.timeof: best mapping's time scaled by iterations.
+            result["predicted_time"] = mapping.time * req.iterations
+            result["iterations"] = req.iterations
+        else:
+            result["group_size"] = len(mapping.processes)
+        return result
+
+    def _execute_check(self, req: JobRequest) -> dict[str, Any]:
+        from ..perfmodel import check_source
+
+        assert req.model is not None
+        report = check_source(
+            req.model,
+            target=req.algorithm or "<request>",
+            net=req.net,
+            externals=stub_externals(req.model),
+        )
+        return {
+            "op": "check",
+            "protocol": PROTOCOL_VERSION,
+            "model_digest": req.model_digest,
+            "report": report.to_dict(),
+            "exit_code": report.exit_code(strict=req.strict),
+        }
+
+    def _execute_campaign_cell(self, req: JobRequest) -> dict[str, Any]:
+        import numpy as np
+
+        from ..campaign.config import CampaignConfig
+        from ..campaign.runner import run_one
+        from ..util.errors import CampaignError
+
+        assert req.campaign is not None and req.cell is not None
+        try:
+            config = CampaignConfig(req.campaign)
+        except CampaignError as exc:
+            raise BadRequest(f"bad campaign config: {exc}") from exc
+        specs = config.expand()
+        if req.cell >= len(specs):
+            raise BadRequest(
+                f"cell {req.cell} out of range; campaign expands to "
+                f"{len(specs)} cell(s)")
+        spec = specs[req.cell]
+        metrics = run_one(config, spec)
+        clean = {k: (v.item() if isinstance(v, np.generic) else v)
+                 for k, v in metrics.items()}
+        return {
+            "op": "campaign_cell",
+            "protocol": PROTOCOL_VERSION,
+            "campaign": config.name,
+            "cell": spec.cell,
+            "index": spec.index,
+            "seed": spec.seed,
+            "metrics": clean,
+        }
+
+    # -- trace export --------------------------------------------------
+    def trace(self, req: JobRequest) -> dict[str, Any]:
+        """Chrome-trace document of a selection job's predicted schedule."""
+        from ..obs.netexport import net_chrome_trace
+        from ..perfmodel.net import lower_model
+
+        if req.op not in ("timeof", "group_create"):
+            raise BadRequest(
+                f"op {req.op!r} has no schedule to trace; "
+                "traces exist for timeof and group_create jobs")
+        model = self.model_for(req)
+        ctx = self.world(req)
+        mapping, _ = ctx.select(model, req, self.stats)
+        assert req.model_digest is not None
+        net = self._nets.get(req.model_digest)
+        if net is None:
+            try:
+                net = lower_model(model)
+            except (PMDLError, ReproError) as exc:
+                raise BadRequest(f"model cannot lower to a net: {exc}") from exc
+            self._nets[req.model_digest] = net
+            while len(self._nets) > 64:
+                self._nets.pop(next(iter(self._nets)))
+        # Reprice the chosen mapping through the shared evaluator pool —
+        # the engine's batch entry point — so the exported metadata
+        # carries the backend's own makespan for the exact machines.
+        times = evaluate_mappings(
+            model, ctx.netmodel, [list(mapping.machines)],
+            backend=req.timeof_backend, pool=ctx.pool,
+        )
+        return net_chrome_trace(
+            model, ctx.netmodel, list(mapping.machines), net=net,
+            metadata={
+                "model_digest": req.model_digest,
+                "cluster_digest": req.world_digest,
+                "predicted_time": float(times[0]),
+            },
+        )
+
+    # -- introspection -------------------------------------------------
+    def stats_dict(self) -> dict[str, Any]:
+        from ..perfmodel import compile_cache_stats
+
+        return {
+            "jobs_executed": self.jobs_executed,
+            "worlds": len(self.worlds),
+            "selection": self.stats.as_dict(),
+            "selection_cache": {
+                "hits": sum(w.hits for w in self.worlds.values()),
+                "misses": sum(w.misses for w in self.worlds.values()),
+            },
+            "compile_cache": compile_cache_stats(),
+            "evaluator_pools": {
+                "hits": sum(w.pool.hits for w in self.worlds.values()),
+                "misses": sum(w.pool.misses for w in self.worlds.values()),
+            },
+        }

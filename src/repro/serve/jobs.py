@@ -1,0 +1,188 @@
+"""Job bookkeeping: states, the store, and per-tenant quotas.
+
+Jobs live in the server process only — workers see request dicts, never
+:class:`Job` objects.  The store enforces the degradation contract:
+
+- a tenant over its in-flight quota is **rejected with 429** at submit
+  time (the job is recorded with status ``rejected`` so the tenant can
+  see why, but it never reaches the queue);
+- the global queue cap protects every tenant from one flooding tenant:
+  when the whole server is saturated, submits 429 regardless of tenant;
+- a job that exceeds its execution budget finishes as ``timeout`` and
+  the waiting POST (if any) degrades to 504 — the job id stays pollable,
+  and a late worker result for a timed-out job is discarded.
+
+Finished jobs are retained (bounded, LRU-evicted) so ``GET /v1/jobs/<id>``
+works after completion.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from .protocol import JobRequest, NotFound, QuotaExceeded
+
+__all__ = ["Job", "JobStore", "JOB_STATES"]
+
+#: Lifecycle: queued → running → {done, error, timeout}; ``rejected``
+#: is terminal at submit time (quota).
+JOB_STATES = ("queued", "running", "done", "error", "timeout", "rejected")
+
+_TERMINAL = frozenset({"done", "error", "timeout", "rejected"})
+
+
+@dataclass
+class Job:
+    """One submitted request and its lifecycle."""
+
+    id: str
+    request: JobRequest
+    status: str = "queued"
+    result: Any = None
+    error: str | None = None
+    status_code: int = 200
+    submitted: float = field(default_factory=time.monotonic)
+    finished_at: float | None = None
+    trace: dict | None = None
+    done_event: Any = None  # asyncio.Event, attached by the server loop
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in _TERMINAL
+
+    @property
+    def tenant(self) -> str:
+        return self.request.tenant
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "id": self.id,
+            "op": self.request.op,
+            "tenant": self.tenant,
+            "status": self.status,
+        }
+        if self.result is not None:
+            doc["result"] = self.result
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.finished_at is not None:
+            doc["elapsed_seconds"] = round(
+                self.finished_at - self.submitted, 6)
+        return doc
+
+
+class JobStore:
+    """Thread-safe registry of jobs with quota accounting."""
+
+    def __init__(self, *, max_inflight_per_tenant: int = 64,
+                 max_inflight_total: int = 1024,
+                 retain_finished: int = 4096):
+        self.max_inflight_per_tenant = max_inflight_per_tenant
+        self.max_inflight_total = max_inflight_total
+        self.retain_finished = retain_finished
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        self._inflight: dict[str, int] = {}
+        self._inflight_total = 0
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self.submitted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, request: JobRequest) -> Job:
+        """Admit a request, or raise :class:`QuotaExceeded` (429)."""
+        with self._lock:
+            job = Job(id=f"j{next(self._ids):08d}", request=request)
+            tenant = request.tenant
+            if self._inflight_total >= self.max_inflight_total:
+                self.rejected += 1
+                job.status = "rejected"
+                job.status_code = 429
+                job.error = (f"server saturated: {self._inflight_total} "
+                             "jobs in flight")
+                self._remember(job)
+                raise QuotaExceeded(job.error)
+            if self._inflight.get(tenant, 0) >= self.max_inflight_per_tenant:
+                self.rejected += 1
+                job.status = "rejected"
+                job.status_code = 429
+                job.error = (f"tenant {tenant!r} quota exceeded: "
+                             f"{self.max_inflight_per_tenant} jobs in flight")
+                self._remember(job)
+                raise QuotaExceeded(job.error)
+            self.submitted += 1
+            self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+            self._inflight_total += 1
+            self._remember(job)
+            return job
+
+    def _remember(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        while len(self._jobs) > self.retain_finished:
+            # Evict the oldest *terminal* job; never drop a live one.
+            for jid, j in self._jobs.items():
+                if j.terminal:
+                    del self._jobs[jid]
+                    break
+            else:
+                break
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise NotFound(f"no such job {job_id!r}")
+        return job
+
+    # ------------------------------------------------------------------
+    def mark_running(self, job: Job) -> None:
+        with self._lock:
+            if job.status == "queued":
+                job.status = "running"
+
+    def finish(self, job: Job, *, status: str, result: Any = None,
+               error: str | None = None, status_code: int = 200) -> bool:
+        """Finalise a job; False when it already reached a terminal state
+        (e.g. a worker result arriving after the job timed out)."""
+        with self._lock:
+            if job.terminal:
+                return False
+            job.status = status
+            job.result = result
+            job.error = error
+            job.status_code = status_code
+            job.finished_at = time.monotonic()
+            tenant = job.tenant
+            remaining = self._inflight.get(tenant, 1) - 1
+            if remaining > 0:
+                self._inflight[tenant] = remaining
+            else:
+                self._inflight.pop(tenant, None)
+            self._inflight_total -= 1
+        if job.done_event is not None:
+            job.done_event.set()
+        return True
+
+    # ------------------------------------------------------------------
+    def inflight(self, tenant: str | None = None) -> int:
+        with self._lock:
+            if tenant is None:
+                return self._inflight_total
+            return self._inflight.get(tenant, 0)
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            by_status: dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            return {
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "inflight": self._inflight_total,
+                **{f"status_{k}": v for k, v in sorted(by_status.items())},
+            }

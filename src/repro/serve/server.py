@@ -1,0 +1,462 @@
+"""The asyncio job server: accept loop, dispatch, and degradation.
+
+One event loop owns everything that isn't pure computation: HTTP
+parsing, validation, quotas, the batch planner, job bookkeeping, and
+the monitoring surface.  Computation happens in the
+:class:`~repro.serve.workers.WorkerPool` lanes; results come back via
+``call_soon_threadsafe`` so the loop is never blocked by an evaluation.
+
+Request lifecycle::
+
+    POST /v1/jobs ──validate──▶ JobStore.submit (429 on quota)
+        └─▶ BatchPlanner ──(batch window)──▶ WorkerPool lane
+                 └──────────── result ────▶ finish + wake waiters
+
+A POST blocks up to ``wait`` seconds (default 30; ``wait: 0`` returns
+202 immediately) and degrades to **504** when the result isn't ready —
+the job keeps running and stays pollable at ``GET /v1/jobs/<id>``.  A
+job-level ``timeout`` finishes the job as ``timeout`` (504) even if no
+one is waiting; a worker result arriving after that is discarded.
+
+The monitoring routes (``/metrics``, ``/snapshot``, ``/events``,
+``/healthz``) are the exact :class:`~repro.obs.server.MonitorRoutes`
+logic the standalone ``repro monitor`` endpoint uses, fed by this
+server's own registry and event bus — the server is its own ops
+dashboard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+from typing import Any
+
+from ..obs import EventBus, MetricsRegistry, MonitorRoutes
+from .batcher import BatchPlanner
+from .jobs import Job, JobStore
+from .protocol import (
+    PROTOCOL_VERSION,
+    BadRequest,
+    NotFound,
+    QuotaExceeded,
+    ServeError,
+    validate_request,
+)
+from .workers import WorkerPool
+
+__all__ = ["ServeServer", "DEFAULT_WAIT", "BATCH_WINDOW"]
+
+#: Seconds a POST waits for its result before degrading to 504.
+DEFAULT_WAIT = 30.0
+
+#: Seconds the planner lets concurrent submissions pile up before a
+#: flush — long enough to coalesce a burst, invisible next to a
+#: selection.
+BATCH_WINDOW = 0.005
+
+_MAX_BODY = 16 * 1024 * 1024
+_MAX_HEADER_LINES = 100
+
+
+class ServeServer:
+    """Multi-tenant HMPI prediction/selection server.
+
+    Use :meth:`start_background` for an in-process server (tests, the
+    client facade) or :meth:`run` under ``asyncio.run`` (the CLI).
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 0,
+                 metrics: MetricsRegistry | None = None,
+                 telemetry: EventBus | None = None,
+                 max_inflight_per_tenant: int = 64,
+                 max_inflight_total: int = 1024,
+                 default_wait: float = DEFAULT_WAIT,
+                 batch_window: float = BATCH_WINDOW):
+        self._host = host
+        self._port = port
+        self.workers = workers
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.telemetry = telemetry if telemetry is not None else EventBus()
+        self.store = JobStore(
+            max_inflight_per_tenant=max_inflight_per_tenant,
+            max_inflight_total=max_inflight_total)
+        self.planner = BatchPlanner()
+        self.default_wait = default_wait
+        self.batch_window = batch_window
+        self._routes = MonitorRoutes(
+            snapshot_fn=self.metrics.snapshot,
+            telemetry=self.telemetry,
+            health_extra=self._health_extra)
+        self._task_ids = itertools.count(1)
+        self._dispatched: dict[str, list[Job]] = {}
+        self._trace_futures: dict[str, asyncio.Future] = {}
+        self._flush_armed = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._pool: WorkerPool | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def _start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._pool = WorkerPool(self.workers, on_result=self._result_from_lane)
+        self._server = await asyncio.start_server(
+            self._handle_client, self._host, self._port)
+        sock = self._server.sockets[0]
+        self._host, self._port = sock.getsockname()[:2]
+
+    async def run(self, on_ready: Any = None) -> None:
+        """Serve until cancelled (the CLI entry point).
+
+        ``on_ready``, when given, is called once the socket is bound —
+        after it the ``url``/``port`` properties report real values.
+        """
+        await self._start()
+        if on_ready is not None:
+            on_ready(self)
+        assert self._server is not None
+        try:
+            async with self._server:
+                await self._server.serve_forever()
+        finally:
+            if self._pool is not None:
+                self._pool.stop()
+
+    def start_background(self) -> "ServeServer":
+        """Run the loop in a daemon thread; returns once bound."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        started = threading.Event()
+
+        def main() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(self._start())
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=main, name="repro-serve", daemon=True)
+        self._thread.start()
+        if not started.wait(timeout=30.0):  # pragma: no cover
+            raise RuntimeError("serve loop failed to start")
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            if self._pool is not None:
+                self._pool.stop()
+            return
+        loop = self._loop
+        assert loop is not None
+
+        def shutdown() -> None:
+            if self._server is not None:
+                self._server.close()
+            loop.stop()
+
+        loop.call_soon_threadsafe(shutdown)
+        self._thread.join(timeout=10.0)
+        if self._pool is not None:
+            self._pool.stop()
+        self._thread = None
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self._port}"
+
+    def _health_extra(self) -> dict[str, Any]:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "workers": self.workers,
+            "jobs": self.store.counts(),
+            "batcher": self.planner.stats_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except (ValueError, asyncio.IncompleteReadError) as exc:
+                await self._respond(writer, 400, {"error": f"bad request: {exc}"})
+                return
+            except ConnectionError:
+                return
+            try:
+                status, payload = await self._route(method, path, body)
+            except ServeError as exc:
+                status, payload = exc.status, {"error": str(exc)}
+            except Exception as exc:  # never kill the accept loop
+                status, payload = 500, {
+                    "error": f"{type(exc).__name__}: {exc}"}
+            await self._respond(writer, status, payload)
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader) -> tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+        if not request_line:
+            raise ValueError("empty request")
+        parts = request_line.split(" ")
+        if len(parts) != 3:
+            raise ValueError(f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        length = 0
+        for _ in range(_MAX_HEADER_LINES):
+            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise ValueError("bad Content-Length") from None
+        else:
+            raise ValueError("too many headers")
+        if length < 0 or length > _MAX_BODY:
+            raise ValueError(f"body length {length} out of bounds")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    @staticmethod
+    async def _respond(writer: asyncio.StreamWriter, status: int,
+                       payload: Any, ctype: str = "application/json") -> None:
+        if isinstance(payload, _Raw):
+            ctype = payload.ctype
+            body = payload.text.encode("utf-8")
+        elif isinstance(payload, (dict, list)):
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+        elif isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = payload
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 405: "Method Not Allowed",
+                  429: "Too Many Requests", 500: "Internal Server Error",
+                  504: "Gateway Timeout"}.get(status, "Status")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        try:
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> tuple[int, Any]:
+        plain = path.split("?", 1)[0].rstrip("/") or "/"
+        if plain == "/v1/jobs":
+            if method != "POST":
+                return 405, {"error": "POST required"}
+            return await self._submit(body)
+        if plain.startswith("/v1/jobs/"):
+            if method != "GET":
+                return 405, {"error": "GET required"}
+            rest = plain[len("/v1/jobs/"):]
+            if rest.endswith("/trace"):
+                return await self._trace(rest[:-len("/trace")])
+            return self._job_status(rest)
+        if method != "GET":
+            return 405, {"error": "GET required"}
+        handled = self._routes.handle(path)
+        if handled is not None:
+            status, ctype, text = handled
+            return status, _Raw(text, ctype)
+        return 404, {"error": f"no route {plain!r}"}
+
+    # ------------------------------------------------------------------
+    # job submission and completion
+    # ------------------------------------------------------------------
+    async def _submit(self, body: bytes) -> tuple[int, Any]:
+        try:
+            raw = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"request body is not JSON: {exc}") from exc
+        request = validate_request(raw)
+        tenant, op = request.tenant, request.op
+        try:
+            job = self.store.submit(request)
+        except QuotaExceeded:
+            self.metrics.counter("serve.jobs.rejected", tenant=tenant).inc()
+            self.telemetry.emit("serve", "job.reject", tenant=tenant, op=op)
+            raise
+        job.done_event = asyncio.Event()
+        self.metrics.counter("serve.jobs.submitted", tenant=tenant, op=op).inc()
+        self.metrics.gauge("serve.jobs.inflight").set(self.store.inflight())
+        self.telemetry.emit("serve", "job.submit",
+                            job=job.id, tenant=tenant, op=op)
+        self.planner.add(job)
+        self._arm_flush()
+        if request.timeout is not None:
+            assert self._loop is not None
+            self._loop.call_later(request.timeout, self._expire, job)
+
+        wait = self.default_wait if request.wait is None else request.wait
+        if wait <= 0:
+            return 202, {"id": job.id, "status": job.status}
+        try:
+            await asyncio.wait_for(job.done_event.wait(), timeout=wait)
+        except asyncio.TimeoutError:
+            doc = job.to_dict()
+            doc["error"] = f"result not ready within wait={wait}s; poll the id"
+            return 504, doc
+        return job.status_code, job.to_dict()
+
+    def _expire(self, job: Job) -> None:
+        if self.store.finish(
+                job, status="timeout", status_code=504,
+                error=f"job exceeded its {job.request.timeout}s budget"):
+            self._finish_metrics(job)
+
+    def _finish_metrics(self, job: Job) -> None:
+        self.metrics.counter("serve.jobs.completed", tenant=job.tenant,
+                             op=job.request.op, status=job.status).inc()
+        self.metrics.gauge("serve.jobs.inflight").set(self.store.inflight())
+        if job.finished_at is not None:
+            self.metrics.histogram("serve.latency.seconds",
+                                   op=job.request.op).observe(
+                job.finished_at - job.submitted)
+        if isinstance(job.result, dict) and "cache" in job.result:
+            which = ("serve.cache.hits" if job.result["cache"] == "hit"
+                     else "serve.cache.misses")
+            self.metrics.counter(which, tenant=job.tenant).inc()
+        self.telemetry.emit("serve", "job.finish", job=job.id,
+                            tenant=job.tenant, op=job.request.op,
+                            status=job.status)
+
+    # ------------------------------------------------------------------
+    # batching and dispatch
+    # ------------------------------------------------------------------
+    def _arm_flush(self) -> None:
+        if self._flush_armed:
+            return
+        self._flush_armed = True
+        assert self._loop is not None
+        self._loop.create_task(self._flush_soon())
+
+    async def _flush_soon(self) -> None:
+        await asyncio.sleep(self.batch_window)
+        self._flush_armed = False
+        assert self._pool is not None
+        for batch in self.planner.drain():
+            jobs = [job for job in batch.jobs if not job.terminal]
+            if not jobs:
+                continue
+            for job in jobs:
+                self.store.mark_running(job)
+            task_id = f"t{next(self._task_ids):08d}"
+            self._dispatched[task_id] = jobs
+            rep = jobs[0].request
+            shard = rep.world_digest or rep.model_digest or "0"
+            if len(jobs) > 1:
+                self.metrics.counter("serve.jobs.coalesced").inc(len(jobs) - 1)
+            self.metrics.counter("serve.batches.dispatched").inc()
+            self.telemetry.emit("serve", "batch.dispatch", task=task_id,
+                                jobs=len(jobs), key=batch.key[0])
+            self._pool.submit(task_id, shard, {
+                "kind": "batch",
+                "requests": [job.request.to_dict() for job in jobs],
+            })
+
+    # Called from the collector thread — bounce into the loop.
+    def _result_from_lane(self, task_id: str, outcomes: list[dict]) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self._apply_outcomes, task_id, outcomes)
+
+    def _apply_outcomes(self, task_id: str, outcomes: list[dict]) -> None:
+        future = self._trace_futures.pop(task_id, None)
+        if future is not None:
+            if not future.done():
+                future.set_result(outcomes[0])
+            return
+        jobs = self._dispatched.pop(task_id, None)
+        if jobs is None:
+            return
+        for job, outcome in zip(jobs, outcomes):
+            if "ok" in outcome:
+                finished = self.store.finish(job, status="done",
+                                             result=outcome["ok"])
+            else:
+                finished = self.store.finish(
+                    job, status="error", error=outcome["error"],
+                    status_code=int(outcome.get("status", 500)))
+            if finished:
+                self._finish_metrics(job)
+
+    # ------------------------------------------------------------------
+    # status and trace
+    # ------------------------------------------------------------------
+    def _job_status(self, job_id: str) -> tuple[int, Any]:
+        job = self.store.get(job_id)
+        return 200, job.to_dict()
+
+    async def _trace(self, job_id: str) -> tuple[int, Any]:
+        job = self.store.get(job_id)
+        if job.request.op not in ("timeof", "group_create"):
+            raise BadRequest(
+                f"job {job_id} is a {job.request.op!r} job; traces exist "
+                "for timeof and group_create jobs")
+        if job.status != "done":
+            raise NotFound(
+                f"job {job_id} is {job.status}; trace exists once done")
+        if job.trace is not None:
+            return 200, job.trace
+        assert self._pool is not None and self._loop is not None
+        task_id = f"t{next(self._task_ids):08d}"
+        future: asyncio.Future = self._loop.create_future()
+        self._trace_futures[task_id] = future
+        rep = job.request
+        shard = rep.world_digest or rep.model_digest or "0"
+        self._pool.submit(task_id, shard, {
+            "kind": "trace", "requests": [rep.to_dict()]})
+        try:
+            outcome = await asyncio.wait_for(future, timeout=self.default_wait)
+        except asyncio.TimeoutError as exc:
+            self._trace_futures.pop(task_id, None)
+            raise ServeError("trace export timed out") from exc
+        if "error" in outcome:
+            raise BadRequest(outcome["error"])
+        job.trace = outcome["ok"]
+        return 200, job.trace
+
+
+class _Raw:
+    """Marker for pre-rendered (non-JSON) response bodies."""
+
+    def __init__(self, text: str, ctype: str):
+        self.text = text
+        self.ctype = ctype

@@ -244,3 +244,95 @@ class TestEm3dReconDriver:
         config = load_config(CAMPAIGNS / "recon_ablation.json")
         specs = config.expand()
         assert [s.cell["recon"] for s in specs] == [False, True]
+
+
+class TestGroupsizeAmdahlDriver:
+    """The campaign port of benchmarks/bench_ablation_groupsize.py."""
+
+    def test_serial_fraction_shrinks_the_tuned_group(self):
+        w = run({
+            "name": "t", "app": "groupsize_amdahl",
+            "fixed": {"cluster": "paper", "max_p": 9},
+            "axes": {"combine_cost": [0.0, 3.0, 10.0, 30.0]},
+        })
+        assert all(r["status"] == "ok" for r in w.rows)
+        chosen = [r["metrics"]["tuned_p"] for r in w.rows]
+        # Monotone trend from the bench: more serial work, fewer members.
+        assert all(a >= b for a, b in zip(chosen, chosen[1:]))
+        assert chosen[0] > chosen[-1]
+        for r in w.rows:
+            m = r["metrics"]
+            assert m["predicted_time"] <= m["all_machines_time"] + 1e-9
+            assert m["measured_time"] == pytest.approx(
+                m["predicted_time"], rel=0.05)
+
+    def test_matches_the_bench_prediction_bitwise(self):
+        # Same family, same sweep, same mapper: the campaign cell must
+        # reproduce tune_group_size exactly.
+        w = run({
+            "name": "t", "app": "groupsize_amdahl",
+            "fixed": {"cluster": "paper", "max_p": 9},
+            "axes": {"combine_cost": [10.0]},
+        })
+        from repro.campaign.drivers import _amdahl_family
+        from repro.cluster import paper_network
+        from repro.core import run_hmpi
+        from repro.core.autotune import tune_group_size
+
+        def app(hmpi):
+            if hmpi.is_host():
+                sweep = tune_group_size(
+                    hmpi, _amdahl_family(900.0, 64 * 1024.0, 10.0),
+                    range(1, 10))
+                return sweep.best_p, sweep.best_time
+            return None
+
+        best_p, best_time = run_hmpi(app, paper_network()).results[0]
+        m = w.rows[0]["metrics"]
+        assert m["tuned_p"] == best_p
+        assert m["predicted_time"] == best_time  # bitwise
+
+    def test_bad_max_p_is_a_typed_error_row(self):
+        w = run({
+            "name": "t", "app": "groupsize_amdahl",
+            "fixed": {"cluster": "paper", "max_p": 99},
+            "axes": {"combine_cost": [0.0]},
+        })
+        assert w.rows[0]["status"] == "error"
+        assert "max_p" in w.rows[0]["error"]
+
+    def test_example_config_expands(self):
+        config = load_config(CAMPAIGNS / "groupsize_ablation.json")
+        specs = config.expand()
+        assert [s.cell["combine_cost"] for s in specs] == \
+            [0.0, 3.0, 10.0, 30.0]
+
+
+class TestTopologyAxis:
+    """Topology as a sweepable campaign axis (flat vs hierarchical)."""
+
+    RAW = {
+        "name": "t", "app": "timeof_em3d",
+        "fixed": {"p": 7, "total_nodes": 2100, "problem_seed": 5,
+                  "k": 100, "boundary_fraction": 0.3},
+        "axes": {"cluster": [
+            "paper",
+            {"kind": "topology", "preset": "two_site",
+             "machines_per_site": 4},
+            {"kind": "topology", "preset": "clusters_of_clusters",
+             "sites": 2, "subnets_per_site": 2, "machines_per_subnet": 2},
+        ]},
+    }
+
+    def test_cells_sweep_flat_vs_hierarchical_worlds(self):
+        w = run(self.RAW)
+        assert [r["status"] for r in w.rows] == ["ok"] * 3
+        flat, two_site, coc = (r["metrics"]["predicted_time"]
+                               for r in w.rows)
+        assert flat > 0 and two_site > 0 and coc > 0
+        # The axis really swept different worlds: the heterogeneous flat
+        # mesh and the homogeneous two-site hierarchy select differently.
+        assert flat != two_site
+
+    def test_topology_cells_are_reproducible(self):
+        assert run(self.RAW).jsonl() == run(self.RAW).jsonl()

@@ -38,6 +38,32 @@ class TestBuildCluster:
         b = build_cluster({"kind": "random", "n": 4, "seed": 1})
         assert [m.speed for m in a.machines] == [m.speed for m in b.machines]
 
+    def test_topology_two_site(self):
+        c = build_cluster({"kind": "topology", "preset": "two_site",
+                           "machines_per_site": 3, "speed": 50.0})
+        assert c.size == 6
+        assert c.topology is not None
+        assert all(m.speed == 50.0 for m in c.machines)
+
+    def test_topology_clusters_of_clusters(self):
+        c = build_cluster({
+            "kind": "topology", "preset": "clusters_of_clusters",
+            "sites": 2, "subnets_per_site": 2, "machines_per_subnet": 2,
+            "speeds": [10, 20, 30, 40, 50, 60, 70, 80]})
+        assert c.size == 8
+        assert [m.speed for m in c.machines] == [
+            10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0]
+        # Three levels: the DCA of two sites is the WAN root.
+        assert c.topology.root.kind == "site"
+
+    def test_topology_defaults_match_the_presets(self):
+        from repro.cluster.presets import clusters_of_clusters, two_site_network
+        a = build_cluster({"kind": "topology", "preset": "two_site"})
+        assert a.size == two_site_network().size
+        b = build_cluster({"kind": "topology",
+                           "preset": "clusters_of_clusters"})
+        assert b.size == clusters_of_clusters().size
+
     @pytest.mark.parametrize("bad", [
         "no_such_preset",
         42,
@@ -45,6 +71,14 @@ class TestBuildCluster:
         {"kind": "uniform", "speeds": []},
         {"kind": "uniform"},
         {"kind": "uniform", "speeds": ["x"]},
+        {"kind": "topology"},
+        {"kind": "topology", "preset": "nope"},
+        {"kind": "topology", "preset": "two_site", "sites": 3},
+        {"kind": "topology", "preset": "two_site", "machines_per_site": 1},
+        {"kind": "topology", "preset": "clusters_of_clusters",
+         "speeds": []},
+        {"kind": "topology", "preset": "clusters_of_clusters",
+         "speeds": [100.0]},
     ])
     def test_bad_specs_raise(self, bad):
         with pytest.raises(CampaignError):

@@ -93,6 +93,22 @@ class TestEndpoints:
         status, _, _ = get(server.url + "/events?n=wat")
         assert status == 400
 
+    @pytest.mark.parametrize("n", ["-1", "-3", "1000001", str(10**18), "1.5",
+                                   "nan", "inf", "0x10", ""])
+    def test_events_hostile_n_is_400_not_a_crash(self, stack, n):
+        # Regression: these used to raise in the handler thread.  The
+        # server must answer 400 and keep serving afterwards.
+        server, _, _ = stack
+        status, _, body = get(server.url + f"/events?n={n}")
+        assert status == 400, (n, body)
+        assert get(server.url + "/events?n=1")[0] == 200
+
+    def test_events_n_zero_is_empty_200(self, stack):
+        server, _, _ = stack
+        status, _, body = get(server.url + "/events?n=0")
+        assert status == 200
+        assert body.strip() == ""
+
     def test_unknown_route_is_404(self, stack):
         server, _, _ = stack
         assert get(server.url + "/nope")[0] == 404
